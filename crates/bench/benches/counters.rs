@@ -1,0 +1,126 @@
+//! Criterion microbenches for the counting mechanisms themselves — the
+//! per-row costs that Section V's "< 2 % overhead" claims rest on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pf_common::rng::Rng;
+use pf_common::Datum;
+use pf_feedback::distinct_estimators::{estimate_gee, ReservoirSampler};
+use pf_feedback::{BitVectorFilter, DpSampler, GroupedPageCounter, LinearCounter};
+
+fn pid_stream(n: usize, pages: u32, seed: u64) -> Vec<u32> {
+    let mut rng = Rng::new(seed);
+    (0..n).map(|_| rng.gen_range(u64::from(pages)) as u32).collect()
+}
+
+fn bench_linear_counter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linear_counter");
+    for &n in &[10_000usize, 100_000] {
+        let stream = pid_stream(n, 8_192, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("observe", n), &stream, |b, s| {
+            b.iter(|| {
+                let mut lc = LinearCounter::new(8_192, 7);
+                for &p in s {
+                    lc.observe(black_box(p));
+                }
+                black_box(lc.estimate())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_grouped_counter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grouped_counter");
+    let n = 100_000usize;
+    let rows: Vec<(u32, bool)> = (0..n).map(|i| ((i / 50) as u32, i % 7 == 0)).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("observe_row", |b| {
+        b.iter(|| {
+            let mut gc = GroupedPageCounter::new();
+            for &(p, s) in &rows {
+                gc.observe_row(black_box(p), black_box(s));
+            }
+            gc.finish();
+            black_box(gc.count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dpsample(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpsample");
+    let pages = 10_000u32;
+    for &f in &[0.01, 0.1, 1.0] {
+        g.bench_with_input(BenchmarkId::new("scan", format!("f={f}")), &f, |b, &f| {
+            b.iter(|| {
+                let mut s = DpSampler::new(f, 3).unwrap();
+                for p in 0..pages {
+                    if s.start_page() {
+                        for r in 0..50u32 {
+                            s.observe_row(black_box(p.wrapping_add(r)) % 3 == 0);
+                        }
+                    }
+                }
+                s.finish();
+                black_box(s.estimate())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bitvector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitvector");
+    let keys: Vec<Datum> = (0..100_000).map(Datum::Int).collect();
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("insert", |b| {
+        b.iter(|| {
+            let mut f = BitVectorFilter::new(1 << 17, 5);
+            for k in &keys {
+                f.insert(black_box(k));
+            }
+            black_box(f.fill_ratio())
+        })
+    });
+    let mut filter = BitVectorFilter::new(1 << 17, 5);
+    for k in &keys {
+        filter.insert(k);
+    }
+    g.bench_function("probe", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for k in &keys {
+                hits += u64::from(filter.may_contain(black_box(k)));
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_reservoir_gee(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reservoir_gee");
+    let stream = pid_stream(100_000, 4_096, 9);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("offer_and_estimate", |b| {
+        b.iter(|| {
+            let mut rs = ReservoirSampler::new(1_024, 2);
+            for &p in &stream {
+                rs.offer(black_box(p));
+            }
+            black_box(estimate_gee(rs.sample(), rs.seen()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linear_counter,
+    bench_grouped_counter,
+    bench_dpsample,
+    bench_bitvector,
+    bench_reservoir_gee
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for end-to-end monitoring overhead in *wall-clock*
+//! terms: the same plan executed with monitoring off, exact, and
+//! page-sampled. This cross-checks the simulated-clock overheads of
+//! Figs 7 and 9 against real CPU time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagefeed::{Database, MonitorConfig, PredSpec, Query};
+use pf_common::Datum;
+use pf_exec::CompareOp;
+use pf_workloads::synthetic::{build, SyntheticConfig};
+
+fn db() -> Database {
+    build(&SyntheticConfig {
+        rows: 40_000,
+        with_t1: true,
+        seed: 77,
+    })
+    .unwrap()
+}
+
+fn bench_scan_monitoring(c: &mut Criterion) {
+    let db = db();
+    let query = Query::count(
+        "T",
+        vec![
+            PredSpec::new("c2", CompareOp::Lt, Datum::Int(2_000)),
+            PredSpec::new("c5", CompareOp::Lt, Datum::Int(20_000)),
+        ],
+    );
+    let mut g = c.benchmark_group("scan_monitoring");
+    g.sample_size(20);
+    for (name, cfg) in [
+        ("off", MonitorConfig::off()),
+        ("sampled_1pct", MonitorConfig::sampled(0.01)),
+        ("exact", MonitorConfig::default()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("table_scan", name), &cfg, |b, cfg| {
+            b.iter(|| db.run(&query, cfg).unwrap().count)
+        });
+    }
+    g.finish();
+}
+
+fn bench_join_monitoring(c: &mut Criterion) {
+    let db = db();
+    let query = Query::join_count(
+        "T1",
+        "T",
+        vec![PredSpec::new("c1", CompareOp::Lt, Datum::Int(1_200))],
+        "c2",
+        "c2",
+    );
+    let mut g = c.benchmark_group("join_monitoring");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("off", MonitorConfig::off()),
+        ("bitvector_sampled", MonitorConfig::sampled(0.25)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("hash_join", name), &cfg, |b, cfg| {
+            b.iter(|| db.run(&query, cfg).unwrap().count)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_monitoring, bench_join_monitoring);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11
+//!       | ablation-counters | ablation-bitvector | ablation-dpsample | ablation-models
+//!       | all | quick
+//! ```
+//!
+//! `quick` runs everything at reduced scale (useful for smoke testing);
+//! `PF_ROWS=<n>` overrides the synthetic table size for any subcommand.
+
+use pf_bench::util::synthetic_rows;
+use pf_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let rows = synthetic_rows();
+    let result = match cmd {
+        "table1" => run_table1(rows).map(|_| ()),
+        "fig6" => run_fig6(rows, 25).map(|_| ()),
+        "fig7" => run_fig7(rows, 25).map(|_| ()),
+        "fig8" => run_fig8(rows, 10).map(|_| ()),
+        "fig9" => run_fig9(rows).map(|_| ()),
+        "fig10" => run_fig10().map(|_| ()),
+        "fig11" => run_fig11(5).map(|_| ()),
+        "ablation-counters" => ablation_counters().map(|_| ()),
+        "ablation-bitvector" => ablation_bitvector().map(|_| ()),
+        "ablation-dpsample" => ablation_dpsample().map(|_| ()),
+        "ablation-models" => ablation_models().map(|_| ()),
+        "ablation-histogram" => ablation_histogram(rows).map(|_| ()),
+        "ablation-buffer" => ablation_buffer().map(|_| ()),
+        "ablation-sensitivity" => ablation_sensitivity(rows.min(80_000)).map(|_| ()),
+        "all" => run_all(rows, 25, 10, 5),
+        "quick" => run_all(40_000, 4, 3, 2),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!(
+                "usage: repro [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_all(
+    rows: usize,
+    single_per_col: usize,
+    join_per_col: usize,
+    real_per_col: usize,
+) -> pf_common::Result<()> {
+    run_table1(rows)?;
+    run_fig6(rows, single_per_col)?;
+    run_fig7(rows, single_per_col)?;
+    run_fig8(rows, join_per_col)?;
+    run_fig9(rows)?;
+    run_fig10()?;
+    run_fig11(real_per_col)?;
+    ablation_counters()?;
+    ablation_bitvector()?;
+    ablation_dpsample()?;
+    ablation_models()?;
+    ablation_histogram(rows)?;
+    ablation_buffer()?;
+    ablation_sensitivity(rows.min(80_000))?;
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Fig 7 — Monitoring overheads for single-table queries.
+//!
+//! The same 100-query workload as Fig 6; for each query the overhead is
+//! `(T_monitored − T)/T` on the simulated clock (both runs cold-cache).
+//! The paper reports < 2 % for most queries.
+
+use crate::util::{max, mean, section};
+use pagefeed::MonitorConfig;
+use pf_common::Result;
+use pf_workloads::{single_table_workload, synthetic};
+
+/// One query's monitoring overhead.
+#[derive(Debug, Clone)]
+pub struct OverheadPoint {
+    /// Query index.
+    pub query: usize,
+    /// Relative overhead (0.02 = 2 %).
+    pub overhead: f64,
+}
+
+/// Runs the Fig 7 experiment.
+pub fn run_fig7(rows: usize, per_column: usize) -> Result<Vec<OverheadPoint>> {
+    section("Fig 7: Overheads for single table queries");
+    let mut db = synthetic::build(&synthetic::SyntheticConfig {
+        rows,
+        with_t1: false,
+        seed: 71,
+    })?;
+    let queries =
+        single_table_workload(&db, "T", &["c2", "c3", "c4", "c5"], per_column, (0.01, 0.10), 72)?;
+
+    let mut points = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let out = db.feedback_loop(q, &MonitorConfig::default())?;
+        points.push(OverheadPoint {
+            query: i,
+            overhead: out.overhead(),
+        });
+    }
+    println!("{:>5} {:>9}", "query", "overhead");
+    for p in &points {
+        println!("{:>5} {:>8.2}%", p.query, p.overhead * 100.0);
+    }
+    let os: Vec<f64> = points.iter().map(|p| p.overhead).collect();
+    println!(
+        "mean {:.2}%  max {:.2}%",
+        mean(&os) * 100.0,
+        max(&os) * 100.0
+    );
+    Ok(points)
+}

@@ -1,0 +1,50 @@
+//! Small shared helpers for experiment output.
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Maximum (0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// The synthetic table size, overridable via `PF_ROWS` for quick runs.
+pub fn synthetic_rows() -> usize {
+    std::env::var("PF_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(320_000)
+}
+
+/// Prints a header line for an experiment section.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[1.0, 3.0]), 1.0);
+        assert_eq!(max(&[1.0, -2.0, 0.5]), 1.0);
+    }
+}

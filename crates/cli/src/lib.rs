@@ -1,0 +1,438 @@
+//! The shell engine behind `pagefeed-cli` — separated from the binary so
+//! every command is unit-testable.
+
+use pagefeed::{parse_query, Database, MonitorConfig, Query};
+use pf_common::Error;
+use pf_workloads::{realworld, synthetic, tpch};
+use std::fmt::Write as _;
+
+/// What the REPL should do after a command.
+pub enum Control {
+    /// Print this output and keep going.
+    Continue(String),
+    /// Exit.
+    Quit,
+}
+
+/// The interactive shell state.
+pub struct Shell {
+    db: Option<Database>,
+    monitor: MonitorConfig,
+}
+
+impl Shell {
+    /// A fresh shell with no database loaded and exact monitoring.
+    pub fn new() -> Self {
+        Shell {
+            db: None,
+            monitor: MonitorConfig::default(),
+        }
+    }
+
+    /// Evaluates one input line.
+    pub fn eval(&mut self, line: &str) -> Control {
+        let line = line.trim();
+        if line.is_empty() {
+            return Control::Continue(String::new());
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            return self.dot_command(rest);
+        }
+        Control::Continue(self.sql(line))
+    }
+
+    fn dot_command(&mut self, rest: &str) -> Control {
+        let mut parts = rest.splitn(2, ' ');
+        let cmd = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        let out = match cmd {
+            "help" => HELP.to_string(),
+            "quit" | "exit" => return Control::Quit,
+            "load" => self.load(arg),
+            "save" => self.save(arg),
+            "open" => self.open(arg),
+            "tables" => self.tables(),
+            "monitor" => self.set_monitor(arg),
+            "plans" => self.plans(arg),
+            "explain" => self.explain(arg),
+            "diagnose" => self.diagnose(arg),
+            "feedback" => self.feedback(arg),
+            "hints" => self.hints(),
+            other => format!("unknown command .{other} — try .help"),
+        };
+        Control::Continue(out)
+    }
+
+    fn load(&mut self, which: &str) -> String {
+        let built = match which {
+            "synthetic" => synthetic::build(&synthetic::SyntheticConfig {
+                rows: 80_000,
+                with_t1: true,
+                seed: 1,
+            }),
+            "tpch" => tpch::build_lineitem_with_rows(80_000, 1),
+            "books" => realworld::book_retailer(1),
+            "yellowpages" => realworld::yellow_pages(1),
+            "voter" => realworld::voter(1),
+            "products" => realworld::products(1),
+            other => Err(Error::InvalidArgument(format!(
+                "unknown dataset {other:?} (try synthetic|tpch|books|yellowpages|voter|products)"
+            ))),
+        };
+        match built {
+            Ok(mut db) => {
+                db.enable_dpc_histograms(32);
+                let summary = summarize_catalog(&db);
+                self.db = Some(db);
+                format!("loaded {which}\n{summary}")
+            }
+            Err(e) => format!("load failed: {e}"),
+        }
+    }
+
+    fn save(&self, path: &str) -> String {
+        if path.is_empty() {
+            return "usage: .save <path>".to_string();
+        }
+        let Some(db) = &self.db else {
+            return NO_DB.to_string();
+        };
+        match db.save(path) {
+            Ok(()) => format!("saved to {path}"),
+            Err(e) => format!("save failed: {e}"),
+        }
+    }
+
+    fn open(&mut self, path: &str) -> String {
+        if path.is_empty() {
+            return "usage: .open <path>".to_string();
+        }
+        match Database::open(path) {
+            Ok(mut db) => {
+                db.enable_dpc_histograms(32);
+                let summary = summarize_catalog(&db);
+                self.db = Some(db);
+                format!("opened {path}\n{summary}")
+            }
+            Err(e) => format!("open failed: {e}"),
+        }
+    }
+
+    fn tables(&self) -> String {
+        let Some(db) = &self.db else {
+            return NO_DB.to_string();
+        };
+        summarize_catalog(db)
+    }
+
+    fn set_monitor(&mut self, arg: &str) -> String {
+        match arg {
+            "off" => {
+                self.monitor = MonitorConfig::off();
+                "monitoring off".to_string()
+            }
+            "on" | "exact" => {
+                self.monitor = MonitorConfig::default();
+                "monitoring on (exact)".to_string()
+            }
+            other => match other.strip_suffix('%').and_then(|p| p.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 && pct <= 100.0 => {
+                    self.monitor = MonitorConfig::sampled(pct / 100.0);
+                    format!("monitoring on (page sampling {pct}%)")
+                }
+                _ => "usage: .monitor on|off|<pct>%".to_string(),
+            },
+        }
+    }
+
+    fn parse(&self, sql: &str) -> Result<Query, String> {
+        if sql.is_empty() {
+            return Err("usage: give a SQL query".to_string());
+        }
+        parse_query(sql).map_err(|e| format!("parse error: {e}"))
+    }
+
+    fn sql(&mut self, sql: &str) -> String {
+        let query = match self.parse(sql) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        match db.run(&query, &self.monitor) {
+            Ok(out) => {
+                let mut s = format!(
+                    "count: {}\nplan:  {}\ntime:  {:.1} ms (simulated, cold cache)",
+                    out.count, out.description, out.elapsed_ms
+                );
+                if !out.report.measurements.is_empty() {
+                    let _ = write!(s, "\n{}", out.report);
+                }
+                s
+            }
+            Err(e) => format!("execution failed: {e}"),
+        }
+    }
+
+    fn plans(&mut self, sql: &str) -> String {
+        let query = match self.parse(sql) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        let result = (|| -> pf_common::Result<String> {
+            let mut s = String::new();
+            match &query {
+                Query::Count { table, predicate, .. } => {
+                    let meta = db.catalog().table_by_name(table)?;
+                    let pred = Query::resolve_predicates(predicate, meta.schema())?;
+                    let opt = db.optimizer()?;
+                    for p in opt.candidate_single_table_plans(meta.id, &pred)? {
+                        let _ = writeln!(
+                            s,
+                            "{:<22} est cost {:>10.1} ms   est rows {:>9.0}   est DPC {}",
+                            p.path.name(),
+                            p.cost_ms,
+                            p.est_rows,
+                            p.est_dpc.map_or("-".into(), |d| format!("{d:.0}")),
+                        );
+                    }
+                }
+                Query::JoinCount {
+                    outer,
+                    inner,
+                    outer_pred,
+                    outer_col,
+                    inner_col,
+                } => {
+                    let planner = db.planner()?;
+                    let spec =
+                        planner.resolve_join(outer, inner, outer_pred, outer_col, inner_col)?;
+                    let opt = db.optimizer()?;
+                    for p in opt.candidate_join_plans(&spec)? {
+                        let _ = writeln!(
+                            s,
+                            "{:<22} est cost {:>10.1} ms   est rows {:>9.0}   est DPC {}",
+                            p.method.name(),
+                            p.cost_ms,
+                            p.est_rows,
+                            p.est_dpc.map_or("-".into(), |d| format!("{d:.0}")),
+                        );
+                    }
+                }
+            }
+            Ok(s)
+        })();
+        result.unwrap_or_else(|e| format!("planning failed: {e}"))
+    }
+
+    fn explain(&mut self, sql: &str) -> String {
+        let query = match self.parse(sql) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        match db.lower(&query, &MonitorConfig::off()) {
+            Ok(plan) => plan.explain,
+            Err(e) => format!("planning failed: {e}"),
+        }
+    }
+
+    fn diagnose(&mut self, sql: &str) -> String {
+        let query = match self.parse(sql) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        let cfg = self.monitor.clone();
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        match db.diagnose(&query, &cfg, 2.0) {
+            Ok(d) => d.to_string(),
+            Err(e) => format!("diagnosis failed: {e}"),
+        }
+    }
+
+    fn feedback(&mut self, sql: &str) -> String {
+        let query = match self.parse(sql) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        let cfg = self.monitor.clone();
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        match db.feedback_loop(&query, &cfg) {
+            Ok(out) => format!(
+                "plan before: {} ({:.1} ms)\nplan after:  {} ({:.1} ms)\nspeedup: {:.1}%   monitoring overhead: {:.2}%\n{}",
+                out.before.description,
+                out.before.elapsed_ms,
+                out.after.description,
+                out.after.elapsed_ms,
+                out.speedup() * 100.0,
+                out.overhead() * 100.0,
+                out.report
+            ),
+            Err(e) => format!("feedback loop failed: {e}"),
+        }
+    }
+
+    fn hints(&self) -> String {
+        let Some(db) = &self.db else {
+            return NO_DB.to_string();
+        };
+        let n = db.hints().len();
+        let trained = db
+            .dpc_histogram_cache()
+            .map_or(0, pagefeed::DpcHistogramCache::observations);
+        format!("{n} injected hints; {trained} histogram observations")
+    }
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn summarize_catalog(db: &Database) -> String {
+    let mut s = String::new();
+    for t in db.catalog().tables() {
+        let cols: Vec<&str> = t
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        let indexes: Vec<String> = db
+            .catalog()
+            .indexes_on(t.id)
+            .map(|i| i.name.clone())
+            .collect();
+        let _ = writeln!(
+            s,
+            "{}  ({} rows, {} pages, {:.0} rows/page)\n  columns: {}\n  indexes: {}",
+            t.name,
+            t.stats.rows,
+            t.stats.pages,
+            t.stats.rows_per_page,
+            cols.join(", "),
+            if indexes.is_empty() {
+                "none".into()
+            } else {
+                indexes.join(", ")
+            }
+        );
+    }
+    s.trim_end().to_string()
+}
+
+const NO_DB: &str = "no database loaded — try `.load synthetic`";
+
+const HELP: &str = "\
+commands:
+  .load <dataset>     load synthetic|tpch|books|yellowpages|voter|products
+  .save <path>        snapshot the database to a file
+  .open <path>        open a snapshot
+  .tables             show tables, sizes, and indexes
+  .monitor on|off|N%  toggle DPC monitoring / set page-sampling rate
+  .plans <sql>        show every costed plan candidate
+  .explain <sql>      show the chosen plan tree with estimates
+  .diagnose <sql>     DBA diagnosis: estimated-vs-actual page counts
+  .feedback <sql>     run the full feedback loop (measure, inject, replan)
+  .hints              show feedback-cache status
+  .quit               exit
+anything else is parsed as SQL:
+  SELECT COUNT(*) FROM T WHERE c2 < 3200 AND c5 < 50000
+  SELECT COUNT(T.pad) FROM T1, T WHERE T1.c1 < 4000 AND T1.c2 = T.c2";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out(c: Control) -> String {
+        match c {
+            Control::Continue(s) => s,
+            Control::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn help_and_quit() {
+        let mut sh = Shell::new();
+        assert!(out(sh.eval(".help")).contains(".load"));
+        assert!(matches!(sh.eval(".quit"), Control::Quit));
+    }
+
+    #[test]
+    fn query_without_db_is_friendly() {
+        let mut sh = Shell::new();
+        let msg = out(sh.eval("SELECT COUNT(*) FROM t"));
+        assert!(msg.contains("no database loaded"), "{msg}");
+    }
+
+    #[test]
+    fn load_query_plans_feedback_cycle() {
+        let mut sh = Shell::new();
+        let loaded = out(sh.eval(".load products"));
+        assert!(loaded.contains("products"), "{loaded}");
+
+        let tables = out(sh.eval(".tables"));
+        assert!(tables.contains("rows/page"));
+
+        let result = out(sh.eval("SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(result.contains("count: 2000"), "{result}");
+        assert!(result.contains("plan:"));
+
+        let plans = out(sh.eval(".plans SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(plans.contains("TableScan"), "{plans}");
+        assert!(plans.contains("IndexSeek"), "{plans}");
+
+        let fb = out(sh.eval(".feedback SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(fb.contains("speedup"), "{fb}");
+
+        let ex = out(sh.eval(".explain SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(ex.contains("est_cost"), "{ex}");
+        assert!(ex.contains("└─"), "{ex}");
+
+        let hints = out(sh.eval(".hints"));
+        assert!(!hints.starts_with('0'), "{hints}");
+    }
+
+    #[test]
+    fn save_and_open_round_trip() {
+        let mut sh = Shell::new();
+        sh.eval(".load products");
+        let path = std::env::temp_dir().join(format!("pf-cli-snap-{}", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        let saved = out(sh.eval(&format!(".save {path}")));
+        assert!(saved.contains("saved"), "{saved}");
+        let mut sh2 = Shell::new();
+        let opened = out(sh2.eval(&format!(".open {path}")));
+        assert!(opened.contains("products"), "{opened}");
+        let result = out(sh2.eval("SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(result.contains("count: 2000"), "{result}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn monitor_settings() {
+        let mut sh = Shell::new();
+        assert!(out(sh.eval(".monitor off")).contains("off"));
+        assert!(out(sh.eval(".monitor 5%")).contains('5'));
+        assert!(out(sh.eval(".monitor banana")).contains("usage"));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut sh = Shell::new();
+        sh.eval(".load products");
+        let msg = out(sh.eval("SELEC COUNT(*) FROM x"));
+        assert!(msg.contains("parse error"), "{msg}");
+    }
+}

@@ -1,0 +1,42 @@
+//! `pagefeed-cli` — an interactive shell over the engine.
+//!
+//! ```text
+//! $ cargo run --release -p pf-cli
+//! pagefeed> .load synthetic
+//! pagefeed> SELECT COUNT(*) FROM T WHERE c2 < 3200
+//! pagefeed> .diagnose SELECT COUNT(*) FROM T WHERE c2 < 3200
+//! pagefeed> .feedback SELECT COUNT(*) FROM T WHERE c2 < 3200
+//! ```
+//!
+//! See `.help` for the full command list.
+
+use pf_cli::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    println!("pagefeed interactive shell — .help for commands");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("pagefeed> ");
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match shell.eval(line.trim()) {
+            pf_cli::Control::Continue(output) => {
+                if !output.is_empty() {
+                    println!("{output}");
+                }
+            }
+            pf_cli::Control::Quit => break,
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Workspace-wide error type.
+//!
+//! The engine is deliberately strict: anything that would be a silent
+//! mis-execution (unknown column, type mismatch in a predicate, a RID
+//! pointing at a missing slot) surfaces as an [`Error`] rather than a
+//! panic, so library users get a recoverable failure.
+
+use std::fmt;
+
+/// Convenient alias used across all `pagefeed` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the storage engine, executor, and optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A named table does not exist in the catalog.
+    UnknownTable(String),
+    /// A named index does not exist in the catalog.
+    UnknownIndex(String),
+    /// A named column does not exist in a schema.
+    UnknownColumn(String),
+    /// A value had a different [`crate::DataType`] than the operation expected.
+    TypeMismatch {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it actually got.
+        found: &'static str,
+    },
+    /// A RID referenced a page that is not part of the table.
+    PageOutOfBounds {
+        /// The offending page number.
+        page: u32,
+        /// Number of pages in the table.
+        page_count: u32,
+    },
+    /// A RID referenced a slot that is not occupied on its page.
+    SlotOutOfBounds {
+        /// The offending slot number.
+        slot: u16,
+        /// Number of occupied slots on the page.
+        slot_count: u16,
+    },
+    /// A row did not match the schema it was inserted under.
+    SchemaMismatch(String),
+    /// A tuple was too large to fit in a single page.
+    RowTooLarge {
+        /// Serialized size of the offending row in bytes.
+        row_bytes: usize,
+        /// Usable bytes in a page.
+        page_capacity: usize,
+    },
+    /// The optimizer could not produce any plan for the request.
+    NoPlanFound(String),
+    /// An invalid parameter was supplied (e.g. sampling fraction outside (0, 1]).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            Error::UnknownIndex(name) => write!(f, "unknown index: {name}"),
+            Error::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::PageOutOfBounds { page, page_count } => {
+                write!(f, "page {page} out of bounds (table has {page_count} pages)")
+            }
+            Error::SlotOutOfBounds { slot, slot_count } => {
+                write!(f, "slot {slot} out of bounds (page has {slot_count} slots)")
+            }
+            Error::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            Error::RowTooLarge {
+                row_bytes,
+                page_capacity,
+            } => write!(
+                f,
+                "row of {row_bytes} bytes exceeds page capacity of {page_capacity} bytes"
+            ),
+            Error::NoPlanFound(msg) => write!(f, "no plan found: {msg}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            Error::UnknownTable("sales".into()).to_string(),
+            "unknown table: sales"
+        );
+        assert_eq!(
+            Error::TypeMismatch {
+                expected: "Int",
+                found: "Str"
+            }
+            .to_string(),
+            "type mismatch: expected Int, found Str"
+        );
+        assert_eq!(
+            Error::PageOutOfBounds {
+                page: 9,
+                page_count: 4
+            }
+            .to_string(),
+            "page 9 out of bounds (table has 4 pages)"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_std_error(_e: &dyn std::error::Error) {}
+        takes_std_error(&Error::UnknownColumn("c9".into()));
+    }
+}

@@ -1,0 +1,101 @@
+//! Fast deterministic hashing for page counters and bit-vector filters.
+//!
+//! The monitors in the paper sit on the storage engine's hot path: every
+//! fetched row costs one PID hash (Fig 3, step 3), and every build/probe
+//! row of a hash join costs one key hash (Fig 5). We therefore use a
+//! cheap multiply-xor finalizer (SplitMix64's finalizer, which passes
+//! avalanche tests) rather than the DoS-resistant but slow SipHash used
+//! by `std`. Determinism across runs and platforms also keeps the
+//! experiment harness exactly reproducible.
+
+use crate::value::Datum;
+
+/// SplitMix64 finalizer: a full-avalanche mix of a 64-bit value.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a page number, with a seed so independent monitors decorrelate.
+#[inline]
+pub fn hash_page(page: u32, seed: u64) -> u64 {
+    mix64(u64::from(page) ^ seed.rotate_left(32))
+}
+
+/// FNV-1a over bytes — used for strings, where a streaming hash is needed.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Hashes a datum (join keys for bit-vector filters), seeded.
+#[inline]
+pub fn hash_datum(d: &Datum, seed: u64) -> u64 {
+    // A per-variant tag keeps e.g. Int(1) and Date(1) from colliding.
+    let base = match d {
+        Datum::Int(v) => mix64(*v as u64),
+        Datum::Float(v) => mix64(v.to_bits()) ^ 0x1111_1111_1111_1111,
+        Datum::Str(s) => fnv1a(s.as_bytes()) ^ 0x2222_2222_2222_2222,
+        Datum::Date(v) => mix64(*v as u32 as u64) ^ 0x3333_3333_3333_3333,
+    };
+    mix64(base ^ seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn seeds_decorrelate_page_hashes() {
+        let a: Vec<u64> = (0..64).map(|p| hash_page(p, 1)).collect();
+        let b: Vec<u64> = (0..64).map(|p| hash_page(p, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn datum_hash_distinguishes_types() {
+        // Int(1) and Date(1) must not collide systematically.
+        assert_ne!(
+            hash_datum(&Datum::Int(1), 0),
+            hash_datum(&Datum::Date(1), 0)
+        );
+        assert_eq!(
+            hash_datum(&Datum::Str("ca".into()), 7),
+            hash_datum(&Datum::Str("ca".into()), 7)
+        );
+    }
+
+    #[test]
+    fn mix64_avalanche_is_roughly_half_bits() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        let mut total = 0u32;
+        let trials = 64;
+        for bit in 0..trials {
+            let a = mix64(0xDEAD_BEEF);
+            let b = mix64(0xDEAD_BEEF ^ (1u64 << bit));
+            total += (a ^ b).count_ones();
+        }
+        let avg = f64::from(total) / f64::from(trials);
+        assert!((20.0..44.0).contains(&avg), "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn fnv1a_empty_is_offset_basis() {
+        assert_eq!(fnv1a(&[]), 0xCBF2_9CE4_8422_2325);
+    }
+}

@@ -1,0 +1,249 @@
+//! The value model: [`DataType`] and [`Datum`].
+//!
+//! Four scalar types cover everything the paper's workloads need:
+//! 64-bit integers (identity/clustering columns), floats (prices),
+//! strings (states, categories), and dates (ship/commit/receipt dates —
+//! stored as days since an epoch so range predicates are cheap).
+
+use crate::error::{Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Scalar type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+            DataType::Date => "Date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+///
+/// `Datum` implements a *total* order within a type (floats use
+/// [`f64::total_cmp`]) so it can key B+-trees and histograms; comparing
+/// across types is a programming error surfaced by the expression layer,
+/// not here — cross-type `partial_cmp` returns `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Days since 1970-01-01.
+    Date(i32),
+}
+
+impl Datum {
+    /// The runtime type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Datum::Int(_) => DataType::Int,
+            Datum::Float(_) => DataType::Float,
+            Datum::Str(_) => DataType::Str,
+            Datum::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Returns the contained integer or a type error.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Datum::Int(v) => Ok(*v),
+            other => Err(Error::TypeMismatch {
+                expected: "Int",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Returns the contained float or a type error.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Datum::Float(v) => Ok(*v),
+            other => Err(Error::TypeMismatch {
+                expected: "Float",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Returns the contained string or a type error.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Datum::Str(v) => Ok(v),
+            other => Err(Error::TypeMismatch {
+                expected: "Str",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Returns the contained date (days since epoch) or a type error.
+    pub fn as_date(&self) -> Result<i32> {
+        match self {
+            Datum::Date(v) => Ok(*v),
+            other => Err(Error::TypeMismatch {
+                expected: "Date",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Static name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Datum::Int(_) => "Int",
+            Datum::Float(_) => "Float",
+            Datum::Str(_) => "Str",
+            Datum::Date(_) => "Date",
+        }
+    }
+
+    /// Serialized size in bytes under the storage engine's row format
+    /// (used by the page layout to decide how many rows fit per page).
+    pub fn stored_size(&self) -> usize {
+        match self {
+            Datum::Int(_) => 8,
+            Datum::Float(_) => 8,
+            // length prefix + bytes
+            Datum::Str(s) => 4 + s.len(),
+            Datum::Date(_) => 4,
+        }
+    }
+
+    /// Total-order comparison between two data of the *same* type.
+    ///
+    /// Returns `None` when types differ (the caller decides whether that
+    /// is an error); floats use `total_cmp` so `Datum` can key ordered
+    /// containers.
+    pub fn cmp_same_type(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Int(a), Datum::Int(b)) => Some(a.cmp(b)),
+            (Datum::Float(a), Datum::Float(b)) => Some(a.total_cmp(b)),
+            (Datum::Str(a), Datum::Str(b)) => Some(a.cmp(b)),
+            (Datum::Date(a), Datum::Date(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Numeric view used by histograms: ints/dates/floats map onto a real
+    /// line; strings have no numeric view.
+    pub fn numeric(&self) -> Option<f64> {
+        match self {
+            Datum::Int(v) => Some(*v as f64),
+            Datum::Float(v) => Some(*v),
+            Datum::Date(v) => Some(*v as f64),
+            Datum::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Str(v) => write!(f, "'{v}'"),
+            Datum::Date(v) => write!(f, "date({v})"),
+        }
+    }
+}
+
+impl Eq for Datum {}
+
+// `Datum` participates in hash tables (hash-join keys, bit-vector
+// filters). Floats hash their bit pattern, consistent with `total_cmp`.
+impl std::hash::Hash for Datum {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Datum::Int(v) => {
+                state.write_u8(0);
+                state.write_i64(*v);
+            }
+            Datum::Float(v) => {
+                state.write_u8(1);
+                state.write_u64(v.to_bits());
+            }
+            Datum::Str(v) => {
+                state.write_u8(2);
+                state.write(v.as_bytes());
+            }
+            Datum::Date(v) => {
+                state.write_u8(3);
+                state.write_i32(*v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Datum::Int(7).as_int().unwrap(), 7);
+        assert!(Datum::Int(7).as_str().is_err());
+        assert_eq!(Datum::Str("ca".into()).as_str().unwrap(), "ca");
+        assert_eq!(Datum::Date(100).as_date().unwrap(), 100);
+        assert!((Datum::Float(1.5).as_float().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_type_comparison() {
+        assert_eq!(
+            Datum::Int(1).cmp_same_type(&Datum::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::Str("a".into()).cmp_same_type(&Datum::Str("a".into())),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Datum::Int(1).cmp_same_type(&Datum::Float(1.0)), None);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Datum::Float(f64::NAN);
+        assert_eq!(nan.cmp_same_type(&nan), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn stored_sizes() {
+        assert_eq!(Datum::Int(0).stored_size(), 8);
+        assert_eq!(Datum::Date(0).stored_size(), 4);
+        assert_eq!(Datum::Str("abcd".into()).stored_size(), 8);
+    }
+
+    #[test]
+    fn numeric_view() {
+        assert_eq!(Datum::Int(5).numeric(), Some(5.0));
+        assert_eq!(Datum::Date(3).numeric(), Some(3.0));
+        assert_eq!(Datum::Str("x".into()).numeric(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Datum::Int(3).to_string(), "3");
+        assert_eq!(Datum::Str("ca".into()).to_string(), "'ca'");
+        assert_eq!(Datum::Date(9).to_string(), "date(9)");
+    }
+}

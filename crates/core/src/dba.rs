@@ -1,0 +1,170 @@
+//! DBA-facing diagnosis — Section II-C.
+//!
+//! *"The DBA can examine the distinct page count obtained that is
+//! relevant for a particular index and compare it with the optimizer
+//! estimated value. If the values are significantly different, the DBA
+//! can correct the problem using hinting mechanisms to force a better
+//! plan."* [`Database::diagnose`] automates the examination: it runs the
+//! query once with monitoring, lists the significant estimated-vs-actual
+//! discrepancies, and — by re-optimizing with the measured values —
+//! recommends the plan a hint should force.
+
+use crate::db::Database;
+use crate::planner::MonitorConfig;
+use crate::query::Query;
+use pf_common::Result;
+use std::fmt;
+
+/// One significant estimated-vs-actual page-count discrepancy.
+#[derive(Debug, Clone)]
+pub struct Discrepancy {
+    /// Table whose pages were counted.
+    pub table: String,
+    /// The predicate expression.
+    pub expression: String,
+    /// Optimizer's analytical estimate.
+    pub estimated: f64,
+    /// Measured from execution feedback.
+    pub actual: f64,
+    /// `max/min` ratio.
+    pub factor: f64,
+}
+
+/// The diagnosis for one query.
+#[derive(Debug)]
+pub struct DbaDiagnosis {
+    /// The plan the optimizer currently picks.
+    pub current_plan: String,
+    /// The plan it picks with measured page counts injected (if
+    /// different, this is the hint to force).
+    pub recommended_plan: Option<String>,
+    /// Discrepancies at or above the requested factor, largest first.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+impl fmt::Display for DbaDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "current plan: {}", self.current_plan)?;
+        match &self.recommended_plan {
+            Some(p) => writeln!(f, "recommended plan hint: {p}")?,
+            None => writeln!(f, "no plan change recommended")?,
+        }
+        for d in &self.discrepancies {
+            writeln!(
+                f,
+                "  DPC({}, {}): estimated {:.0}, actual {:.0} ({:.1}x off)",
+                d.table, d.expression, d.estimated, d.actual, d.factor
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Database {
+    /// Runs `query` once with monitoring and reports page-count
+    /// discrepancies of at least `factor`×, plus the plan that accurate
+    /// page counts would produce.
+    ///
+    /// Unlike [`Database::feedback_loop`], the hint set is restored
+    /// afterwards — diagnosis must not mutate optimizer state (a DBA
+    /// tool inspects; the DBA decides).
+    pub fn diagnose(
+        &mut self,
+        query: &Query,
+        cfg: &MonitorConfig,
+        factor: f64,
+    ) -> Result<DbaDiagnosis> {
+        let saved_hints = self.hints().clone();
+
+        self.inject_accurate_cardinalities(query)?;
+        let monitored = self.run(query, cfg)?;
+        let current_plan = monitored.description.clone();
+
+        let mut discrepancies: Vec<Discrepancy> = monitored
+            .report
+            .measurements
+            .iter()
+            .filter_map(|m| {
+                let est = m.estimated?;
+                let d = m.discrepancy_factor()?;
+                (d >= factor).then(|| Discrepancy {
+                    table: m.table.clone(),
+                    expression: m.expression.clone(),
+                    estimated: est,
+                    actual: m.actual,
+                    factor: d,
+                })
+            })
+            .collect();
+        discrepancies.sort_by(|a, b| b.factor.total_cmp(&a.factor));
+
+        self.hints_mut().absorb_report(&monitored.report);
+        let re_planned = self.lower(query, &MonitorConfig::off())?;
+        let recommended_plan =
+            (re_planned.description != current_plan).then_some(re_planned.description);
+
+        *self.hints_mut() = saved_hints;
+        Ok(DbaDiagnosis {
+            current_plan,
+            recommended_plan,
+            discrepancies,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::PredSpec;
+    use pf_common::{Column, DataType, Datum, Row, Schema};
+    use pf_exec::CompareOp;
+
+    fn demo_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("corr", DataType::Int),
+            Column::new("pad", DataType::Str),
+        ]);
+        let n = 20_000i64;
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Datum::Int(i),
+                    Datum::Int(i),
+                    Datum::Str("x".repeat(60)),
+                ])
+            })
+            .collect();
+        db.create_table("t", schema, rows, Some("id")).unwrap();
+        db.create_index("ix_corr", "t", "corr").unwrap();
+        db.analyze().unwrap();
+        db
+    }
+
+    #[test]
+    fn diagnosis_flags_correlated_column_and_recommends_seek() {
+        let mut db = demo_db();
+        let q = Query::count("t", vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))]);
+        let diag = db.diagnose(&q, &MonitorConfig::default(), 5.0).unwrap();
+        assert!(diag.current_plan.contains("TableScan"));
+        assert!(
+            diag.recommended_plan.as_deref().unwrap_or("").contains("IndexSeek"),
+            "{diag}"
+        );
+        assert!(!diag.discrepancies.is_empty());
+        assert!(diag.discrepancies[0].factor > 5.0);
+        // Hints were restored.
+        assert!(db.hints().is_empty() || db.hints().dpc("t", "corr<400").is_none());
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut db = demo_db();
+        let q = Query::count("t", vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))]);
+        let diag = db.diagnose(&q, &MonitorConfig::default(), 2.0).unwrap();
+        let text = diag.to_string();
+        assert!(text.contains("current plan"));
+        assert!(text.contains("DPC(t"));
+    }
+}

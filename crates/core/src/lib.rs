@@ -1,0 +1,73 @@
+//! # pagefeed — distinct page counts from execution feedback
+//!
+//! A from-scratch Rust reproduction of **“Diagnosing Estimation Errors in
+//! Page Counts Using Execution Feedback”** (Chaudhuri, Narasayya,
+//! Ramamurthy — ICDE 2008), including every substrate the paper's SQL
+//! Server prototype relied on: a paged storage engine with clustered
+//! tables and B+-tree indexes, a Volcano executor with the RE/SE split,
+//! a cost-based optimizer with analytical page-count models, and the
+//! paper's low-overhead monitors (linear counting, `DPSample`, bit-vector
+//! filtering).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pagefeed::{Database, MonitorConfig, Query, PredSpec};
+//! use pf_common::{Column, DataType, Datum, Row, Schema};
+//! use pf_exec::CompareOp;
+//!
+//! // A table clustered on `id` whose `ship` column is correlated with
+//! // the load order — the situation the optimizer cannot see.
+//! let mut db = Database::new();
+//! let schema = Schema::new(vec![
+//!     Column::new("id", DataType::Int),
+//!     Column::new("ship", DataType::Int),
+//!     Column::new("pad", DataType::Str),
+//! ]);
+//! let rows: Vec<Row> = (0..20_000)
+//!     .map(|i| Row::new(vec![Datum::Int(i), Datum::Int(i), Datum::Str("x".repeat(80))]))
+//!     .collect();
+//! db.create_table("sales", schema, rows, Some("id")).unwrap();
+//! db.create_index("ix_ship", "sales", "ship").unwrap();
+//! db.analyze().unwrap();
+//!
+//! let query = Query::count("sales", vec![PredSpec::new("ship", CompareOp::Lt, Datum::Int(400))]);
+//! let outcome = db.feedback_loop(&query, &MonitorConfig::default()).unwrap();
+//! // The analytical model picked a Table Scan; feedback reveals the
+//! // tiny true page count and flips the plan to an Index Seek.
+//! assert!(outcome.plan_changed());
+//! assert!(outcome.speedup() > 0.5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`db`] — the [`Database`] facade (tables, indexes, statistics,
+//!   execution),
+//! * [`query`] — declarative query specs ([`Query`], [`PredSpec`]),
+//! * [`planner`] — lowers optimizer plans to executor trees and attaches
+//!   the DPC monitors,
+//! * [`feedback_loop`] — the paper's evaluation methodology (run →
+//!   harvest DPCs → inject → re-optimize → compare),
+//! * [`dba`] — the DBA-facing diagnosis built on the
+//!   `statistics xml`-style report,
+//! * [`histogram_cache`] — self-tuning DPC histograms (the paper's §VI
+//!   future work): feedback generalizes to queries never seen before,
+//! * [`sql`] — a small SQL front end for the supported query shapes,
+//! * [`snapshot`] — save/load the whole database to a single file.
+
+pub mod db;
+pub mod dba;
+pub mod feedback_loop;
+pub mod histogram_cache;
+pub mod planner;
+pub mod query;
+pub mod snapshot;
+pub mod sql;
+
+pub use db::{Database, QueryOutcome};
+pub use dba::{DbaDiagnosis, Discrepancy};
+pub use feedback_loop::FeedbackOutcome;
+pub use histogram_cache::DpcHistogramCache;
+pub use planner::{LoweredPlan, MonitorConfig, MonitorHarness, PlanChoice};
+pub use query::{PredSpec, Query};
+pub use sql::parse_query;

@@ -1,0 +1,964 @@
+//! Lowering: optimizer plans → executor trees with monitors attached.
+//!
+//! This is where the paper's "set of expressions for which distinct page
+//! counts are needed" (Section V-A) is chosen and wired up:
+//!
+//! * **scan plans** get a [`ScanMonitorSet`] watching every expression an
+//!   alternative index plan would be costed with — one per indexed atom,
+//!   one per indexed pair (Index Intersection), and the full conjunction
+//!   (a free prefix);
+//! * **index plans** get [`FetchMonitor`]s — linear counters over the
+//!   fetched PIDs for the seek expression and the full expression;
+//! * **hash / merge joins** get a bit-vector filter handed from the
+//!   build side into the probe scan's monitor ([`pf_exec::monitor::SemiJoinSlot`]);
+//! * **INL joins** get a linear counter on the inner fetch.
+
+use crate::query::{CountArg, Query};
+use pf_common::{Datum, Error, Result, TableId};
+use pf_exec::index::{Fetch, IndexIntersection, IndexOnlyScan, IndexSeek, SeekRange};
+use pf_exec::join::{BitVectorConfig, HashJoin, InlJoin, MergeJoin};
+use pf_exec::monitor::{semi_join_slot, ScanMonitorHandle};
+use pf_exec::scan::SeqScan;
+use pf_exec::sort::Sort;
+use pf_exec::{
+    CompareOp, Conjunction, FetchMonitor, FetchObserveWhen, Operator, ScanExprMonitor,
+    ScanMonitorSet,
+};
+use pf_feedback::FeedbackReport;
+use pf_optimizer::dpc_model::cardenas;
+use pf_optimizer::{
+    join_dpc_key, AccessPath, CardinalityEstimator, CostModel, DbStats, HintSet, JoinPlan,
+    JoinSpec, Optimizer, SingleTablePlan,
+};
+use pf_storage::Catalog;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What to monitor, and how.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Master switch; `false` lowers a plan with zero monitoring.
+    pub enabled: bool,
+    /// `DPSample` page-sampling fraction for non-prefix scan expressions
+    /// (1.0 = exact).
+    pub sampling_fraction: f64,
+    /// Bit-vector filter size in bits; `None` sizes automatically from
+    /// the estimated number of distinct build keys.
+    pub bitvector_bits: Option<usize>,
+    /// Also watch indexed atom *pairs* (Index Intersection costing).
+    pub monitor_pairs: bool,
+    /// Seed for sampling and hashing (vary across runs for independence).
+    pub seed: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            enabled: true,
+            sampling_fraction: 1.0,
+            bitvector_bits: None,
+            monitor_pairs: true,
+            seed: 0xFEED,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// A configuration with monitoring fully off.
+    pub fn off() -> Self {
+        MonitorConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Monitoring with the given `DPSample` fraction.
+    pub fn sampled(fraction: f64) -> Self {
+        MonitorConfig {
+            sampling_fraction: fraction,
+            ..Default::default()
+        }
+    }
+}
+
+/// The optimizer's decision that was lowered.
+#[derive(Debug, Clone)]
+pub enum PlanChoice {
+    /// A single-table plan.
+    Single(SingleTablePlan),
+    /// A join plan.
+    Join(JoinPlan),
+}
+
+impl PlanChoice {
+    /// Short name of the operator at the decision point.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanChoice::Single(p) => p.path.name(),
+            PlanChoice::Join(p) => p.method.name(),
+        }
+    }
+
+    /// The plan's estimated cost in simulated ms.
+    pub fn cost_ms(&self) -> f64 {
+        match self {
+            PlanChoice::Single(p) => p.cost_ms,
+            PlanChoice::Join(p) => p.cost_ms,
+        }
+    }
+}
+
+/// The monitor handles attached to a lowered plan, for harvesting.
+#[derive(Default)]
+pub struct MonitorHarness {
+    scans: Vec<(String, ScanMonitorHandle)>,
+    fetches: Vec<(String, Rc<RefCell<Vec<FetchMonitor>>>)>,
+}
+
+impl MonitorHarness {
+    /// Collects every measurement into a feedback report.
+    pub fn harvest(&self) -> FeedbackReport {
+        let mut report = FeedbackReport::new();
+        for (table, handle) in &self.scans {
+            handle.borrow_mut().harvest(table, &mut report);
+        }
+        for (table, handle) in &self.fetches {
+            for m in handle.borrow().iter() {
+                m.harvest(table, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Whether any monitor is attached.
+    pub fn is_empty(&self) -> bool {
+        self.scans.is_empty() && self.fetches.is_empty()
+    }
+}
+
+/// A fully lowered, executable plan.
+pub struct LoweredPlan {
+    /// The root operator (produces the query's result rows).
+    pub op: Box<dyn Operator>,
+    /// Attached monitors.
+    pub harness: MonitorHarness,
+    /// The optimizer decision this lowers.
+    pub choice: PlanChoice,
+    /// Human-readable plan description.
+    pub description: String,
+    /// Multi-line `EXPLAIN`-style tree with estimates and provenance.
+    pub explain: String,
+}
+
+/// Lowers optimizer output to operator trees.
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+    stats: &'a DbStats,
+    hints: &'a HintSet,
+    cost: CostModel,
+}
+
+impl<'a> Planner<'a> {
+    /// Builds a planner.
+    pub fn new(
+        catalog: &'a Catalog,
+        stats: &'a DbStats,
+        hints: &'a HintSet,
+        cost: CostModel,
+    ) -> Self {
+        Planner {
+            catalog,
+            stats,
+            hints,
+            cost,
+        }
+    }
+
+    fn optimizer(&self) -> Optimizer<'a> {
+        Optimizer::new(self.catalog, self.stats, self.cost, self.hints)
+    }
+
+    /// Resolves, optimizes, and lowers a query.
+    pub fn lower_query(&self, query: &Query, cfg: &MonitorConfig) -> Result<LoweredPlan> {
+        match query {
+            Query::Count {
+                table,
+                predicate,
+                count_arg,
+            } => {
+                let meta = self.catalog.table_by_name(table)?;
+                let pred = Query::resolve_predicates(predicate, meta.schema())?;
+                // The COUNT argument decides whether a covering
+                // index-only scan may answer the query.
+                let needed: Option<Vec<usize>> = match count_arg {
+                    CountArg::BaseRow => None,
+                    CountArg::Star => Some(Vec::new()),
+                    CountArg::Column(name) => Some(vec![meta.schema().index_of(name)?]),
+                };
+                let plan = self
+                    .optimizer()
+                    .optimize_with_projection(meta.id, &pred, needed.as_deref())?;
+                self.lower_single(&plan, &pred, cfg)
+            }
+            Query::JoinCount {
+                outer,
+                inner,
+                outer_pred,
+                outer_col,
+                inner_col,
+            } => {
+                let spec = self.resolve_join(outer, inner, outer_pred, outer_col, inner_col)?;
+                let plan = self.optimizer().optimize_join(&spec)?;
+                self.lower_join(&plan, &spec, cfg)
+            }
+        }
+    }
+
+    /// Resolves a join query's names into a [`JoinSpec`].
+    pub fn resolve_join(
+        &self,
+        outer: &str,
+        inner: &str,
+        outer_pred: &[crate::query::PredSpec],
+        outer_col: &str,
+        inner_col: &str,
+    ) -> Result<JoinSpec> {
+        let outer_meta = self.catalog.table_by_name(outer)?;
+        let inner_meta = self.catalog.table_by_name(inner)?;
+        Ok(JoinSpec {
+            outer: outer_meta.id,
+            inner: inner_meta.id,
+            outer_pred: Query::resolve_predicates(outer_pred, outer_meta.schema())?,
+            outer_join_col: outer_meta.schema().index_of(outer_col)?,
+            inner_join_col: inner_meta.schema().index_of(inner_col)?,
+        })
+    }
+
+    /// Lowers a given single-table plan (not necessarily the optimal one
+    /// — used by ablations to force plans).
+    pub fn lower_single(
+        &self,
+        plan: &SingleTablePlan,
+        pred: &Conjunction,
+        cfg: &MonitorConfig,
+    ) -> Result<LoweredPlan> {
+        let meta = self.catalog.table(plan.table)?;
+        let mut harness = MonitorHarness::default();
+        let pages = f64::from(meta.stats.pages);
+        let est = CardinalityEstimator::new(
+            self.stats,
+            self.hints,
+            plan.table,
+            &meta.name,
+            meta.stats.rows,
+        );
+
+        let op: Box<dyn Operator> = match &plan.path {
+            AccessPath::FullScan | AccessPath::ClusteredRange { .. } => {
+                let monitors = if cfg.enabled {
+                    let set = self.scan_monitors(plan.table, pred, cfg, &est, pages);
+                    if let Some(set) = set {
+                        let handle = Rc::new(RefCell::new(set));
+                        harness.scans.push((meta.name.clone(), Rc::clone(&handle)));
+                        Some(handle)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                match &plan.path {
+                    AccessPath::FullScan => Box::new(SeqScan::full(
+                        Rc::clone(&meta.storage),
+                        plan.table,
+                        pred.clone(),
+                        monitors,
+                    )),
+                    AccessPath::ClusteredRange { atoms } => {
+                        let (lo, hi) = combined_bounds(pred, atoms);
+                        Box::new(SeqScan::clustered_range(
+                            Rc::clone(&meta.storage),
+                            plan.table,
+                            lo.as_ref(),
+                            hi.as_ref(),
+                            pred.clone(),
+                            monitors,
+                        )?)
+                    }
+                    _ => unreachable!("outer match restricts to scans"),
+                }
+            }
+            AccessPath::IndexSeek { index, atoms } => {
+                let ix = self.catalog.index(*index)?;
+                let pairs: Vec<(pf_exec::CompareOp, pf_common::Datum)> = atoms
+                    .iter()
+                    .map(|&i| (pred.atoms[i].op, pred.atoms[i].value.clone()))
+                    .collect();
+                let range = SeekRange::from_atoms(&pairs).ok_or_else(|| {
+                    Error::NoPlanFound("seek atoms are not seekable".into())
+                })?;
+                let seek = IndexSeek::new(Rc::clone(&ix.tree), ix.height, range);
+                let residual_idx: Vec<usize> =
+                    (0..pred.len()).filter(|i| !atoms.contains(i)).collect();
+                let residual = Conjunction::new(
+                    residual_idx.iter().map(|&i| pred.atoms[i].clone()).collect(),
+                );
+                let monitors = if cfg.enabled {
+                    let mut ms = vec![FetchMonitor::new(
+                        pred.key_of(atoms),
+                        FetchObserveWhen::AllFetched,
+                        meta.stats.pages,
+                        Some(cardenas(est.rows_of(pred, atoms), pages)),
+                        cfg.seed,
+                    )];
+                    if !residual.is_empty() {
+                        let all: Vec<usize> = (0..pred.len()).collect();
+                        ms.push(FetchMonitor::new(
+                            pred.key(),
+                            FetchObserveWhen::PassedResidual,
+                            meta.stats.pages,
+                            Some(cardenas(est.rows_of(pred, &all), pages)),
+                            cfg.seed ^ 1,
+                        ));
+                    }
+                    let handle = Rc::new(RefCell::new(ms));
+                    harness
+                        .fetches
+                        .push((meta.name.clone(), Rc::clone(&handle)));
+                    Some(handle)
+                } else {
+                    None
+                };
+                Box::new(Fetch::new(
+                    Box::new(seek),
+                    Rc::clone(&meta.storage),
+                    plan.table,
+                    residual,
+                    monitors,
+                ))
+            }
+            AccessPath::IndexOnlyScan { index, atoms } => {
+                let ix = self.catalog.index(*index)?;
+                let pairs: Vec<(pf_exec::CompareOp, pf_common::Datum)> = atoms
+                    .iter()
+                    .map(|&i| (pred.atoms[i].op, pred.atoms[i].value.clone()))
+                    .collect();
+                let range = SeekRange::from_atoms(&pairs).ok_or_else(|| {
+                    Error::NoPlanFound("index-only atoms are not seekable".into())
+                })?;
+                let key_col = meta.schema().column(ix.key_column);
+                // Base-table PIDs never materialize here, so no DPC
+                // monitor can attach (Section II-B).
+                Box::new(IndexOnlyScan::new(
+                    Rc::clone(&ix.tree),
+                    ix.height,
+                    range,
+                    &key_col.name,
+                    key_col.ty,
+                ))
+            }
+            AccessPath::IndexIntersection { a, b } => {
+                let (ix_a, atoms_a) = (self.catalog.index(a.0)?, &a.1);
+                let (ix_b, atoms_b) = (self.catalog.index(b.0)?, &b.1);
+                let to_pairs = |idx: &[usize]| {
+                    idx.iter()
+                        .map(|&i| (pred.atoms[i].op, pred.atoms[i].value.clone()))
+                        .collect::<Vec<_>>()
+                };
+                let ra = SeekRange::from_atoms(&to_pairs(atoms_a))
+                    .ok_or_else(|| Error::NoPlanFound("atoms not seekable".into()))?;
+                let rb = SeekRange::from_atoms(&to_pairs(atoms_b))
+                    .ok_or_else(|| Error::NoPlanFound("atoms not seekable".into()))?;
+                let inter = IndexIntersection::new(
+                    Box::new(IndexSeek::new(Rc::clone(&ix_a.tree), ix_a.height, ra)),
+                    Box::new(IndexSeek::new(Rc::clone(&ix_b.tree), ix_b.height, rb)),
+                );
+                let mut both: Vec<usize> =
+                    atoms_a.iter().chain(atoms_b.iter()).copied().collect();
+                both.sort_unstable();
+                let residual_idx: Vec<usize> =
+                    (0..pred.len()).filter(|i| !both.contains(i)).collect();
+                let residual = Conjunction::new(
+                    residual_idx.iter().map(|&i| pred.atoms[i].clone()).collect(),
+                );
+                let monitors = if cfg.enabled {
+                    let mut ms = vec![FetchMonitor::new(
+                        pred.key_of(&both),
+                        FetchObserveWhen::AllFetched,
+                        meta.stats.pages,
+                        Some(cardenas(est.rows_of(pred, &both), pages)),
+                        cfg.seed,
+                    )];
+                    if !residual.is_empty() {
+                        let all: Vec<usize> = (0..pred.len()).collect();
+                        ms.push(FetchMonitor::new(
+                            pred.key(),
+                            FetchObserveWhen::PassedResidual,
+                            meta.stats.pages,
+                            Some(cardenas(est.rows_of(pred, &all), pages)),
+                            cfg.seed ^ 1,
+                        ));
+                    }
+                    let handle = Rc::new(RefCell::new(ms));
+                    harness
+                        .fetches
+                        .push((meta.name.clone(), Rc::clone(&handle)));
+                    Some(handle)
+                } else {
+                    None
+                };
+                Box::new(Fetch::new(
+                    Box::new(inter),
+                    Rc::clone(&meta.storage),
+                    plan.table,
+                    residual,
+                    monitors,
+                ))
+            }
+        };
+
+        let description = describe_single(&meta.name, plan, self.catalog);
+        let explain = explain_single(&meta.name, plan, pred, self.catalog);
+        Ok(LoweredPlan {
+            op,
+            harness,
+            choice: PlanChoice::Single(plan.clone()),
+            description,
+            explain,
+        })
+    }
+
+    /// Lowers a given join plan.
+    pub fn lower_join(
+        &self,
+        plan: &JoinPlan,
+        spec: &JoinSpec,
+        cfg: &MonitorConfig,
+    ) -> Result<LoweredPlan> {
+        let outer_meta = self.catalog.table(spec.outer)?;
+        let inner_meta = self.catalog.table(spec.inner)?;
+        let inner_pages = f64::from(inner_meta.stats.pages);
+
+        // Lower the outer side (with its own access-method monitors).
+        let mut lowered_outer = self.lower_single(&plan.outer_plan, &spec.outer_pred, cfg)?;
+        let mut harness = std::mem::take(&mut lowered_outer.harness);
+
+        let jkey = join_dpc_key(
+            &outer_meta.name,
+            &outer_meta.schema().column(spec.outer_join_col).name,
+            &inner_meta.name,
+            &inner_meta.schema().column(spec.inner_join_col).name,
+            &spec.outer_pred.key(),
+        );
+        let inner_index = self
+            .catalog
+            .index_on_column(spec.inner, spec.inner_join_col);
+        let est_matched = plan.est_rows;
+        let analytic_join_dpc = cardenas(est_matched, inner_pages);
+
+        let op: Box<dyn Operator> = match plan.method {
+            pf_optimizer::JoinMethod::Hash | pf_optimizer::JoinMethod::Merge => {
+                // Semi-join monitoring only when an index on the inner
+                // join column makes the INL DPC relevant (Section IV).
+                let (probe_monitors, bv_config) = if cfg.enabled && inner_index.is_some() {
+                    let slot = semi_join_slot(spec.inner_join_col);
+                    let set = ScanMonitorSet::new(
+                        vec![ScanExprMonitor::semi_join(
+                            jkey.clone(),
+                            Rc::clone(&slot),
+                            Some(analytic_join_dpc),
+                        )],
+                        cfg.sampling_fraction,
+                        cfg.seed ^ 0xB17,
+                    );
+                    let handle = Rc::new(RefCell::new(set));
+                    harness
+                        .scans
+                        .push((inner_meta.name.clone(), Rc::clone(&handle)));
+                    // Sizing: page-level counting amplifies the filter's
+                    // false-positive rate by rows-per-page (every row of
+                    // a page probes it), so target fill ≈ 1/(32·rpp):
+                    // per-page FP ≈ 3 %, which the collision correction
+                    // in the monitor then removes with little variance.
+                    let rpp = inner_meta.stats.rows_per_page.max(1.0);
+                    let est_build = plan.outer_plan.est_rows.max(1.0);
+                    let bits = cfg.bitvector_bits.unwrap_or_else(|| {
+                        ((est_build * rpp * 32.0) as usize).clamp(4_096, 1 << 23)
+                    });
+                    (
+                        Some(handle),
+                        Some(BitVectorConfig {
+                            slot,
+                            numbits: bits,
+                            seed: cfg.seed ^ 0xF117,
+                        }),
+                    )
+                } else {
+                    (None, None)
+                };
+                let probe = SeqScan::full(
+                    Rc::clone(&inner_meta.storage),
+                    spec.inner,
+                    Conjunction::always_true(),
+                    probe_monitors,
+                );
+                if plan.method == pf_optimizer::JoinMethod::Hash {
+                    Box::new(HashJoin::new(
+                        lowered_outer.op,
+                        Box::new(probe),
+                        spec.outer_join_col,
+                        spec.inner_join_col,
+                        bv_config,
+                    ))
+                } else {
+                    // Merge: sort any side not already in join-key order.
+                    let outer_sorted = outer_meta.storage.clustering_column()
+                        == Some(spec.outer_join_col);
+                    let inner_sorted = inner_meta.storage.clustering_column()
+                        == Some(spec.inner_join_col);
+                    if outer_sorted && inner_sorted {
+                        // No Sorts on either input — Section IV's
+                        // *partial* bit-vector case: the filter grows as
+                        // the outer streams, and the probe scan defers
+                        // each observation until the join has consumed
+                        // the row.
+                        let right = probe.with_deferred_monitoring();
+                        Box::new(pf_exec::join::StreamingMergeJoin::new(
+                            lowered_outer.op,
+                            Box::new(right),
+                            spec.outer_join_col,
+                            spec.inner_join_col,
+                            bv_config,
+                        ))
+                    } else {
+                        let left: Box<dyn Operator> = if outer_sorted {
+                            lowered_outer.op
+                        } else {
+                            Box::new(Sort::new(lowered_outer.op, spec.outer_join_col))
+                        };
+                        let right: Box<dyn Operator> = if inner_sorted {
+                            Box::new(probe)
+                        } else {
+                            Box::new(Sort::new(Box::new(probe), spec.inner_join_col))
+                        };
+                        Box::new(MergeJoin::new(
+                            left,
+                            right,
+                            spec.outer_join_col,
+                            spec.inner_join_col,
+                            bv_config,
+                        ))
+                    }
+                }
+            }
+            pf_optimizer::JoinMethod::IndexNestedLoops => {
+                let ix = inner_index.ok_or_else(|| {
+                    Error::NoPlanFound("INL join chosen without an inner index".into())
+                })?;
+                let monitors = if cfg.enabled {
+                    let handle = Rc::new(RefCell::new(vec![FetchMonitor::new(
+                        jkey.clone(),
+                        FetchObserveWhen::AllFetched,
+                        inner_meta.stats.pages,
+                        Some(analytic_join_dpc),
+                        cfg.seed ^ 0x1111,
+                    )]));
+                    harness
+                        .fetches
+                        .push((inner_meta.name.clone(), Rc::clone(&handle)));
+                    Some(handle)
+                } else {
+                    None
+                };
+                Box::new(InlJoin::new(
+                    lowered_outer.op,
+                    spec.outer_join_col,
+                    Rc::clone(&ix.tree),
+                    ix.height,
+                    Rc::clone(&inner_meta.storage),
+                    spec.inner,
+                    Conjunction::always_true(),
+                    monitors,
+                ))
+            }
+        };
+
+        let description = format!(
+            "{}({} ⋈ {}) [outer: {}]",
+            plan.method.name(),
+            outer_meta.name,
+            inner_meta.name,
+            lowered_outer.description
+        );
+        let explain = {
+            let mut s = format!(
+                "{}  est_cost={:.1}ms est_rows={:.0}{}\n",
+                plan.method.name(),
+                plan.cost_ms,
+                plan.est_rows,
+                match (plan.est_dpc, plan.dpc_source) {
+                    (Some(d), pf_optimizer::plan::DpcSource::Injected) =>
+                        format!(" est_dpc={d:.0} [injected]"),
+                    (Some(d), _) => format!(" est_dpc={d:.0} [analytical]"),
+                    (None, _) => String::new(),
+                }
+            );
+            for line in lowered_outer.explain.lines() {
+                s.push_str("├─ ");
+                s.push_str(line);
+                s.push('\n');
+            }
+            s.push_str(&format!("└─ SeqScan({})  [probe]", inner_meta.name));
+            s
+        };
+        Ok(LoweredPlan {
+            op,
+            harness,
+            choice: PlanChoice::Join(plan.clone()),
+            description,
+            explain,
+        })
+    }
+
+    /// Builds the scan-plan monitor set: one expression per indexed
+    /// seekable atom group, optional indexed group pairs, and the full
+    /// conjunction — the same expression keys the optimizer costs with.
+    fn scan_monitors(
+        &self,
+        table: TableId,
+        pred: &Conjunction,
+        cfg: &MonitorConfig,
+        est: &CardinalityEstimator<'_>,
+        pages: f64,
+    ) -> Option<ScanMonitorSet> {
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, a) in pred.atoms.iter().enumerate() {
+            if matches!(a.op, CompareOp::Ne)
+                || self.catalog.index_on_column(table, a.column).is_none()
+            {
+                continue;
+            }
+            match groups.iter_mut().find(|(c, _)| *c == a.column) {
+                Some((_, idx)) => idx.push(i),
+                None => groups.push((a.column, vec![i])),
+            }
+        }
+        if groups.is_empty() {
+            return None;
+        }
+        let mut exprs = Vec::new();
+        let mut seen: Vec<Vec<usize>> = Vec::new();
+        let mut add = |idx: Vec<usize>, exprs: &mut Vec<ScanExprMonitor>| {
+            if seen.contains(&idx) {
+                return;
+            }
+            exprs.push(ScanExprMonitor::atoms(
+                pred,
+                idx.clone(),
+                Some(cardenas(est.rows_of(pred, &idx), pages)),
+            ));
+            seen.push(idx);
+        };
+        for (_, idx) in &groups {
+            add(idx.clone(), &mut exprs);
+        }
+        if cfg.monitor_pairs {
+            for (x, (_, ia)) in groups.iter().enumerate() {
+                for (_, ib) in groups.iter().skip(x + 1) {
+                    let mut both: Vec<usize> =
+                        ia.iter().chain(ib.iter()).copied().collect();
+                    both.sort_unstable();
+                    add(both, &mut exprs);
+                }
+            }
+        }
+        if pred.len() > 1 {
+            add((0..pred.len()).collect(), &mut exprs);
+        }
+        Some(ScanMonitorSet::new(exprs, cfg.sampling_fraction, cfg.seed))
+    }
+}
+
+/// Inclusive clustering-key bounds implied by a group of atoms on the
+/// clustering column (exclusive bounds are relaxed to inclusive — page
+/// bracketing is conservative, the predicate still filters rows).
+fn combined_bounds(pred: &Conjunction, atoms: &[usize]) -> (Option<Datum>, Option<Datum>) {
+    let mut lo: Option<Datum> = None;
+    let mut hi: Option<Datum> = None;
+    let tighten = |cur: &mut Option<Datum>, v: &Datum, want_greater: bool| {
+        let replace = match cur {
+            None => true,
+            Some(c) => {
+                let ord = v.cmp_same_type(c).expect("bounds same-typed");
+                if want_greater {
+                    ord == std::cmp::Ordering::Greater
+                } else {
+                    ord == std::cmp::Ordering::Less
+                }
+            }
+        };
+        if replace {
+            *cur = Some(v.clone());
+        }
+    };
+    for &i in atoms {
+        let a = &pred.atoms[i];
+        match a.op {
+            CompareOp::Eq => {
+                tighten(&mut lo, &a.value, true);
+                tighten(&mut hi, &a.value, false);
+            }
+            CompareOp::Lt | CompareOp::Le => tighten(&mut hi, &a.value, false),
+            CompareOp::Gt | CompareOp::Ge => tighten(&mut lo, &a.value, true),
+            CompareOp::Ne => {}
+        }
+    }
+    (lo, hi)
+}
+
+/// Multi-line EXPLAIN tree for a single-table plan.
+fn explain_single(
+    table: &str,
+    plan: &SingleTablePlan,
+    pred: &Conjunction,
+    catalog: &Catalog,
+) -> String {
+    let dpc = match (plan.est_dpc, plan.dpc_source) {
+        (Some(d), pf_optimizer::plan::DpcSource::Injected) => {
+            format!(" est_dpc={d:.0} [injected]")
+        }
+        (Some(d), _) => format!(" est_dpc={d:.0} [analytical]"),
+        (None, _) => String::new(),
+    };
+    let header = format!(
+        "{}  est_cost={:.1}ms est_rows={:.0}{}",
+        describe_single(table, plan, catalog),
+        plan.cost_ms,
+        plan.est_rows,
+        dpc
+    );
+    let detail = match &plan.path {
+        AccessPath::FullScan => format!("predicate: {}", pred.key()),
+        AccessPath::ClusteredRange { atoms }
+        | AccessPath::IndexSeek { atoms, .. }
+        | AccessPath::IndexOnlyScan { atoms, .. } => {
+            let residual: Vec<usize> =
+                (0..pred.len()).filter(|i| !atoms.contains(i)).collect();
+            let mut d = format!("seek: {}", pred.key_of(atoms));
+            if !residual.is_empty() {
+                d.push_str(&format!("; residual: {}", pred.key_of(&residual)));
+            }
+            d
+        }
+        AccessPath::IndexIntersection { a, b } => {
+            format!("intersect: {} ∩ {}", pred.key_of(&a.1), pred.key_of(&b.1))
+        }
+    };
+    format!("{header}\n└─ {detail}")
+}
+
+fn describe_single(table: &str, plan: &SingleTablePlan, catalog: &Catalog) -> String {
+    match &plan.path {
+        AccessPath::FullScan => format!("TableScan({table})"),
+        AccessPath::ClusteredRange { .. } => format!("ClusteredRangeScan({table})"),
+        AccessPath::IndexOnlyScan { index, .. } => {
+            let name = catalog
+                .index(*index)
+                .map(|i| i.name.clone())
+                .unwrap_or_default();
+            format!("IndexOnlyScan({table}.{name})")
+        }
+        AccessPath::IndexSeek { index, .. } => {
+            let name = catalog
+                .index(*index)
+                .map(|i| i.name.clone())
+                .unwrap_or_else(|_| format!("{index:?}"));
+            format!("IndexSeek({table}.{name})")
+        }
+        AccessPath::IndexIntersection { a, b } => {
+            let an = catalog
+                .index(a.0)
+                .map(|i| i.name.clone())
+                .unwrap_or_default();
+            let bn = catalog
+                .index(b.0)
+                .map(|i| i.name.clone())
+                .unwrap_or_default();
+            format!("IndexIntersection({table}.{an} ∩ {table}.{bn})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::query::PredSpec;
+    use pf_common::{Column, DataType, Datum, Row, Schema};
+    use pf_exec::drain;
+    use pf_optimizer::plan::DpcSource;
+
+    /// 6 000 rows clustered on id with two indexed columns.
+    fn demo_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+            Column::new("pad", DataType::Str),
+        ]);
+        let n = 6_000i64;
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Datum::Int(i),
+                    Datum::Int((i * 7) % n),
+                    Datum::Int((i * 13) % n),
+                    Datum::Str("x".repeat(40)),
+                ])
+            })
+            .collect();
+        db.create_table("t", schema, rows, Some("id")).unwrap();
+        db.create_index("ix_a", "t", "a").unwrap();
+        db.create_index("ix_b", "t", "b").unwrap();
+        db.analyze().unwrap();
+        db
+    }
+
+    fn pred(db: &Database, specs: &[PredSpec]) -> Conjunction {
+        let schema = db.catalog().table_by_name("t").unwrap().schema().clone();
+        Query::resolve_predicates(specs, &schema).unwrap()
+    }
+
+    /// Forcing each access path through `lower_single` must produce the
+    /// same answer and a matching description.
+    #[test]
+    fn every_forced_access_path_agrees() {
+        let db = demo_db();
+        let meta = db.catalog().table_by_name("t").unwrap();
+        let ix_a = db.catalog().index_by_name("ix_a").unwrap().id;
+        let ix_b = db.catalog().index_by_name("ix_b").unwrap().id;
+        let specs = [
+            PredSpec::new("a", pf_exec::CompareOp::Lt, Datum::Int(700)),
+            PredSpec::new("b", pf_exec::CompareOp::Lt, Datum::Int(3_000)),
+        ];
+        let p = pred(&db, &specs);
+        let truth = db.true_cardinality("t", &p).unwrap();
+
+        let paths = vec![
+            (AccessPath::FullScan, "TableScan(t)"),
+            (
+                AccessPath::IndexSeek {
+                    index: ix_a,
+                    atoms: vec![0],
+                },
+                "IndexSeek(t.ix_a)",
+            ),
+            (
+                AccessPath::IndexSeek {
+                    index: ix_b,
+                    atoms: vec![1],
+                },
+                "IndexSeek(t.ix_b)",
+            ),
+            (
+                AccessPath::IndexIntersection {
+                    a: (ix_a, vec![0]),
+                    b: (ix_b, vec![1]),
+                },
+                "IndexIntersection(t.ix_a ∩ t.ix_b)",
+            ),
+        ];
+        for (path, expect_desc) in paths {
+            let plan = SingleTablePlan {
+                table: meta.id,
+                path,
+                cost_ms: 0.0,
+                est_rows: truth as f64,
+                est_dpc: None,
+                dpc_source: DpcSource::NotApplicable,
+            };
+            let planner = db.planner().unwrap();
+            let lowered = planner
+                .lower_single(&plan, &p, &MonitorConfig::default())
+                .unwrap();
+            assert_eq!(lowered.description, expect_desc);
+            let mut ctx = pf_exec::ExecContext::with_model(db.pool_pages, db.disk);
+            let mut op = lowered.op;
+            let rows = drain(op.as_mut(), &mut ctx).unwrap();
+            assert_eq!(rows.len() as u64, truth, "path {expect_desc}");
+        }
+    }
+
+    /// ClusteredRange lowering honours combined bounds.
+    #[test]
+    fn clustered_range_lowering_two_sided() {
+        let db = demo_db();
+        let meta = db.catalog().table_by_name("t").unwrap();
+        let specs = [
+            PredSpec::new("id", pf_exec::CompareOp::Ge, Datum::Int(1_000)),
+            PredSpec::new("id", pf_exec::CompareOp::Lt, Datum::Int(1_250)),
+        ];
+        let p = pred(&db, &specs);
+        let plan = SingleTablePlan {
+            table: meta.id,
+            path: AccessPath::ClusteredRange { atoms: vec![0, 1] },
+            cost_ms: 0.0,
+            est_rows: 250.0,
+            est_dpc: None,
+            dpc_source: DpcSource::NotApplicable,
+        };
+        let planner = db.planner().unwrap();
+        let lowered = planner
+            .lower_single(&plan, &p, &MonitorConfig::off())
+            .unwrap();
+        let mut ctx = pf_exec::ExecContext::with_model(db.pool_pages, db.disk);
+        let mut op = lowered.op;
+        let rows = drain(op.as_mut(), &mut ctx).unwrap();
+        assert_eq!(rows.len(), 250);
+        // Only a fraction of the table's pages were read.
+        let stats = ctx.stats();
+        assert!(stats.physical_reads() < u64::from(meta.stats.pages) / 2);
+    }
+
+    /// Monitoring off attaches nothing; monitoring on attaches the
+    /// expression set (atoms + pair + full conjunction).
+    #[test]
+    fn monitor_wiring_matches_config() {
+        let db = demo_db();
+        let specs = [
+            PredSpec::new("a", pf_exec::CompareOp::Lt, Datum::Int(700)),
+            PredSpec::new("b", pf_exec::CompareOp::Lt, Datum::Int(3_000)),
+        ];
+        let q = Query::count("t", specs.to_vec());
+        let off = db.lower(&q, &MonitorConfig::off()).unwrap();
+        assert!(off.harness.is_empty());
+        let on = db.lower(&q, &MonitorConfig::default()).unwrap();
+        assert!(!on.harness.is_empty());
+        let out = db.execute(on).unwrap();
+        // a, b, and (a AND b) — the pair and the full conjunction are
+        // the same expression here and must be deduplicated.
+        assert_eq!(out.report.measurements.len(), 3);
+        let labels: std::collections::HashSet<&str> = out
+            .report
+            .measurements
+            .iter()
+            .map(|m| m.expression.as_str())
+            .collect();
+        assert_eq!(labels.len(), 3, "duplicate monitored expressions");
+        assert!(labels.contains("a<700 AND b<3000"), "{labels:?}");
+    }
+
+    /// PlanChoice helpers surface name and cost.
+    #[test]
+    fn plan_choice_accessors() {
+        let db = demo_db();
+        let q = Query::count(
+            "t",
+            vec![PredSpec::new("a", pf_exec::CompareOp::Lt, Datum::Int(700))],
+        );
+        let lowered = db.lower(&q, &MonitorConfig::off()).unwrap();
+        assert!(!lowered.choice.name().is_empty());
+        assert!(lowered.choice.cost_ms() > 0.0);
+    }
+}

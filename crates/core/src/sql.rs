@@ -1,0 +1,559 @@
+//! A small SQL front end for the query shapes the engine supports.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query     := SELECT COUNT '(' ('*' | ident) ')' FROM tables [WHERE conj]
+//! tables    := ident [',' ident]
+//! conj      := pred (AND pred)*
+//! pred      := operand op operand
+//! operand   := [ident '.'] ident | literal
+//! op        := '=' | '<' | '<=' | '>' | '>=' | '<>' | '!='
+//! literal   := integer | float | 'string' | DATE integer
+//! ```
+//!
+//! Single-table form maps to [`Query::Count`]; the two-table form needs
+//! exactly one column=column predicate (the equijoin) and selections on
+//! the first (outer) table, mapping to [`Query::JoinCount`].
+//!
+//! ```
+//! use pagefeed::sql::parse_query;
+//! let q = parse_query("SELECT COUNT(*) FROM sales WHERE state = 'CA' AND ship < DATE 100").unwrap();
+//! let j = parse_query("select count(*) from t1, t2 where t1.a < 5 and t1.k = t2.k").unwrap();
+//! ```
+
+use crate::query::{CountArg, PredSpec, Query};
+use pf_common::{Datum, Error, Result};
+use pf_exec::CompareOp;
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+    Eof,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit()
+            || (c == '-' && chars.get(i + 1).is_some_and(char::is_ascii_digit))
+        {
+            let start = i;
+            i += 1;
+            let mut is_float = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                is_float |= chars[i] == '.';
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                tokens.push(Token::Float(text.parse().map_err(|_| {
+                    Error::InvalidArgument(format!("bad float literal: {text}"))
+                })?));
+            } else {
+                tokens.push(Token::Int(text.parse().map_err(|_| {
+                    Error::InvalidArgument(format!("bad integer literal: {text}"))
+                })?));
+            }
+        } else if c == '\'' {
+            let start = i + 1;
+            i += 1;
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(Error::InvalidArgument("unterminated string literal".into()));
+            }
+            tokens.push(Token::Str(chars[start..i].iter().collect()));
+            i += 1;
+        } else if c == '<' {
+            match chars.get(i + 1) {
+                Some('=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Symbol('<'));
+                    i += 1;
+                }
+            }
+        } else if c == '>' {
+            if chars.get(i + 1) == Some(&'=') {
+                tokens.push(Token::Ge);
+                i += 2;
+            } else {
+                tokens.push(Token::Symbol('>'));
+                i += 1;
+            }
+        } else if c == '!' {
+            if chars.get(i + 1) == Some(&'=') {
+                tokens.push(Token::Ne);
+                i += 2;
+            } else {
+                return Err(Error::InvalidArgument("unexpected '!'".into()));
+            }
+        } else if "=(),*.;".contains(c) {
+            tokens.push(Token::Symbol(c));
+            i += 1;
+        } else {
+            return Err(Error::InvalidArgument(format!("unexpected character {c:?}")));
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+/// One side of a parsed comparison.
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    /// `[table.]column`
+    Column { table: Option<String>, column: String },
+    /// A literal value.
+    Literal(Datum),
+}
+
+#[derive(Debug, Clone)]
+struct ParsedPred {
+    left: Operand,
+    op: CompareOp,
+    right: Operand,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(Error::InvalidArgument(format!(
+                "expected {kw}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<()> {
+        match self.next() {
+            Token::Symbol(s) if s == c => Ok(()),
+            other => Err(Error::InvalidArgument(format!(
+                "expected '{c}', found {other:?}"
+            ))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::InvalidArgument(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.next() {
+            Token::Int(v) => Ok(Operand::Literal(Datum::Int(v))),
+            Token::Float(v) => Ok(Operand::Literal(Datum::Float(v))),
+            Token::Str(s) => Ok(Operand::Literal(Datum::Str(s))),
+            Token::Ident(s) if s.eq_ignore_ascii_case("date") => match self.next() {
+                Token::Int(v) => Ok(Operand::Literal(Datum::Date(v as i32))),
+                other => Err(Error::InvalidArgument(format!(
+                    "DATE needs an integer day count, found {other:?}"
+                ))),
+            },
+            Token::Ident(first) => {
+                if self.peek() == &Token::Symbol('.') {
+                    self.next();
+                    let column = self.ident()?;
+                    Ok(Operand::Column {
+                        table: Some(first),
+                        column,
+                    })
+                } else {
+                    Ok(Operand::Column {
+                        table: None,
+                        column: first,
+                    })
+                }
+            }
+            other => Err(Error::InvalidArgument(format!(
+                "expected column or literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp> {
+        match self.next() {
+            Token::Symbol('=') => Ok(CompareOp::Eq),
+            Token::Symbol('<') => Ok(CompareOp::Lt),
+            Token::Symbol('>') => Ok(CompareOp::Gt),
+            Token::Le => Ok(CompareOp::Le),
+            Token::Ge => Ok(CompareOp::Ge),
+            Token::Ne => Ok(CompareOp::Ne),
+            other => Err(Error::InvalidArgument(format!(
+                "expected comparison operator, found {other:?}"
+            ))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<ParsedPred> {
+        let left = self.operand()?;
+        let op = self.compare_op()?;
+        let right = self.operand()?;
+        Ok(ParsedPred { left, op, right })
+    }
+}
+
+/// Mirror of a comparison with operands swapped (`5 > a` → `a < 5`).
+fn flip(op: CompareOp) -> CompareOp {
+    match op {
+        CompareOp::Lt => CompareOp::Gt,
+        CompareOp::Le => CompareOp::Ge,
+        CompareOp::Gt => CompareOp::Lt,
+        CompareOp::Ge => CompareOp::Le,
+        CompareOp::Eq => CompareOp::Eq,
+        CompareOp::Ne => CompareOp::Ne,
+    }
+}
+
+/// Parses one supported SQL statement into a [`Query`].
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let mut p = Parser {
+        tokens: lex(sql)?,
+        pos: 0,
+    };
+    p.expect_keyword("select")?;
+    p.expect_keyword("count")?;
+    p.expect_symbol('(')?;
+    let count_arg = match p.next() {
+        Token::Symbol('*') => CountArg::Star,
+        Token::Ident(name) => {
+            // Optionally qualified: COUNT(t.col).
+            if p.peek() == &Token::Symbol('.') {
+                p.next();
+                CountArg::Column(p.ident()?)
+            } else {
+                CountArg::Column(name)
+            }
+        }
+        other => {
+            return Err(Error::InvalidArgument(format!(
+                "COUNT argument must be * or a column, found {other:?}"
+            )))
+        }
+    };
+    p.expect_symbol(')')?;
+    p.expect_keyword("from")?;
+    let first_table = p.ident()?;
+    let second_table = if p.peek() == &Token::Symbol(',') {
+        p.next();
+        Some(p.ident()?)
+    } else {
+        None
+    };
+
+    let mut preds = Vec::new();
+    if p.keyword_is("where") {
+        p.next();
+        loop {
+            preds.push(p.predicate()?);
+            if p.keyword_is("and") {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    if p.peek() == &Token::Symbol(';') {
+        p.next();
+    }
+    if p.peek() != &Token::Eof {
+        return Err(Error::InvalidArgument(format!(
+            "trailing input: {:?}",
+            p.peek()
+        )));
+    }
+
+    match second_table {
+        None => {
+            let mut specs = Vec::new();
+            for pred in preds {
+                specs.push(to_selection(pred, &first_table)?);
+            }
+            Ok(Query::Count {
+                table: first_table,
+                predicate: specs,
+                count_arg,
+            })
+        }
+        Some(inner) => {
+            let mut join: Option<(String, String)> = None;
+            let mut specs = Vec::new();
+            for pred in preds {
+                match (&pred.left, &pred.right) {
+                    (
+                        Operand::Column { table: lt, column: lc },
+                        Operand::Column { table: rt, column: rc },
+                    ) => {
+                        if pred.op != CompareOp::Eq {
+                            return Err(Error::InvalidArgument(
+                                "join predicates must be equality".into(),
+                            ));
+                        }
+                        if join.is_some() {
+                            return Err(Error::InvalidArgument(
+                                "only one join predicate is supported".into(),
+                            ));
+                        }
+                        // Orient as (outer column, inner column).
+                        let (oc, ic) = match (lt.as_deref(), rt.as_deref()) {
+                            (Some(l), Some(r))
+                                if l.eq_ignore_ascii_case(&first_table)
+                                    && r.eq_ignore_ascii_case(&inner) =>
+                            {
+                                (lc.clone(), rc.clone())
+                            }
+                            (Some(l), Some(r))
+                                if l.eq_ignore_ascii_case(&inner)
+                                    && r.eq_ignore_ascii_case(&first_table) =>
+                            {
+                                (rc.clone(), lc.clone())
+                            }
+                            _ => {
+                                return Err(Error::InvalidArgument(
+                                    "join columns must be qualified as outer.col = inner.col"
+                                        .into(),
+                                ))
+                            }
+                        };
+                        join = Some((oc, ic));
+                    }
+                    _ => specs.push(to_selection(pred, &first_table)?),
+                }
+            }
+            let (outer_col, inner_col) = join.ok_or_else(|| {
+                Error::InvalidArgument("two-table query needs a join predicate".into())
+            })?;
+            Ok(Query::join_count(
+                first_table,
+                inner,
+                specs,
+                outer_col,
+                inner_col,
+            ))
+        }
+    }
+}
+
+/// Converts a parsed comparison into a selection on `outer_table`.
+fn to_selection(pred: ParsedPred, outer_table: &str) -> Result<PredSpec> {
+    let (col_operand, op, value) = match (pred.left, pred.right) {
+        (Operand::Column { table, column }, Operand::Literal(v)) => {
+            ((table, column), pred.op, v)
+        }
+        (Operand::Literal(v), Operand::Column { table, column }) => {
+            ((table, column), flip(pred.op), v)
+        }
+        (Operand::Literal(_), Operand::Literal(_)) => {
+            return Err(Error::InvalidArgument(
+                "constant-only predicates are not supported".into(),
+            ))
+        }
+        (Operand::Column { .. }, Operand::Column { .. }) => {
+            return Err(Error::InvalidArgument(
+                "column-to-column predicates are only valid as the join".into(),
+            ))
+        }
+    };
+    let (table, column) = col_operand;
+    if let Some(t) = table {
+        if !t.eq_ignore_ascii_case(outer_table) {
+            return Err(Error::InvalidArgument(format!(
+                "selection on {t}.{column}: only outer-table selections are supported"
+            )));
+        }
+    }
+    Ok(PredSpec::new(column, op, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_table_with_predicates() {
+        let q = parse_query(
+            "SELECT COUNT(pad) FROM sales WHERE state = 'CA' AND ship < DATE 100 AND qty >= 3",
+        )
+        .unwrap();
+        let Query::Count { table, predicate, .. } = q else {
+            panic!("expected single-table");
+        };
+        assert_eq!(table, "sales");
+        assert_eq!(predicate.len(), 3);
+        assert_eq!(predicate[0].column, "state");
+        assert_eq!(predicate[0].op, CompareOp::Eq);
+        assert_eq!(predicate[0].value, Datum::Str("CA".into()));
+        assert_eq!(predicate[1].value, Datum::Date(100));
+        assert_eq!(predicate[2].op, CompareOp::Ge);
+    }
+
+    #[test]
+    fn count_star_no_where() {
+        let q = parse_query("select count(*) from t;").unwrap();
+        let Query::Count { table, predicate, .. } = q else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert!(predicate.is_empty());
+    }
+
+    #[test]
+    fn reversed_operand_order_is_normalized() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE 5 > a").unwrap();
+        let Query::Count { predicate, .. } = q else {
+            panic!()
+        };
+        assert_eq!(predicate[0].column, "a");
+        assert_eq!(predicate[0].op, CompareOp::Lt);
+        assert_eq!(predicate[0].value, Datum::Int(5));
+    }
+
+    #[test]
+    fn join_query() {
+        let q = parse_query(
+            "SELECT COUNT(T.pad) FROM T1, T WHERE T1.c1 < 4000 AND T1.c2 = T.c2",
+        )
+        .unwrap();
+        let Query::JoinCount {
+            outer,
+            inner,
+            outer_pred,
+            outer_col,
+            inner_col,
+        } = q
+        else {
+            panic!("expected join")
+        };
+        assert_eq!(outer, "T1");
+        assert_eq!(inner, "T");
+        assert_eq!(outer_pred.len(), 1);
+        assert_eq!(outer_col, "c2");
+        assert_eq!(inner_col, "c2");
+    }
+
+    #[test]
+    fn join_orientation_flips() {
+        let q = parse_query("select count(*) from a, b where b.y = a.x").unwrap();
+        let Query::JoinCount {
+            outer_col, inner_col, ..
+        } = q
+        else {
+            panic!()
+        };
+        assert_eq!(outer_col, "x");
+        assert_eq!(inner_col, "y");
+    }
+
+    #[test]
+    fn operators_lex_correctly() {
+        for (sql, op) in [
+            ("a = 1", CompareOp::Eq),
+            ("a < 1", CompareOp::Lt),
+            ("a <= 1", CompareOp::Le),
+            ("a > 1", CompareOp::Gt),
+            ("a >= 1", CompareOp::Ge),
+            ("a <> 1", CompareOp::Ne),
+            ("a != 1", CompareOp::Ne),
+        ] {
+            let q = parse_query(&format!("select count(*) from t where {sql}")).unwrap();
+            let Query::Count { predicate, .. } = q else {
+                panic!()
+            };
+            assert_eq!(predicate[0].op, op, "{sql}");
+        }
+    }
+
+    #[test]
+    fn float_and_negative_literals() {
+        let q = parse_query("select count(*) from t where price < 9.75 and delta > -3").unwrap();
+        let Query::Count { predicate, .. } = q else {
+            panic!()
+        };
+        assert_eq!(predicate[0].value, Datum::Float(9.75));
+        assert_eq!(predicate[1].value, Datum::Int(-3));
+    }
+
+    #[test]
+    fn error_cases() {
+        for sql in [
+            "",
+            "select sum(x) from t",
+            "select count(*) from",
+            "select count(*) from t where",
+            "select count(*) from t where a <",
+            "select count(*) from t where a < 'x",
+            "select count(*) from t where 1 = 2",
+            "select count(*) from a, b",              // no join predicate
+            "select count(*) from a, b where a.x < b.y", // non-equality join
+            "select count(*) from t where a = 1 or b = 2", // OR unsupported
+            "select count(*) from t extra",
+        ] {
+            assert!(parse_query(sql).is_err(), "should reject: {sql}");
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_query("SeLeCt CoUnT(*) FrOm T wHeRe A < 1 AnD b = 2").is_ok());
+    }
+}

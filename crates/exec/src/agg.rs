@@ -1,0 +1,76 @@
+//! RE-side aggregation: `COUNT(column)`.
+//!
+//! The paper's workloads are `SELECT count(padding) FROM ...` — an
+//! aggregate chosen so the query must *fetch the row* (the padding
+//! column is in no index), forcing the access-method decision the
+//! experiments study.
+
+use crate::context::ExecContext;
+use crate::op::Operator;
+use pf_common::{Column, DataType, Datum, Result, Row, Schema};
+
+/// Counts input rows, emitting a single `(count: Int)` row.
+pub struct CountAgg {
+    input: Box<dyn Operator>,
+    schema: Schema,
+    done: bool,
+}
+
+impl CountAgg {
+    /// Builds a count aggregate.
+    pub fn new(input: Box<dyn Operator>) -> Self {
+        CountAgg {
+            input,
+            schema: Schema::new(vec![Column::new("count", DataType::Int)]),
+            done: false,
+        }
+    }
+}
+
+impl Operator for CountAgg {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut n: i64 = 0;
+        while self.input.next(ctx)?.is_some() {
+            n += 1;
+        }
+        self.done = true;
+        Ok(Some(Row::new(vec![Datum::Int(n)])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AtomicPredicate, CompareOp, Conjunction};
+    use crate::scan::SeqScan;
+    use pf_common::TableId;
+    use pf_storage::TableStorage;
+    use std::rc::Rc;
+
+    #[test]
+    fn counts_filtered_rows() {
+        let schema = Schema::new(vec![Column::new("id", DataType::Int)]);
+        let rows: Vec<Row> = (0..250).map(|i| Row::new(vec![Datum::Int(i)])).collect();
+        let t = Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
+        let pred = Conjunction::new(vec![AtomicPredicate::new(
+            t.schema(),
+            "id",
+            CompareOp::Lt,
+            Datum::Int(42),
+        )
+        .unwrap()]);
+        let scan = SeqScan::full(Rc::clone(&t), TableId(0), pred, None);
+        let mut agg = CountAgg::new(Box::new(scan));
+        let mut ctx = ExecContext::new(1024);
+        let row = agg.next(&mut ctx).unwrap().unwrap();
+        assert_eq!(row.get(0), &Datum::Int(42));
+        assert!(agg.next(&mut ctx).unwrap().is_none());
+    }
+}

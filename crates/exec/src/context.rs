@@ -1,0 +1,76 @@
+//! Execution context: buffer pool + disk model.
+
+use pf_storage::{BufferPool, DiskModel, IoStats};
+
+/// Everything an operator needs at `next()` time.
+///
+/// Single-threaded by design (one query at a time, like the paper's
+/// per-query experiments); operators receive `&mut ExecContext` so the
+/// accounting is free of interior mutability.
+#[derive(Debug)]
+pub struct ExecContext {
+    /// The buffer pool (owns the [`IoStats`] counters).
+    pub pool: BufferPool,
+    /// The simulated clock.
+    pub model: DiskModel,
+}
+
+impl ExecContext {
+    /// A context with the given pool capacity and the default disk model.
+    pub fn new(pool_pages: usize) -> Self {
+        ExecContext {
+            pool: BufferPool::new(pool_pages),
+            model: DiskModel::default(),
+        }
+    }
+
+    /// A context with a custom disk model.
+    pub fn with_model(pool_pages: usize, model: DiskModel) -> Self {
+        ExecContext {
+            pool: BufferPool::new(pool_pages),
+            model,
+        }
+    }
+
+    /// Simulated elapsed time of everything charged so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.model.elapsed_ms(&self.pool.stats())
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Cold cache: evict everything, reset counters (the paper's
+    /// measurement methodology).
+    pub fn cold_start(&mut self) {
+        self.pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_common::{PageId, TableId};
+    use pf_storage::AccessPattern;
+
+    #[test]
+    fn elapsed_tracks_charges() {
+        let mut ctx = ExecContext::new(16);
+        assert_eq!(ctx.elapsed_ms(), 0.0);
+        ctx.pool
+            .access(TableId(0), PageId(0), AccessPattern::Random);
+        assert!(ctx.elapsed_ms() >= ctx.model.rand_read_ms);
+    }
+
+    #[test]
+    fn cold_start_resets() {
+        let mut ctx = ExecContext::new(16);
+        ctx.pool
+            .access(TableId(0), PageId(0), AccessPattern::Random);
+        ctx.cold_start();
+        assert_eq!(ctx.elapsed_ms(), 0.0);
+        assert_eq!(ctx.pool.resident_pages(), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Predicates: atomic comparisons and conjunctions with short-circuiting.
+//!
+//! The paper (Section III) assumes predicates are conjunctions of atomic
+//! predicates evaluated left-to-right with *short-circuiting*: once a
+//! conjunct fails, the rest are skipped. That optimization is exactly
+//! what makes non-prefix DPC expressions unobservable for free, and what
+//! `DPSample` selectively disables. [`Conjunction::eval_short_circuit`]
+//! and [`Conjunction::eval_all`] model the two regimes and report how
+//! many conjuncts were actually evaluated so the executor can charge the
+//! difference to the monitoring overhead (Fig 9).
+
+use pf_common::{Datum, Error, Result, Row, Schema};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator of an atomic predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<>`
+    Ne,
+}
+
+impl CompareOp {
+    fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CompareOp::Eq => ord == Ordering::Equal,
+            CompareOp::Lt => ord == Ordering::Less,
+            CompareOp::Le => ord != Ordering::Greater,
+            CompareOp::Gt => ord == Ordering::Greater,
+            CompareOp::Ge => ord != Ordering::Less,
+            CompareOp::Ne => ord != Ordering::Equal,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+            CompareOp::Ne => "<>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// `column <op> literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomicPredicate {
+    /// Column ordinal in the operator's input schema.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Literal compared against.
+    pub value: Datum,
+    /// Column name, kept for canonical expression text.
+    pub column_name: String,
+}
+
+impl AtomicPredicate {
+    /// Builds and type-checks an atom against `schema`.
+    pub fn new(schema: &Schema, column: &str, op: CompareOp, value: Datum) -> Result<Self> {
+        let idx = schema.index_of(column)?;
+        let ty = schema.column(idx).ty;
+        if value.data_type() != ty {
+            return Err(Error::TypeMismatch {
+                expected: match ty {
+                    pf_common::DataType::Int => "Int",
+                    pf_common::DataType::Float => "Float",
+                    pf_common::DataType::Str => "Str",
+                    pf_common::DataType::Date => "Date",
+                },
+                found: value.type_name(),
+            });
+        }
+        Ok(AtomicPredicate {
+            column: idx,
+            op,
+            value,
+            column_name: column.to_string(),
+        })
+    }
+
+    /// Evaluates the atom on a row.
+    #[inline]
+    pub fn eval(&self, row: &Row) -> bool {
+        let ord = row
+            .get(self.column)
+            .cmp_same_type(&self.value)
+            .expect("atom was type-checked at construction");
+        self.op.matches(ord)
+    }
+}
+
+impl fmt::Display for AtomicPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.column_name, self.op, self.value)
+    }
+}
+
+/// A left-to-right conjunction of atoms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Conjunction {
+    /// The conjuncts, in evaluation order.
+    pub atoms: Vec<AtomicPredicate>,
+}
+
+impl Conjunction {
+    /// An always-true predicate.
+    pub fn always_true() -> Self {
+        Conjunction { atoms: Vec::new() }
+    }
+
+    /// Builds a conjunction from atoms.
+    pub fn new(atoms: Vec<AtomicPredicate>) -> Self {
+        Conjunction { atoms }
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether there are no conjuncts.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Evaluates with short-circuiting.
+    ///
+    /// Returns `(passed, evaluated)`: the overall result and how many
+    /// conjuncts were evaluated (for CPU accounting). On failure at
+    /// conjunct `j`, conjuncts `0..j` are known true, `j` known false,
+    /// and the rest unknown.
+    #[inline]
+    pub fn eval_short_circuit(&self, row: &Row) -> (bool, usize) {
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if !atom.eval(row) {
+                return (false, i + 1);
+            }
+        }
+        (true, self.atoms.len())
+    }
+
+    /// Evaluates *every* conjunct (short-circuiting off), writing each
+    /// result into `results` (resized to `len()`); returns overall truth.
+    #[inline]
+    pub fn eval_all(&self, row: &Row, results: &mut Vec<bool>) -> bool {
+        results.clear();
+        let mut all = true;
+        for atom in &self.atoms {
+            let r = atom.eval(row);
+            results.push(r);
+            all &= r;
+        }
+        all
+    }
+
+    /// Canonical text, e.g. `C2<5000 AND state='CA'`; `TRUE` if empty.
+    pub fn key(&self) -> String {
+        if self.atoms.is_empty() {
+            return "TRUE".to_string();
+        }
+        self.atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+
+    /// Canonical text of the prefix/subset of atoms at `indices`.
+    pub fn key_of(&self, indices: &[usize]) -> String {
+        if indices.is_empty() {
+            return "TRUE".to_string();
+        }
+        indices
+            .iter()
+            .map(|&i| self.atoms[i].to_string())
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_common::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("ship", DataType::Date),
+            Column::new("state", DataType::Str),
+        ])
+    }
+
+    fn row(id: i64, ship: i32, state: &str) -> Row {
+        Row::new(vec![
+            Datum::Int(id),
+            Datum::Date(ship),
+            Datum::Str(state.into()),
+        ])
+    }
+
+    #[test]
+    fn atom_type_checking() {
+        let s = schema();
+        assert!(AtomicPredicate::new(&s, "id", CompareOp::Lt, Datum::Int(5)).is_ok());
+        assert!(AtomicPredicate::new(&s, "id", CompareOp::Lt, Datum::Str("x".into())).is_err());
+        assert!(AtomicPredicate::new(&s, "missing", CompareOp::Eq, Datum::Int(1)).is_err());
+    }
+
+    #[test]
+    fn all_comparison_ops() {
+        let s = schema();
+        let r = row(5, 0, "CA");
+        let cases = [
+            (CompareOp::Eq, 5, true),
+            (CompareOp::Eq, 6, false),
+            (CompareOp::Lt, 6, true),
+            (CompareOp::Lt, 5, false),
+            (CompareOp::Le, 5, true),
+            (CompareOp::Gt, 4, true),
+            (CompareOp::Gt, 5, false),
+            (CompareOp::Ge, 5, true),
+            (CompareOp::Ne, 4, true),
+            (CompareOp::Ne, 5, false),
+        ];
+        for (op, v, expect) in cases {
+            let a = AtomicPredicate::new(&s, "id", op, Datum::Int(v)).unwrap();
+            assert_eq!(a.eval(&r), expect, "id {op} {v}");
+        }
+    }
+
+    #[test]
+    fn short_circuit_counts_evaluations() {
+        let s = schema();
+        let conj = Conjunction::new(vec![
+            AtomicPredicate::new(&s, "ship", CompareOp::Eq, Datum::Date(100)).unwrap(),
+            AtomicPredicate::new(&s, "state", CompareOp::Eq, Datum::Str("CA".into())).unwrap(),
+        ]);
+        // First conjunct fails: one evaluation.
+        assert_eq!(conj.eval_short_circuit(&row(1, 99, "CA")), (false, 1));
+        // First passes, second fails: two evaluations.
+        assert_eq!(conj.eval_short_circuit(&row(1, 100, "WA")), (false, 2));
+        // Both pass.
+        assert_eq!(conj.eval_short_circuit(&row(1, 100, "CA")), (true, 2));
+    }
+
+    #[test]
+    fn eval_all_reports_every_atom() {
+        let s = schema();
+        let conj = Conjunction::new(vec![
+            AtomicPredicate::new(&s, "ship", CompareOp::Eq, Datum::Date(100)).unwrap(),
+            AtomicPredicate::new(&s, "state", CompareOp::Eq, Datum::Str("CA".into())).unwrap(),
+        ]);
+        let mut res = Vec::new();
+        // Even with the first failing, the second is evaluated.
+        assert!(!conj.eval_all(&row(1, 99, "CA"), &mut res));
+        assert_eq!(res, vec![false, true]);
+        assert!(conj.eval_all(&row(1, 100, "CA"), &mut res));
+        assert_eq!(res, vec![true, true]);
+    }
+
+    #[test]
+    fn empty_conjunction_is_true() {
+        let conj = Conjunction::always_true();
+        assert_eq!(conj.eval_short_circuit(&row(1, 1, "x")), (true, 0));
+        assert_eq!(conj.key(), "TRUE");
+    }
+
+    #[test]
+    fn canonical_keys() {
+        let s = schema();
+        let conj = Conjunction::new(vec![
+            AtomicPredicate::new(&s, "ship", CompareOp::Lt, Datum::Date(100)).unwrap(),
+            AtomicPredicate::new(&s, "state", CompareOp::Eq, Datum::Str("CA".into())).unwrap(),
+        ]);
+        assert_eq!(conj.key(), "ship<date(100) AND state='CA'");
+        assert_eq!(conj.key_of(&[1]), "state='CA'");
+        assert_eq!(conj.key_of(&[]), "TRUE");
+    }
+}

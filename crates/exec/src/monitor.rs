@@ -1,0 +1,531 @@
+//! Monitor wiring between operators and the `pf-feedback` mechanisms.
+//!
+//! Monitors are created by the planner, shared with operators as
+//! `Rc<RefCell<...>>` handles, and harvested after the plan drains. Three
+//! shapes exist, matching Sections III–IV:
+//!
+//! * [`ScanMonitorSet`] — attached to a scan: one entry per monitored
+//!   expression, each either *exact* (a prefix of the scan's conjuncts —
+//!   free under short-circuiting) or *page-sampled* (non-prefix, needs
+//!   short-circuiting off on sampled pages), optionally testing a
+//!   semi-join bit-vector instead of/apart from atoms;
+//! * [`FetchMonitor`] — attached to a Fetch/INL-inner: a linear counter
+//!   over fetched PIDs;
+//! * [`SemiJoinSlot`] — the callback cell a Hash/Merge Join fills with
+//!   its build-side bit vector before the probe scan runs (Fig 5).
+
+use crate::expr::Conjunction;
+use pf_common::rng::Rng;
+use pf_common::Row;
+use pf_feedback::{BitVectorFilter, DpcMeasurement, FeedbackReport, LinearCounter, Mechanism};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The cell through which the RE-side join hands its bit-vector filter to
+/// the SE-side probe scan. Starts empty; the join fills it after the
+/// build phase, strictly before any probe row flows.
+#[derive(Debug, Default)]
+pub struct SemiJoinFilter {
+    /// The filter, once built.
+    pub filter: Option<BitVectorFilter>,
+    /// Probe-side join-key column ordinal.
+    pub key_column: usize,
+}
+
+/// Shared handle to a [`SemiJoinFilter`].
+pub type SemiJoinSlot = Rc<RefCell<SemiJoinFilter>>;
+
+/// Creates an empty semi-join slot for probe-side key column `key_column`.
+pub fn semi_join_slot(key_column: usize) -> SemiJoinSlot {
+    Rc::new(RefCell::new(SemiJoinFilter {
+        filter: None,
+        key_column,
+    }))
+}
+
+/// How one monitored expression on a scan decides "row satisfies".
+#[derive(Debug)]
+enum ScanExprKind {
+    /// Conjunction of the scan predicate's atoms at these indices.
+    /// `prefix_len` is `Some(L)` when the indices are exactly `0..L` —
+    /// then the truth is known from short-circuit evaluation for free.
+    Atoms {
+        indices: Vec<usize>,
+        prefix_len: Option<usize>,
+    },
+    /// The derived semi-join predicate: bit-vector membership of the
+    /// row's join key (Fig 5). Costs one hash per row on sampled pages.
+    SemiJoin(SemiJoinSlot),
+}
+
+/// One monitored expression on a scan.
+#[derive(Debug)]
+pub struct ScanExprMonitor {
+    /// Canonical expression text for the report.
+    pub label: String,
+    /// Optimizer estimate to print alongside (if known).
+    pub estimated: Option<f64>,
+    kind: ScanExprKind,
+    satisfied_this_page: bool,
+    count: u64,
+}
+
+impl ScanExprMonitor {
+    /// Monitors the sub-conjunction of the scan predicate at `indices`
+    /// (sorted, deduped). Prefix sub-conjunctions are counted exactly on
+    /// every page; others only on sampled pages.
+    pub fn atoms(predicate: &Conjunction, mut indices: Vec<usize>, estimated: Option<f64>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        let prefix_len = if indices.iter().copied().eq(0..indices.len()) {
+            Some(indices.len())
+        } else {
+            None
+        };
+        ScanExprMonitor {
+            label: predicate.key_of(&indices),
+            estimated,
+            kind: ScanExprKind::Atoms {
+                indices,
+                prefix_len,
+            },
+            satisfied_this_page: false,
+            count: 0,
+        }
+    }
+
+    /// Monitors the derived semi-join predicate through `slot`.
+    pub fn semi_join(label: impl Into<String>, slot: SemiJoinSlot, estimated: Option<f64>) -> Self {
+        ScanExprMonitor {
+            label: label.into(),
+            estimated,
+            kind: ScanExprKind::SemiJoin(slot),
+            satisfied_this_page: false,
+            count: 0,
+        }
+    }
+
+    /// Whether this expression can be decided from short-circuit results
+    /// alone (i.e. needs no full evaluation).
+    fn is_prefix(&self) -> bool {
+        matches!(
+            self.kind,
+            ScanExprKind::Atoms {
+                prefix_len: Some(_),
+                ..
+            }
+        )
+    }
+
+    fn needs_full_eval(&self) -> bool {
+        matches!(self.kind, ScanExprKind::Atoms { prefix_len: None, .. })
+    }
+}
+
+/// The set of DPC monitors attached to one scan operator.
+///
+/// Drives all monitored expressions from a single page-sampling decision
+/// stream, so monitoring cost is paid once per sampled page regardless of
+/// how many expressions are watched.
+#[derive(Debug)]
+pub struct ScanMonitorSet {
+    exprs: Vec<ScanExprMonitor>,
+    fraction: f64,
+    rng: Rng,
+    page_sampled: bool,
+    in_page: bool,
+    pages_seen: u64,
+    pages_sampled: u64,
+    rows_seen: u64,
+    hash_ops: u64,
+}
+
+impl ScanMonitorSet {
+    /// Builds a monitor set sampling pages at `fraction` (1.0 = every
+    /// page; exact counts for all expressions).
+    pub fn new(exprs: Vec<ScanExprMonitor>, fraction: f64, seed: u64) -> Self {
+        ScanMonitorSet {
+            exprs,
+            fraction: fraction.clamp(f64::MIN_POSITIVE, 1.0),
+            rng: Rng::new(seed),
+            page_sampled: false,
+            in_page: false,
+            pages_seen: 0,
+            pages_sampled: 0,
+            rows_seen: 0,
+            hash_ops: 0,
+        }
+    }
+
+    /// Whether any monitored expression requires short-circuiting off on
+    /// sampled pages.
+    pub fn needs_full_eval(&self) -> bool {
+        self.exprs.iter().any(ScanExprMonitor::needs_full_eval)
+    }
+
+    /// Starts a new page; returns whether this page is sampled (the scan
+    /// must then evaluate all conjuncts per row if
+    /// [`ScanMonitorSet::needs_full_eval`]).
+    pub fn start_page(&mut self) -> bool {
+        self.flush_page();
+        self.in_page = true;
+        self.pages_seen += 1;
+        self.page_sampled = self.fraction >= 1.0 || self.rng.bernoulli(self.fraction);
+        if self.page_sampled {
+            self.pages_sampled += 1;
+        }
+        self.page_sampled
+    }
+
+    /// Observes one row of the current page.
+    ///
+    /// `atom_results[i]` is `Some(truth)` for every conjunct the scan
+    /// evaluated on this row (all of them on fully-evaluated pages;
+    /// a short-circuited prefix otherwise); `row` is used for semi-join
+    /// key hashing. Returns immediately on pages where nothing needs
+    /// observing.
+    pub fn observe_row(&mut self, atom_results: &[Option<bool>], row: &Row) {
+        let sampled = self.page_sampled;
+        self.rows_seen += 1;
+        for e in &mut self.exprs {
+            if e.satisfied_this_page {
+                continue;
+            }
+            match &e.kind {
+                ScanExprKind::Atoms {
+                    indices,
+                    prefix_len,
+                } => {
+                    // Exact (prefix) expressions observe every page;
+                    // sampled expressions only sampled pages.
+                    if prefix_len.is_none() && !sampled {
+                        continue;
+                    }
+                    let satisfied = indices.iter().all(|&i| atom_results[i] == Some(true));
+                    // On short-circuited rows a prefix expression may be
+                    // undecidable only if an earlier atom was false — in
+                    // which case it is correctly "not satisfied".
+                    if satisfied {
+                        e.satisfied_this_page = true;
+                    }
+                }
+                ScanExprKind::SemiJoin(slot) => {
+                    if !sampled {
+                        continue;
+                    }
+                    let cell = slot.borrow();
+                    self.hash_ops += 1;
+                    let hit = match &cell.filter {
+                        Some(f) => f.may_contain(row.get(cell.key_column)),
+                        // Filter not yet installed: conservatively true
+                        // (cannot under-count; should not occur in a
+                        // well-formed plan).
+                        None => true,
+                    };
+                    if hit {
+                        e.satisfied_this_page = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ends the scan (idempotent); call before harvesting.
+    pub fn finish(&mut self) {
+        self.flush_page();
+        self.in_page = false;
+    }
+
+    /// Hash operations performed by semi-join monitoring since the last
+    /// call (for CPU accounting); resets the counter.
+    pub fn take_hash_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.hash_ops)
+    }
+
+    /// Pages announced so far.
+    pub fn pages_seen(&self) -> u64 {
+        self.pages_seen
+    }
+
+    /// Pages sampled so far.
+    pub fn pages_sampled(&self) -> u64 {
+        self.pages_sampled
+    }
+
+    /// Harvests measurements into a report, keyed by `table` name.
+    pub fn harvest(&mut self, table: &str, report: &mut FeedbackReport) {
+        self.finish();
+        for e in &self.exprs {
+            let (actual, mechanism) = if e.is_prefix() {
+                (e.count as f64, Mechanism::ExactScan)
+            } else {
+                let scaled = e.count as f64 / self.fraction;
+                match &e.kind {
+                    ScanExprKind::SemiJoin(slot) => {
+                        // Correct for hash collisions: a page with no
+                        // true match still tests ≈ rows-per-page absent
+                        // keys, each a false positive with probability
+                        // `fill`. Solving
+                        //   E[measured] = truth + (P − truth)·fpp
+                        // for truth removes the page-level amplification
+                        // of the filter's false-positive rate (the
+                        // paper's "small overestimation" regime is
+                        // recovered even with compact filters).
+                        let cell = slot.borrow();
+                        let (bits, fill) = cell
+                            .filter
+                            .as_ref()
+                            .map_or((0, 0.0), |f| (f.numbits(), f.fill_ratio()));
+                        let pages = self.pages_seen as f64;
+                        let rpp = if self.pages_seen > 0 {
+                            self.rows_seen as f64 / pages
+                        } else {
+                            0.0
+                        };
+                        let fpp = 1.0 - (1.0 - fill).powf(rpp);
+                        // Floor at one page when any hit was observed —
+                        // a join that returned rows touched ≥ 1 page.
+                        let floor = if e.count > 0 { 1.0 } else { 0.0 };
+                        let corrected = if fpp < 1.0 {
+                            ((scaled - pages * fpp) / (1.0 - fpp)).clamp(floor, scaled)
+                        } else {
+                            scaled
+                        };
+                        (corrected, Mechanism::BitVector(bits))
+                    }
+                    ScanExprKind::Atoms { .. } => {
+                        if self.fraction >= 1.0 {
+                            (scaled, Mechanism::ExactScan)
+                        } else {
+                            (scaled, Mechanism::PageSampling(self.fraction))
+                        }
+                    }
+                }
+            };
+            report.push(DpcMeasurement {
+                table: table.to_string(),
+                expression: e.label.clone(),
+                estimated: e.estimated,
+                actual,
+                mechanism,
+            });
+        }
+    }
+
+    fn flush_page(&mut self) {
+        if self.in_page {
+            for e in &mut self.exprs {
+                if e.satisfied_this_page {
+                    e.count += 1;
+                }
+                e.satisfied_this_page = false;
+            }
+        }
+        self.page_sampled = false;
+    }
+}
+
+/// When a [`FetchMonitor`] observes a fetched row's page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchObserveWhen {
+    /// Every fetched row (the DPC of the seek/join predicate itself).
+    AllFetched,
+    /// Only rows that also passed the residual predicate (the DPC of the
+    /// full expression).
+    PassedResidual,
+}
+
+/// A linear-counting DPC monitor on a Fetch (or INL-join inner fetch).
+#[derive(Debug)]
+pub struct FetchMonitor {
+    /// Canonical expression text for the report.
+    pub label: String,
+    /// Optimizer estimate (if known).
+    pub estimated: Option<f64>,
+    /// When to observe.
+    pub when: FetchObserveWhen,
+    /// The probabilistic counter.
+    pub counter: LinearCounter,
+}
+
+impl FetchMonitor {
+    /// A monitor sized for `table_pages` pages.
+    pub fn new(
+        label: impl Into<String>,
+        when: FetchObserveWhen,
+        table_pages: u32,
+        estimated: Option<f64>,
+        seed: u64,
+    ) -> Self {
+        FetchMonitor {
+            label: label.into(),
+            estimated,
+            when,
+            counter: LinearCounter::for_table(table_pages, seed),
+        }
+    }
+
+    /// Harvests the measurement into a report.
+    pub fn harvest(&self, table: &str, report: &mut FeedbackReport) {
+        report.push(DpcMeasurement {
+            table: table.to_string(),
+            expression: self.label.clone(),
+            estimated: self.estimated,
+            actual: self.counter.estimate(),
+            mechanism: Mechanism::LinearCounting,
+        });
+    }
+}
+
+/// Shared handle to a scan monitor set.
+pub type ScanMonitorHandle = Rc<RefCell<ScanMonitorSet>>;
+/// Shared handle to a fetch monitor list.
+pub type FetchMonitorHandle = Rc<RefCell<Vec<FetchMonitor>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AtomicPredicate, CompareOp};
+    use pf_common::{Column, DataType, Datum, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ])
+    }
+
+    fn conj(s: &Schema) -> Conjunction {
+        Conjunction::new(vec![
+            AtomicPredicate::new(s, "a", CompareOp::Lt, Datum::Int(10)).unwrap(),
+            AtomicPredicate::new(s, "b", CompareOp::Lt, Datum::Int(10)).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn prefix_detection() {
+        let s = schema();
+        let c = conj(&s);
+        assert!(ScanExprMonitor::atoms(&c, vec![0], None).is_prefix());
+        assert!(ScanExprMonitor::atoms(&c, vec![0, 1], None).is_prefix());
+        assert!(!ScanExprMonitor::atoms(&c, vec![1], None).is_prefix());
+        let sj = ScanExprMonitor::semi_join("j", semi_join_slot(0), None);
+        assert!(!sj.is_prefix());
+        assert!(!sj.needs_full_eval(), "semi-join needs hashes, not atom eval");
+    }
+
+    #[test]
+    fn exact_prefix_counts_every_page() {
+        let s = schema();
+        let c = conj(&s);
+        let mut set = ScanMonitorSet::new(
+            vec![ScanExprMonitor::atoms(&c, vec![0], None)],
+            0.000_1, // sampling never fires, but prefixes are exact anyway
+            1,
+        );
+        // 3 pages: match, no-match, match.
+        for page in 0..3 {
+            set.start_page();
+            let hit = page != 1;
+            set.observe_row(&[Some(hit), None], &Row::new(vec![Datum::Int(0), Datum::Int(0)]));
+        }
+        let mut rep = FeedbackReport::new();
+        set.harvest("t", &mut rep);
+        assert_eq!(rep.measurements[0].actual, 2.0);
+        assert_eq!(rep.measurements[0].mechanism, Mechanism::ExactScan);
+    }
+
+    #[test]
+    fn non_prefix_scaled_by_fraction() {
+        let s = schema();
+        let c = conj(&s);
+        let mut set = ScanMonitorSet::new(
+            vec![ScanExprMonitor::atoms(&c, vec![1], None)],
+            1.0,
+            1,
+        );
+        assert!(set.needs_full_eval());
+        for page in 0..4 {
+            let sampled = set.start_page();
+            assert!(sampled, "f=1 samples everything");
+            set.observe_row(
+                &[Some(true), Some(page % 2 == 0)],
+                &Row::new(vec![Datum::Int(0), Datum::Int(0)]),
+            );
+        }
+        let mut rep = FeedbackReport::new();
+        set.harvest("t", &mut rep);
+        assert_eq!(rep.measurements[0].actual, 2.0);
+    }
+
+    #[test]
+    fn semi_join_counts_filter_hits() {
+        let slot = semi_join_slot(0);
+        {
+            let mut f = BitVectorFilter::new(256, 7);
+            f.insert(&Datum::Int(5));
+            slot.borrow_mut().filter = Some(f);
+        }
+        let mut set = ScanMonitorSet::new(
+            vec![ScanExprMonitor::semi_join("r1.k=r2.k", Rc::clone(&slot), None)],
+            1.0,
+            2,
+        );
+        // Page 0: key 5 present (hit). Page 1: only key 6 (likely miss).
+        set.start_page();
+        set.observe_row(&[], &Row::new(vec![Datum::Int(5), Datum::Int(0)]));
+        set.start_page();
+        set.observe_row(&[], &Row::new(vec![Datum::Int(6), Datum::Int(0)]));
+        let mut rep = FeedbackReport::new();
+        set.harvest("r2", &mut rep);
+        let actual = rep.measurements[0].actual;
+        // One true-hit page; the collision correction shaves the
+        // expected false-positive mass (tiny here), so allow ~1.
+        assert!((0.9..=2.0).contains(&actual), "actual {actual}");
+        assert!(set.take_hash_ops() >= 2);
+        assert!(matches!(rep.measurements[0].mechanism, Mechanism::BitVector(_)));
+    }
+
+    #[test]
+    fn fetch_monitor_harvests_linear_estimate() {
+        let mut m = FetchMonitor::new("a<10", FetchObserveWhen::AllFetched, 1000, Some(5.0), 3);
+        for p in 0..100u32 {
+            m.counter.observe(p);
+            m.counter.observe(p);
+        }
+        let mut rep = FeedbackReport::new();
+        m.harvest("t", &mut rep);
+        let a = rep.measurements[0].actual;
+        assert!((90.0..110.0).contains(&a), "estimate {a}");
+        assert_eq!(rep.measurements[0].estimated, Some(5.0));
+    }
+
+    #[test]
+    fn unsampled_pages_skip_sampled_exprs_but_not_prefixes() {
+        let s = schema();
+        let c = conj(&s);
+        // Fraction so small no page gets sampled (seeded).
+        let mut set = ScanMonitorSet::new(
+            vec![
+                ScanExprMonitor::atoms(&c, vec![0], None),
+                ScanExprMonitor::atoms(&c, vec![1], None),
+            ],
+            1e-9,
+            5,
+        );
+        for _ in 0..50 {
+            let sampled = set.start_page();
+            let results = if sampled {
+                [Some(true), Some(true)]
+            } else {
+                [Some(true), None]
+            };
+            set.observe_row(&results, &Row::new(vec![Datum::Int(0), Datum::Int(0)]));
+        }
+        let mut rep = FeedbackReport::new();
+        set.harvest("t", &mut rep);
+        assert_eq!(rep.measurements[0].actual, 50.0, "prefix exact");
+        // Sampled expr saw no sampled pages: 0 count (scaled 0).
+        assert_eq!(rep.measurements[1].actual, 0.0);
+    }
+}

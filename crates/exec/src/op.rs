@@ -1,0 +1,38 @@
+//! Operator traits and drivers.
+
+use crate::context::ExecContext;
+use pf_common::{Result, Rid, Row, Schema};
+
+/// A Volcano-style row operator.
+pub trait Operator {
+    /// The shape of rows this operator produces.
+    fn schema(&self) -> &Schema;
+
+    /// Produces the next row, or `None` at end of stream.
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>>;
+}
+
+/// An SE-side producer of row identifiers (index seeks and RID
+/// combinators) — the input of the Fetch operator.
+pub trait RidSource {
+    /// Produces the next RID, or `None` at end of stream.
+    fn next_rid(&mut self, ctx: &mut ExecContext) -> Result<Option<Rid>>;
+}
+
+/// Drains an operator into a vector.
+pub fn drain(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next(ctx)? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Drains an operator counting rows (the `SELECT COUNT(...)` driver).
+pub fn run_count(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<u64> {
+    let mut n = 0;
+    while op.next(ctx)?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}

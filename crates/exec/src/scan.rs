@@ -1,0 +1,462 @@
+//! SE-side scans: full sequential scan and clustered range scan.
+//!
+//! Scans are where the paper's machinery concentrates: predicates are
+//! evaluated *inside* the scan (Example 2's dotted box), pages arrive
+//! grouped (Fig 2, left), and the attached
+//! [`crate::monitor::ScanMonitorSet`] implements
+//! exact counting for prefix expressions plus `DPSample` for the rest.
+
+use crate::context::ExecContext;
+use crate::expr::Conjunction;
+use crate::monitor::ScanMonitorHandle;
+use crate::op::Operator;
+use pf_common::{Datum, PageId, Result, Row, Schema, TableId};
+use pf_storage::{AccessPattern, TableStorage};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A sequential scan over a contiguous page range of one table, with the
+/// query predicate pushed into the storage engine.
+pub struct SeqScan {
+    storage: Rc<TableStorage>,
+    table_id: TableId,
+    predicate: Conjunction,
+    monitors: Option<ScanMonitorHandle>,
+    /// `[first, last)` pages to scan.
+    page_range: (u32, u32),
+    /// Whether the first page access is a random I/O (a clustered seek
+    /// positions the disk arm once, then reads sequentially).
+    first_random: bool,
+    next_page: u32,
+    started: bool,
+    finished: bool,
+    buffer: VecDeque<(Row, u32)>,
+    atom_buf: Vec<bool>,
+    opt_buf: Vec<Option<bool>>,
+    /// When set, monitors observe each row as it is *delivered* to the
+    /// parent (not when its page is loaded). Required for partial
+    /// bit-vector filters under a streaming merge join (Section IV): the
+    /// filter grows while the scan runs, so a row must be tested no
+    /// earlier than the moment the join consumes it. Only valid for
+    /// monitor sets with no full-evaluation needs (semi-join monitors).
+    deferred_monitoring: bool,
+    last_delivered_page: Option<u32>,
+    /// Deferred mode observes each row one delivery *late*: a streaming
+    /// merge join advances its outer side (growing the partial filter)
+    /// only after receiving a probe row, so the filter is complete for
+    /// that row's key exactly when the *next* row is requested.
+    pending_observation: Option<(Row, u32)>,
+}
+
+impl SeqScan {
+    /// A full-table scan.
+    pub fn full(
+        storage: Rc<TableStorage>,
+        table_id: TableId,
+        predicate: Conjunction,
+        monitors: Option<ScanMonitorHandle>,
+    ) -> Self {
+        let pages = storage.page_count();
+        SeqScan {
+            storage,
+            table_id,
+            predicate,
+            monitors,
+            page_range: (0, pages),
+            first_random: false,
+            next_page: 0,
+            started: false,
+            finished: false,
+            buffer: VecDeque::new(),
+            atom_buf: Vec::new(),
+            opt_buf: Vec::new(),
+            deferred_monitoring: false,
+            last_delivered_page: None,
+            pending_observation: None,
+        }
+    }
+
+    /// Switches to delivery-time monitoring (see the field docs). Only
+    /// valid for predicate-free scans with semi-join monitors: filtered
+    /// rows would never be delivered, hence never observed.
+    pub fn with_deferred_monitoring(mut self) -> Self {
+        assert!(
+            self.predicate.is_empty(),
+            "deferred monitoring requires a predicate-free scan"
+        );
+        if let Some(m) = &self.monitors {
+            assert!(
+                !m.borrow().needs_full_eval(),
+                "deferred monitoring supports semi-join monitors only"
+            );
+        }
+        self.deferred_monitoring = true;
+        self
+    }
+
+    /// A clustered range scan: pages bracketing clustering-key values in
+    /// `[lo, hi]` (either bound optional), positioned with one random
+    /// I/O then read sequentially.
+    pub fn clustered_range(
+        storage: Rc<TableStorage>,
+        table_id: TableId,
+        lo: Option<&Datum>,
+        hi: Option<&Datum>,
+        predicate: Conjunction,
+        monitors: Option<ScanMonitorHandle>,
+    ) -> Result<Self> {
+        let (first, last) = storage.locate_range(lo, hi)?;
+        Ok(SeqScan {
+            next_page: first,
+            page_range: (first, last),
+            first_random: true,
+            storage,
+            table_id,
+            predicate,
+            monitors,
+            started: false,
+            finished: false,
+            buffer: VecDeque::new(),
+            atom_buf: Vec::new(),
+            opt_buf: Vec::new(),
+            deferred_monitoring: false,
+            last_delivered_page: None,
+            pending_observation: None,
+        })
+    }
+
+    /// Pages this scan will touch.
+    pub fn pages_to_scan(&self) -> u32 {
+        self.page_range.1 - self.page_range.0
+    }
+
+    fn load_next_page(&mut self, ctx: &mut ExecContext) -> Result<bool> {
+        if self.next_page >= self.page_range.1 {
+            return Ok(false);
+        }
+        let pid = PageId(self.next_page);
+        self.next_page += 1;
+        let pattern = if self.first_random && !self.started {
+            AccessPattern::Random
+        } else {
+            AccessPattern::Sequential
+        };
+        self.started = true;
+        ctx.pool.access(self.table_id, pid, pattern);
+        let rows = self.storage.rows_on_page(pid)?;
+        ctx.pool.charge_rows(rows.len() as u64);
+
+        // Monitoring setup for this page (Fig 4, steps 3–4). In
+        // deferred mode the page is announced when its first row is
+        // delivered instead.
+        let (_sampled, full_eval) = match &self.monitors {
+            Some(m) if !self.deferred_monitoring => {
+                let mut m = m.borrow_mut();
+                let sampled = m.start_page();
+                (sampled, sampled && m.needs_full_eval())
+            }
+            _ => (false, false),
+        };
+
+        let natoms = self.predicate.len();
+        for row in rows {
+            if full_eval {
+                // Short-circuiting OFF for this sampled page: evaluate
+                // every conjunct, charging the surplus as monitoring
+                // overhead.
+                let pass = self.predicate.eval_all(&row, &mut self.atom_buf);
+                let sc_evals = match self.atom_buf.iter().position(|r| !*r) {
+                    Some(i) => i + 1,
+                    None => natoms,
+                };
+                ctx.pool.charge_pred_evals(sc_evals as u64);
+                ctx.pool
+                    .charge_extra_pred_evals((natoms - sc_evals) as u64);
+                self.opt_buf.clear();
+                self.opt_buf.extend(self.atom_buf.iter().map(|r| Some(*r)));
+                if let Some(m) = &self.monitors {
+                    m.borrow_mut().observe_row(&self.opt_buf, &row);
+                    ctx.pool.charge_monitor_ops(1);
+                }
+                if pass {
+                    self.buffer.push_back((row, pid.0));
+                }
+            } else {
+                let (pass, evaluated) = self.predicate.eval_short_circuit(&row);
+                ctx.pool.charge_pred_evals(evaluated as u64);
+                if self.monitors.is_some() && !self.deferred_monitoring {
+                    // Truths known from short-circuit evaluation: the
+                    // first `evaluated` conjuncts; all true except
+                    // possibly the last.
+                    self.opt_buf.clear();
+                    for i in 0..natoms {
+                        // Conjuncts before the stopping point are true;
+                        // the stopping conjunct is true iff the row
+                        // passed; later conjuncts were never evaluated.
+                        self.opt_buf.push(match (i + 1).cmp(&evaluated) {
+                            std::cmp::Ordering::Less => Some(true),
+                            std::cmp::Ordering::Equal => Some(pass),
+                            std::cmp::Ordering::Greater => None,
+                        });
+                    }
+                    if let Some(m) = &self.monitors {
+                        m.borrow_mut().observe_row(&self.opt_buf, &row);
+                        ctx.pool.charge_monitor_ops(1);
+                    }
+                }
+                if pass {
+                    self.buffer.push_back((row, pid.0));
+                }
+            }
+        }
+        if let Some(m) = &self.monitors {
+            let hashes = m.borrow_mut().take_hash_ops();
+            ctx.pool.charge_hashes(hashes);
+        }
+        Ok(true)
+    }
+}
+
+impl SeqScan {
+    fn observe_deferred(&mut self, row: &Row, pid: u32, ctx: &mut ExecContext) {
+        if let Some(m) = &self.monitors {
+            let mut m = m.borrow_mut();
+            if self.last_delivered_page != Some(pid) {
+                m.start_page();
+                self.last_delivered_page = Some(pid);
+            }
+            self.opt_buf.clear();
+            m.observe_row(&self.opt_buf, row);
+            ctx.pool.charge_monitor_ops(1);
+            ctx.pool.charge_hashes(m.take_hash_ops());
+        }
+    }
+}
+
+impl Operator for SeqScan {
+    fn schema(&self) -> &Schema {
+        self.storage.schema()
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
+        loop {
+            if let Some((row, pid)) = self.buffer.pop_front() {
+                if self.deferred_monitoring && self.monitors.is_some() {
+                    // Observe the *previous* delivery now (the consumer
+                    // has processed it, so a partial semi-join filter is
+                    // complete for its key), and queue this one.
+                    if let Some((prev, prev_pid)) = self.pending_observation.take() {
+                        self.observe_deferred(&prev, prev_pid, ctx);
+                    }
+                    self.pending_observation = Some((row.clone(), pid));
+                }
+                return Ok(Some(row));
+            }
+            if self.finished {
+                if let Some((prev, prev_pid)) = self.pending_observation.take() {
+                    self.observe_deferred(&prev, prev_pid, ctx);
+                    if let Some(m) = &self.monitors {
+                        m.borrow_mut().finish();
+                    }
+                }
+                return Ok(None);
+            }
+            if !self.load_next_page(ctx)? {
+                self.finished = true;
+                if !self.deferred_monitoring {
+                    if let Some(m) = &self.monitors {
+                        m.borrow_mut().finish();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AtomicPredicate, CompareOp};
+    use crate::monitor::{ScanExprMonitor, ScanMonitorSet};
+    use crate::op::{drain, run_count};
+    use pf_common::{Column, DataType};
+    use pf_feedback::FeedbackReport;
+    use std::cell::RefCell;
+
+    fn make_table(n: i64) -> Rc<TableStorage> {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("val", DataType::Int),
+            Column::new("pad", DataType::Str),
+        ]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Datum::Int(i),
+                    Datum::Int((i * 7919) % n), // scrambled
+                    Datum::Str("x".repeat(40)),
+                ])
+            })
+            .collect();
+        Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap())
+    }
+
+    fn lt(storage: &TableStorage, col: &str, v: i64) -> AtomicPredicate {
+        AtomicPredicate::new(storage.schema(), col, CompareOp::Lt, Datum::Int(v)).unwrap()
+    }
+
+    #[test]
+    fn full_scan_returns_matching_rows() {
+        let t = make_table(500);
+        let pred = Conjunction::new(vec![lt(&t, "id", 100)]);
+        let mut scan = SeqScan::full(Rc::clone(&t), TableId(0), pred, None);
+        let mut ctx = ExecContext::new(1024);
+        let rows = drain(&mut scan, &mut ctx).unwrap();
+        assert_eq!(rows.len(), 100);
+        // All pages read sequentially exactly once.
+        let s = ctx.stats();
+        assert_eq!(s.seq_physical_reads, u64::from(t.page_count()));
+        assert_eq!(s.rand_physical_reads, 0);
+        assert_eq!(s.rows_processed, 500);
+        assert_eq!(s.pred_evals, 500);
+    }
+
+    #[test]
+    fn clustered_range_scan_reads_fewer_pages() {
+        let t = make_table(1_000);
+        let pred = Conjunction::new(vec![lt(&t, "id", 50)]);
+        let mut scan = SeqScan::clustered_range(
+            Rc::clone(&t),
+            TableId(0),
+            None,
+            Some(&Datum::Int(49)),
+            pred,
+            None,
+        )
+        .unwrap();
+        let mut ctx = ExecContext::new(1024);
+        assert_eq!(run_count(&mut scan, &mut ctx).unwrap(), 50);
+        let s = ctx.stats();
+        assert!(s.physical_reads() < u64::from(t.page_count()));
+        assert_eq!(s.rand_physical_reads, 1, "seek positions once");
+    }
+
+    #[test]
+    fn exact_monitoring_matches_brute_force() {
+        let t = make_table(800);
+        let pred = Conjunction::new(vec![lt(&t, "val", 200)]);
+        let monitors = Rc::new(RefCell::new(ScanMonitorSet::new(
+            vec![ScanExprMonitor::atoms(&pred, vec![0], None)],
+            1.0,
+            3,
+        )));
+        let mut scan = SeqScan::full(
+            Rc::clone(&t),
+            TableId(0),
+            pred.clone(),
+            Some(Rc::clone(&monitors)),
+        );
+        let mut ctx = ExecContext::new(4096);
+        let got = run_count(&mut scan, &mut ctx).unwrap();
+        assert_eq!(got, 200);
+
+        // Brute force DPC.
+        let mut truth = 0u64;
+        for p in 0..t.page_count() {
+            let any = t
+                .rows_on_page(PageId(p))
+                .unwrap()
+                .iter()
+                .any(|r| r.get(1).as_int().unwrap() < 200);
+            truth += u64::from(any);
+        }
+        let mut rep = FeedbackReport::new();
+        monitors.borrow_mut().harvest("t", &mut rep);
+        assert_eq!(rep.measurements[0].actual, truth as f64);
+    }
+
+    #[test]
+    fn non_prefix_monitoring_charges_extra_evals() {
+        let t = make_table(400);
+        let pred = Conjunction::new(vec![lt(&t, "id", 10), lt(&t, "val", 200)]);
+        // Monitor the non-prefix atom `val<200` at full sampling.
+        let monitors = Rc::new(RefCell::new(ScanMonitorSet::new(
+            vec![ScanExprMonitor::atoms(&pred, vec![1], None)],
+            1.0,
+            3,
+        )));
+        let mut scan = SeqScan::full(
+            Rc::clone(&t),
+            TableId(0),
+            pred.clone(),
+            Some(Rc::clone(&monitors)),
+        );
+        let mut ctx = ExecContext::new(4096);
+        run_count(&mut scan, &mut ctx).unwrap();
+        let s = ctx.stats();
+        // Most rows fail id<10 immediately; monitoring forced val<200.
+        assert!(s.extra_pred_evals > 300, "extra evals {}", s.extra_pred_evals);
+
+        // And the count is exact.
+        let mut truth = 0u64;
+        for p in 0..t.page_count() {
+            let any = t
+                .rows_on_page(PageId(p))
+                .unwrap()
+                .iter()
+                .any(|r| r.get(1).as_int().unwrap() < 200);
+            truth += u64::from(any);
+        }
+        let mut rep = FeedbackReport::new();
+        monitors.borrow_mut().harvest("t", &mut rep);
+        assert_eq!(rep.measurements[0].actual, truth as f64);
+    }
+
+    #[test]
+    fn no_monitor_means_no_extra_evals() {
+        let t = make_table(400);
+        let pred = Conjunction::new(vec![lt(&t, "id", 10), lt(&t, "val", 200)]);
+        let mut scan = SeqScan::full(Rc::clone(&t), TableId(0), pred, None);
+        let mut ctx = ExecContext::new(4096);
+        run_count(&mut scan, &mut ctx).unwrap();
+        assert_eq!(ctx.stats().extra_pred_evals, 0);
+    }
+
+    #[test]
+    fn sampled_monitoring_is_cheaper_and_close() {
+        let t = make_table(2_000);
+        let pred = Conjunction::new(vec![lt(&t, "id", 50), lt(&t, "val", 1_000)]);
+        let run = |fraction: f64| {
+            let monitors = Rc::new(RefCell::new(ScanMonitorSet::new(
+                vec![ScanExprMonitor::atoms(&pred, vec![1], None)],
+                fraction,
+                7,
+            )));
+            let mut scan = SeqScan::full(
+                Rc::clone(&t),
+                TableId(0),
+                pred.clone(),
+                Some(Rc::clone(&monitors)),
+            );
+            let mut ctx = ExecContext::new(8192);
+            run_count(&mut scan, &mut ctx).unwrap();
+            let mut rep = FeedbackReport::new();
+            monitors.borrow_mut().harvest("t", &mut rep);
+            (rep.measurements[0].actual, ctx.stats().extra_pred_evals)
+        };
+        let (exact, full_cost) = run(1.0);
+        let (sampled, sampled_cost) = run(0.2);
+        assert!(sampled_cost < full_cost / 2, "{sampled_cost} !< {full_cost}/2");
+        let err = (sampled - exact).abs() / exact.max(1.0);
+        assert!(err < 0.25, "exact {exact} sampled {sampled}");
+    }
+
+    #[test]
+    fn empty_predicate_scans_everything() {
+        let t = make_table(100);
+        let mut scan = SeqScan::full(Rc::clone(&t), TableId(0), Conjunction::always_true(), None);
+        let mut ctx = ExecContext::new(1024);
+        assert_eq!(run_count(&mut scan, &mut ctx).unwrap(), 100);
+        assert_eq!(ctx.stats().pred_evals, 0);
+    }
+}

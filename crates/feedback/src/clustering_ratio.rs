@@ -1,0 +1,142 @@
+//! The Clustering Ratio of Section V-B (Fig 10).
+//!
+//! For a predicate satisfied by `n` rows in a table of `P` pages with `k`
+//! rows per page, the number of pages `N` that must be fetched satisfies
+//!
+//! ```text
+//! LB = ⌈n / k⌉ ≤ N ≤ min(n, P) = UB
+//! CR = (N − LB) / (UB − LB)          ∈ [0, 1]
+//! ```
+//!
+//! `CR = 0` means the qualifying rows are perfectly co-clustered (the
+//! analytical lower bound); `CR = 1` means every row sits on its own
+//! page. The paper measures mean 0.56 with σ = 0.4 across five real
+//! databases — evidence that no single analytical formula fits.
+
+/// One `(predicate, table)` data point for a clustering-ratio plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringObservation {
+    /// Rows satisfying the predicate.
+    pub rows: u64,
+    /// Distinct pages holding at least one satisfying row.
+    pub pages_touched: u64,
+    /// Total pages in the table.
+    pub table_pages: u64,
+    /// Average rows per page.
+    pub rows_per_page: f64,
+}
+
+impl ClusteringObservation {
+    /// Lower bound `⌈n/k⌉` on pages that must be fetched.
+    pub fn lower_bound(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            (self.rows as f64 / self.rows_per_page).ceil().max(1.0)
+        }
+    }
+
+    /// Upper bound `min(n, P)`.
+    pub fn upper_bound(&self) -> f64 {
+        (self.rows as f64).min(self.table_pages as f64)
+    }
+
+    /// The clustering ratio, clamped to `[0, 1]`; `None` when the bounds
+    /// coincide (the ratio is undefined — e.g. a predicate matching 0 or
+    /// all rows).
+    pub fn ratio(&self) -> Option<f64> {
+        let lb = self.lower_bound();
+        let ub = self.upper_bound();
+        if ub <= lb {
+            return None;
+        }
+        Some(((self.pages_touched as f64 - lb) / (ub - lb)).clamp(0.0, 1.0))
+    }
+}
+
+/// Convenience wrapper building an observation and returning its ratio.
+pub fn clustering_ratio(
+    rows: u64,
+    pages_touched: u64,
+    table_pages: u64,
+    rows_per_page: f64,
+) -> Option<f64> {
+    ClusteringObservation {
+        rows,
+        pages_touched,
+        table_pages,
+        rows_per_page,
+    }
+    .ratio()
+}
+
+/// Mean and population standard deviation of a set of ratios — the
+/// summary statistics the paper reports for Fig 10.
+pub fn summarize(ratios: &[f64]) -> (f64, f64) {
+    if ratios.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = ratios.len() as f64;
+    let mean = ratios.iter().sum::<f64>() / n;
+    let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_clustered_is_zero() {
+        // 500 rows at 50/page on exactly 10 pages.
+        assert_eq!(clustering_ratio(500, 10, 1_000, 50.0), Some(0.0));
+    }
+
+    #[test]
+    fn fully_scattered_is_one() {
+        // 500 rows each on its own page.
+        assert_eq!(clustering_ratio(500, 500, 1_000, 50.0), Some(1.0));
+    }
+
+    #[test]
+    fn midpoint() {
+        // LB = 10, UB = 500, N = 255 ⇒ CR = 0.5.
+        let cr = clustering_ratio(500, 255, 1_000, 50.0).unwrap();
+        assert!((cr - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undefined_when_bounds_meet() {
+        // n larger than pages*k such that UB = P and LB = P.
+        assert_eq!(clustering_ratio(50_000, 1_000, 1_000, 50.0), None);
+        // Zero rows.
+        assert_eq!(clustering_ratio(0, 0, 1_000, 50.0), None);
+    }
+
+    #[test]
+    fn clamps_noise() {
+        // Measured pages slightly below LB (e.g. an estimate) clamps to 0.
+        assert_eq!(clustering_ratio(500, 8, 1_000, 50.0), Some(0.0));
+    }
+
+    #[test]
+    fn ub_capped_by_table_pages() {
+        // 5 000 rows, table of only 100 pages: UB = 100.
+        let obs = ClusteringObservation {
+            rows: 5_000,
+            pages_touched: 100,
+            table_pages: 100,
+            rows_per_page: 50.0,
+        };
+        assert_eq!(obs.upper_bound(), 100.0);
+        assert_eq!(obs.ratio(), None, "LB = UB = 100 here");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let (mean, sd) = summarize(&[0.0, 1.0]);
+        assert!((mean - 0.5).abs() < 1e-12);
+        assert!((sd - 0.5).abs() < 1e-12);
+        assert_eq!(summarize(&[]), (0.0, 0.0));
+    }
+}

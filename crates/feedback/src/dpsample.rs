@@ -1,0 +1,207 @@
+//! `DPSample` — page-sampled counting for scan plans (Fig 4).
+//!
+//! When the monitored predicate is not a prefix of the query's conjuncts,
+//! counting exactly requires turning off predicate short-circuiting for
+//! *every* row — impractical (Fig 9's 100 % line). Because scan plans
+//! reduce distinct counting to plain counting (grouped page access), we
+//! can instead Bernoulli-sample pages with probability `f`, disable
+//! short-circuiting only on sampled pages, and scale:
+//!
+//! ```text
+//! DPC ≈ PageCount / f        (Fig 4, step 7)
+//! ```
+//!
+//! Properties (Section III-B): the estimator is unbiased, concentrates by
+//! Chernoff bounds, needs one counter of memory, and bounds the
+//! short-circuit-off overhead to the sampled fraction.
+
+use pf_common::rng::Rng;
+use pf_common::{Error, Result};
+
+/// Bernoulli page-sampling DPC estimator for one monitored expression.
+#[derive(Debug, Clone)]
+pub struct DpSampler {
+    fraction: f64,
+    rng: Rng,
+    current_sampled: bool,
+    current_satisfied: bool,
+    in_page: bool,
+    page_count: u64,
+    pages_seen: u64,
+    pages_sampled: u64,
+}
+
+impl DpSampler {
+    /// Creates a sampler with sampling fraction `f ∈ (0, 1]`; `f = 1`
+    /// degrades gracefully to exact counting.
+    pub fn new(fraction: f64, seed: u64) -> Result<Self> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(Error::InvalidArgument(format!(
+                "sampling fraction must be in (0, 1], got {fraction}"
+            )));
+        }
+        Ok(DpSampler {
+            fraction,
+            rng: Rng::new(seed),
+            current_sampled: false,
+            current_satisfied: false,
+            in_page: false,
+            page_count: 0,
+            pages_seen: 0,
+            pages_sampled: 0,
+        })
+    }
+
+    /// Announces the start of a new page in the scan (Fig 4, step 3) and
+    /// returns whether that page is in the sample — the caller disables
+    /// predicate short-circuiting for its rows exactly when `true`.
+    pub fn start_page(&mut self) -> bool {
+        self.flush();
+        self.in_page = true;
+        self.pages_seen += 1;
+        self.current_sampled = self.fraction >= 1.0 || self.rng.bernoulli(self.fraction);
+        if self.current_sampled {
+            self.pages_sampled += 1;
+        }
+        self.current_sampled
+    }
+
+    /// Observes a row of the current page: whether it satisfies the
+    /// monitored expression. Ignored on unsampled pages (Fig 4, step 5).
+    #[inline]
+    pub fn observe_row(&mut self, satisfies: bool) {
+        if self.current_sampled && satisfies {
+            self.current_satisfied = true;
+        }
+    }
+
+    /// Ends the scan; must be called before [`DpSampler::estimate`]
+    /// (idempotent).
+    pub fn finish(&mut self) {
+        self.flush();
+        self.in_page = false;
+    }
+
+    /// `PageCount / f` (Fig 4, step 7).
+    pub fn estimate(&self) -> f64 {
+        self.page_count as f64 / self.fraction
+    }
+
+    /// Raw count of sampled pages that satisfied the expression.
+    pub fn raw_count(&self) -> u64 {
+        self.page_count
+    }
+
+    /// Pages the scan announced.
+    pub fn pages_seen(&self) -> u64 {
+        self.pages_seen
+    }
+
+    /// Pages that landed in the sample.
+    pub fn pages_sampled(&self) -> u64 {
+        self.pages_sampled
+    }
+
+    /// Sampling fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    fn flush(&mut self) {
+        if self.in_page && self.current_satisfied {
+            self.page_count += 1;
+        }
+        self.current_satisfied = false;
+        self.current_sampled = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates a scan over `pages` pages where `satisfying` of them
+    /// contain a match, and returns the estimate.
+    fn simulate(pages: u32, satisfying: u32, fraction: f64, seed: u64) -> f64 {
+        let mut s = DpSampler::new(fraction, seed).unwrap();
+        for p in 0..pages {
+            let sampled = s.start_page();
+            // Rows only matter on sampled pages.
+            if sampled {
+                for r in 0..10 {
+                    s.observe_row(p < satisfying && r == 3);
+                }
+            }
+        }
+        s.finish();
+        s.estimate()
+    }
+
+    #[test]
+    fn rejects_bad_fractions() {
+        assert!(DpSampler::new(0.0, 1).is_err());
+        assert!(DpSampler::new(-0.5, 1).is_err());
+        assert!(DpSampler::new(1.5, 1).is_err());
+        assert!(DpSampler::new(1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn full_fraction_is_exact() {
+        assert_eq!(simulate(500, 123, 1.0, 0), 123.0);
+        assert_eq!(simulate(500, 0, 1.0, 0), 0.0);
+        assert_eq!(simulate(500, 500, 1.0, 0), 500.0);
+    }
+
+    #[test]
+    fn sampled_estimate_is_close() {
+        // 10 000 pages, 3 000 satisfying, 10 % sample.
+        let est = simulate(10_000, 3_000, 0.1, 42);
+        let err = (est - 3_000.0).abs() / 3_000.0;
+        assert!(err < 0.10, "estimate {est}, err {err}");
+    }
+
+    #[test]
+    fn estimator_is_unbiased_across_seeds() {
+        let mut sum = 0.0;
+        let runs = 200;
+        for seed in 0..runs {
+            sum += simulate(1_000, 400, 0.05, seed);
+        }
+        let mean = sum / runs as f64;
+        let bias = (mean - 400.0).abs() / 400.0;
+        assert!(bias < 0.05, "mean {mean}, bias {bias}");
+    }
+
+    #[test]
+    fn sampled_page_fraction_tracks_f() {
+        let mut s = DpSampler::new(0.25, 9).unwrap();
+        for _ in 0..10_000 {
+            s.start_page();
+        }
+        s.finish();
+        let rate = s.pages_sampled() as f64 / s.pages_seen() as f64;
+        assert!((0.22..0.28).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn rows_on_unsampled_pages_are_ignored() {
+        let mut s = DpSampler::new(1e-9_f64.max(0.0000001), 1).unwrap();
+        for _ in 0..100 {
+            let sampled = s.start_page();
+            assert!(!sampled || s.pages_sampled() > 0);
+            s.observe_row(true); // must not count on unsampled pages
+        }
+        s.finish();
+        assert_eq!(s.raw_count(), s.pages_sampled());
+    }
+
+    #[test]
+    fn finish_idempotent() {
+        let mut s = DpSampler::new(1.0, 0).unwrap();
+        s.start_page();
+        s.observe_row(true);
+        s.finish();
+        s.finish();
+        assert_eq!(s.raw_count(), 1);
+    }
+}

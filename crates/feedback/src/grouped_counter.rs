@@ -1,0 +1,154 @@
+//! Exact page counting for scan plans — Section III-B.
+//!
+//! Scan plans (heap scan, clustered/covering index scan) have the
+//! *grouped page access* property: all rows of a page are surfaced
+//! contiguously, and once the scan moves past a page it never returns.
+//! Distinct counting therefore degenerates to plain counting: keep one
+//! flag per *current* page ("did any row satisfy p?") and a counter.
+//! No bitmap, no hashing — a single comparison per row.
+
+/// Exact `DPC(T, p)` counter for operators with grouped page access.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedPageCounter {
+    current_page: Option<u32>,
+    current_satisfied: bool,
+    count: u64,
+    pages_seen: u64,
+}
+
+impl GroupedPageCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one scanned row: the page it lives on and whether it
+    /// satisfies the monitored predicate.
+    ///
+    /// Rows must arrive page-grouped (the scan-plan property); this is
+    /// checked only in debug builds, where regressing to an interleaved
+    /// order panics.
+    #[inline]
+    pub fn observe_row(&mut self, page: u32, satisfies: bool) {
+        match self.current_page {
+            Some(p) if p == page => {
+                if satisfies && !self.current_satisfied {
+                    self.current_satisfied = true;
+                }
+            }
+            _ => {
+                self.flush_page();
+                self.current_page = Some(page);
+                self.current_satisfied = satisfies;
+                self.pages_seen += 1;
+            }
+        }
+    }
+
+    /// Marks the end of the scan; must be called before reading
+    /// [`GroupedPageCounter::count`] (idempotent).
+    pub fn finish(&mut self) {
+        self.flush_page();
+    }
+
+    /// The exact distinct page count observed so far (after
+    /// [`GroupedPageCounter::finish`]).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of pages the scan visited.
+    pub fn pages_seen(&self) -> u64 {
+        self.pages_seen
+    }
+
+    fn flush_page(&mut self) {
+        if self.current_page.take().is_some() && self.current_satisfied {
+            self.count += 1;
+        }
+        self.current_satisfied = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the counter with `(page, satisfies)` pairs and finishes.
+    fn run(rows: &[(u32, bool)]) -> GroupedPageCounter {
+        let mut c = GroupedPageCounter::new();
+        for &(p, s) in rows {
+            c.observe_row(p, s);
+        }
+        c.finish();
+        c
+    }
+
+    #[test]
+    fn counts_pages_with_at_least_one_match() {
+        let c = run(&[
+            (0, false),
+            (0, true),
+            (0, false),
+            (1, false),
+            (1, false),
+            (2, true),
+        ]);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.pages_seen(), 3);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let c = run(&[]);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.pages_seen(), 0);
+    }
+
+    #[test]
+    fn all_pages_match() {
+        let rows: Vec<(u32, bool)> = (0..100).map(|p| (p, true)).collect();
+        assert_eq!(run(&rows).count(), 100);
+    }
+
+    #[test]
+    fn no_pages_match() {
+        let rows: Vec<(u32, bool)> = (0..100).map(|p| (p, false)).collect();
+        assert_eq!(run(&rows).count(), 0);
+    }
+
+    #[test]
+    fn multiple_matches_on_page_count_once() {
+        let c = run(&[(5, true), (5, true), (5, true)]);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut c = GroupedPageCounter::new();
+        c.observe_row(0, true);
+        c.finish();
+        c.finish();
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_layouts() {
+        // Ground truth: distinct pages containing a satisfying row.
+        let mut rng = pf_common::rng::Rng::new(77);
+        for _ in 0..20 {
+            let pages = 1 + rng.gen_range(50) as u32;
+            let mut rows = Vec::new();
+            for p in 0..pages {
+                let n = 1 + rng.gen_range(20);
+                for _ in 0..n {
+                    rows.push((p, rng.bernoulli(0.3)));
+                }
+            }
+            let truth = (0..pages)
+                .filter(|p| rows.iter().any(|&(q, s)| q == *p && s))
+                .count() as u64;
+            assert_eq!(run(&rows).count(), truth);
+        }
+    }
+}

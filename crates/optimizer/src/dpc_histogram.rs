@@ -1,0 +1,259 @@
+//! Self-tuning histograms for distinct page counts — the future work of
+//! Sections II-C and VI.
+//!
+//! *"Such feedback gathered can also be potentially used to refine
+//! histograms for page counts similar to prior work on self-tuning
+//! histograms \[1\]\[16\]."* The paper also warns that DPC histograms need
+//! "non-trivial extensions": unlike cardinalities, page counts are **not
+//! additive across buckets** (rows of two buckets can share pages).
+//!
+//! We sidestep non-additivity by learning two *dimensionless layout
+//! descriptors* per bucket instead of a page count:
+//!
+//! ```text
+//! γ(bucket) = measured_DPC / Cardenas(rows, pages)   ∈ (0, 1]
+//! k(bucket) = rows / measured_DPC                    (rows per touched page)
+//! ```
+//!
+//! Each is the *right* invariant in one regime, and tells us which
+//! regime we are in. On a **scattered** column, Cardenas is already
+//! correct at every selectivity, so γ ≈ 1 is selectivity-invariant. On a
+//! **clustered** column, DPC grows *linearly* with the matched rows
+//! (`rows / rows-per-page`) while Cardenas is concave — γ measured at
+//! one selectivity misleads at another — but `k` is the invariant
+//! (`k ≈ rows-per-page`). Predictions blend the two regimes by the
+//! measured γ itself:
+//!
+//! ```text
+//! DPC(est_rows) ≈ (1−γ)·(est_rows / k)  +  γ·γ·Cardenas(est_rows, P)
+//! ```
+//!
+//! which reduces to the linear law as γ→0 and to the analytical model as
+//! γ→1. Both descriptors average meaningfully across buckets (weighted
+//! by rows) because they describe local layout, not counts — in the
+//! spirit of ST-histograms (Aboulnaga & Chaudhuri), where feedback
+//! refines bucket statistics online.
+
+use crate::dpc_model::cardenas;
+
+/// One learned bucket over a numeric column range.
+#[derive(Debug, Clone)]
+struct GammaBucket {
+    lo: f64,
+    hi: f64,
+    /// Learned clustering factor (exponentially smoothed).
+    gamma: f64,
+    /// Learned rows-per-touched-page (exponentially smoothed).
+    k: f64,
+    /// Total observation weight (rows) absorbed.
+    weight: f64,
+}
+
+/// A self-tuning clustering-factor histogram for one `(table, column)`.
+#[derive(Debug, Clone)]
+pub struct DpcHistogram {
+    buckets: Vec<GammaBucket>,
+    observations: u64,
+    /// Smoothing: new observations get this weight against the old γ.
+    alpha: f64,
+}
+
+impl DpcHistogram {
+    /// Builds an untrained histogram with `num_buckets` equal-width
+    /// buckets over `[lo, hi]` (γ starts at 1 = pure analytical model).
+    pub fn new(lo: f64, hi: f64, num_buckets: usize) -> Self {
+        let num_buckets = num_buckets.max(1);
+        let width = ((hi - lo) / num_buckets as f64).max(f64::MIN_POSITIVE);
+        let buckets = (0..num_buckets)
+            .map(|i| GammaBucket {
+                lo: lo + width * i as f64,
+                hi: lo + width * (i + 1) as f64,
+                gamma: 1.0,
+                k: 1.0,
+                weight: 0.0,
+            })
+            .collect();
+        DpcHistogram {
+            buckets,
+            observations: 0,
+            alpha: 0.5,
+        }
+    }
+
+    /// Number of feedback observations absorbed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Absorbs one measurement: predicate range `[lo, hi)` matched
+    /// `rows` rows and touched `dpc` distinct pages of a `pages`-page
+    /// table.
+    pub fn observe(&mut self, lo: f64, hi: f64, rows: f64, dpc: f64, pages: f64) {
+        if rows <= 0.0 || pages <= 0.0 {
+            return;
+        }
+        let analytic = cardenas(rows, pages).max(1.0);
+        let gamma = (dpc / analytic).clamp(0.0, 1.0);
+        let k = (rows / dpc.max(1.0)).max(1.0);
+        self.observations += 1;
+        let mut any = false;
+        for b in &mut self.buckets {
+            let overlap = overlap_fraction(b.lo, b.hi, lo, hi);
+            if overlap <= 0.0 {
+                continue;
+            }
+            any = true;
+            let w = rows * overlap;
+            // Constant-rate exponential smoothing (as in ST-histograms'
+            // damped refinement): untrained buckets adopt the observation
+            // outright; trained ones move a fixed fraction toward it, so
+            // repeated consistent feedback converges geometrically.
+            let blend = if b.weight == 0.0 { 1.0 } else { self.alpha };
+            b.gamma += (gamma - b.gamma) * blend;
+            b.k += (k - b.k) * blend;
+            b.weight += w;
+        }
+        if !any {
+            // Range outside the built domain: stretch the nearest edge
+            // bucket so future estimates see the observation.
+            if let Some(b) = self.buckets.first_mut() {
+                if hi <= b.lo {
+                    b.lo = lo;
+                }
+            }
+            if let Some(b) = self.buckets.last_mut() {
+                if lo >= b.hi {
+                    b.hi = hi;
+                }
+            }
+        }
+    }
+
+    /// The learned clustering factor for a range (rows-weighted mean of
+    /// trained buckets it overlaps; `None` if no trained bucket overlaps
+    /// — caller falls back to the analytical model).
+    pub fn gamma_for(&self, lo: f64, hi: f64) -> Option<f64> {
+        self.descriptors_for(lo, hi).map(|(g, _)| g)
+    }
+
+    /// Weighted `(γ, k)` over the trained buckets a range overlaps.
+    pub fn descriptors_for(&self, lo: f64, hi: f64) -> Option<(f64, f64)> {
+        let mut num_g = 0.0;
+        let mut num_k = 0.0;
+        let mut den = 0.0;
+        for b in &self.buckets {
+            let overlap = overlap_fraction(b.lo, b.hi, lo, hi);
+            if overlap > 0.0 && b.weight > 0.0 {
+                num_g += b.gamma * b.weight * overlap;
+                num_k += b.k * b.weight * overlap;
+                den += b.weight * overlap;
+            }
+        }
+        (den > 0.0).then(|| (num_g / den, num_k / den))
+    }
+
+    /// Predicted DPC for an unseen predicate on this column: the
+    /// two-regime blend `(1−γ)·rows/k + γ²·Cardenas(rows, P)`, clamped
+    /// to the feasible band `[rows/k-floor, min(rows, P)]`.
+    pub fn estimate(&self, lo: f64, hi: f64, est_rows: f64, pages: f64) -> Option<f64> {
+        let (g, k) = self.descriptors_for(lo, hi)?;
+        let linear = est_rows / k.max(1.0);
+        let analytic = cardenas(est_rows, pages);
+        let blended = (1.0 - g) * linear + g * g * analytic;
+        Some(blended.clamp(1.0_f64.min(est_rows), est_rows.min(pages)))
+    }
+}
+
+/// Fraction of `[a_lo, a_hi)` covered by `[b_lo, b_hi)`.
+fn overlap_fraction(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
+    let width = a_hi - a_lo;
+    if width <= 0.0 {
+        return 0.0;
+    }
+    let lo = a_lo.max(b_lo);
+    let hi = a_hi.min(b_hi);
+    ((hi - lo) / width).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_histogram_declines_to_estimate() {
+        let h = DpcHistogram::new(0.0, 1_000.0, 10);
+        assert_eq!(h.gamma_for(0.0, 100.0), None);
+        assert_eq!(h.estimate(0.0, 100.0, 50.0, 1_000.0), None);
+        assert_eq!(h.observations(), 0);
+    }
+
+    #[test]
+    fn learns_clustered_factor_and_generalizes() {
+        let pages = 4_000.0;
+        let mut h = DpcHistogram::new(0.0, 320_000.0, 20);
+        // Clustered column: DPC ≈ rows / 80 — observe two ranges.
+        h.observe(0.0, 3_000.0, 3_000.0, 38.0, pages);
+        h.observe(10_000.0, 16_000.0, 6_000.0, 75.0, pages);
+        // Unseen range in a *trained* region predicts ≈ rows/80, far
+        // below the analytical estimate.
+        let est = h.estimate(1_000.0, 2_500.0, 1_500.0, pages).unwrap();
+        let analytic = cardenas(1_500.0, pages);
+        assert!(est < analytic / 10.0, "est {est} vs analytic {analytic}");
+        assert!(est > 5.0 && est < 80.0, "est {est}");
+    }
+
+    #[test]
+    fn scattered_observations_keep_analytical_estimate() {
+        let pages = 4_000.0;
+        let mut h = DpcHistogram::new(0.0, 320_000.0, 20);
+        let rows = 3_000.0;
+        h.observe(0.0, 3_000.0, rows, cardenas(rows, pages), pages);
+        let est = h.estimate(500.0, 2_000.0, 1_500.0, pages).unwrap();
+        let analytic = cardenas(1_500.0, pages);
+        assert!((est - analytic).abs() / analytic < 0.05, "{est} vs {analytic}");
+    }
+
+    #[test]
+    fn regions_learn_independently() {
+        let pages = 4_000.0;
+        let mut h = DpcHistogram::new(0.0, 100_000.0, 10);
+        // Left half clustered, right half scattered.
+        h.observe(0.0, 10_000.0, 5_000.0, 63.0, pages);
+        h.observe(80_000.0, 90_000.0, 5_000.0, cardenas(5_000.0, pages), pages);
+        let left = h.estimate(0.0, 9_000.0, 4_000.0, pages).unwrap();
+        let right = h.estimate(81_000.0, 89_000.0, 4_000.0, pages).unwrap();
+        assert!(left < right / 5.0, "left {left} right {right}");
+        // Untouched middle region: no estimate.
+        assert_eq!(h.gamma_for(40_000.0, 50_000.0), None);
+    }
+
+    #[test]
+    fn repeated_observations_converge() {
+        let pages = 1_000.0;
+        let mut h = DpcHistogram::new(0.0, 10_000.0, 5);
+        // First a wrong (scattered) observation, then many accurate ones.
+        h.observe(0.0, 10_000.0, 1_000.0, cardenas(1_000.0, pages), pages);
+        for _ in 0..10 {
+            h.observe(0.0, 10_000.0, 1_000.0, 13.0, pages);
+        }
+        let g = h.gamma_for(0.0, 10_000.0).unwrap();
+        let target = 13.0 / cardenas(1_000.0, pages);
+        assert!((g - target).abs() < 0.05, "gamma {g} target {target}");
+    }
+
+    #[test]
+    fn gamma_clamped_to_unit() {
+        let mut h = DpcHistogram::new(0.0, 100.0, 2);
+        // Nonsense over-measurement cannot push gamma above 1.
+        h.observe(0.0, 100.0, 10.0, 1e9, 100.0);
+        assert!(h.gamma_for(0.0, 100.0).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn overlap_math() {
+        assert_eq!(overlap_fraction(0.0, 10.0, 0.0, 10.0), 1.0);
+        assert_eq!(overlap_fraction(0.0, 10.0, 5.0, 20.0), 0.5);
+        assert_eq!(overlap_fraction(0.0, 10.0, 20.0, 30.0), 0.0);
+        assert_eq!(overlap_fraction(5.0, 5.0, 0.0, 10.0), 0.0);
+    }
+}

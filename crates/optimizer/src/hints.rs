@@ -1,0 +1,155 @@
+//! The injection API — Section V-A.
+//!
+//! *"We have also implemented a method by which the distinct page count
+//! for a given expression can be input to the query optimizer."* A
+//! [`HintSet`] carries `(table, expression) → value` overrides for both
+//! cardinalities (used by the paper's methodology to hand the optimizer
+//! exact row counts, isolating the page-count effect) and distinct page
+//! counts (the execution feedback being studied). Expressions are keyed
+//! by their canonical text — [`pf_exec::Conjunction::key`] for
+//! selections, [`join_expr_key`] for join predicates — so measurements
+//! harvested from a [`pf_feedback::FeedbackReport`] round-trip directly
+//! into the optimizer.
+
+use pf_feedback::FeedbackReport;
+use std::collections::HashMap;
+
+/// Canonical key for a join predicate `outer.oc = inner.ic`.
+pub fn join_expr_key(outer_table: &str, outer_col: &str, inner_table: &str, inner_col: &str) -> String {
+    format!("{outer_table}.{outer_col}={inner_table}.{inner_col}")
+}
+
+/// Canonical key for the DPC of a join under an outer selection. The
+/// selection is part of the expression identity: `DPC(inner, join-pred)`
+/// depends on *which* outer rows survive, so a measurement taken at one
+/// outer selectivity must not be reused at another (the LEO-style
+/// `(expression, …)` match is on the full expression).
+pub fn join_dpc_key(
+    outer_table: &str,
+    outer_col: &str,
+    inner_table: &str,
+    inner_col: &str,
+    outer_pred_key: &str,
+) -> String {
+    let base = join_expr_key(outer_table, outer_col, inner_table, inner_col);
+    if outer_pred_key.is_empty() || outer_pred_key == "TRUE" {
+        base
+    } else {
+        format!("{base} | {outer_pred_key}")
+    }
+}
+
+/// Cardinality and distinct-page-count overrides for the optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct HintSet {
+    cardinalities: HashMap<(String, String), f64>,
+    dpcs: HashMap<(String, String), f64>,
+}
+
+impl HintSet {
+    /// An empty hint set (pure analytical optimization).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects the row count of `expression` on `table`.
+    pub fn inject_cardinality(
+        &mut self,
+        table: impl Into<String>,
+        expression: impl Into<String>,
+        rows: f64,
+    ) {
+        self.cardinalities
+            .insert((table.into(), expression.into()), rows);
+    }
+
+    /// Injects the distinct page count of `expression` on `table`.
+    pub fn inject_dpc(
+        &mut self,
+        table: impl Into<String>,
+        expression: impl Into<String>,
+        pages: f64,
+    ) {
+        self.dpcs.insert((table.into(), expression.into()), pages);
+    }
+
+    /// Looks up an injected cardinality.
+    pub fn cardinality(&self, table: &str, expression: &str) -> Option<f64> {
+        self.cardinalities
+            .get(&(table.to_string(), expression.to_string()))
+            .copied()
+    }
+
+    /// Looks up an injected distinct page count.
+    pub fn dpc(&self, table: &str, expression: &str) -> Option<f64> {
+        self.dpcs
+            .get(&(table.to_string(), expression.to_string()))
+            .copied()
+    }
+
+    /// Number of injected values (cardinalities + DPCs).
+    pub fn len(&self) -> usize {
+        self.cardinalities.len() + self.dpcs.len()
+    }
+
+    /// Whether nothing is injected.
+    pub fn is_empty(&self) -> bool {
+        self.cardinalities.is_empty() && self.dpcs.is_empty()
+    }
+
+    /// Absorbs every measurement of a feedback report as a DPC hint —
+    /// the "DBA pipes `statistics xml` back into the optimizer" loop.
+    pub fn absorb_report(&mut self, report: &FeedbackReport) {
+        for m in &report.measurements {
+            self.inject_dpc(m.table.clone(), m.expression.clone(), m.actual);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_feedback::{DpcMeasurement, Mechanism};
+
+    #[test]
+    fn inject_and_lookup() {
+        let mut h = HintSet::new();
+        assert!(h.is_empty());
+        h.inject_cardinality("t", "C2<100", 99.0);
+        h.inject_dpc("t", "C2<100", 3.0);
+        assert_eq!(h.cardinality("t", "C2<100"), Some(99.0));
+        assert_eq!(h.dpc("t", "C2<100"), Some(3.0));
+        assert_eq!(h.cardinality("t", "C3<100"), None);
+        assert_eq!(h.dpc("u", "C2<100"), None);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn join_keys_are_canonical() {
+        assert_eq!(join_expr_key("T1", "C1", "T", "C2"), "T1.C1=T.C2");
+    }
+
+    #[test]
+    fn absorb_report_round_trip() {
+        let mut rep = FeedbackReport::new();
+        rep.push(DpcMeasurement {
+            table: "sales".into(),
+            expression: "state='CA'".into(),
+            estimated: Some(4_000.0),
+            actual: 120.0,
+            mechanism: Mechanism::ExactScan,
+        });
+        let mut h = HintSet::new();
+        h.absorb_report(&rep);
+        assert_eq!(h.dpc("sales", "state='CA'"), Some(120.0));
+    }
+
+    #[test]
+    fn later_injection_wins() {
+        let mut h = HintSet::new();
+        h.inject_dpc("t", "p", 10.0);
+        h.inject_dpc("t", "p", 20.0);
+        assert_eq!(h.dpc("t", "p"), Some(20.0));
+        assert_eq!(h.len(), 1);
+    }
+}

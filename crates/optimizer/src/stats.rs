@@ -1,0 +1,207 @@
+//! Per-column statistics built at load time.
+
+use crate::histogram::EquiDepthHistogram;
+use crate::plan::HistOp;
+use pf_common::{Datum, Result, TableId};
+use pf_storage::Catalog;
+use std::collections::HashMap;
+
+/// Default histogram resolution (SQL Server uses up to 200 steps).
+pub const DEFAULT_BUCKETS: usize = 100;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Histogram over the numeric view (absent for string columns).
+    pub histogram: Option<EquiDepthHistogram>,
+    /// Exact per-value counts for string columns (our tables have
+    /// low-cardinality strings: states, categories).
+    pub str_counts: Option<HashMap<String, u64>>,
+    /// Number of distinct values.
+    pub distinct: u64,
+    /// Number of rows.
+    pub count: u64,
+}
+
+impl ColumnStats {
+    /// Builds stats from a column's values.
+    pub fn build(values: &[Datum]) -> Self {
+        let count = values.len() as u64;
+        if values.iter().all(|v| v.numeric().is_some()) {
+            let mut nums: Vec<f64> = values.iter().filter_map(Datum::numeric).collect();
+            let histogram = EquiDepthHistogram::build(nums.clone(), DEFAULT_BUCKETS);
+            nums.sort_by(f64::total_cmp);
+            let mut distinct = if nums.is_empty() { 0 } else { 1 };
+            for w in nums.windows(2) {
+                if w[0] != w[1] {
+                    distinct += 1;
+                }
+            }
+            ColumnStats {
+                histogram: Some(histogram),
+                str_counts: None,
+                distinct,
+                count,
+            }
+        } else {
+            let mut counts: HashMap<String, u64> = HashMap::new();
+            for v in values {
+                if let Datum::Str(s) = v {
+                    *counts.entry(s.clone()).or_insert(0) += 1;
+                }
+            }
+            let distinct = counts.len() as u64;
+            ColumnStats {
+                histogram: None,
+                str_counts: Some(counts),
+                distinct,
+                count,
+            }
+        }
+    }
+
+    /// Smallest numeric value (from the histogram), if numeric.
+    pub fn min(&self) -> Option<f64> {
+        self.histogram
+            .as_ref()
+            .and_then(|h| h.buckets().first())
+            .map(|b| b.lo)
+    }
+
+    /// Largest numeric value (from the histogram), if numeric.
+    pub fn max(&self) -> Option<f64> {
+        self.histogram
+            .as_ref()
+            .and_then(|h| h.buckets().last())
+            .map(|b| b.hi)
+    }
+
+    /// Estimated selectivity of `column <op> value`.
+    pub fn selectivity(&self, op: HistOp, value: &Datum) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if let (Some(h), Some(x)) = (&self.histogram, value.numeric()) {
+            return h.selectivity(op, x);
+        }
+        if let (Some(counts), Datum::Str(s)) = (&self.str_counts, value) {
+            let hit = *counts.get(s).unwrap_or(&0) as f64 / self.count as f64;
+            return match op {
+                HistOp::Eq => hit,
+                HistOp::Ne => 1.0 - hit,
+                // Range over strings: a coarse guess, like real engines
+                // without string histograms.
+                _ => 1.0 / 3.0,
+            };
+        }
+        1.0 / 3.0
+    }
+}
+
+/// Statistics for every column of every table.
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    tables: HashMap<TableId, Vec<ColumnStats>>,
+}
+
+impl DbStats {
+    /// Builds statistics by scanning every table in the catalog (the
+    /// `CREATE STATISTICS … WITH FULLSCAN` of this engine).
+    pub fn build(catalog: &Catalog) -> Result<Self> {
+        let mut tables = HashMap::new();
+        for t in catalog.tables() {
+            let arity = t.schema().arity();
+            let mut columns: Vec<Vec<Datum>> = vec![Vec::new(); arity];
+            for rid in t.storage.all_rids() {
+                let row = t.storage.read_row(rid)?;
+                for (c, v) in row.values.into_iter().enumerate() {
+                    columns[c].push(v);
+                }
+            }
+            tables.insert(
+                t.id,
+                columns.iter().map(|vals| ColumnStats::build(vals)).collect(),
+            );
+        }
+        Ok(DbStats { tables })
+    }
+
+    /// Stats for `column` of `table` (panics if the table was not built —
+    /// a programming error, since stats are built from the same catalog).
+    pub fn column(&self, table: TableId, column: usize) -> &ColumnStats {
+        &self.tables[&table][column]
+    }
+
+    /// Whether stats exist for a table.
+    pub fn has_table(&self, table: TableId) -> bool {
+        self.tables.contains_key(&table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_common::{Column, DataType, Row, Schema};
+    use pf_storage::TableBuilder;
+
+    #[test]
+    fn numeric_column_stats() {
+        let vals: Vec<Datum> = (0..1_000).map(Datum::Int).collect();
+        let s = ColumnStats::build(&vals);
+        assert_eq!(s.count, 1_000);
+        assert_eq!(s.distinct, 1_000);
+        let sel = s.selectivity(HistOp::Lt, &Datum::Int(100));
+        assert!((sel - 0.1).abs() < 0.02, "{sel}");
+    }
+
+    #[test]
+    fn string_column_stats() {
+        let vals: Vec<Datum> = (0..90)
+            .map(|i| Datum::Str(if i % 3 == 0 { "CA" } else { "WA" }.into()))
+            .collect();
+        let s = ColumnStats::build(&vals);
+        assert_eq!(s.distinct, 2);
+        let ca = s.selectivity(HistOp::Eq, &Datum::Str("CA".into()));
+        assert!((ca - 1.0 / 3.0).abs() < 1e-9);
+        let tx = s.selectivity(HistOp::Eq, &Datum::Str("TX".into()));
+        assert_eq!(tx, 0.0);
+        let ne = s.selectivity(HistOp::Ne, &Datum::Str("CA".into()));
+        assert!((ne - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_column() {
+        let s = ColumnStats::build(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.selectivity(HistOp::Eq, &Datum::Int(1)), 0.0);
+    }
+
+    #[test]
+    fn db_stats_from_catalog() {
+        let mut cat = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("state", DataType::Str),
+        ]);
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                Row::new(vec![
+                    Datum::Int(i),
+                    Datum::Str(if i < 50 { "CA" } else { "WA" }.into()),
+                ])
+            })
+            .collect();
+        let id = TableBuilder::new("t", schema)
+            .rows(rows)
+            .clustered_on("id")
+            .register(&mut cat)
+            .unwrap();
+        let stats = DbStats::build(&cat).unwrap();
+        assert!(stats.has_table(id));
+        assert_eq!(stats.column(id, 0).distinct, 200);
+        let ca = stats
+            .column(id, 1)
+            .selectivity(HistOp::Eq, &Datum::Str("CA".into()));
+        assert!((ca - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,267 @@
+//! The buffer pool: logical vs physical I/O, sequential vs random reads.
+//!
+//! Section II-A of the paper: *"Each distinct page involves a new logical
+//! I/O and if the page is not already present in the buffer pool, it can
+//! result in a physical I/O (a random access to disk)."* This module
+//! makes those words operational. Every page access goes through
+//! [`BufferPool::access`]; a resident page costs a logical read only,
+//! a miss additionally costs a physical read whose flavour (sequential
+//! for scans, random for fetches) the caller declares.
+//!
+//! Experiments run cold-cache ([`BufferPool::clear`]) per the paper's
+//! methodology, but the pool still dedupes *within* a query — which is
+//! precisely why the number of **distinct** pages, not the number of
+//! fetched rows, drives index-plan cost.
+
+use crate::lru::LruSet;
+use pf_common::{PageId, TableId};
+
+/// How a physical read reaches the disk arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Next page of a scan — amortized by read-ahead.
+    Sequential,
+    /// An individual page fetch (index lookup) — a disk seek.
+    Random,
+}
+
+/// Counters accumulated during execution; input to [`crate::DiskModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page accesses that found the page resident or not (every access).
+    pub logical_reads: u64,
+    /// Misses served with a sequential physical read.
+    pub seq_physical_reads: u64,
+    /// Misses served with a random physical read (disk seeks).
+    pub rand_physical_reads: u64,
+    /// Index (B+-tree) node traversals, charged separately because index
+    /// pages are small, hot, and read-mostly.
+    pub index_node_reads: u64,
+    /// Rows materialized / examined by operators.
+    pub rows_processed: u64,
+    /// Hash computations (join build/probe, monitor PID hashes).
+    pub hash_ops: u64,
+    /// Predicate conjunct evaluations *beyond* what short-circuiting
+    /// would have run — the monitoring overhead of Fig 9.
+    pub extra_pred_evals: u64,
+    /// Predicate conjunct evaluations performed by normal execution.
+    pub pred_evals: u64,
+    /// Per-row bookkeeping operations performed by attached DPC monitors
+    /// (flag checks/updates — the "single comparison per row" of
+    /// Section III-B). Much cheaper than a hash.
+    pub monitor_ops: u64,
+}
+
+impl IoStats {
+    /// Total physical page reads.
+    pub fn physical_reads(&self) -> u64 {
+        self.seq_physical_reads + self.rand_physical_reads
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &IoStats) {
+        self.logical_reads += other.logical_reads;
+        self.seq_physical_reads += other.seq_physical_reads;
+        self.rand_physical_reads += other.rand_physical_reads;
+        self.index_node_reads += other.index_node_reads;
+        self.rows_processed += other.rows_processed;
+        self.hash_ops += other.hash_ops;
+        self.extra_pred_evals += other.extra_pred_evals;
+        self.pred_evals += other.pred_evals;
+        self.monitor_ops += other.monitor_ops;
+    }
+}
+
+/// An LRU buffer pool over `(table, page)` keys.
+///
+/// The pool tracks residency only — page *bytes* live in
+/// [`crate::TableStorage`]; what matters for the experiments is the I/O
+/// accounting, which this type owns together with the CPU counters (they
+/// share [`IoStats`] so one object travels through the executor).
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: LruSet<(TableId, PageId)>,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// A pool with room for `capacity_pages` pages.
+    pub fn new(capacity_pages: usize) -> Self {
+        BufferPool {
+            frames: LruSet::new(capacity_pages),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Declares an access to `page` of `table`; returns `true` on a hit.
+    ///
+    /// Accounting: always one logical read; on a miss, one physical read
+    /// of the declared [`AccessPattern`].
+    pub fn access(&mut self, table: TableId, page: PageId, pattern: AccessPattern) -> bool {
+        self.stats.logical_reads += 1;
+        let (hit, _evicted) = self.frames.touch((table, page));
+        if !hit {
+            match pattern {
+                AccessPattern::Sequential => self.stats.seq_physical_reads += 1,
+                AccessPattern::Random => self.stats.rand_physical_reads += 1,
+            }
+        }
+        hit
+    }
+
+    /// Whether a page is resident, with no accounting side effects.
+    pub fn is_resident(&self, table: TableId, page: PageId) -> bool {
+        self.frames.contains(&(table, page))
+    }
+
+    /// Charges `n` B+-tree node reads.
+    pub fn charge_index_nodes(&mut self, n: u64) {
+        self.stats.index_node_reads += n;
+    }
+
+    /// Charges processing of `n` rows.
+    pub fn charge_rows(&mut self, n: u64) {
+        self.stats.rows_processed += n;
+    }
+
+    /// Charges `n` hash computations.
+    pub fn charge_hashes(&mut self, n: u64) {
+        self.stats.hash_ops += n;
+    }
+
+    /// Charges `n` predicate evaluations done by normal execution.
+    pub fn charge_pred_evals(&mut self, n: u64) {
+        self.stats.pred_evals += n;
+    }
+
+    /// Charges `n` predicate evaluations that only monitoring required
+    /// (short-circuiting turned off on sampled pages).
+    pub fn charge_extra_pred_evals(&mut self, n: u64) {
+        self.stats.extra_pred_evals += n;
+    }
+
+    /// Charges `n` per-row monitor bookkeeping operations.
+    pub fn charge_monitor_ops(&mut self, n: u64) {
+        self.stats.monitor_ops += n;
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets counters but keeps page residency (warm cache, fresh stats).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Evicts everything and resets counters — the paper's cold cache.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.stats = IoStats::default();
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.frames.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(1);
+
+    #[test]
+    fn hit_then_miss_accounting() {
+        let mut bp = BufferPool::new(16);
+        assert!(!bp.access(T, PageId(0), AccessPattern::Random));
+        assert!(bp.access(T, PageId(0), AccessPattern::Random));
+        let s = bp.stats();
+        assert_eq!(s.logical_reads, 2);
+        assert_eq!(s.rand_physical_reads, 1);
+        assert_eq!(s.seq_physical_reads, 0);
+    }
+
+    #[test]
+    fn sequential_vs_random_counted_separately() {
+        let mut bp = BufferPool::new(16);
+        bp.access(T, PageId(0), AccessPattern::Sequential);
+        bp.access(T, PageId(1), AccessPattern::Random);
+        let s = bp.stats();
+        assert_eq!(s.seq_physical_reads, 1);
+        assert_eq!(s.rand_physical_reads, 1);
+    }
+
+    #[test]
+    fn distinct_pages_drive_physical_io() {
+        // 100 fetches of rows spread over 10 pages ⇒ 10 physical reads.
+        let mut bp = BufferPool::new(64);
+        for i in 0..100u32 {
+            bp.access(T, PageId(i % 10), AccessPattern::Random);
+        }
+        let s = bp.stats();
+        assert_eq!(s.logical_reads, 100);
+        assert_eq!(s.rand_physical_reads, 10);
+    }
+
+    #[test]
+    fn eviction_causes_refetch() {
+        let mut bp = BufferPool::new(2);
+        bp.access(T, PageId(0), AccessPattern::Random);
+        bp.access(T, PageId(1), AccessPattern::Random);
+        bp.access(T, PageId(2), AccessPattern::Random); // evicts p0
+        assert!(!bp.access(T, PageId(0), AccessPattern::Random));
+        assert_eq!(bp.stats().rand_physical_reads, 4);
+    }
+
+    #[test]
+    fn tables_do_not_collide() {
+        let mut bp = BufferPool::new(16);
+        bp.access(TableId(1), PageId(0), AccessPattern::Random);
+        assert!(!bp.access(TableId(2), PageId(0), AccessPattern::Random));
+    }
+
+    #[test]
+    fn clear_is_cold_cache() {
+        let mut bp = BufferPool::new(16);
+        bp.access(T, PageId(0), AccessPattern::Random);
+        bp.clear();
+        assert_eq!(bp.resident_pages(), 0);
+        assert_eq!(bp.stats(), IoStats::default());
+        assert!(!bp.access(T, PageId(0), AccessPattern::Random));
+    }
+
+    #[test]
+    fn reset_stats_keeps_residency() {
+        let mut bp = BufferPool::new(16);
+        bp.access(T, PageId(0), AccessPattern::Random);
+        bp.reset_stats();
+        assert!(bp.access(T, PageId(0), AccessPattern::Random), "page stayed warm");
+        assert_eq!(bp.stats().rand_physical_reads, 0);
+    }
+
+    #[test]
+    fn stats_add() {
+        let mut a = IoStats {
+            logical_reads: 1,
+            rows_processed: 2,
+            ..Default::default()
+        };
+        let b = IoStats {
+            logical_reads: 3,
+            hash_ops: 4,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.logical_reads, 4);
+        assert_eq!(a.rows_processed, 2);
+        assert_eq!(a.hash_ops, 4);
+    }
+}

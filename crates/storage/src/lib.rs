@@ -1,0 +1,38 @@
+//! # pf-storage — the storage-engine substrate
+//!
+//! The paper instruments Microsoft SQL Server's storage engine (SE); no
+//! open-source Rust engine exposes the disk-page machinery its monitors
+//! hook into, so this crate builds that substrate from scratch:
+//!
+//! * [`codec`] — binary row serialization (schema-directed, no per-value tags),
+//! * [`page`] — slotted 8 KB pages with a slot directory,
+//! * [`table`] — bulk-loaded table storage; a table is either a heap
+//!   (load order) or a *clustered index* (rows ordered by the clustering
+//!   key, with a sparse page-level key index for seeks),
+//! * [`btree`] — a from-scratch B+-tree used for nonclustered indexes
+//!   (`key -> RIDs`),
+//! * [`lru`] / [`bufferpool`] — an LRU buffer pool that distinguishes
+//!   logical from physical I/O and sequential from random page reads,
+//! * [`disk`] — the deterministic simulated clock ([`DiskModel`]) that
+//!   converts I/O and CPU counters into elapsed milliseconds,
+//! * [`catalog`] — tables, indexes, and their statistics.
+//!
+//! The buffer pool + disk model is what makes the paper's central
+//! quantity observable: every *distinct* page touched by a Fetch is a
+//! physical random I/O on a cold cache, so the executor's measured cost
+//! is driven by `DPC(T, p)` rather than by cardinality.
+
+pub mod btree;
+pub mod bufferpool;
+pub mod catalog;
+pub mod codec;
+pub mod disk;
+pub mod lru;
+pub mod page;
+pub mod table;
+
+pub use bufferpool::{AccessPattern, BufferPool, IoStats};
+pub use catalog::{Catalog, IndexMeta, TableBuilder, TableMeta, TableStats};
+pub use disk::DiskModel;
+pub use page::{Page, DEFAULT_PAGE_SIZE};
+pub use table::TableStorage;

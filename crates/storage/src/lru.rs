@@ -1,0 +1,208 @@
+//! An O(1) LRU set used by the buffer pool.
+//!
+//! Implemented as an intrusive doubly-linked list over a slab `Vec`
+//! (indices instead of pointers — no `unsafe`) plus a `HashMap` from key
+//! to slab slot. Supports `touch` (insert or move-to-front) and eviction
+//! of the least-recently-used entry when full.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU set of keys.
+#[derive(Debug)]
+pub struct LruSet<K: Eq + Hash + Clone> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone> LruSet<K> {
+    /// Creates an LRU set holding at most `capacity` keys (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruSet {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `key` is resident (does not affect recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Marks `key` as most recently used, inserting it if absent.
+    ///
+    /// Returns `(was_hit, evicted)`: whether the key was already
+    /// resident, and the key evicted to make room (if any).
+    pub fn touch(&mut self, key: K) -> (bool, Option<K>) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return (true, None);
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "full LRU must have a tail");
+            self.unlink(lru);
+            let old = self.slab[lru].key.clone();
+            self.map.remove(&old);
+            self.free.push(lru);
+            evicted = Some(old);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s] = Entry {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        (false, evicted)
+    }
+
+    /// Removes every key.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut lru = LruSet::new(2);
+        assert_eq!(lru.touch(1), (false, None));
+        assert_eq!(lru.touch(1), (true, None));
+        assert_eq!(lru.touch(2), (false, None));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruSet::new(2);
+        lru.touch(1);
+        lru.touch(2);
+        lru.touch(1); // 2 is now LRU
+        assert_eq!(lru.touch(3), (false, Some(2)));
+        assert!(lru.contains(&1));
+        assert!(!lru.contains(&2));
+        assert!(lru.contains(&3));
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut lru = LruSet::new(1);
+        assert_eq!(lru.touch('a'), (false, None));
+        assert_eq!(lru.touch('b'), (false, Some('a')));
+        assert_eq!(lru.touch('b'), (true, None));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruSet::new(4);
+        for i in 0..4 {
+            lru.touch(i);
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.touch(0), (false, None));
+    }
+
+    #[test]
+    fn long_sequence_matches_reference_model() {
+        // Compare against a naive Vec-based LRU model.
+        let mut lru = LruSet::new(8);
+        let mut model: Vec<u64> = Vec::new(); // front = most recent
+        let mut rng = pf_common::rng::Rng::new(42);
+        for _ in 0..10_000 {
+            let key = rng.gen_range(32);
+            let (hit, evicted) = lru.touch(key);
+            let model_hit = model.contains(&key);
+            assert_eq!(hit, model_hit);
+            model.retain(|&k| k != key);
+            model.insert(0, key);
+            let model_evicted = if model.len() > 8 { model.pop() } else { None };
+            assert_eq!(evicted, model_evicted);
+            assert_eq!(lru.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # pf-workloads — the databases and query workloads of Table I
+//!
+//! Generators for every database the paper evaluates on, at ~1:200 scale
+//! (see DESIGN.md §2 for the substitution argument — DPC error is
+//! scale-free, driven by the correlation between predicate columns and
+//! the clustering key, which these generators control directly):
+//!
+//! | paper database      | generator                    | rows (ours) | rows/page target |
+//! |---------------------|------------------------------|-------------|------------------|
+//! | Synthetic (100 M)   | [`synthetic::build`]         | 320 000     | ~80              |
+//! | TPC-H 10 GB (Z=1)   | [`tpch::build_lineitem`]     | 150 000     | ~54              |
+//! | Book Retailer       | [`realworld::book_retailer`] | 54 000      | ~27              |
+//! | Yellow Pages        | [`realworld::yellow_pages`]  | 25 000      | ~39              |
+//! | Voter data          | [`realworld::voter`]         | 40 000      | ~46              |
+//! | Products            | [`realworld::products`]      | 14 000      | ~9               |
+//!
+//! The proprietary customer databases are replaced by synthetic
+//! equivalents that match Table I's shape and — the only property the
+//! experiments exercise — a *spread* of on-disk clustering ratios,
+//! produced by the [`perm`] scatter model.
+//!
+//! [`queries`] generates the paper's three workloads: single-table
+//! selections (Figs 6–7), joins (Fig 8), and multi-predicate queries
+//! (Fig 9).
+
+pub mod perm;
+pub mod queries;
+pub mod realworld;
+pub mod synthetic;
+pub mod tpch;
+
+pub use queries::{join_workload, multi_predicate_workload, single_table_workload};

@@ -1,0 +1,184 @@
+//! The scatter model: permutations with controlled disorder.
+//!
+//! The paper's synthetic columns C2–C5 are "different permutations of the
+//! values in column C1 … intended to capture different on disk
+//! correlations". We parameterize that with a **scatter fraction**
+//! `p ∈ [0, 1]`: starting from the identity permutation, a fraction `p`
+//! of positions is chosen at random and their values shuffled among
+//! themselves. A range predicate selecting `n` values then finds
+//! `(1−p)·n` of its rows tightly clustered (≈ `n/rows_per_page` pages)
+//! and `p·n` scattered (≈ one page each) — sweeping the clustering ratio
+//! from 0 to ~1 as `p` goes 0 → 1.
+
+use pf_common::rng::Rng;
+
+/// A permutation of `0..n` with scatter fraction `p`.
+///
+/// `p = 0` returns the identity (the paper's C2); `p = 1` a uniform
+/// random permutation (C5).
+pub fn scattered_permutation(n: usize, p: f64, seed: u64) -> Vec<i64> {
+    let mut values: Vec<i64> = (0..n as i64).collect();
+    scatter_values(&mut values, p, seed);
+    values
+}
+
+/// Scatters an existing value layout: a fraction `p` of positions is
+/// chosen at random and their values shuffled among themselves
+/// (`p = 1` is a full shuffle). Composable with other disorder models.
+pub fn scatter_values(values: &mut [i64], p: f64, seed: u64) {
+    assert!((0.0..=1.0).contains(&p), "scatter fraction out of range: {p}");
+    let n = values.len();
+    if p <= 0.0 || n < 2 {
+        return;
+    }
+    let mut rng = Rng::new(seed);
+    if p >= 1.0 {
+        rng.shuffle(values);
+        return;
+    }
+    // Choose ⌊p·n⌋ distinct positions, then shuffle the values at those
+    // positions among themselves.
+    let k = ((p * n as f64) as usize).min(n);
+    let mut positions: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut positions);
+    positions.truncate(k);
+    let mut extracted: Vec<i64> = positions.iter().map(|&i| values[i]).collect();
+    rng.shuffle(&mut extracted);
+    for (slot, v) in positions.iter().zip(extracted) {
+        values[*slot] = v;
+    }
+}
+
+/// A block-local permutation: values stay within `window` positions of
+/// their sorted location (an alternative disorder model used by some of
+/// the real-world generators — e.g. dates that arrive roughly, but not
+/// exactly, in order).
+pub fn windowed_permutation(n: usize, window: usize, seed: u64) -> Vec<i64> {
+    let mut values: Vec<i64> = (0..n as i64).collect();
+    if window < 2 {
+        return values;
+    }
+    let mut rng = Rng::new(seed);
+    let mut i = 0;
+    while i < n {
+        let end = (i + window).min(n);
+        rng.shuffle(&mut values[i..end]);
+        i = end;
+    }
+    values
+}
+
+/// Draws one Zipf(θ)-distributed value in `1..=n` using a precomputed
+/// CDF (the paper's TPC-H has "skew factor Z = 1").
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precomputes the CDF for domain size `n` and exponent `theta`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a value in `1..=n`.
+    pub fn sample(&self, rng: &mut Rng) -> i64 {
+        let u = rng.next_f64();
+        (self.cdf.partition_point(|&c| c < u) + 1) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(v: &[i64]) -> bool {
+        let mut sorted = v.to_vec();
+        sorted.sort_unstable();
+        sorted.iter().copied().eq(0..v.len() as i64)
+    }
+
+    /// Fraction of positions whose value moved.
+    fn displaced_fraction(v: &[i64]) -> f64 {
+        let moved = v.iter().enumerate().filter(|(i, &x)| *i as i64 != x).count();
+        moved as f64 / v.len() as f64
+    }
+
+    #[test]
+    fn scatter_zero_is_identity() {
+        let v = scattered_permutation(1_000, 0.0, 1);
+        assert_eq!(displaced_fraction(&v), 0.0);
+    }
+
+    #[test]
+    fn scatter_one_is_full_shuffle() {
+        let v = scattered_permutation(1_000, 1.0, 1);
+        assert!(is_permutation(&v));
+        assert!(displaced_fraction(&v) > 0.95);
+    }
+
+    #[test]
+    fn intermediate_scatter_displaces_roughly_p() {
+        for (p, lo, hi) in [(0.2, 0.10, 0.25), (0.5, 0.35, 0.55)] {
+            let v = scattered_permutation(10_000, p, 7);
+            assert!(is_permutation(&v));
+            let d = displaced_fraction(&v);
+            // A shuffled element can land back home, so displaced ≤ p.
+            assert!((lo..=hi).contains(&d), "p={p}: displaced {d}");
+        }
+    }
+
+    #[test]
+    fn scatter_is_monotone_in_p() {
+        let d1 = displaced_fraction(&scattered_permutation(20_000, 0.1, 3));
+        let d2 = displaced_fraction(&scattered_permutation(20_000, 0.4, 3));
+        let d3 = displaced_fraction(&scattered_permutation(20_000, 0.9, 3));
+        assert!(d1 < d2 && d2 < d3);
+    }
+
+    #[test]
+    fn windowed_keeps_values_local() {
+        let w = 50;
+        let v = windowed_permutation(5_000, w, 9);
+        assert!(is_permutation(&v));
+        for (i, &x) in v.iter().enumerate() {
+            assert!((i as i64 - x).unsigned_abs() < w as u64, "pos {i} value {x}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1_000, 1.0);
+        let mut rng = Rng::new(4);
+        let mut ones = 0;
+        let draws = 10_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        // P(1) = 1/H(1000) ≈ 0.134.
+        let rate = f64::from(ones) / f64::from(draws);
+        assert!((0.10..0.17).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn zipf_stays_in_domain() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..1_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=50).contains(&v));
+        }
+    }
+}

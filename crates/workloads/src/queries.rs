@@ -1,0 +1,211 @@
+//! Query workload generators (Section V-B).
+
+use pagefeed::{Database, PredSpec, Query};
+use pf_common::rng::Rng;
+use pf_common::{Datum, Error, PageId, Result};
+use pf_exec::CompareOp;
+
+/// Sorted values of one column, for quantile → literal conversion.
+pub struct ColumnSampler {
+    values: Vec<Datum>,
+}
+
+impl ColumnSampler {
+    /// Collects and sorts the column (one full scan; workload generation
+    /// is offline).
+    pub fn build(db: &Database, table: &str, column: &str) -> Result<Self> {
+        let meta = db.catalog().table_by_name(table)?;
+        let col = meta.schema().index_of(column)?;
+        let mut values = Vec::with_capacity(meta.stats.rows as usize);
+        for p in 0..meta.stats.pages {
+            for row in meta.storage.rows_on_page(PageId(p))? {
+                values.push(row.values[col].clone());
+            }
+        }
+        values.sort_by(|a, b| {
+            a.cmp_same_type(b)
+                .expect("column values must share one type")
+        });
+        if values.is_empty() {
+            return Err(Error::InvalidArgument(format!(
+                "cannot sample empty column {table}.{column}"
+            )));
+        }
+        Ok(ColumnSampler { values })
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` — `column < quantile(q)`
+    /// selects ≈ `q` of the rows.
+    pub fn quantile(&self, q: f64) -> Datum {
+        let idx = ((q.clamp(0.0, 1.0)) * (self.values.len() - 1) as f64) as usize;
+        self.values[idx].clone()
+    }
+}
+
+/// The paper's single-table workload (Figs 6–7):
+/// `SELECT count(pad) FROM table WHERE Ci < val`, `per_column` queries
+/// per column with selectivities drawn uniformly from `sel_range`
+/// (paper: 1 %–10 %).
+pub fn single_table_workload(
+    db: &Database,
+    table: &str,
+    columns: &[&str],
+    per_column: usize,
+    sel_range: (f64, f64),
+    seed: u64,
+) -> Result<Vec<Query>> {
+    let mut rng = Rng::new(seed);
+    let mut queries = Vec::with_capacity(columns.len() * per_column);
+    for col in columns {
+        let sampler = ColumnSampler::build(db, table, col)?;
+        for _ in 0..per_column {
+            let sel = sel_range.0 + rng.next_f64() * (sel_range.1 - sel_range.0);
+            queries.push(Query::count(
+                table,
+                vec![PredSpec::new(*col, CompareOp::Lt, sampler.quantile(sel))],
+            ));
+        }
+    }
+    Ok(queries)
+}
+
+/// The paper's join workload (Fig 8):
+/// `SELECT count(T.pad) FROM outer, inner
+///  WHERE outer.filter_col < val AND outer.Ci = inner.Ci`,
+/// `per_column` queries per join column, outer selectivities from
+/// `sel_range` (paper: values where the page count can influence the
+/// choice, up to the ≈7 % Hash/INL crossover).
+#[allow(clippy::too_many_arguments)]
+pub fn join_workload(
+    db: &Database,
+    outer: &str,
+    inner: &str,
+    filter_col: &str,
+    join_columns: &[&str],
+    per_column: usize,
+    sel_range: (f64, f64),
+    seed: u64,
+) -> Result<Vec<Query>> {
+    let mut rng = Rng::new(seed);
+    let sampler = ColumnSampler::build(db, outer, filter_col)?;
+    let mut queries = Vec::with_capacity(join_columns.len() * per_column);
+    for col in join_columns {
+        for _ in 0..per_column {
+            let sel = sel_range.0 + rng.next_f64() * (sel_range.1 - sel_range.0);
+            queries.push(Query::join_count(
+                outer,
+                inner,
+                vec![PredSpec::new(
+                    filter_col,
+                    CompareOp::Lt,
+                    sampler.quantile(sel),
+                )],
+                *col,
+                *col,
+            ));
+        }
+    }
+    Ok(queries)
+}
+
+/// The Fig 9 workload: one query per predicate count `1..=columns.len()`,
+/// each predicate of moderate selectivity `sel_each` so short-circuiting
+/// matters (early conjuncts fail often but not always).
+pub fn multi_predicate_workload(
+    db: &Database,
+    table: &str,
+    columns: &[&str],
+    sel_each: f64,
+    seed: u64,
+) -> Result<Vec<Query>> {
+    let mut rng = Rng::new(seed);
+    let mut queries = Vec::new();
+    for k in 1..=columns.len() {
+        let mut preds = Vec::with_capacity(k);
+        for col in &columns[..k] {
+            let sampler = ColumnSampler::build(db, table, col)?;
+            let jitter = 0.9 + rng.next_f64() * 0.2;
+            preds.push(PredSpec::new(
+                *col,
+                CompareOp::Lt,
+                sampler.quantile(sel_each * jitter),
+            ));
+        }
+        queries.push(Query::count(table, preds));
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{build, SyntheticConfig};
+    use pagefeed::MonitorConfig;
+
+    fn small_db() -> Database {
+        build(&SyntheticConfig {
+            rows: 10_000,
+            with_t1: true,
+            seed: 5,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sampler_quantiles_select_expected_fraction() {
+        let db = small_db();
+        let s = ColumnSampler::build(&db, "T", "c5").unwrap();
+        let v = s.quantile(0.05);
+        let schema = db.catalog().table_by_name("T").unwrap().schema().clone();
+        let pred = Query::resolve_predicates(
+            &[PredSpec::new("c5", CompareOp::Lt, v)],
+            &schema,
+        )
+        .unwrap();
+        let n = db.true_cardinality("T", &pred).unwrap();
+        let frac = n as f64 / 10_000.0;
+        assert!((0.03..0.07).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn single_table_workload_shape_and_selectivities() {
+        let db = small_db();
+        let qs =
+            single_table_workload(&db, "T", &["c2", "c5"], 5, (0.01, 0.10), 9).unwrap();
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            let Query::Count { table, predicate, .. } = q else {
+                panic!("expected single-table query")
+            };
+            assert_eq!(table, "T");
+            assert_eq!(predicate.len(), 1);
+            let out = db.run(q, &MonitorConfig::off()).unwrap();
+            let frac = out.count as f64 / 10_000.0;
+            assert!((0.005..0.13).contains(&frac), "selectivity {frac}");
+        }
+    }
+
+    #[test]
+    fn join_workload_runs() {
+        let db = small_db();
+        let qs = join_workload(&db, "T1", "T", "c1", &["c2"], 2, (0.01, 0.05), 3).unwrap();
+        assert_eq!(qs.len(), 2);
+        let out = db.run(&qs[0], &MonitorConfig::off()).unwrap();
+        // Every filtered outer key matches exactly one inner row.
+        assert!(out.count > 0 && out.count < 1_000);
+    }
+
+    #[test]
+    fn multi_predicate_workload_increasing_arity() {
+        let db = small_db();
+        let qs =
+            multi_predicate_workload(&db, "T", &["c2", "c3", "c4", "c5"], 0.5, 1).unwrap();
+        assert_eq!(qs.len(), 4);
+        for (i, q) in qs.iter().enumerate() {
+            let Query::Count { predicate, .. } = q else {
+                panic!()
+            };
+            assert_eq!(predicate.len(), i + 1);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The paper's synthetic database (Section V-B.1).
+//!
+//! `T (C1, C2, C3, C4, C5, padding)`: C1 is an identity column and the
+//! clustering key; C2–C5 are permutations of C1 with increasing disorder
+//! (C2 fully correlated, C5 uncorrelated); `padding` brings each tuple to
+//! ~100 bytes (≈80 rows per 8 KB page). `T1` is a copy of `T` clustered
+//! on `C1`, used as the join outer (Fig 8).
+
+use crate::perm::{scatter_values, windowed_permutation};
+use pagefeed::Database;
+use pf_common::{Column, DataType, Datum, Result, Row, Schema};
+
+/// Configuration of the synthetic build.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Rows in T (and T1). Default 320 000 (~4 000 pages).
+    pub rows: usize,
+    /// Whether to also build the join copy T1.
+    pub with_t1: bool,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            rows: 320_000,
+            with_t1: true,
+            seed: 42,
+        }
+    }
+}
+
+/// The schema of T / T1.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("c1", DataType::Int),
+        Column::new("c2", DataType::Int),
+        Column::new("c3", DataType::Int),
+        Column::new("c4", DataType::Int),
+        Column::new("c5", DataType::Int),
+        Column::new("pad", DataType::Str),
+    ])
+}
+
+/// Builds the C2..C5 layouts for a table of `n` rows: C2 identity
+/// (fully correlated), C3 locally disordered (values stay within a
+/// ~25-page window of their sorted position), C4 locally disordered
+/// *plus* 2 % of rows relocated arbitrarily, C5 a uniform random
+/// permutation — "different data points in between the two extremes".
+fn correlation_columns(n: usize, seed: u64) -> Vec<Vec<i64>> {
+    let window = (n / 160).max(64);
+    let c2: Vec<i64> = (0..n as i64).collect();
+    let c3 = windowed_permutation(n, window, seed + 1);
+    let mut c4 = windowed_permutation(n, window, seed + 2);
+    scatter_values(&mut c4, 0.02, seed + 3);
+    let mut c5: Vec<i64> = (0..n as i64).collect();
+    scatter_values(&mut c5, 1.0, seed + 4);
+    vec![c2, c3, c4, c5]
+}
+
+fn rows_for(cfg: &SyntheticConfig, seed_offset: u64) -> Vec<Row> {
+    let n = cfg.rows;
+    let cols = correlation_columns(n, cfg.seed + seed_offset);
+    // 5 ints (40 B) + str header (4 B) + pad(54) + slot(2) = 100 B/row.
+    let pad = "x".repeat(54);
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int(i as i64),
+                Datum::Int(cols[0][i]),
+                Datum::Int(cols[1][i]),
+                Datum::Int(cols[2][i]),
+                Datum::Int(cols[3][i]),
+                Datum::Str(pad.clone()),
+            ])
+        })
+        .collect()
+}
+
+/// Builds the synthetic database: table `T` clustered on `c1` with
+/// nonclustered indexes on `c2`–`c5`, and (optionally) the copy `T1`
+/// clustered on `c1`, with statistics analyzed.
+pub fn build(cfg: &SyntheticConfig) -> Result<Database> {
+    let mut db = Database::new();
+    db.create_table("T", schema(), rows_for(cfg, 0), Some("c1"))?;
+    for c in ["c2", "c3", "c4", "c5"] {
+        db.create_index(&format!("ix_T_{c}"), "T", c)?;
+    }
+    if cfg.with_t1 {
+        // T1 shares T's value distributions (same permutation family)
+        // but from an *independent draw* — a byte-identical copy would
+        // make every join accidentally position-aligned, hiding the very
+        // clustering variation the Fig 8 experiment sweeps.
+        db.create_table("T1", schema(), rows_for(cfg, 1_000_003), Some("c1"))?;
+    }
+    db.analyze()?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            rows: 20_000,
+            with_t1: true,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn shape_matches_table_one() {
+        let db = build(&small()).unwrap();
+        let t = db.catalog().table_by_name("T").unwrap();
+        assert_eq!(t.stats.rows, 20_000);
+        // ~80 rows/page.
+        assert!(
+            (70.0..=85.0).contains(&t.stats.rows_per_page),
+            "rows/page {}",
+            t.stats.rows_per_page
+        );
+        assert_eq!(db.catalog().indexes_on(t.id).count(), 4);
+        assert!(db.catalog().table_by_name("T1").is_ok());
+    }
+
+    #[test]
+    fn c2_is_correlated_c5_is_not() {
+        let db = build(&small()).unwrap();
+        let schema = db.catalog().table_by_name("T").unwrap().schema().clone();
+        let pred = |col: &str| {
+            pagefeed::Query::resolve_predicates(
+                &[pagefeed::PredSpec::new(
+                    col,
+                    pf_exec::CompareOp::Lt,
+                    Datum::Int(400),
+                )],
+                &schema,
+            )
+            .unwrap()
+        };
+        let dpc_c2 = db.true_dpc("T", &pred("c2")).unwrap();
+        let dpc_c5 = db.true_dpc("T", &pred("c5")).unwrap();
+        // 400 rows at ~80/page: C2 ≈ 5–7 pages, C5 ≈ hundreds.
+        assert!(dpc_c2 < 12, "c2 dpc {dpc_c2}");
+        assert!(dpc_c5 > 20 * dpc_c2, "c5 {dpc_c5} vs c2 {dpc_c2}");
+    }
+
+    #[test]
+    fn scatter_order_gives_monotone_dpc() {
+        let db = build(&small()).unwrap();
+        let schema = db.catalog().table_by_name("T").unwrap().schema().clone();
+        let mut prev = 0;
+        for col in ["c2", "c3", "c4", "c5"] {
+            let pred = pagefeed::Query::resolve_predicates(
+                &[pagefeed::PredSpec::new(
+                    col,
+                    pf_exec::CompareOp::Lt,
+                    Datum::Int(1_000),
+                )],
+                &schema,
+            )
+            .unwrap();
+            let dpc = db.true_dpc("T", &pred).unwrap();
+            assert!(dpc >= prev, "{col}: {dpc} < {prev}");
+            prev = dpc;
+        }
+    }
+
+    #[test]
+    fn without_t1() {
+        let db = build(&SyntheticConfig {
+            rows: 5_000,
+            with_t1: false,
+            seed: 2,
+        })
+        .unwrap();
+        assert!(db.catalog().table_by_name("T1").is_err());
+    }
+}

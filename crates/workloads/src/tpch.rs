@@ -1,0 +1,145 @@
+//! TPC-H-like `lineitem` with skew factor Z = 1.
+//!
+//! Table I lists "TPC-H (10 GB), skew factor (Z=1)" — the skewed TPC-H
+//! variant. For Fig 11 the paper queries "the three date columns on the
+//! lineitem table": `l_shipdate`, `l_commitdate`, `l_receiptdate`. In
+//! TPC-H, `lineitem` is populated in `l_orderkey` order and order dates
+//! advance with the key, so ship/commit/receipt dates are *strongly but
+//! imperfectly* correlated with the physical order — the clustering
+//! effect analytical models miss. `l_suppkey` is Zipf(1)-skewed and
+//! scattered.
+
+use crate::perm::{windowed_permutation, Zipf};
+use pagefeed::Database;
+use pf_common::rng::Rng;
+use pf_common::{Column, DataType, Datum, Result, Row, Schema};
+
+/// Rows in the scaled lineitem (paper: 60 M; 1:400 scale).
+pub const LINEITEM_ROWS: usize = 150_000;
+
+/// Builds the `lineitem` table: clustered on `l_orderkey`, nonclustered
+/// indexes on the three date columns and `l_suppkey`.
+pub fn build_lineitem(seed: u64) -> Result<Database> {
+    build_lineitem_with_rows(LINEITEM_ROWS, seed)
+}
+
+/// Builds `lineitem` at a custom scale.
+pub fn build_lineitem_with_rows(n: usize, seed: u64) -> Result<Database> {
+    let schema = Schema::new(vec![
+        Column::new("l_orderkey", DataType::Int),
+        Column::new("l_suppkey", DataType::Int),
+        Column::new("l_quantity", DataType::Int),
+        Column::new("l_shipdate", DataType::Date),
+        Column::new("l_commitdate", DataType::Date),
+        Column::new("l_receiptdate", DataType::Date),
+        Column::new("pad", DataType::Str),
+    ]);
+    let mut rng = Rng::new(seed);
+    let zipf = Zipf::new(1_000, 1.0);
+    // Order dates advance with the key; each lineitem ships 1–121 days
+    // after its order date, giving a strong-but-noisy correlation.
+    let days_span = 2_400; // ~7 years of orders
+    let ship_noise = windowed_permutation(n, 64, seed + 1);
+    // 3 ints (24) + 3 dates (12) + (4+len) + 2 = 151 ⇒ len = 109.
+    let pad = "x".repeat(109);
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let order_day = (i * days_span / n) as i32;
+            let ship = order_day + 1 + (ship_noise[i] % 121) as i32;
+            let commit = ship + (rng.gen_range(60) as i32) - 29;
+            let receipt = ship + 1 + rng.gen_range(30) as i32;
+            Row::new(vec![
+                Datum::Int(i as i64 / 4), // ~4 lineitems per order
+                Datum::Int(zipf.sample(&mut rng)),
+                Datum::Int(1 + rng.gen_range(50) as i64),
+                Datum::Date(ship),
+                Datum::Date(commit),
+                Datum::Date(receipt),
+                Datum::Str(pad.clone()),
+            ])
+        })
+        .collect();
+    let mut db = Database::new();
+    db.create_table("lineitem", schema, rows, Some("l_orderkey"))?;
+    for c in ["l_shipdate", "l_commitdate", "l_receiptdate", "l_suppkey"] {
+        db.create_index(&format!("ix_li_{c}"), "lineitem", c)?;
+    }
+    db.analyze()?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table_one() {
+        let db = build_lineitem_with_rows(30_000, 3).unwrap();
+        let t = db.catalog().table_by_name("lineitem").unwrap();
+        assert_eq!(t.stats.rows, 30_000);
+        assert!(
+            (45.0..=60.0).contains(&t.stats.rows_per_page),
+            "rows/page {}",
+            t.stats.rows_per_page
+        );
+        assert_eq!(db.catalog().indexes_on(t.id).count(), 4);
+    }
+
+    #[test]
+    fn date_columns_are_clustered_suppkey_is_not() {
+        let db = build_lineitem_with_rows(30_000, 3).unwrap();
+        let meta = db.catalog().table_by_name("lineitem").unwrap();
+        let schema = meta.schema().clone();
+        let pred = |col: &str, v: Datum| {
+            pagefeed::Query::resolve_predicates(
+                &[pagefeed::PredSpec::new(col, pf_exec::CompareOp::Lt, v)],
+                &schema,
+            )
+            .unwrap()
+        };
+        // ~5% of ship dates.
+        let p_ship = pred("l_shipdate", Datum::Date(180));
+        let n_ship = db.true_cardinality("lineitem", &p_ship).unwrap();
+        let d_ship = db.true_dpc("lineitem", &p_ship).unwrap();
+        assert!(n_ship > 500);
+        // Clustered: far fewer pages than rows.
+        assert!(
+            (d_ship as f64) < n_ship as f64 / 5.0,
+            "shipdate rows {n_ship} pages {d_ship}"
+        );
+        // suppkey: skewed and scattered — an equality predicate touches
+        // close to min(rows, P) pages (the Cardenas worst case), unlike
+        // the clustered dates.
+        let p_supp = pred("l_suppkey", Datum::Int(3));
+        let n_supp = db.true_cardinality("lineitem", &p_supp).unwrap();
+        let d_supp = db.true_dpc("lineitem", &p_supp).unwrap();
+        assert!(n_supp > 100, "{n_supp}");
+        let upper = n_supp.min(u64::from(meta.stats.pages)) as f64;
+        assert!(
+            d_supp as f64 > upper * 0.8,
+            "suppkey should scatter: rows {n_supp} pages {d_supp} (UB {upper})"
+        );
+    }
+
+    #[test]
+    fn zipf_skew_visible_in_suppkey() {
+        let db = build_lineitem_with_rows(30_000, 4).unwrap();
+        let meta = db.catalog().table_by_name("lineitem").unwrap();
+        let schema = meta.schema().clone();
+        let card = |v: i64| {
+            let p = pagefeed::Query::resolve_predicates(
+                &[pagefeed::PredSpec::new(
+                    "l_suppkey",
+                    pf_exec::CompareOp::Eq,
+                    Datum::Int(v),
+                )],
+                &schema,
+            )
+            .unwrap();
+            db.true_cardinality("lineitem", &p).unwrap()
+        };
+        let top = card(1);
+        let mid = card(100);
+        assert!(top > 20 * mid.max(1), "zipf skew: top {top}, mid {mid}");
+    }
+}

@@ -1,0 +1,1 @@
+//! Workspace-level umbrella for examples and integration tests.

@@ -1,0 +1,216 @@
+//! Edge cases and failure injection across the full stack.
+
+use pagefeed::{Database, MonitorConfig, PredSpec, Query};
+use pf_common::{Column, DataType, Datum, Error, Row, Schema};
+use pf_exec::CompareOp;
+use pf_storage::{TableBuilder, TableStorage};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("v", DataType::Int),
+        Column::new("pad", DataType::Str),
+    ])
+}
+
+fn rows(n: i64, pad: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int(i),
+                Datum::Int((i * 31) % n.max(1)),
+                Datum::Str("x".repeat(pad)),
+            ])
+        })
+        .collect()
+}
+
+#[test]
+fn empty_table_through_the_full_stack() {
+    let mut db = Database::new();
+    db.create_table("t", schema(), vec![], Some("id")).unwrap();
+    db.create_index("ix", "t", "v").unwrap();
+    db.analyze().unwrap();
+    let q = Query::count("t", vec![PredSpec::new("v", CompareOp::Lt, Datum::Int(5))]);
+    let out = db.run(&q, &MonitorConfig::default()).unwrap();
+    assert_eq!(out.count, 0);
+    let fb = db.feedback_loop(&q, &MonitorConfig::default()).unwrap();
+    assert_eq!(fb.before.count, 0);
+    assert!(fb.speedup().abs() < 1e-9);
+}
+
+#[test]
+fn single_row_table() {
+    let mut db = Database::new();
+    db.create_table("t", schema(), rows(1, 8), Some("id")).unwrap();
+    db.create_index("ix", "t", "v").unwrap();
+    db.analyze().unwrap();
+    let hit = Query::count("t", vec![PredSpec::new("v", CompareOp::Eq, Datum::Int(0))]);
+    assert_eq!(db.run(&hit, &MonitorConfig::default()).unwrap().count, 1);
+    let miss = Query::count("t", vec![PredSpec::new("v", CompareOp::Eq, Datum::Int(9))]);
+    assert_eq!(db.run(&miss, &MonitorConfig::default()).unwrap().count, 0);
+}
+
+#[test]
+fn heap_table_has_no_clustered_range_plan() {
+    let mut db = Database::new();
+    db.create_table("h", schema(), rows(5_000, 40), None).unwrap();
+    db.create_index("ix_v", "h", "v").unwrap();
+    db.analyze().unwrap();
+    // A predicate on id (would be the clustering column if clustered).
+    let q = Query::count("h", vec![PredSpec::new("id", CompareOp::Lt, Datum::Int(50))]);
+    let out = db.run(&q, &MonitorConfig::off()).unwrap();
+    assert_eq!(out.count, 50);
+    assert!(
+        out.description.contains("TableScan"),
+        "heap must scan: {}",
+        out.description
+    );
+    // Indexed column still gets seek consideration.
+    let q2 = Query::count("h", vec![PredSpec::new("v", CompareOp::Lt, Datum::Int(50))]);
+    let out2 = db.run(&q2, &MonitorConfig::off()).unwrap();
+    assert_eq!(out2.count, 50);
+}
+
+#[test]
+fn oversized_row_is_rejected_cleanly() {
+    let big = vec![Row::new(vec![
+        Datum::Int(0),
+        Datum::Int(0),
+        Datum::Str("x".repeat(9_000)), // larger than an 8 KB page
+    ])];
+    let err = TableStorage::bulk_load(schema(), &big, Some(0), 8_192, 1.0).unwrap_err();
+    assert!(matches!(err, Error::RowTooLarge { .. }), "{err}");
+}
+
+#[test]
+fn duplicate_table_and_index_names_rejected() {
+    let mut db = Database::new();
+    db.create_table("t", schema(), rows(10, 8), Some("id")).unwrap();
+    assert!(db.create_table("t", schema(), rows(10, 8), Some("id")).is_err());
+    db.create_index("ix", "t", "v").unwrap();
+    assert!(db.create_index("ix", "t", "v").is_err());
+}
+
+#[test]
+fn unknown_names_error_not_panic() {
+    let mut db = Database::new();
+    db.create_table("t", schema(), rows(10, 8), Some("id")).unwrap();
+    db.analyze().unwrap();
+    let bad_table = Query::count("zz", vec![]);
+    assert!(db.run(&bad_table, &MonitorConfig::off()).is_err());
+    let bad_col = Query::count("t", vec![PredSpec::new("zz", CompareOp::Eq, Datum::Int(1))]);
+    assert!(db.run(&bad_col, &MonitorConfig::off()).is_err());
+    let bad_type = Query::count(
+        "t",
+        vec![PredSpec::new("v", CompareOp::Eq, Datum::Str("x".into()))],
+    );
+    assert!(db.run(&bad_type, &MonitorConfig::off()).is_err());
+    assert!(db.create_index("ix2", "t", "zz").is_err());
+}
+
+#[test]
+fn contradictory_range_returns_empty() {
+    let mut db = Database::new();
+    db.create_table("t", schema(), rows(2_000, 40), Some("id")).unwrap();
+    db.create_index("ix", "t", "v").unwrap();
+    db.analyze().unwrap();
+    let q = Query::count(
+        "t",
+        vec![
+            PredSpec::new("v", CompareOp::Ge, Datum::Int(1_500)),
+            PredSpec::new("v", CompareOp::Lt, Datum::Int(100)),
+        ],
+    );
+    for cfg in [MonitorConfig::off(), MonitorConfig::default()] {
+        assert_eq!(db.run(&q, &cfg).unwrap().count, 0);
+    }
+}
+
+#[test]
+fn ne_predicates_never_seek() {
+    let mut db = Database::new();
+    db.create_table("t", schema(), rows(3_000, 40), Some("id")).unwrap();
+    db.create_index("ix", "t", "v").unwrap();
+    db.analyze().unwrap();
+    let q = Query::count("t", vec![PredSpec::new("v", CompareOp::Ne, Datum::Int(7))]);
+    let out = db.run(&q, &MonitorConfig::default()).unwrap();
+    assert_eq!(out.count, 2_999);
+    assert!(out.description.contains("TableScan"), "{}", out.description);
+    // Nothing monitorable either: no seekable indexed expression.
+    assert!(out.report.measurements.is_empty());
+}
+
+#[test]
+fn eq_on_duplicate_heavy_column() {
+    // 10 distinct values over 5 000 rows: equality matches 500 rows.
+    let mut db = Database::new();
+    let rows: Vec<Row> = (0..5_000)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int(i),
+                Datum::Int(i % 10),
+                Datum::Str("x".repeat(40)),
+            ])
+        })
+        .collect();
+    db.create_table("t", schema(), rows, Some("id")).unwrap();
+    db.create_index("ix", "t", "v").unwrap();
+    db.analyze().unwrap();
+    let q = Query::count("t", vec![PredSpec::new("v", CompareOp::Eq, Datum::Int(3))]);
+    let out = db.run(&q, &MonitorConfig::default()).unwrap();
+    assert_eq!(out.count, 500);
+    // Every page holds all 10 values ⇒ true DPC == page count; the
+    // measurement must reflect that saturation.
+    let pages = db.catalog().table_by_name("t").unwrap().stats.pages;
+    let m = out.report.actual_for("t", "v=3").unwrap();
+    assert!(
+        (m - f64::from(pages)).abs() / f64::from(pages) < 0.15,
+        "measured {m} vs pages {pages}"
+    );
+}
+
+#[test]
+fn zero_fill_factor_rejected_and_low_fill_expands() {
+    assert!(TableBuilder::new("a", schema())
+        .rows(rows(100, 20))
+        .fill_factor(0.0)
+        .register(&mut pf_storage::Catalog::new())
+        .is_err());
+
+    let mut db = Database::new();
+    let t = TableBuilder::new("half", schema())
+        .rows(rows(2_000, 40))
+        .clustered_on("id")
+        .fill_factor(0.5);
+    db.create_table_with(t).unwrap();
+    let half = db.catalog().table_by_name("half").unwrap().stats.pages;
+    let mut db2 = Database::new();
+    db2.create_table("full", schema(), rows(2_000, 40), Some("id")).unwrap();
+    let full = db2.catalog().table_by_name("full").unwrap().stats.pages;
+    assert!(half > full, "fill factor must spread pages: {half} vs {full}");
+}
+
+#[test]
+fn string_predicate_end_to_end() {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("state", DataType::Str),
+    ]);
+    let states = ["CA", "WA", "TX"];
+    let rows: Vec<Row> = (0..3_000)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int(i),
+                Datum::Str(states[(i % 3) as usize].into()),
+            ])
+        })
+        .collect();
+    db.create_table("t", schema, rows, Some("id")).unwrap();
+    db.create_index("ix_state", "t", "state").unwrap();
+    db.analyze().unwrap();
+    let q = pagefeed::parse_query("SELECT COUNT(id) FROM t WHERE state = 'WA'").unwrap();
+    let out = db.run(&q, &MonitorConfig::default()).unwrap();
+    assert_eq!(out.count, 1_000);
+}
