@@ -9,7 +9,9 @@ use pf_feedback::{BitVectorFilter, DpSampler, GroupedPageCounter, LinearCounter}
 
 fn pid_stream(n: usize, pages: u32, seed: u64) -> Vec<u32> {
     let mut rng = Rng::new(seed);
-    (0..n).map(|_| rng.gen_range(u64::from(pages)) as u32).collect()
+    (0..n)
+        .map(|_| rng.gen_range(u64::from(pages)) as u32)
+        .collect()
 }
 
 fn bench_linear_counter(c: &mut Criterion) {

@@ -1,0 +1,101 @@
+//! Wall-clock throughput of the parallel workload driver: the same
+//! monitored query batch executed at 1/2/4/8 workers over one shared
+//! read-only storage snapshot. Emits `BENCH_parallel_driver.json`
+//! (queries/sec per worker count) for the CI trend line.
+//!
+//! Run with `cargo bench --bench parallel`.
+
+use pagefeed::{Database, MonitorConfig, ParallelRunner, Query, WorkloadSummary};
+use pf_workloads::single_table_workload;
+use pf_workloads::synthetic::{build, SyntheticConfig};
+use std::time::Instant;
+
+fn db() -> Database {
+    build(&SyntheticConfig {
+        rows: 40_000,
+        with_t1: false,
+        seed: 2_024,
+    })
+    .unwrap()
+}
+
+fn workload(db: &Database) -> Vec<Query> {
+    single_table_workload(db, "T", &["c2", "c3", "c4", "c5"], 16, (0.01, 0.10), 7).unwrap()
+}
+
+struct Sample {
+    jobs: usize,
+    queries_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+fn main() {
+    let db = db();
+    let queries = workload(&db);
+    let cfg = MonitorConfig::default();
+
+    // Warm up page decode paths / allocator before timing anything.
+    ParallelRunner::new(1)
+        .run_queries(&db, &queries, &cfg)
+        .unwrap();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut baseline_qps = 0.0;
+    for jobs in [1usize, 2, 4, 8] {
+        let runner = ParallelRunner::new(jobs);
+        // Best of several rounds: throughput, not latency percentiles.
+        let rounds = 5;
+        let mut best = f64::INFINITY;
+        let mut reference: Option<WorkloadSummary> = None;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            let outcomes = runner.run_queries(&db, &queries, &cfg).unwrap();
+            let elapsed = start.elapsed().as_secs_f64();
+            best = best.min(elapsed);
+            let summary = WorkloadSummary::from_outcomes(&outcomes);
+            if let Some(r) = &reference {
+                assert_eq!(
+                    r.total_stats, summary.total_stats,
+                    "jobs={jobs}: results drifted between rounds"
+                );
+            }
+            reference = Some(summary);
+        }
+        let qps = queries.len() as f64 / best;
+        if jobs == 1 {
+            baseline_qps = qps;
+        }
+        let speedup = qps / baseline_qps;
+        println!(
+            "jobs={jobs:<2} {:>8.1} queries/sec   {:>5.2}x vs serial",
+            qps, speedup
+        );
+        samples.push(Sample {
+            jobs,
+            queries_per_sec: qps,
+            speedup_vs_serial: speedup,
+        });
+    }
+
+    let rows: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"jobs\": {}, \"queries_per_sec\": {:.2}, \"speedup_vs_serial\": {:.3}}}",
+                s.jobs, s.queries_per_sec, s.speedup_vs_serial
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel_driver\",\n  \"queries\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        queries.len(),
+        rows.join(",\n")
+    );
+    // cargo runs benches with CWD = the package dir; put the artifact at
+    // the workspace root where CI collects BENCH_*.json files.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_parallel_driver.json");
+    std::fs::write(&out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -1,29 +1,65 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11
+//! repro [--jobs N] table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11
 //!       | ablation-counters | ablation-bitvector | ablation-dpsample | ablation-models
 //!       | all | quick
 //! ```
 //!
 //! `quick` runs everything at reduced scale (useful for smoke testing);
 //! `PF_ROWS=<n>` overrides the synthetic table size for any subcommand.
+//! `--jobs N` (or `PF_JOBS=<n>`, default: all cores) sets how many
+//! worker threads the feedback-loop experiments use — output is
+//! identical for any worker count.
 
+use pagefeed::ParallelRunner;
 use pf_bench::util::synthetic_rows;
 use pf_bench::*;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--jobs N] [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let mut jobs = ParallelRunner::from_env().jobs();
+    let mut cmd: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs expects a positive integer");
+                    usage();
+                }
+            },
+            flag if flag.starts_with("--jobs=") => match flag["--jobs=".len()..].parse() {
+                Ok(n) => jobs = n,
+                Err(_) => {
+                    eprintln!("--jobs expects a positive integer");
+                    usage();
+                }
+            },
+            other if cmd.is_none() => cmd = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                usage();
+            }
+        }
+    }
+    let cmd = cmd.unwrap_or_else(|| "all".to_string());
     let rows = synthetic_rows();
-    let result = match cmd {
+    let result = match cmd.as_str() {
         "table1" => run_table1(rows).map(|_| ()),
-        "fig6" => run_fig6(rows, 25).map(|_| ()),
-        "fig7" => run_fig7(rows, 25).map(|_| ()),
-        "fig8" => run_fig8(rows, 10).map(|_| ()),
+        "fig6" => run_fig6(rows, 25, jobs).map(|_| ()),
+        "fig7" => run_fig7(rows, 25, jobs).map(|_| ()),
+        "fig8" => run_fig8(rows, 10, jobs).map(|_| ()),
         "fig9" => run_fig9(rows).map(|_| ()),
         "fig10" => run_fig10().map(|_| ()),
-        "fig11" => run_fig11(5).map(|_| ()),
+        "fig11" => run_fig11(5, jobs).map(|_| ()),
         "ablation-counters" => ablation_counters().map(|_| ()),
         "ablation-bitvector" => ablation_bitvector().map(|_| ()),
         "ablation-dpsample" => ablation_dpsample().map(|_| ()),
@@ -31,14 +67,11 @@ fn main() {
         "ablation-histogram" => ablation_histogram(rows).map(|_| ()),
         "ablation-buffer" => ablation_buffer().map(|_| ()),
         "ablation-sensitivity" => ablation_sensitivity(rows.min(80_000)).map(|_| ()),
-        "all" => run_all(rows, 25, 10, 5),
-        "quick" => run_all(40_000, 4, 3, 2),
+        "all" => run_all(rows, 25, 10, 5, jobs),
+        "quick" => run_all(40_000, 4, 3, 2, jobs),
         other => {
             eprintln!("unknown experiment: {other}");
-            eprintln!(
-                "usage: repro [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
-            );
-            std::process::exit(2);
+            usage();
         }
     };
     if let Err(e) = result {
@@ -52,14 +85,15 @@ fn run_all(
     single_per_col: usize,
     join_per_col: usize,
     real_per_col: usize,
+    jobs: usize,
 ) -> pf_common::Result<()> {
     run_table1(rows)?;
-    run_fig6(rows, single_per_col)?;
-    run_fig7(rows, single_per_col)?;
-    run_fig8(rows, join_per_col)?;
+    run_fig6(rows, single_per_col, jobs)?;
+    run_fig7(rows, single_per_col, jobs)?;
+    run_fig8(rows, join_per_col, jobs)?;
     run_fig9(rows)?;
     run_fig10()?;
-    run_fig11(real_per_col)?;
+    run_fig11(real_per_col, jobs)?;
     ablation_counters()?;
     ablation_bitvector()?;
     ablation_dpsample()?;

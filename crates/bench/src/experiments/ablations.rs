@@ -140,10 +140,7 @@ pub fn ablation_bitvector() -> Result<Vec<BitVectorRow>> {
             fill: f.fill_ratio(),
         });
     }
-    println!(
-        "{:>16} {:>13} {:>7}",
-        "size/table", "overestimate", "fill"
-    );
+    println!("{:>16} {:>13} {:>7}", "size/table", "overestimate", "fill");
     for r in &out {
         println!(
             "{:>15.4}% {:>12.3}x {:>6.3}",
@@ -240,14 +237,8 @@ pub fn ablation_sensitivity(rows: usize) -> Result<Vec<SensitivityRow>> {
             rand_read_ms: DiskModel::default().seq_read_ms * ratio,
             ..DiskModel::default()
         };
-        let queries = pf_workloads::single_table_workload(
-            &db,
-            "T",
-            &["c2", "c3"],
-            8,
-            (0.01, 0.10),
-            152,
-        )?;
+        let queries =
+            pf_workloads::single_table_workload(&db, "T", &["c2", "c3"], 8, (0.01, 0.10), 152)?;
         let mut speedups = Vec::new();
         let mut changed = 0;
         for q in &queries {
@@ -331,7 +322,8 @@ pub fn ablation_buffer() -> Result<Vec<BufferRow>> {
     // Force the index plan regardless of cost: inject the true (large)
     // cardinality but a tiny DPC so the seek always wins.
     db.inject_accurate_cardinalities(&query)?;
-    db.hints_mut().inject_dpc("t", format!("scat<{select}"), 1.0);
+    db.hints_mut()
+        .inject_dpc("t", format!("scat<{select}"), 1.0);
 
     let meta = db.catalog().table_by_name("t")?;
     let pages = f64::from(meta.stats.pages);

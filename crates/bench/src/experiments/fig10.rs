@@ -39,8 +39,7 @@ fn observe(
 ) -> Result<()> {
     let meta = db.catalog().table_by_name(table)?;
     let schema = meta.schema().clone();
-    let pred =
-        Query::resolve_predicates(&[PredSpec::new(col, op, value.clone())], &schema)?;
+    let pred = Query::resolve_predicates(&[PredSpec::new(col, op, value.clone())], &schema)?;
     let n = db.true_cardinality(table, &pred)?;
     // Selectivity filter, as in the paper (< 10%).
     if n == 0 || n as f64 > meta.stats.rows as f64 * 0.10 {
@@ -110,7 +109,15 @@ pub fn run_fig10() -> Result<Vec<CrPoint>> {
             // Range predicates at three selectivities, plus one equality
             // at the 30th percentile value.
             for q in [0.02, 0.05, 0.09] {
-                observe(db, dbname, table, col, CompareOp::Lt, sampler.quantile(q), &mut points)?;
+                observe(
+                    db,
+                    dbname,
+                    table,
+                    col,
+                    CompareOp::Lt,
+                    sampler.quantile(q),
+                    &mut points,
+                )?;
             }
             observe(
                 db,
@@ -136,9 +143,7 @@ pub fn run_fig10() -> Result<Vec<CrPoint>> {
     }
     let crs: Vec<f64> = points.iter().map(|p| p.cr).collect();
     let (m, s) = summarize(&crs);
-    println!(
-        "mean CR {m:.2}  std dev {s:.2}   (paper: mean 0.56, std dev 0.4)"
-    );
+    println!("mean CR {m:.2}  std dev {s:.2}   (paper: mean 0.56, std dev 0.4)");
     debug_assert!((mean(&crs) - m).abs() < 1e-12 && std_dev(&crs) >= 0.0);
     Ok(points)
 }

@@ -6,7 +6,7 @@
 //! clustering the analytical model misjudges, ≈0 on scattered columns.
 
 use crate::util::{mean, section};
-use pagefeed::{Database, MonitorConfig};
+use pagefeed::{Database, MonitorConfig, ParallelRunner};
 use pf_common::Result;
 use pf_workloads::{realworld, single_table_workload, tpch};
 
@@ -23,8 +23,9 @@ pub struct RealWorldPoint {
     pub plan_changed: bool,
 }
 
-/// Runs the Fig 11 experiment with `per_column` queries per column.
-pub fn run_fig11(per_column: usize) -> Result<Vec<RealWorldPoint>> {
+/// Runs the Fig 11 experiment with `per_column` queries per column,
+/// each database's workload dispatched across `jobs` worker threads.
+pub fn run_fig11(per_column: usize, jobs: usize) -> Result<Vec<RealWorldPoint>> {
     section("Fig 11: SpeedUp for Real World Databases");
     let mut dbs: Vec<(&str, &str, Database, Vec<&str>)> = vec![
         (
@@ -59,13 +60,14 @@ pub fn run_fig11(per_column: usize) -> Result<Vec<RealWorldPoint>> {
         ),
     ];
 
+    let runner = ParallelRunner::new(jobs);
     let mut points = Vec::new();
     let mut qid = 0;
     for (dbname, table, db, cols) in &mut dbs {
         let queries =
             single_table_workload(db, table, cols, per_column, (0.01, 0.10), 116 + qid as u64)?;
-        for q in &queries {
-            let out = db.feedback_loop(q, &MonitorConfig::default())?;
+        let outcomes = runner.run_feedback(db, &queries, &MonitorConfig::default())?;
+        for out in &outcomes {
             points.push(RealWorldPoint {
                 database: dbname.to_string(),
                 query: qid,
@@ -76,7 +78,10 @@ pub fn run_fig11(per_column: usize) -> Result<Vec<RealWorldPoint>> {
         }
     }
 
-    println!("{:>5} {:<14} {:>9} {:>8}", "query", "database", "speedup", "changed");
+    println!(
+        "{:>5} {:<14} {:>9} {:>8}",
+        "query", "database", "speedup", "changed"
+    );
     for p in &points {
         println!(
             "{:>5} {:<14} {:>8.1}% {:>8}",
@@ -86,7 +91,13 @@ pub fn run_fig11(per_column: usize) -> Result<Vec<RealWorldPoint>> {
             p.plan_changed
         );
     }
-    for dbname in ["Book Retailer", "Yellow Pages", "TPC-H", "Voter data", "Products"] {
+    for dbname in [
+        "Book Retailer",
+        "Yellow Pages",
+        "TPC-H",
+        "Voter data",
+        "Products",
+    ] {
         let s: Vec<f64> = points
             .iter()
             .filter(|p| p.database == dbname)

@@ -8,7 +8,7 @@
 //! Index Seek), ≈0 on C5 (the analytical estimate is already right).
 
 use crate::util::{mean, section};
-use pagefeed::{MonitorConfig, Query};
+use pagefeed::{MonitorConfig, ParallelRunner};
 use pf_common::Result;
 use pf_workloads::{single_table_workload, synthetic};
 
@@ -25,8 +25,10 @@ pub struct SpeedupPoint {
     pub plan_changed: bool,
 }
 
-/// Runs the Fig 6 experiment; `per_column` queries per column.
-pub fn run_fig6(rows: usize, per_column: usize) -> Result<Vec<SpeedupPoint>> {
+/// Runs the Fig 6 experiment; `per_column` queries per column, feedback
+/// cells dispatched across `jobs` worker threads (results are identical
+/// for any worker count).
+pub fn run_fig6(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<SpeedupPoint>> {
     section("Fig 6: SpeedUp for single table queries");
     let mut db = synthetic::build(&synthetic::SyntheticConfig {
         rows,
@@ -36,22 +38,23 @@ pub fn run_fig6(rows: usize, per_column: usize) -> Result<Vec<SpeedupPoint>> {
     let columns = ["c2", "c3", "c4", "c5"];
     let queries = single_table_workload(&db, "T", &columns, per_column, (0.01, 0.10), 62)?;
 
+    let runner = ParallelRunner::new(jobs);
+    let outcomes = runner.run_feedback(&mut db, &queries, &MonitorConfig::default())?;
     let mut points = Vec::new();
-    for (i, q) in queries.iter().enumerate() {
-        let Query::Count { predicate, .. } = q else {
-            unreachable!()
-        };
-        let column = predicate[0].column.clone();
-        let out = db.feedback_loop(q, &MonitorConfig::default())?;
+    for (i, (q, out)) in queries.iter().zip(&outcomes).enumerate() {
+        let (_, predicate, _) = q.as_count()?;
         points.push(SpeedupPoint {
             query: i,
-            column,
+            column: predicate[0].column.clone(),
             speedup: out.speedup(),
             plan_changed: out.plan_changed(),
         });
     }
 
-    println!("{:>5} {:>6} {:>9} {:>8}", "query", "col", "speedup", "changed");
+    println!(
+        "{:>5} {:>6} {:>9} {:>8}",
+        "query", "col", "speedup", "changed"
+    );
     for p in &points {
         println!(
             "{:>5} {:>6} {:>8.1}% {:>8}",

@@ -5,7 +5,7 @@
 //! The paper reports < 2 % for most queries.
 
 use crate::util::{max, mean, section};
-use pagefeed::MonitorConfig;
+use pagefeed::{MonitorConfig, ParallelRunner};
 use pf_common::Result;
 use pf_workloads::{single_table_workload, synthetic};
 
@@ -18,25 +18,33 @@ pub struct OverheadPoint {
     pub overhead: f64,
 }
 
-/// Runs the Fig 7 experiment.
-pub fn run_fig7(rows: usize, per_column: usize) -> Result<Vec<OverheadPoint>> {
+/// Runs the Fig 7 experiment across `jobs` worker threads.
+pub fn run_fig7(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<OverheadPoint>> {
     section("Fig 7: Overheads for single table queries");
     let mut db = synthetic::build(&synthetic::SyntheticConfig {
         rows,
         with_t1: false,
         seed: 71,
     })?;
-    let queries =
-        single_table_workload(&db, "T", &["c2", "c3", "c4", "c5"], per_column, (0.01, 0.10), 72)?;
+    let queries = single_table_workload(
+        &db,
+        "T",
+        &["c2", "c3", "c4", "c5"],
+        per_column,
+        (0.01, 0.10),
+        72,
+    )?;
 
-    let mut points = Vec::new();
-    for (i, q) in queries.iter().enumerate() {
-        let out = db.feedback_loop(q, &MonitorConfig::default())?;
-        points.push(OverheadPoint {
+    let runner = ParallelRunner::new(jobs);
+    let outcomes = runner.run_feedback(&mut db, &queries, &MonitorConfig::default())?;
+    let points: Vec<OverheadPoint> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, out)| OverheadPoint {
             query: i,
             overhead: out.overhead(),
-        });
-    }
+        })
+        .collect();
     println!("{:>5} {:>9}", "query", "overhead");
     for p in &points {
         println!("{:>5} {:>8.2}%", p.query, p.overhead * 100.0);

@@ -8,7 +8,7 @@
 //! the join column is clustered.
 
 use crate::util::{max, mean, section};
-use pagefeed::{MonitorConfig, Query};
+use pagefeed::{MonitorConfig, ParallelRunner};
 use pf_common::Result;
 use pf_workloads::{join_workload, synthetic};
 
@@ -29,8 +29,9 @@ pub struct JoinPoint {
     pub after: String,
 }
 
-/// Runs the Fig 8 experiment; `per_column` queries per join column.
-pub fn run_fig8(rows: usize, per_column: usize) -> Result<Vec<JoinPoint>> {
+/// Runs the Fig 8 experiment; `per_column` queries per join column,
+/// dispatched across `jobs` worker threads.
+pub fn run_fig8(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<JoinPoint>> {
     section("Fig 8: SpeedUp for join queries");
     let mut db = synthetic::build(&synthetic::SyntheticConfig {
         rows,
@@ -38,22 +39,29 @@ pub fn run_fig8(rows: usize, per_column: usize) -> Result<Vec<JoinPoint>> {
         seed: 81,
     })?;
     let columns = ["c2", "c3", "c4", "c5"];
-    let queries = join_workload(&db, "T1", "T", "c1", &columns, per_column, (0.002, 0.05), 82)?;
+    let queries = join_workload(
+        &db,
+        "T1",
+        "T",
+        "c1",
+        &columns,
+        per_column,
+        (0.002, 0.05),
+        82,
+    )?;
 
     // DPSample at 50 % on the probe scan keeps the semi-join hashing
     // cost ≈ 2 % (the paper's bit-vector overhead bound) while halving
     // the estimator variance relative to sparser sampling.
     let cfg = MonitorConfig::sampled(0.5);
+    let runner = ParallelRunner::new(jobs);
+    let outcomes = runner.run_feedback(&mut db, &queries, &cfg)?;
     let mut points = Vec::new();
-    for (i, q) in queries.iter().enumerate() {
-        let Query::JoinCount { outer_col, .. } = q else {
-            unreachable!()
-        };
-        let column = outer_col.clone();
-        let out = db.feedback_loop(q, &cfg)?;
+    for (i, (q, out)) in queries.iter().zip(&outcomes).enumerate() {
+        let (_, _, _, outer_col, _) = q.as_join()?;
         points.push(JoinPoint {
             query: i,
-            column,
+            column: outer_col.to_string(),
             speedup: out.speedup(),
             overhead: out.overhead(),
             before: out.before.description.clone(),

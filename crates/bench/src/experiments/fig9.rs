@@ -39,9 +39,7 @@ pub fn run_fig9(rows: usize) -> Result<Vec<SamplingPoint>> {
 
     let mut points = Vec::new();
     for q in &queries {
-        let Query::Count { table, predicate, .. } = q else {
-            unreachable!()
-        };
+        let (table, predicate, _) = q.as_count()?;
         let k = predicate.len();
         let schema = db.catalog().table_by_name(table)?.schema().clone();
         let pred = Query::resolve_predicates(predicate, &schema)?;

@@ -1,7 +1,7 @@
 //! The shell engine behind `pagefeed-cli` — separated from the binary so
 //! every command is unit-testable.
 
-use pagefeed::{parse_query, Database, MonitorConfig, Query};
+use pagefeed::{parse_query, Database, MonitorConfig, ParallelRunner, Query, WorkloadSummary};
 use pf_common::Error;
 use pf_workloads::{realworld, synthetic, tpch};
 use std::fmt::Write as _;
@@ -18,14 +18,17 @@ pub enum Control {
 pub struct Shell {
     db: Option<Database>,
     monitor: MonitorConfig,
+    runner: ParallelRunner,
 }
 
 impl Shell {
-    /// A fresh shell with no database loaded and exact monitoring.
+    /// A fresh shell with no database loaded, exact monitoring, and the
+    /// worker count from `PF_JOBS` (default: all cores).
     pub fn new() -> Self {
         Shell {
             db: None,
             monitor: MonitorConfig::default(),
+            runner: ParallelRunner::from_env(),
         }
     }
 
@@ -58,6 +61,8 @@ impl Shell {
             "diagnose" => self.diagnose(arg),
             "feedback" => self.feedback(arg),
             "hints" => self.hints(),
+            "jobs" => self.set_jobs(arg),
+            "bench" => self.bench(arg),
             other => format!("unknown command .{other} — try .help"),
         };
         Control::Continue(out)
@@ -186,7 +191,9 @@ impl Shell {
         let result = (|| -> pf_common::Result<String> {
             let mut s = String::new();
             match &query {
-                Query::Count { table, predicate, .. } => {
+                Query::Count {
+                    table, predicate, ..
+                } => {
                     let meta = db.catalog().table_by_name(table)?;
                     let pred = Query::resolve_predicates(predicate, meta.schema())?;
                     let opt = db.optimizer()?;
@@ -282,6 +289,54 @@ impl Shell {
         }
     }
 
+    fn set_jobs(&mut self, arg: &str) -> String {
+        if arg.is_empty() {
+            return format!("{} worker threads", self.runner.jobs());
+        }
+        match arg.parse::<usize>() {
+            Ok(n) if n >= 1 => {
+                self.runner = ParallelRunner::new(n);
+                format!("{n} worker threads")
+            }
+            _ => "usage: .jobs [N]".to_string(),
+        }
+    }
+
+    fn bench(&mut self, arg: &str) -> String {
+        let mut parts = arg.splitn(2, ' ');
+        let count: usize = match parts.next().unwrap_or("").parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return "usage: .bench <count> <sql>".to_string(),
+        };
+        let query = match self.parse(parts.next().unwrap_or("").trim()) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        let cfg = self.monitor.clone();
+        let runner = self.runner.clone();
+        let Some(db) = &self.db else {
+            return NO_DB.to_string();
+        };
+        let queries = vec![query; count];
+        let start = std::time::Instant::now();
+        match runner.run_queries(db, &queries, &cfg) {
+            Ok(outcomes) => {
+                let wall = start.elapsed().as_secs_f64();
+                let s = WorkloadSummary::from_outcomes(&outcomes);
+                format!(
+                    "{} queries on {} workers: {:.1} q/s wall\nsimulated: {:.1} ms total, {} logical / {} physical reads",
+                    s.queries,
+                    runner.jobs(),
+                    s.queries as f64 / wall.max(1e-9),
+                    s.total_elapsed_ms,
+                    s.total_stats.logical_reads,
+                    s.total_stats.physical_reads(),
+                )
+            }
+            Err(e) => format!("bench failed: {e}"),
+        }
+    }
+
     fn hints(&self) -> String {
         let Some(db) = &self.db else {
             return NO_DB.to_string();
@@ -346,6 +401,8 @@ commands:
   .diagnose <sql>     DBA diagnosis: estimated-vs-actual page counts
   .feedback <sql>     run the full feedback loop (measure, inject, replan)
   .hints              show feedback-cache status
+  .jobs [N]           show / set worker threads for .bench (default: PF_JOBS or all cores)
+  .bench <n> <sql>    run the query n times across the worker pool, report throughput
   .quit               exit
 anything else is parsed as SQL:
   SELECT COUNT(*) FROM T WHERE c2 < 3200 AND c5 < 50000
@@ -426,6 +483,19 @@ mod tests {
         assert!(out(sh.eval(".monitor off")).contains("off"));
         assert!(out(sh.eval(".monitor 5%")).contains('5'));
         assert!(out(sh.eval(".monitor banana")).contains("usage"));
+    }
+
+    #[test]
+    fn jobs_and_bench() {
+        let mut sh = Shell::new();
+        assert!(out(sh.eval(".jobs 3")).contains("3 worker threads"));
+        assert!(out(sh.eval(".jobs")).contains("3 worker threads"));
+        assert!(out(sh.eval(".jobs zero")).contains("usage"));
+        assert!(out(sh.eval(".bench nope")).contains("usage"));
+        sh.eval(".load products");
+        let b = out(sh.eval(".bench 8 SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(b.contains("8 queries on 3 workers"), "{b}");
+        assert!(b.contains("q/s"), "{b}");
     }
 
     #[test]

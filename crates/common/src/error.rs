@@ -65,7 +65,10 @@ impl fmt::Display for Error {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             Error::PageOutOfBounds { page, page_count } => {
-                write!(f, "page {page} out of bounds (table has {page_count} pages)")
+                write!(
+                    f,
+                    "page {page} out of bounds (table has {page_count} pages)"
+                )
             }
             Error::SlotOutOfBounds { slot, slot_count } => {
                 write!(f, "slot {slot} out of bounds (page has {slot_count} slots)")

@@ -145,10 +145,7 @@ mod tests {
     fn index_of_finds_columns() {
         let s = sales_schema();
         assert_eq!(s.index_of("shipdate").unwrap(), 1);
-        assert!(matches!(
-            s.index_of("vendor"),
-            Err(Error::UnknownColumn(_))
-        ));
+        assert!(matches!(s.index_of("vendor"), Err(Error::UnknownColumn(_))));
     }
 
     #[test]

@@ -150,15 +150,27 @@ impl Database {
     pub fn lower(&self, query: &Query, cfg: &MonitorConfig) -> Result<LoweredPlan> {
         if self.dpc_cache.is_some() {
             let hints = self.effective_hints(query)?;
-            let planner = Planner::new(
-                &self.catalog,
-                self.stats()?,
-                &hints,
-                CostModel::with_disk(self.disk),
-            );
-            return planner.lower_query(query, cfg);
+            return self.lower_with(query, cfg, &hints);
         }
         self.planner()?.lower_query(query, cfg)
+    }
+
+    /// Optimizes and lowers a query against an explicit hint set instead
+    /// of the database's own — the entry point for hermetic feedback
+    /// cells, whose hint overlays must not touch shared state.
+    pub fn lower_with(
+        &self,
+        query: &Query,
+        cfg: &MonitorConfig,
+        hints: &HintSet,
+    ) -> Result<LoweredPlan> {
+        Planner::new(
+            &self.catalog,
+            self.stats()?,
+            hints,
+            CostModel::with_disk(self.disk),
+        )
+        .lower_query(query, cfg)
     }
 
     /// Executes a lowered plan cold-cache and harvests its monitors.
@@ -263,23 +275,39 @@ impl Database {
     /// injecting accurate cardinality values"), which isolates the
     /// page-count effect.
     pub fn inject_accurate_cardinalities(&mut self, query: &Query) -> Result<()> {
+        let mut hints = std::mem::take(&mut self.hints);
+        let injected = self.inject_cardinalities_into(query, &mut hints);
+        self.hints = hints;
+        injected
+    }
+
+    /// The same injection, but into a caller-provided hint set — used by
+    /// hermetic feedback cells whose overlays must not mutate `self`.
+    pub fn inject_cardinalities_into(&self, query: &Query, hints: &mut HintSet) -> Result<()> {
         match query {
-            Query::Count { table, predicate, .. } => {
+            Query::Count {
+                table, predicate, ..
+            } => {
                 let schema = self.catalog.table_by_name(table)?.schema().clone();
                 let pred = Query::resolve_predicates(predicate, &schema)?;
-                self.inject_pred_cardinalities(table, &pred)
+                self.inject_pred_cardinalities(table, &pred, hints)
             }
             Query::JoinCount {
                 outer, outer_pred, ..
             } => {
                 let schema = self.catalog.table_by_name(outer)?.schema().clone();
                 let pred = Query::resolve_predicates(outer_pred, &schema)?;
-                self.inject_pred_cardinalities(outer, &pred)
+                self.inject_pred_cardinalities(outer, &pred, hints)
             }
         }
     }
 
-    fn inject_pred_cardinalities(&mut self, table: &str, pred: &Conjunction) -> Result<()> {
+    fn inject_pred_cardinalities(
+        &self,
+        table: &str,
+        pred: &Conjunction,
+        hints: &mut HintSet,
+    ) -> Result<()> {
         // Atoms, indexed pairs, and the full conjunction — everything the
         // access-path enumeration consults.
         let mut subsets: Vec<Vec<usize>> = (0..pred.len()).map(|i| vec![i]).collect();
@@ -294,8 +322,7 @@ impl Database {
         for idx in subsets {
             let sub = Conjunction::new(idx.iter().map(|&i| pred.atoms[i].clone()).collect());
             let n = self.true_cardinality(table, &sub)?;
-            self.hints
-                .inject_cardinality(table, pred.key_of(&idx), n as f64);
+            hints.inject_cardinality(table, pred.key_of(&idx), n as f64);
         }
         Ok(())
     }

@@ -145,11 +145,17 @@ mod tests {
     #[test]
     fn diagnosis_flags_correlated_column_and_recommends_seek() {
         let mut db = demo_db();
-        let q = Query::count("t", vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))]);
+        let q = Query::count(
+            "t",
+            vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))],
+        );
         let diag = db.diagnose(&q, &MonitorConfig::default(), 5.0).unwrap();
         assert!(diag.current_plan.contains("TableScan"));
         assert!(
-            diag.recommended_plan.as_deref().unwrap_or("").contains("IndexSeek"),
+            diag.recommended_plan
+                .as_deref()
+                .unwrap_or("")
+                .contains("IndexSeek"),
             "{diag}"
         );
         assert!(!diag.discrepancies.is_empty());
@@ -161,7 +167,10 @@ mod tests {
     #[test]
     fn display_renders() {
         let mut db = demo_db();
-        let q = Query::count("t", vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))]);
+        let q = Query::count(
+            "t",
+            vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))],
+        );
         let diag = db.diagnose(&q, &MonitorConfig::default(), 2.0).unwrap();
         let text = diag.to_string();
         assert!(text.contains("current plan"));

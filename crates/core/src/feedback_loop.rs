@@ -85,6 +85,39 @@ impl Database {
             report,
         })
     }
+
+    /// The same methodology as [`Database::feedback_loop`], run
+    /// hermetically against a private overlay of the hint set (`&self`,
+    /// no shared-state writes). This is the unit of work of
+    /// [`crate::parallel::ParallelRunner`]: cells for different queries
+    /// run concurrently over the shared read-only storage snapshot, and
+    /// the harvested reports are absorbed into the database serially (in
+    /// query order) afterwards — so results and final state do not depend
+    /// on worker count or scheduling.
+    pub fn feedback_cell(&self, query: &Query, cfg: &MonitorConfig) -> Result<FeedbackOutcome> {
+        let mut hints = self.hints().clone();
+        self.inject_cardinalities_into(query, &mut hints)?;
+
+        // Plan P: monitored run (feedback) + unmonitored run (T).
+        let planning_hints = self.effective_hints_from(hints.clone(), query)?;
+        let monitored = self.execute(self.lower_with(query, cfg, &planning_hints)?)?;
+        let before =
+            self.execute(self.lower_with(query, &MonitorConfig::off(), &planning_hints)?)?;
+        debug_assert_eq!(monitored.description, before.description);
+
+        // Inject the DPC feedback into the overlay and re-optimize.
+        let report = monitored.report.clone();
+        hints.absorb_report(&report);
+        let after_hints = self.effective_hints_from(hints, query)?;
+        let after = self.execute(self.lower_with(query, &MonitorConfig::off(), &after_hints)?)?;
+
+        Ok(FeedbackOutcome {
+            monitored_elapsed_ms: monitored.elapsed_ms,
+            before,
+            after,
+            report,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -123,9 +156,17 @@ mod tests {
     #[test]
     fn correlated_query_speeds_up() {
         let mut db = demo_db();
-        let q = Query::count("t", vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))]);
+        let q = Query::count(
+            "t",
+            vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))],
+        );
         let out = db.feedback_loop(&q, &MonitorConfig::default()).unwrap();
-        assert!(out.plan_changed(), "{} -> {}", out.before.description, out.after.description);
+        assert!(
+            out.plan_changed(),
+            "{} -> {}",
+            out.before.description,
+            out.after.description
+        );
         assert!(out.speedup() > 0.5, "speedup {}", out.speedup());
         assert_eq!(out.before.count, out.after.count);
         assert!(out.overhead() >= 0.0);
@@ -134,16 +175,27 @@ mod tests {
     #[test]
     fn uncorrelated_query_keeps_plan() {
         let mut db = demo_db();
-        let q = Query::count("t", vec![PredSpec::new("scat", CompareOp::Lt, Datum::Int(400))]);
+        let q = Query::count(
+            "t",
+            vec![PredSpec::new("scat", CompareOp::Lt, Datum::Int(400))],
+        );
         let out = db.feedback_loop(&q, &MonitorConfig::default()).unwrap();
-        assert!(!out.plan_changed(), "{} -> {}", out.before.description, out.after.description);
+        assert!(
+            !out.plan_changed(),
+            "{} -> {}",
+            out.before.description,
+            out.after.description
+        );
         assert!(out.speedup().abs() < 1e-9);
     }
 
     #[test]
     fn monitoring_overhead_is_small() {
         let mut db = demo_db();
-        let q = Query::count("t", vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))]);
+        let q = Query::count(
+            "t",
+            vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))],
+        );
         let out = db.feedback_loop(&q, &MonitorConfig::default()).unwrap();
         // Single-atom monitoring on a scan plan is nearly free (< 5%)
         // but not literally zero: per-row bookkeeping is charged.
@@ -154,7 +206,10 @@ mod tests {
     #[test]
     fn feedback_cache_benefits_second_query() {
         let mut db = demo_db();
-        let q = Query::count("t", vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))]);
+        let q = Query::count(
+            "t",
+            vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(400))],
+        );
         db.feedback_loop(&q, &MonitorConfig::default()).unwrap();
         // Same expression again: the cached DPC applies immediately.
         let out = db.run(&q, &MonitorConfig::off()).unwrap();

@@ -46,7 +46,10 @@ impl DpcHistogramCache {
 
     /// Total observations across all histograms.
     pub fn observations(&self) -> u64 {
-        self.histograms.values().map(DpcHistogram::observations).sum()
+        self.histograms
+            .values()
+            .map(DpcHistogram::observations)
+            .sum()
     }
 }
 
@@ -95,7 +98,10 @@ impl Database {
         if self.dpc_cache.is_none() {
             return Ok(());
         }
-        let Query::Count { table, predicate, .. } = query else {
+        let Query::Count {
+            table, predicate, ..
+        } = query
+        else {
             return Ok(()); // join DPCs are not column ranges
         };
         let (meta_id, pages, schema) = {
@@ -137,23 +143,29 @@ impl Database {
     /// histogram predictions for single-column range expressions that
     /// have no exact entry.
     pub fn effective_hints(&self, query: &Query) -> Result<HintSet> {
-        let mut hints = self.hints().clone();
+        self.effective_hints_from(self.hints().clone(), query)
+    }
+
+    /// Like [`Database::effective_hints`], but layered over a
+    /// caller-provided base hint set — hermetic feedback cells pass their
+    /// private overlay (base hints plus injected cardinalities) so the
+    /// histogram predictions see exactly what a serial run would have.
+    pub fn effective_hints_from(&self, mut hints: HintSet, query: &Query) -> Result<HintSet> {
         let Some(cache) = &self.dpc_cache else {
             return Ok(hints);
         };
-        let Query::Count { table, predicate, .. } = query else {
+        let Query::Count {
+            table, predicate, ..
+        } = query
+        else {
             return Ok(hints);
         };
         let meta = self.catalog().table_by_name(table)?;
         let pages = f64::from(meta.stats.pages);
         let pred = Query::resolve_predicates(predicate, meta.schema())?;
-        let est = CardinalityEstimator::new(
-            self.stats()?,
-            self.hints(),
-            meta.id,
-            &meta.name,
-            meta.stats.rows,
-        );
+        let est =
+            CardinalityEstimator::new(self.stats()?, &hints, meta.id, &meta.name, meta.stats.rows);
+        let mut predictions = Vec::new();
         for (col, group) in column_groups(&pred) {
             let key = pred.key_of(&group);
             if hints.dpc(table, &key).is_some() {
@@ -170,8 +182,11 @@ impl Database {
                 continue;
             };
             if let Some(predicted) = h.estimate(lo, hi, est.rows_of(&pred, &group), pages) {
-                hints.inject_dpc(table.clone(), key, predicted);
+                predictions.push((key, predicted));
             }
+        }
+        for (key, predicted) in predictions {
+            hints.inject_dpc(table.clone(), key, predicted);
         }
         Ok(hints)
     }
@@ -219,8 +234,8 @@ mod tests {
     use super::*;
     use crate::planner::MonitorConfig;
     use crate::query::PredSpec;
-    use pf_common::{Column, Datum, Row, Schema};
     use pf_common::DataType;
+    use pf_common::{Column, Datum, Row, Schema};
 
     fn demo_db() -> Database {
         let mut db = Database::new();
@@ -261,7 +276,9 @@ mod tests {
         db.enable_dpc_histograms(16);
 
         // Train on one region of the column.
-        let out = db.feedback_loop(&q(1_000, 3_000), &MonitorConfig::default()).unwrap();
+        let out = db
+            .feedback_loop(&q(1_000, 3_000), &MonitorConfig::default())
+            .unwrap();
         assert!(out.plan_changed());
         assert!(db.dpc_histogram_cache().unwrap().observations() > 0);
 
@@ -290,7 +307,8 @@ mod tests {
     #[test]
     fn cache_disabled_means_no_predictions() {
         let mut db = demo_db();
-        db.feedback_loop(&q(1_000, 3_000), &MonitorConfig::default()).unwrap();
+        db.feedback_loop(&q(1_000, 3_000), &MonitorConfig::default())
+            .unwrap();
         assert!(db.dpc_histogram_cache().is_none());
         let eff = db.effective_hints(&q(8_000, 9_500)).unwrap();
         assert!(eff.dpc("t", "corr>=8000 AND corr<9500").is_none());
@@ -300,7 +318,8 @@ mod tests {
     fn exact_hints_beat_histogram_predictions() {
         let mut db = demo_db();
         db.enable_dpc_histograms(16);
-        db.feedback_loop(&q(1_000, 3_000), &MonitorConfig::default()).unwrap();
+        db.feedback_loop(&q(1_000, 3_000), &MonitorConfig::default())
+            .unwrap();
         let unseen = q(8_000, 9_500);
         let key = "corr>=8000 AND corr<9500";
         db.hints_mut().inject_dpc("t", key, 777.0);

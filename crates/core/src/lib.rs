@@ -52,6 +52,10 @@
 //!   `statistics xml`-style report,
 //! * [`histogram_cache`] — self-tuning DPC histograms (the paper's §VI
 //!   future work): feedback generalizes to queries never seen before,
+//! * [`parallel`] — the multi-threaded workload driver
+//!   ([`ParallelRunner`]): scoped workers over the shared read-only
+//!   storage snapshot, with deterministic per-query seeds and serial
+//!   feedback harvesting,
 //! * [`sql`] — a small SQL front end for the supported query shapes,
 //! * [`snapshot`] — save/load the whole database to a single file.
 
@@ -59,6 +63,7 @@ pub mod db;
 pub mod dba;
 pub mod feedback_loop;
 pub mod histogram_cache;
+pub mod parallel;
 pub mod planner;
 pub mod query;
 pub mod snapshot;
@@ -68,6 +73,7 @@ pub use db::{Database, QueryOutcome};
 pub use dba::{DbaDiagnosis, Discrepancy};
 pub use feedback_loop::FeedbackOutcome;
 pub use histogram_cache::DpcHistogramCache;
+pub use parallel::{ParallelRunner, WorkloadSummary};
 pub use planner::{LoweredPlan, MonitorConfig, MonitorHarness, PlanChoice};
 pub use query::{PredSpec, Query};
 pub use sql::parse_query;

@@ -1,0 +1,303 @@
+//! Multi-threaded workload driver over the shared read-only storage
+//! snapshot.
+//!
+//! The paper's premise is that DPC feedback is cheap enough to leave on
+//! while *serving a workload* — which presumes the engine can execute
+//! independent queries concurrently at all. Everything a query reads
+//! (catalog, table pages, B+-trees, statistics, hints) is immutable
+//! during execution and shared by `Arc`/reference; everything a query
+//! writes (buffer pool, [`pf_storage::IoStats`], monitors) lives in its
+//! own [`pf_exec::ExecContext`], so workers never contend on the hot
+//! path. Monitors stay `Rc<RefCell<...>>` *within* a worker — each plan
+//! is lowered, executed, and harvested on one thread.
+//!
+//! Determinism: per-query monitor seeds are derived from the query
+//! *index* (not the worker), results are returned in query order, and
+//! feedback absorption happens serially after the parallel phase —
+//! running with `jobs = 8` is bit-identical to `jobs = 1`.
+
+use crate::db::{Database, QueryOutcome};
+use crate::feedback_loop::FeedbackOutcome;
+use crate::planner::MonitorConfig;
+use crate::query::Query;
+use pf_common::hash::mix64;
+use pf_common::Result;
+use pf_feedback::FeedbackReport;
+use pf_storage::IoStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// Compile-time proof that the read path is shareable across workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Query>();
+    assert_send_sync::<MonitorConfig>();
+};
+
+/// Executes batches of queries across a pool of scoped worker threads
+/// pulling from a work-stealing index queue.
+#[derive(Debug, Clone)]
+pub struct ParallelRunner {
+    jobs: usize,
+}
+
+impl ParallelRunner {
+    /// A runner with `jobs` worker threads (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        ParallelRunner { jobs: jobs.max(1) }
+    }
+
+    /// Worker count from the `PF_JOBS` environment variable, defaulting
+    /// to all available cores.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("PF_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Self::new(jobs)
+    }
+
+    /// Configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The monitor config for query `index`: the seed is derived from the
+    /// query's position in the workload, so sampling and hashing are
+    /// reproducible no matter which worker executes it (or how many
+    /// workers exist).
+    pub fn cfg_for(cfg: &MonitorConfig, index: usize) -> MonitorConfig {
+        MonitorConfig {
+            seed: cfg.seed ^ mix64(index as u64 + 1),
+            ..cfg.clone()
+        }
+    }
+
+    /// Runs `queries` across the pool; element `i` of the result is
+    /// always query `i`'s outcome.
+    pub fn run_queries(
+        &self,
+        db: &Database,
+        queries: &[Query],
+        cfg: &MonitorConfig,
+    ) -> Result<Vec<QueryOutcome>> {
+        self.run_indexed(queries.len(), |i| {
+            db.run(&queries[i], &Self::cfg_for(cfg, i))
+        })
+    }
+
+    /// The parallel feedback methodology: every query's
+    /// [`Database::feedback_cell`] runs hermetically against a snapshot
+    /// of the hint set, then the harvested reports are absorbed and the
+    /// DPC histograms trained **serially in query order** — the final
+    /// database state and per-query outcomes are identical for any
+    /// worker count.
+    pub fn run_feedback(
+        &self,
+        db: &mut Database,
+        queries: &[Query],
+        cfg: &MonitorConfig,
+    ) -> Result<Vec<FeedbackOutcome>> {
+        let outcomes = {
+            let db = &*db;
+            self.run_indexed(queries.len(), |i| {
+                db.feedback_cell(&queries[i], &Self::cfg_for(cfg, i))
+            })?
+        };
+        for (query, outcome) in queries.iter().zip(&outcomes) {
+            db.hints_mut().absorb_report(&outcome.report);
+            db.train_dpc_histograms(query, &outcome.report)?;
+        }
+        Ok(outcomes)
+    }
+
+    /// Evaluates `task(i)` for `i ∈ 0..n` across the worker pool and
+    /// returns results in index order. Workers claim small index batches
+    /// from a shared atomic cursor (work stealing by competition); an
+    /// error is reported for the lowest failing index, independent of
+    /// scheduling.
+    fn run_indexed<T, F>(&self, n: usize, task: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        if self.jobs == 1 || n <= 1 {
+            return (0..n).map(task).collect();
+        }
+        // Batches amortize queue contention; small enough to keep the
+        // tail balanced across workers.
+        let batch = (n / (self.jobs * 8)).clamp(1, 64);
+        let workers = self.jobs.min(n);
+        let next = &AtomicUsize::new(0);
+        let task = &task;
+        let per_worker: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let start = next.fetch_add(batch, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            for i in start..(start + batch).min(n) {
+                                local.push((i, task(i)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<Result<T>>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("index queue covered every query"))
+            .collect()
+    }
+}
+
+impl Default for ParallelRunner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Workload-level reduction of per-query outcomes: summed I/O counters,
+/// summed simulated time, and the concatenated feedback report.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadSummary {
+    /// Number of queries reduced.
+    pub queries: usize,
+    /// Component-wise sum of every query's executor counters.
+    pub total_stats: IoStats,
+    /// Sum of simulated elapsed times.
+    pub total_elapsed_ms: f64,
+    /// All DPC measurements, in query order.
+    pub report: FeedbackReport,
+}
+
+impl WorkloadSummary {
+    /// Reduces per-query outcomes into workload totals.
+    pub fn from_outcomes(outcomes: &[QueryOutcome]) -> Self {
+        let mut summary = WorkloadSummary::default();
+        for outcome in outcomes {
+            summary.queries += 1;
+            summary.total_stats.add(&outcome.stats);
+            summary.total_elapsed_ms += outcome.elapsed_ms;
+            summary
+                .report
+                .measurements
+                .extend(outcome.report.measurements.iter().cloned());
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::PredSpec;
+    use pf_common::{Column, DataType, Datum, Row, Schema};
+    use pf_exec::CompareOp;
+
+    fn demo_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("corr", DataType::Int),
+            Column::new("pad", DataType::Str),
+        ]);
+        let n = 10_000i64;
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Datum::Int(i),
+                    Datum::Int(i),
+                    Datum::Str("x".repeat(60)),
+                ])
+            })
+            .collect();
+        db.create_table("t", schema, rows, Some("id")).unwrap();
+        db.create_index("ix_corr", "t", "corr").unwrap();
+        db.analyze().unwrap();
+        db
+    }
+
+    fn workload() -> Vec<Query> {
+        (0..12)
+            .map(|i| {
+                Query::count(
+                    "t",
+                    vec![PredSpec::new(
+                        "corr",
+                        CompareOp::Lt,
+                        Datum::Int(200 + 300 * i),
+                    )],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_in_order() {
+        let db = demo_db();
+        let queries = workload();
+        let cfg = MonitorConfig::default();
+        let serial = ParallelRunner::new(1)
+            .run_queries(&db, &queries, &cfg)
+            .unwrap();
+        let parallel = ParallelRunner::new(4)
+            .run_queries(&db, &queries, &cfg)
+            .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.count, p.count);
+            assert_eq!(s.stats, p.stats);
+            assert_eq!(s.description, p.description);
+            assert_eq!(s.report, p.report);
+        }
+    }
+
+    #[test]
+    fn summary_sums_io_stats() {
+        let db = demo_db();
+        let queries = workload();
+        let cfg = MonitorConfig::off();
+        let outcomes = ParallelRunner::new(2)
+            .run_queries(&db, &queries, &cfg)
+            .unwrap();
+        let summary = WorkloadSummary::from_outcomes(&outcomes);
+        assert_eq!(summary.queries, queries.len());
+        let logical: u64 = outcomes.iter().map(|o| o.stats.logical_reads).sum();
+        assert_eq!(summary.total_stats.logical_reads, logical);
+        assert!(summary.total_elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn error_is_deterministic_and_in_query_order() {
+        let db = demo_db();
+        let mut queries = workload();
+        queries[5] = Query::count("missing", vec![]);
+        queries[9] = Query::count("also_missing", vec![]);
+        let cfg = MonitorConfig::off();
+        let err = ParallelRunner::new(4)
+            .run_queries(&db, &queries, &cfg)
+            .unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn from_env_respects_pf_jobs_shape() {
+        // No env mutation (tests run threaded): just the parsing contract.
+        assert_eq!(ParallelRunner::new(0).jobs(), 1);
+        assert!(ParallelRunner::from_env().jobs() >= 1);
+    }
+}

@@ -33,6 +33,7 @@ use pf_optimizer::{
 use pf_storage::Catalog;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// What to monitor, and how.
 #[derive(Debug, Clone)]
@@ -195,9 +196,9 @@ impl<'a> Planner<'a> {
                     CountArg::Star => Some(Vec::new()),
                     CountArg::Column(name) => Some(vec![meta.schema().index_of(name)?]),
                 };
-                let plan = self
-                    .optimizer()
-                    .optimize_with_projection(meta.id, &pred, needed.as_deref())?;
+                let plan =
+                    self.optimizer()
+                        .optimize_with_projection(meta.id, &pred, needed.as_deref())?;
                 self.lower_single(&plan, &pred, cfg)
             }
             Query::JoinCount {
@@ -269,7 +270,7 @@ impl<'a> Planner<'a> {
                 };
                 match &plan.path {
                     AccessPath::FullScan => Box::new(SeqScan::full(
-                        Rc::clone(&meta.storage),
+                        Arc::clone(&meta.storage),
                         plan.table,
                         pred.clone(),
                         monitors,
@@ -277,7 +278,7 @@ impl<'a> Planner<'a> {
                     AccessPath::ClusteredRange { atoms } => {
                         let (lo, hi) = combined_bounds(pred, atoms);
                         Box::new(SeqScan::clustered_range(
-                            Rc::clone(&meta.storage),
+                            Arc::clone(&meta.storage),
                             plan.table,
                             lo.as_ref(),
                             hi.as_ref(),
@@ -294,14 +295,16 @@ impl<'a> Planner<'a> {
                     .iter()
                     .map(|&i| (pred.atoms[i].op, pred.atoms[i].value.clone()))
                     .collect();
-                let range = SeekRange::from_atoms(&pairs).ok_or_else(|| {
-                    Error::NoPlanFound("seek atoms are not seekable".into())
-                })?;
-                let seek = IndexSeek::new(Rc::clone(&ix.tree), ix.height, range);
+                let range = SeekRange::from_atoms(&pairs)
+                    .ok_or_else(|| Error::NoPlanFound("seek atoms are not seekable".into()))?;
+                let seek = IndexSeek::new(Arc::clone(&ix.tree), ix.height, range);
                 let residual_idx: Vec<usize> =
                     (0..pred.len()).filter(|i| !atoms.contains(i)).collect();
                 let residual = Conjunction::new(
-                    residual_idx.iter().map(|&i| pred.atoms[i].clone()).collect(),
+                    residual_idx
+                        .iter()
+                        .map(|&i| pred.atoms[i].clone())
+                        .collect(),
                 );
                 let monitors = if cfg.enabled {
                     let mut ms = vec![FetchMonitor::new(
@@ -331,7 +334,7 @@ impl<'a> Planner<'a> {
                 };
                 Box::new(Fetch::new(
                     Box::new(seek),
-                    Rc::clone(&meta.storage),
+                    Arc::clone(&meta.storage),
                     plan.table,
                     residual,
                     monitors,
@@ -350,7 +353,7 @@ impl<'a> Planner<'a> {
                 // Base-table PIDs never materialize here, so no DPC
                 // monitor can attach (Section II-B).
                 Box::new(IndexOnlyScan::new(
-                    Rc::clone(&ix.tree),
+                    Arc::clone(&ix.tree),
                     ix.height,
                     range,
                     &key_col.name,
@@ -370,16 +373,18 @@ impl<'a> Planner<'a> {
                 let rb = SeekRange::from_atoms(&to_pairs(atoms_b))
                     .ok_or_else(|| Error::NoPlanFound("atoms not seekable".into()))?;
                 let inter = IndexIntersection::new(
-                    Box::new(IndexSeek::new(Rc::clone(&ix_a.tree), ix_a.height, ra)),
-                    Box::new(IndexSeek::new(Rc::clone(&ix_b.tree), ix_b.height, rb)),
+                    Box::new(IndexSeek::new(Arc::clone(&ix_a.tree), ix_a.height, ra)),
+                    Box::new(IndexSeek::new(Arc::clone(&ix_b.tree), ix_b.height, rb)),
                 );
-                let mut both: Vec<usize> =
-                    atoms_a.iter().chain(atoms_b.iter()).copied().collect();
+                let mut both: Vec<usize> = atoms_a.iter().chain(atoms_b.iter()).copied().collect();
                 both.sort_unstable();
                 let residual_idx: Vec<usize> =
                     (0..pred.len()).filter(|i| !both.contains(i)).collect();
                 let residual = Conjunction::new(
-                    residual_idx.iter().map(|&i| pred.atoms[i].clone()).collect(),
+                    residual_idx
+                        .iter()
+                        .map(|&i| pred.atoms[i].clone())
+                        .collect(),
                 );
                 let monitors = if cfg.enabled {
                     let mut ms = vec![FetchMonitor::new(
@@ -409,7 +414,7 @@ impl<'a> Planner<'a> {
                 };
                 Box::new(Fetch::new(
                     Box::new(inter),
-                    Rc::clone(&meta.storage),
+                    Arc::clone(&meta.storage),
                     plan.table,
                     residual,
                     monitors,
@@ -497,7 +502,7 @@ impl<'a> Planner<'a> {
                     (None, None)
                 };
                 let probe = SeqScan::full(
-                    Rc::clone(&inner_meta.storage),
+                    Arc::clone(&inner_meta.storage),
                     spec.inner,
                     Conjunction::always_true(),
                     probe_monitors,
@@ -512,10 +517,10 @@ impl<'a> Planner<'a> {
                     ))
                 } else {
                     // Merge: sort any side not already in join-key order.
-                    let outer_sorted = outer_meta.storage.clustering_column()
-                        == Some(spec.outer_join_col);
-                    let inner_sorted = inner_meta.storage.clustering_column()
-                        == Some(spec.inner_join_col);
+                    let outer_sorted =
+                        outer_meta.storage.clustering_column() == Some(spec.outer_join_col);
+                    let inner_sorted =
+                        inner_meta.storage.clustering_column() == Some(spec.inner_join_col);
                     if outer_sorted && inner_sorted {
                         // No Sorts on either input — Section IV's
                         // *partial* bit-vector case: the filter grows as
@@ -573,9 +578,9 @@ impl<'a> Planner<'a> {
                 Box::new(InlJoin::new(
                     lowered_outer.op,
                     spec.outer_join_col,
-                    Rc::clone(&ix.tree),
+                    Arc::clone(&ix.tree),
                     ix.height,
-                    Rc::clone(&inner_meta.storage),
+                    Arc::clone(&inner_meta.storage),
                     spec.inner,
                     Conjunction::always_true(),
                     monitors,
@@ -665,8 +670,7 @@ impl<'a> Planner<'a> {
         if cfg.monitor_pairs {
             for (x, (_, ia)) in groups.iter().enumerate() {
                 for (_, ib) in groups.iter().skip(x + 1) {
-                    let mut both: Vec<usize> =
-                        ia.iter().chain(ib.iter()).copied().collect();
+                    let mut both: Vec<usize> = ia.iter().chain(ib.iter()).copied().collect();
                     both.sort_unstable();
                     add(both, &mut exprs);
                 }
@@ -742,8 +746,7 @@ fn explain_single(
         AccessPath::ClusteredRange { atoms }
         | AccessPath::IndexSeek { atoms, .. }
         | AccessPath::IndexOnlyScan { atoms, .. } => {
-            let residual: Vec<usize> =
-                (0..pred.len()).filter(|i| !atoms.contains(i)).collect();
+            let residual: Vec<usize> = (0..pred.len()).filter(|i| !atoms.contains(i)).collect();
             let mut d = format!("seek: {}", pred.key_of(atoms));
             if !residual.is_empty() {
                 d.push_str(&format!("; residual: {}", pred.key_of(&residual)));

@@ -6,7 +6,7 @@
 //! [`Query`] captures both; the planner resolves names against the
 //! catalog and builds typed [`pf_exec::Conjunction`]s.
 
-use pf_common::{Datum, Result, Schema};
+use pf_common::{Datum, Error, Result, Schema};
 use pf_exec::{AtomicPredicate, CompareOp, Conjunction};
 
 /// One atomic predicate, by column name.
@@ -127,6 +127,42 @@ impl Query {
             outer_pred,
             outer_col: outer_col.into(),
             inner_col: inner_col.into(),
+        }
+    }
+
+    /// The parts of a single-table count query —
+    /// `(table, predicate, count_arg)` — or `Error::InvalidArgument` for
+    /// any other shape. A `Result`-returning alternative to matching on
+    /// the enum when a caller *requires* the single-table shape.
+    pub fn as_count(&self) -> Result<(&str, &[PredSpec], &CountArg)> {
+        match self {
+            Query::Count {
+                table,
+                predicate,
+                count_arg,
+            } => Ok((table, predicate, count_arg)),
+            Query::JoinCount { outer, inner, .. } => Err(Error::InvalidArgument(format!(
+                "expected single-table count query, got join of {outer} and {inner}"
+            ))),
+        }
+    }
+
+    /// The parts of a join count query —
+    /// `(outer, inner, outer_pred, outer_col, inner_col)` — or
+    /// `Error::InvalidArgument` for any other shape.
+    #[allow(clippy::type_complexity)]
+    pub fn as_join(&self) -> Result<(&str, &str, &[PredSpec], &str, &str)> {
+        match self {
+            Query::JoinCount {
+                outer,
+                inner,
+                outer_pred,
+                outer_col,
+                inner_col,
+            } => Ok((outer, inner, outer_pred, outer_col, inner_col)),
+            Query::Count { table, .. } => Err(Error::InvalidArgument(format!(
+                "expected join count query, got single-table count on {table}"
+            ))),
         }
     }
 

@@ -97,7 +97,8 @@ impl Database {
         w.write_all(MAGIC).map_err(io_err)?;
 
         let tables = self.catalog().tables();
-        w.write_all(&(tables.len() as u32).to_le_bytes()).map_err(io_err)?;
+        w.write_all(&(tables.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
         for t in tables {
             write_str(&mut w, &t.name)?;
             match t.storage.clustering_column() {
@@ -113,7 +114,8 @@ impl Database {
                 .map_err(io_err)?;
 
             let schema = t.schema();
-            w.write_all(&(schema.arity() as u16).to_le_bytes()).map_err(io_err)?;
+            w.write_all(&(schema.arity() as u16).to_le_bytes())
+                .map_err(io_err)?;
             for col in schema.columns() {
                 write_str(&mut w, &col.name)?;
                 w.write_all(&[type_tag(col.ty)]).map_err(io_err)?;
@@ -131,7 +133,8 @@ impl Database {
         }
 
         let indexes = self.catalog().indexes();
-        w.write_all(&(indexes.len() as u32).to_le_bytes()).map_err(io_err)?;
+        w.write_all(&(indexes.len() as u32).to_le_bytes())
+            .map_err(io_err)?;
         for ix in indexes {
             let table = self.catalog().table(ix.table)?;
             write_str(&mut w, &ix.name)?;
@@ -165,9 +168,7 @@ impl Database {
             let fill_bytes = read_exact(&mut r, 8)?;
             let fill = f64::from_le_bytes(fill_bytes.try_into().expect("8 bytes"));
 
-            let arity = u16::from_le_bytes(
-                read_exact(&mut r, 2)?.try_into().expect("2 bytes"),
-            );
+            let arity = u16::from_le_bytes(read_exact(&mut r, 2)?.try_into().expect("2 bytes"));
             let mut cols = Vec::with_capacity(usize::from(arity));
             for _ in 0..arity {
                 let cname = read_str(&mut r)?;
@@ -182,10 +183,10 @@ impl Database {
                 rows.push(read_row(&mut r, &schema)?);
             }
 
-            let clustering_name =
-                has_clustering.then(|| schema.column(clustering).name.clone());
-            let mut builder =
-                pf_storage::TableBuilder::new(&name, schema).rows(rows).page_size(page_size);
+            let clustering_name = has_clustering.then(|| schema.column(clustering).name.clone());
+            let mut builder = pf_storage::TableBuilder::new(&name, schema)
+                .rows(rows)
+                .page_size(page_size);
             builder = builder.fill_factor(fill);
             if let Some(c) = &clustering_name {
                 builder = builder.clustered_on(c);

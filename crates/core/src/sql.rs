@@ -127,7 +127,9 @@ fn lex(input: &str) -> Result<Vec<Token>> {
             tokens.push(Token::Symbol(c));
             i += 1;
         } else {
-            return Err(Error::InvalidArgument(format!("unexpected character {c:?}")));
+            return Err(Error::InvalidArgument(format!(
+                "unexpected character {c:?}"
+            )));
         }
     }
     tokens.push(Token::Eof);
@@ -138,7 +140,10 @@ fn lex(input: &str) -> Result<Vec<Token>> {
 #[derive(Debug, Clone, PartialEq)]
 enum Operand {
     /// `[table.]column`
-    Column { table: Option<String>, column: String },
+    Column {
+        table: Option<String>,
+        column: String,
+    },
     /// A literal value.
     Literal(Datum),
 }
@@ -341,8 +346,14 @@ pub fn parse_query(sql: &str) -> Result<Query> {
             for pred in preds {
                 match (&pred.left, &pred.right) {
                     (
-                        Operand::Column { table: lt, column: lc },
-                        Operand::Column { table: rt, column: rc },
+                        Operand::Column {
+                            table: lt,
+                            column: lc,
+                        },
+                        Operand::Column {
+                            table: rt,
+                            column: rc,
+                        },
                     ) => {
                         if pred.op != CompareOp::Eq {
                             return Err(Error::InvalidArgument(
@@ -397,9 +408,7 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 /// Converts a parsed comparison into a selection on `outer_table`.
 fn to_selection(pred: ParsedPred, outer_table: &str) -> Result<PredSpec> {
     let (col_operand, op, value) = match (pred.left, pred.right) {
-        (Operand::Column { table, column }, Operand::Literal(v)) => {
-            ((table, column), pred.op, v)
-        }
+        (Operand::Column { table, column }, Operand::Literal(v)) => ((table, column), pred.op, v),
         (Operand::Literal(v), Operand::Column { table, column }) => {
             ((table, column), flip(pred.op), v)
         }
@@ -435,7 +444,10 @@ mod tests {
             "SELECT COUNT(pad) FROM sales WHERE state = 'CA' AND ship < DATE 100 AND qty >= 3",
         )
         .unwrap();
-        let Query::Count { table, predicate, .. } = q else {
+        let Query::Count {
+            table, predicate, ..
+        } = q
+        else {
             panic!("expected single-table");
         };
         assert_eq!(table, "sales");
@@ -450,7 +462,10 @@ mod tests {
     #[test]
     fn count_star_no_where() {
         let q = parse_query("select count(*) from t;").unwrap();
-        let Query::Count { table, predicate, .. } = q else {
+        let Query::Count {
+            table, predicate, ..
+        } = q
+        else {
             panic!()
         };
         assert_eq!(table, "t");
@@ -470,10 +485,8 @@ mod tests {
 
     #[test]
     fn join_query() {
-        let q = parse_query(
-            "SELECT COUNT(T.pad) FROM T1, T WHERE T1.c1 < 4000 AND T1.c2 = T.c2",
-        )
-        .unwrap();
+        let q = parse_query("SELECT COUNT(T.pad) FROM T1, T WHERE T1.c1 < 4000 AND T1.c2 = T.c2")
+            .unwrap();
         let Query::JoinCount {
             outer,
             inner,
@@ -495,7 +508,9 @@ mod tests {
     fn join_orientation_flips() {
         let q = parse_query("select count(*) from a, b where b.y = a.x").unwrap();
         let Query::JoinCount {
-            outer_col, inner_col, ..
+            outer_col,
+            inner_col,
+            ..
         } = q
         else {
             panic!()
@@ -543,7 +558,7 @@ mod tests {
             "select count(*) from t where a <",
             "select count(*) from t where a < 'x",
             "select count(*) from t where 1 = 2",
-            "select count(*) from a, b",              // no join predicate
+            "select count(*) from a, b", // no join predicate
             "select count(*) from a, b where a.x < b.y", // non-equality join
             "select count(*) from t where a = 1 or b = 2", // OR unsupported
             "select count(*) from t extra",

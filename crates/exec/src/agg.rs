@@ -52,13 +52,13 @@ mod tests {
     use crate::scan::SeqScan;
     use pf_common::TableId;
     use pf_storage::TableStorage;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn counts_filtered_rows() {
         let schema = Schema::new(vec![Column::new("id", DataType::Int)]);
         let rows: Vec<Row> = (0..250).map(|i| Row::new(vec![Datum::Int(i)])).collect();
-        let t = Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
+        let t = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
         let pred = Conjunction::new(vec![AtomicPredicate::new(
             t.schema(),
             "id",
@@ -66,7 +66,7 @@ mod tests {
             Datum::Int(42),
         )
         .unwrap()]);
-        let scan = SeqScan::full(Rc::clone(&t), TableId(0), pred, None);
+        let scan = SeqScan::full(Arc::clone(&t), TableId(0), pred, None);
         let mut agg = CountAgg::new(Box::new(scan));
         let mut ctx = ExecContext::new(1024);
         let row = agg.next(&mut ctx).unwrap().unwrap();

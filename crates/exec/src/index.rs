@@ -15,7 +15,7 @@ use pf_common::{Datum, Result, Rid, Row, Schema, TableId};
 use pf_storage::btree::BPlusTree;
 use pf_storage::{AccessPattern, TableStorage};
 use std::ops::Bound;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Key bounds of an index seek, derived from one or two atoms on the
 /// index key column.
@@ -128,7 +128,7 @@ impl SeekRange {
 /// An index seek: yields the RIDs whose key falls in the range, in key
 /// order.
 pub struct IndexSeek {
-    tree: Rc<BPlusTree>,
+    tree: Arc<BPlusTree>,
     range: SeekRange,
     height: u32,
     /// Materialized on first pull (a snapshot of the leaf walk).
@@ -138,7 +138,7 @@ pub struct IndexSeek {
 
 impl IndexSeek {
     /// A seek over `tree` (of the given height, for I/O charging).
-    pub fn new(tree: Rc<BPlusTree>, height: u32, range: SeekRange) -> Self {
+    pub fn new(tree: Arc<BPlusTree>, height: u32, range: SeekRange) -> Self {
         IndexSeek {
             tree,
             range,
@@ -266,7 +266,7 @@ impl RidSource for IndexIntersection {
 /// monitored from it** — the same limitation the paper notes for plans
 /// that never expose the pages an alternative plan would touch.
 pub struct IndexOnlyScan {
-    tree: Rc<BPlusTree>,
+    tree: Arc<BPlusTree>,
     height: u32,
     range: SeekRange,
     schema: Schema,
@@ -278,7 +278,7 @@ impl IndexOnlyScan {
     /// Builds an index-only scan; `key_column_name` names the single
     /// output column.
     pub fn new(
-        tree: Rc<BPlusTree>,
+        tree: Arc<BPlusTree>,
         height: u32,
         range: SeekRange,
         key_column_name: &str,
@@ -343,7 +343,7 @@ impl Operator for IndexOnlyScan {
 /// predicate, and drives the attached [`crate::monitor::FetchMonitor`]s.
 pub struct Fetch {
     source: Box<dyn RidSource>,
-    storage: Rc<TableStorage>,
+    storage: Arc<TableStorage>,
     table_id: TableId,
     /// Conjuncts not implied by the seek, evaluated after the fetch.
     residual: Conjunction,
@@ -354,7 +354,7 @@ impl Fetch {
     /// Builds a Fetch.
     pub fn new(
         source: Box<dyn RidSource>,
-        storage: Rc<TableStorage>,
+        storage: Arc<TableStorage>,
         table_id: TableId,
         residual: Conjunction,
         monitors: Option<FetchMonitorHandle>,
@@ -417,9 +417,10 @@ mod tests {
     use pf_common::{Column, DataType, PageId};
     use pf_feedback::FeedbackReport;
     use std::cell::RefCell;
+    use std::rc::Rc;
 
     /// Table of n rows clustered on id, with `perm` a scrambled copy.
-    fn setup(n: i64) -> (Rc<TableStorage>, Rc<BPlusTree>, u32) {
+    fn setup(n: i64) -> (Arc<TableStorage>, Arc<BPlusTree>, u32) {
         let schema = Schema::new(vec![
             Column::new("id", DataType::Int),
             Column::new("perm", DataType::Int),
@@ -434,28 +435,27 @@ mod tests {
                 ])
             })
             .collect();
-        let storage =
-            Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap());
+        let storage = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap());
         let mut tree = BPlusTree::new();
         for rid in storage.all_rids() {
             let row = storage.read_row(rid).unwrap();
             tree.insert(row.get(1).clone(), rid);
         }
         let h = tree.height();
-        (storage, Rc::new(tree), h)
+        (storage, Arc::new(tree), h)
     }
 
     #[test]
     fn seek_fetch_returns_exact_matches() {
         let (storage, tree, h) = setup(500);
         let seek = IndexSeek::new(
-            Rc::clone(&tree),
+            Arc::clone(&tree),
             h,
             SeekRange::from_atom(CompareOp::Lt, Datum::Int(50)).unwrap(),
         );
         let mut fetch = Fetch::new(
             Box::new(seek),
-            Rc::clone(&storage),
+            Arc::clone(&storage),
             TableId(0),
             Conjunction::always_true(),
             None,
@@ -472,13 +472,13 @@ mod tests {
     fn fetch_physical_io_equals_distinct_pages() {
         let (storage, tree, h) = setup(500);
         let seek = IndexSeek::new(
-            Rc::clone(&tree),
+            Arc::clone(&tree),
             h,
             SeekRange::from_atom(CompareOp::Lt, Datum::Int(100)).unwrap(),
         );
         let mut fetch = Fetch::new(
             Box::new(seek),
-            Rc::clone(&storage),
+            Arc::clone(&storage),
             TableId(0),
             Conjunction::always_true(),
             None,
@@ -502,7 +502,7 @@ mod tests {
     fn fetch_monitor_estimates_dpc() {
         let (storage, tree, h) = setup(2_000);
         let seek = IndexSeek::new(
-            Rc::clone(&tree),
+            Arc::clone(&tree),
             h,
             SeekRange::from_atom(CompareOp::Lt, Datum::Int(400)).unwrap(),
         );
@@ -515,7 +515,7 @@ mod tests {
         )]));
         let mut fetch = Fetch::new(
             Box::new(seek),
-            Rc::clone(&storage),
+            Arc::clone(&storage),
             TableId(0),
             Conjunction::always_true(),
             Some(Rc::clone(&monitors)),
@@ -534,7 +534,7 @@ mod tests {
     fn residual_predicate_filters_and_both_monitors_differ() {
         let (storage, tree, h) = setup(1_000);
         let seek = IndexSeek::new(
-            Rc::clone(&tree),
+            Arc::clone(&tree),
             h,
             SeekRange::from_atom(CompareOp::Lt, Datum::Int(500)).unwrap(),
         );
@@ -546,7 +546,13 @@ mod tests {
         )
         .unwrap()]);
         let monitors = Rc::new(RefCell::new(vec![
-            FetchMonitor::new("perm<500", FetchObserveWhen::AllFetched, storage.page_count(), None, 1),
+            FetchMonitor::new(
+                "perm<500",
+                FetchObserveWhen::AllFetched,
+                storage.page_count(),
+                None,
+                1,
+            ),
             FetchMonitor::new(
                 "perm<500 AND id<100",
                 FetchObserveWhen::PassedResidual,
@@ -557,7 +563,7 @@ mod tests {
         ]));
         let mut fetch = Fetch::new(
             Box::new(seek),
-            Rc::clone(&storage),
+            Arc::clone(&storage),
             TableId(0),
             residual,
             Some(Rc::clone(&monitors)),
@@ -575,19 +581,19 @@ mod tests {
         // perm < 100 ∩ perm >= 50  (same index both sides — contrived but
         // exercises the merge).
         let a = IndexSeek::new(
-            Rc::clone(&tree),
+            Arc::clone(&tree),
             h,
             SeekRange::from_atom(CompareOp::Lt, Datum::Int(100)).unwrap(),
         );
         let b = IndexSeek::new(
-            Rc::clone(&tree),
+            Arc::clone(&tree),
             h,
             SeekRange::from_atom(CompareOp::Ge, Datum::Int(50)).unwrap(),
         );
         let inter = IndexIntersection::new(Box::new(a), Box::new(b));
         let mut fetch = Fetch::new(
             Box::new(inter),
-            Rc::clone(&storage),
+            Arc::clone(&storage),
             TableId(0),
             Conjunction::always_true(),
             None,
@@ -612,13 +618,13 @@ mod tests {
     fn empty_seek_range_yields_nothing() {
         let (storage, tree, h) = setup(100);
         let seek = IndexSeek::new(
-            Rc::clone(&tree),
+            Arc::clone(&tree),
             h,
             SeekRange::from_atom(CompareOp::Lt, Datum::Int(0)).unwrap(),
         );
         let mut fetch = Fetch::new(
             Box::new(seek),
-            Rc::clone(&storage),
+            Arc::clone(&storage),
             TableId(0),
             Conjunction::always_true(),
             None,

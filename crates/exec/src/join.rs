@@ -24,7 +24,7 @@ use pf_feedback::BitVectorFilter;
 use pf_storage::btree::BPlusTree;
 use pf_storage::TableStorage;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration for the bit-vector filter a join builds for monitoring.
 #[derive(Debug, Clone)]
@@ -133,9 +133,9 @@ impl Operator for HashJoin {
 /// with linear counting — the Section IV INL case.
 pub struct InlJoin {
     outer: Box<dyn Operator>,
-    inner_tree: Rc<BPlusTree>,
+    inner_tree: Arc<BPlusTree>,
     inner_height: u32,
-    inner_storage: Rc<TableStorage>,
+    inner_storage: Arc<TableStorage>,
     inner_table_id: TableId,
     outer_key: usize,
     /// Residual predicate on the joined (outer ++ inner) row.
@@ -152,9 +152,9 @@ impl InlJoin {
     pub fn new(
         outer: Box<dyn Operator>,
         outer_key: usize,
-        inner_tree: Rc<BPlusTree>,
+        inner_tree: Arc<BPlusTree>,
         inner_height: u32,
-        inner_storage: Rc<TableStorage>,
+        inner_storage: Arc<TableStorage>,
         inner_table_id: TableId,
         residual: Conjunction,
         inner_monitors: Option<FetchMonitorHandle>,
@@ -191,13 +191,13 @@ impl Operator for InlJoin {
             let key = outer_row.get(self.outer_key).clone();
             // One index lookup per outer row.
             let seek = IndexSeek::new(
-                Rc::clone(&self.inner_tree),
+                Arc::clone(&self.inner_tree),
                 self.inner_height,
                 SeekRange::eq(key),
             );
             let mut fetch = Fetch::new(
                 Box::new(seek),
-                Rc::clone(&self.inner_storage),
+                Arc::clone(&self.inner_storage),
                 self.inner_table_id,
                 Conjunction::always_true(),
                 self.inner_monitors.clone(),
@@ -450,10 +450,7 @@ impl StreamingMergeJoin {
             self.group.push(first);
             loop {
                 match self.pull_left(ctx)? {
-                    Some(r)
-                        if r.get(self.left_key).cmp_same_type(&k)
-                            == Some(Ordering::Equal) =>
-                    {
+                    Some(r) if r.get(self.left_key).cmp_same_type(&k) == Some(Ordering::Equal) => {
                         self.group.push(r);
                     }
                     Some(r) => {
@@ -520,10 +517,11 @@ mod tests {
     use pf_common::{Column, DataType};
     use pf_feedback::FeedbackReport;
     use std::cell::RefCell;
+    use std::rc::Rc;
 
     /// Two tables: `outer(k, tag)` clustered on k with keys 0..n,
     /// `inner(id, k, pad)` clustered on id with k scrambled.
-    fn setup(n: i64) -> (Rc<TableStorage>, Rc<TableStorage>, Rc<BPlusTree>, u32) {
+    fn setup(n: i64) -> (Arc<TableStorage>, Arc<TableStorage>, Arc<BPlusTree>, u32) {
         let outer_schema = Schema::new(vec![
             Column::new("k", DataType::Int),
             Column::new("tag", DataType::Str),
@@ -531,8 +529,9 @@ mod tests {
         let outer_rows: Vec<Row> = (0..n)
             .map(|i| Row::new(vec![Datum::Int(i), Datum::Str("o".into())]))
             .collect();
-        let outer =
-            Rc::new(TableStorage::bulk_load(outer_schema, &outer_rows, Some(0), 1024, 1.0).unwrap());
+        let outer = Arc::new(
+            TableStorage::bulk_load(outer_schema, &outer_rows, Some(0), 1024, 1.0).unwrap(),
+        );
 
         let inner_schema = Schema::new(vec![
             Column::new("id", DataType::Int),
@@ -548,18 +547,19 @@ mod tests {
                 ])
             })
             .collect();
-        let inner =
-            Rc::new(TableStorage::bulk_load(inner_schema, &inner_rows, Some(0), 1024, 1.0).unwrap());
+        let inner = Arc::new(
+            TableStorage::bulk_load(inner_schema, &inner_rows, Some(0), 1024, 1.0).unwrap(),
+        );
         let mut tree = BPlusTree::new();
         for rid in inner.all_rids() {
             let row = inner.read_row(rid).unwrap();
             tree.insert(row.get(1).clone(), rid);
         }
         let h = tree.height();
-        (outer, inner, Rc::new(tree), h)
+        (outer, inner, Arc::new(tree), h)
     }
 
-    fn outer_scan(outer: &Rc<TableStorage>, hi: i64) -> SeqScan {
+    fn outer_scan(outer: &Arc<TableStorage>, hi: i64) -> SeqScan {
         let pred = Conjunction::new(vec![AtomicPredicate::new(
             outer.schema(),
             "k",
@@ -567,14 +567,19 @@ mod tests {
             Datum::Int(hi),
         )
         .unwrap()]);
-        SeqScan::full(Rc::clone(outer), TableId(0), pred, None)
+        SeqScan::full(Arc::clone(outer), TableId(0), pred, None)
     }
 
     #[test]
     fn hash_join_matches_nested_loop_semantics() {
         let (outer, inner, _, _) = setup(300);
         let build = outer_scan(&outer, 50);
-        let probe = SeqScan::full(Rc::clone(&inner), TableId(1), Conjunction::always_true(), None);
+        let probe = SeqScan::full(
+            Arc::clone(&inner),
+            TableId(1),
+            Conjunction::always_true(),
+            None,
+        );
         let mut hj = HashJoin::new(Box::new(build), Box::new(probe), 0, 1, None);
         let mut ctx = ExecContext::new(8192);
         let rows = drain(&mut hj, &mut ctx).unwrap();
@@ -591,8 +596,12 @@ mod tests {
         let mut ctx = ExecContext::new(8192);
 
         let build = outer_scan(&outer, 80);
-        let probe =
-            SeqScan::full(Rc::clone(&inner), TableId(1), Conjunction::always_true(), None);
+        let probe = SeqScan::full(
+            Arc::clone(&inner),
+            TableId(1),
+            Conjunction::always_true(),
+            None,
+        );
         let mut hj = HashJoin::new(Box::new(build), Box::new(probe), 0, 1, None);
         let mut hash_keys: Vec<i64> = drain(&mut hj, &mut ctx)
             .unwrap()
@@ -608,7 +617,7 @@ mod tests {
             0,
             tree,
             h,
-            Rc::clone(&inner),
+            Arc::clone(&inner),
             TableId(1),
             Conjunction::always_true(),
             None,
@@ -638,7 +647,7 @@ mod tests {
             0,
             tree,
             h,
-            Rc::clone(&inner),
+            Arc::clone(&inner),
             TableId(1),
             Conjunction::always_true(),
             Some(Rc::clone(&monitors)),
@@ -678,7 +687,7 @@ mod tests {
         )));
         let build = outer_scan(&outer, 300);
         let probe = SeqScan::full(
-            Rc::clone(&inner),
+            Arc::clone(&inner),
             TableId(1),
             Conjunction::always_true(),
             Some(Rc::clone(&scan_monitors)),
@@ -725,7 +734,7 @@ mod tests {
         let left = Sort::new(Box::new(outer_scan(&outer, 120)), 0);
         let right = Sort::new(
             Box::new(SeqScan::full(
-                Rc::clone(&inner),
+                Arc::clone(&inner),
                 TableId(1),
                 Conjunction::always_true(),
                 None,
@@ -753,7 +762,7 @@ mod tests {
         let left = Sort::new(Box::new(outer_scan(&outer, 100)), 0);
         let right = Sort::new(
             Box::new(SeqScan::full(
-                Rc::clone(&inner),
+                Arc::clone(&inner),
                 TableId(1),
                 Conjunction::always_true(),
                 Some(Rc::clone(&scan_monitors)),
@@ -794,15 +803,14 @@ mod tests {
         let left = outer_scan(&outer, 200);
         let right = Sort::new(
             Box::new(SeqScan::full(
-                Rc::clone(&inner),
+                Arc::clone(&inner),
                 TableId(1),
                 Conjunction::always_true(),
                 None,
             )),
             1,
         );
-        let mut smj =
-            StreamingMergeJoin::new(Box::new(left), Box::new(right), 0, 1, None);
+        let mut smj = StreamingMergeJoin::new(Box::new(left), Box::new(right), 0, 1, None);
         let mut ctx = ExecContext::new(8192);
         let mut got: Vec<i64> = drain(&mut smj, &mut ctx)
             .unwrap()
@@ -822,10 +830,9 @@ mod tests {
             Row::new(vec![Datum::Int(2)]),
             Row::new(vec![Datum::Int(3)]),
         ];
-        let t = Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
-        let mk = || SeqScan::full(Rc::clone(&t), TableId(0), Conjunction::always_true(), None);
-        let mut smj =
-            StreamingMergeJoin::new(Box::new(mk()), Box::new(mk()), 0, 0, None);
+        let t = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
+        let mk = || SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
+        let mut smj = StreamingMergeJoin::new(Box::new(mk()), Box::new(mk()), 0, 0, None);
         let mut ctx = ExecContext::new(256);
         // 1⋈1: 2×2, 2⋈2: 1, 3⋈3: 1 ⇒ 6 rows.
         assert_eq!(run_count(&mut smj, &mut ctx).unwrap(), 6);
@@ -840,7 +847,7 @@ mod tests {
             .flat_map(|p| inner.rows_on_page(pf_common::PageId(p)).unwrap())
             .collect();
         rows.sort_by_key(|r| r.get(1).as_int().unwrap());
-        let inner_sorted = Rc::new(
+        let inner_sorted = Arc::new(
             TableStorage::bulk_load(inner.schema().clone(), &rows, Some(1), 1024, 1.0).unwrap(),
         );
 
@@ -852,7 +859,7 @@ mod tests {
         )));
         let left = outer_scan(&outer, 400);
         let right = SeqScan::full(
-            Rc::clone(&inner_sorted),
+            Arc::clone(&inner_sorted),
             TableId(1),
             Conjunction::always_true(),
             Some(Rc::clone(&monitors)),
@@ -901,9 +908,9 @@ mod tests {
             Row::new(vec![Datum::Int(1)]),
             Row::new(vec![Datum::Int(2)]),
         ];
-        let t = Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
-        let build = SeqScan::full(Rc::clone(&t), TableId(0), Conjunction::always_true(), None);
-        let probe = SeqScan::full(Rc::clone(&t), TableId(0), Conjunction::always_true(), None);
+        let t = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
+        let build = SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
+        let probe = SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
         let mut hj = HashJoin::new(Box::new(build), Box::new(probe), 0, 0, None);
         let mut ctx = ExecContext::new(1024);
         // 1⋈1: 2×2 = 4, 2⋈2: 1 ⇒ 5 rows.

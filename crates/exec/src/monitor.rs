@@ -118,7 +118,13 @@ impl ScanExprMonitor {
     }
 
     fn needs_full_eval(&self) -> bool {
-        matches!(self.kind, ScanExprKind::Atoms { prefix_len: None, .. })
+        matches!(
+            self.kind,
+            ScanExprKind::Atoms {
+                prefix_len: None,
+                ..
+            }
+        )
     }
 }
 
@@ -411,7 +417,10 @@ mod tests {
         assert!(!ScanExprMonitor::atoms(&c, vec![1], None).is_prefix());
         let sj = ScanExprMonitor::semi_join("j", semi_join_slot(0), None);
         assert!(!sj.is_prefix());
-        assert!(!sj.needs_full_eval(), "semi-join needs hashes, not atom eval");
+        assert!(
+            !sj.needs_full_eval(),
+            "semi-join needs hashes, not atom eval"
+        );
     }
 
     #[test]
@@ -427,7 +436,10 @@ mod tests {
         for page in 0..3 {
             set.start_page();
             let hit = page != 1;
-            set.observe_row(&[Some(hit), None], &Row::new(vec![Datum::Int(0), Datum::Int(0)]));
+            set.observe_row(
+                &[Some(hit), None],
+                &Row::new(vec![Datum::Int(0), Datum::Int(0)]),
+            );
         }
         let mut rep = FeedbackReport::new();
         set.harvest("t", &mut rep);
@@ -439,11 +451,7 @@ mod tests {
     fn non_prefix_scaled_by_fraction() {
         let s = schema();
         let c = conj(&s);
-        let mut set = ScanMonitorSet::new(
-            vec![ScanExprMonitor::atoms(&c, vec![1], None)],
-            1.0,
-            1,
-        );
+        let mut set = ScanMonitorSet::new(vec![ScanExprMonitor::atoms(&c, vec![1], None)], 1.0, 1);
         assert!(set.needs_full_eval());
         for page in 0..4 {
             let sampled = set.start_page();
@@ -467,7 +475,11 @@ mod tests {
             slot.borrow_mut().filter = Some(f);
         }
         let mut set = ScanMonitorSet::new(
-            vec![ScanExprMonitor::semi_join("r1.k=r2.k", Rc::clone(&slot), None)],
+            vec![ScanExprMonitor::semi_join(
+                "r1.k=r2.k",
+                Rc::clone(&slot),
+                None,
+            )],
             1.0,
             2,
         );
@@ -483,7 +495,10 @@ mod tests {
         // expected false-positive mass (tiny here), so allow ~1.
         assert!((0.9..=2.0).contains(&actual), "actual {actual}");
         assert!(set.take_hash_ops() >= 2);
-        assert!(matches!(rep.measurements[0].mechanism, Mechanism::BitVector(_)));
+        assert!(matches!(
+            rep.measurements[0].mechanism,
+            Mechanism::BitVector(_)
+        ));
     }
 
     #[test]

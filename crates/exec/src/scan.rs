@@ -13,12 +13,12 @@ use crate::op::Operator;
 use pf_common::{Datum, PageId, Result, Row, Schema, TableId};
 use pf_storage::{AccessPattern, TableStorage};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A sequential scan over a contiguous page range of one table, with the
 /// query predicate pushed into the storage engine.
 pub struct SeqScan {
-    storage: Rc<TableStorage>,
+    storage: Arc<TableStorage>,
     table_id: TableId,
     predicate: Conjunction,
     monitors: Option<ScanMonitorHandle>,
@@ -51,7 +51,7 @@ pub struct SeqScan {
 impl SeqScan {
     /// A full-table scan.
     pub fn full(
-        storage: Rc<TableStorage>,
+        storage: Arc<TableStorage>,
         table_id: TableId,
         predicate: Conjunction,
         monitors: Option<ScanMonitorHandle>,
@@ -98,7 +98,7 @@ impl SeqScan {
     /// `[lo, hi]` (either bound optional), positioned with one random
     /// I/O then read sequentially.
     pub fn clustered_range(
-        storage: Rc<TableStorage>,
+        storage: Arc<TableStorage>,
         table_id: TableId,
         lo: Option<&Datum>,
         hi: Option<&Datum>,
@@ -170,8 +170,7 @@ impl SeqScan {
                     None => natoms,
                 };
                 ctx.pool.charge_pred_evals(sc_evals as u64);
-                ctx.pool
-                    .charge_extra_pred_evals((natoms - sc_evals) as u64);
+                ctx.pool.charge_extra_pred_evals((natoms - sc_evals) as u64);
                 self.opt_buf.clear();
                 self.opt_buf.extend(self.atom_buf.iter().map(|r| Some(*r)));
                 if let Some(m) = &self.monitors {
@@ -282,8 +281,9 @@ mod tests {
     use pf_common::{Column, DataType};
     use pf_feedback::FeedbackReport;
     use std::cell::RefCell;
+    use std::rc::Rc;
 
-    fn make_table(n: i64) -> Rc<TableStorage> {
+    fn make_table(n: i64) -> Arc<TableStorage> {
         let schema = Schema::new(vec![
             Column::new("id", DataType::Int),
             Column::new("val", DataType::Int),
@@ -298,7 +298,7 @@ mod tests {
                 ])
             })
             .collect();
-        Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap())
+        Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap())
     }
 
     fn lt(storage: &TableStorage, col: &str, v: i64) -> AtomicPredicate {
@@ -309,7 +309,7 @@ mod tests {
     fn full_scan_returns_matching_rows() {
         let t = make_table(500);
         let pred = Conjunction::new(vec![lt(&t, "id", 100)]);
-        let mut scan = SeqScan::full(Rc::clone(&t), TableId(0), pred, None);
+        let mut scan = SeqScan::full(Arc::clone(&t), TableId(0), pred, None);
         let mut ctx = ExecContext::new(1024);
         let rows = drain(&mut scan, &mut ctx).unwrap();
         assert_eq!(rows.len(), 100);
@@ -326,7 +326,7 @@ mod tests {
         let t = make_table(1_000);
         let pred = Conjunction::new(vec![lt(&t, "id", 50)]);
         let mut scan = SeqScan::clustered_range(
-            Rc::clone(&t),
+            Arc::clone(&t),
             TableId(0),
             None,
             Some(&Datum::Int(49)),
@@ -351,7 +351,7 @@ mod tests {
             3,
         )));
         let mut scan = SeqScan::full(
-            Rc::clone(&t),
+            Arc::clone(&t),
             TableId(0),
             pred.clone(),
             Some(Rc::clone(&monitors)),
@@ -386,7 +386,7 @@ mod tests {
             3,
         )));
         let mut scan = SeqScan::full(
-            Rc::clone(&t),
+            Arc::clone(&t),
             TableId(0),
             pred.clone(),
             Some(Rc::clone(&monitors)),
@@ -395,7 +395,11 @@ mod tests {
         run_count(&mut scan, &mut ctx).unwrap();
         let s = ctx.stats();
         // Most rows fail id<10 immediately; monitoring forced val<200.
-        assert!(s.extra_pred_evals > 300, "extra evals {}", s.extra_pred_evals);
+        assert!(
+            s.extra_pred_evals > 300,
+            "extra evals {}",
+            s.extra_pred_evals
+        );
 
         // And the count is exact.
         let mut truth = 0u64;
@@ -416,7 +420,7 @@ mod tests {
     fn no_monitor_means_no_extra_evals() {
         let t = make_table(400);
         let pred = Conjunction::new(vec![lt(&t, "id", 10), lt(&t, "val", 200)]);
-        let mut scan = SeqScan::full(Rc::clone(&t), TableId(0), pred, None);
+        let mut scan = SeqScan::full(Arc::clone(&t), TableId(0), pred, None);
         let mut ctx = ExecContext::new(4096);
         run_count(&mut scan, &mut ctx).unwrap();
         assert_eq!(ctx.stats().extra_pred_evals, 0);
@@ -433,7 +437,7 @@ mod tests {
                 7,
             )));
             let mut scan = SeqScan::full(
-                Rc::clone(&t),
+                Arc::clone(&t),
                 TableId(0),
                 pred.clone(),
                 Some(Rc::clone(&monitors)),
@@ -446,7 +450,10 @@ mod tests {
         };
         let (exact, full_cost) = run(1.0);
         let (sampled, sampled_cost) = run(0.2);
-        assert!(sampled_cost < full_cost / 2, "{sampled_cost} !< {full_cost}/2");
+        assert!(
+            sampled_cost < full_cost / 2,
+            "{sampled_cost} !< {full_cost}/2"
+        );
         let err = (sampled - exact).abs() / exact.max(1.0);
         assert!(err < 0.25, "exact {exact} sampled {sampled}");
     }
@@ -454,7 +461,7 @@ mod tests {
     #[test]
     fn empty_predicate_scans_everything() {
         let t = make_table(100);
-        let mut scan = SeqScan::full(Rc::clone(&t), TableId(0), Conjunction::always_true(), None);
+        let mut scan = SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
         let mut ctx = ExecContext::new(1024);
         assert_eq!(run_count(&mut scan, &mut ctx).unwrap(), 100);
         assert_eq!(ctx.stats().pred_evals, 0);

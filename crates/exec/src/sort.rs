@@ -77,7 +77,7 @@ mod tests {
     use crate::scan::SeqScan;
     use pf_common::{Column, DataType, Datum, TableId};
     use pf_storage::TableStorage;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn sorts_by_key_column() {
@@ -88,8 +88,8 @@ mod tests {
         let rows: Vec<Row> = (0..100)
             .map(|i| Row::new(vec![Datum::Int(i), Datum::Int((i * 37) % 100)]))
             .collect();
-        let t = Rc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap());
-        let scan = SeqScan::full(Rc::clone(&t), TableId(0), Conjunction::always_true(), None);
+        let t = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap());
+        let scan = SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
         let mut sort = Sort::new(Box::new(scan), 1);
         let mut ctx = ExecContext::new(1024);
         let out = drain(&mut sort, &mut ctx).unwrap();
@@ -101,8 +101,8 @@ mod tests {
     #[test]
     fn empty_input() {
         let schema = Schema::new(vec![Column::new("id", DataType::Int)]);
-        let t = Rc::new(TableStorage::bulk_load(schema, &[], Some(0), 512, 1.0).unwrap());
-        let scan = SeqScan::full(Rc::clone(&t), TableId(0), Conjunction::always_true(), None);
+        let t = Arc::new(TableStorage::bulk_load(schema, &[], Some(0), 512, 1.0).unwrap());
+        let scan = SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
         let mut sort = Sort::new(Box::new(scan), 0);
         let mut ctx = ExecContext::new(16);
         assert!(drain(&mut sort, &mut ctx).unwrap().is_empty());

@@ -82,6 +82,26 @@ impl DpSampler {
         self.in_page = false;
     }
 
+    /// Folds a per-worker sampler into this one by summing raw counts and
+    /// page totals; the samplers must use the same fraction (their scaled
+    /// estimates then add exactly). Each worker keeps its own RNG stream,
+    /// so sampling decisions stay independent per partition; `other` may
+    /// still have an open page, which is accounted for as if `finish` had
+    /// been called on it.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.fraction != other.fraction {
+            return Err(Error::InvalidArgument(format!(
+                "cannot merge DPSample estimators with fractions {} and {}",
+                self.fraction, other.fraction
+            )));
+        }
+        self.flush();
+        self.page_count += other.page_count + u64::from(other.in_page && other.current_satisfied);
+        self.pages_seen += other.pages_seen;
+        self.pages_sampled += other.pages_sampled;
+        Ok(())
+    }
+
     /// `PageCount / f` (Fig 4, step 7).
     pub fn estimate(&self) -> f64 {
         self.page_count as f64 / self.fraction

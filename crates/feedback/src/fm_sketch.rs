@@ -20,6 +20,7 @@
 //! in advance.
 
 use pf_common::hash::hash_page;
+use pf_common::{Error, Result};
 
 /// Flajolet–Martin correction constant.
 const PHI: f64 = 0.77351;
@@ -56,6 +57,27 @@ impl FmSketch {
         let rho = rest.trailing_ones().min(63);
         self.bitmaps[idx] |= 1 << rho;
         self.observations += 1;
+    }
+
+    /// Unions `other` into `self` (bitwise OR of the PCSA bitmaps), so
+    /// per-worker sketches over a partitioned PID stream combine into the
+    /// sketch a serial run would have produced. Both sketches must share
+    /// a seed and bitmap count.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.bitmaps.len() != other.bitmaps.len() || self.seed != other.seed {
+            return Err(Error::InvalidArgument(format!(
+                "cannot merge FM sketches: m {} vs {}, seed {} vs {}",
+                self.bitmaps.len(),
+                other.bitmaps.len(),
+                self.seed,
+                other.seed
+            )));
+        }
+        for (b, o) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
+            *b |= o;
+        }
+        self.observations += other.observations;
+        Ok(())
     }
 
     /// Number of bitmaps (memory in words).

@@ -45,6 +45,20 @@ impl GroupedPageCounter {
         }
     }
 
+    /// Folds a per-worker counter into this one by summing the exact
+    /// per-partition counts.
+    ///
+    /// Correct when the workers scanned **disjoint page ranges** (the
+    /// parallel-scan partitioning): distinct counts over disjoint page
+    /// sets add exactly. `other` may still have an open page — it is
+    /// accounted for as if `finish` had been called on it.
+    pub fn merge(&mut self, other: &Self) {
+        self.flush_page();
+        self.count +=
+            other.count + u64::from(other.current_page.is_some() && other.current_satisfied);
+        self.pages_seen += other.pages_seen;
+    }
+
     /// Marks the end of the scan; must be called before reading
     /// [`GroupedPageCounter::count`] (idempotent).
     pub fn finish(&mut self) {

@@ -16,6 +16,7 @@
 //! error is `√m·(e^t − t − 1)/(t·m)` for load factor `t = n/m`.
 
 use pf_common::hash::hash_page;
+use pf_common::{Error, Result};
 
 /// A linear-counting distinct estimator over page ids.
 #[derive(Debug, Clone)]
@@ -24,6 +25,7 @@ pub struct LinearCounter {
     numbits: u64,
     seed: u64,
     observations: u64,
+    last_page: Option<u32>,
 }
 
 impl LinearCounter {
@@ -36,6 +38,7 @@ impl LinearCounter {
             numbits: (words * 64) as u64,
             seed,
             observations: 0,
+            last_page: None,
         }
     }
 
@@ -47,12 +50,39 @@ impl LinearCounter {
     }
 
     /// Observes one fetched row's page id (Fig 3, step 3).
+    ///
+    /// Fetch streams are clustered — runs of rows from the same page are
+    /// common — so consecutive repeats skip the hash entirely: the bit is
+    /// already set and the bitmap state cannot change.
     #[inline]
     pub fn observe(&mut self, page: u32) {
+        self.observations += 1;
+        if self.last_page == Some(page) {
+            return;
+        }
+        self.last_page = Some(page);
         let h = hash_page(page, self.seed);
         let bit = h % self.numbits;
         self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
-        self.observations += 1;
+    }
+
+    /// Unions `other` into `self` (bitwise OR of the bitmaps), so
+    /// per-worker counters over a partitioned PID stream combine into the
+    /// counter a serial run over the whole stream would have produced.
+    /// Both counters must share a seed and bitmap size.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.numbits != other.numbits || self.seed != other.seed {
+            return Err(Error::InvalidArgument(format!(
+                "cannot merge linear counters: numbits {} vs {}, seed {} vs {}",
+                self.numbits, other.numbits, self.seed, other.seed
+            )));
+        }
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+        self.observations += other.observations;
+        self.last_page = None;
+        Ok(())
     }
 
     /// Number of rows observed (not distinct pages).
@@ -89,6 +119,7 @@ impl LinearCounter {
     pub fn reset(&mut self) {
         self.bits.fill(0);
         self.observations = 0;
+        self.last_page = None;
     }
 }
 
@@ -116,7 +147,11 @@ mod tests {
             c.observe(42);
         }
         assert_eq!(c.bits_set(), 1);
-        assert!(c.estimate() >= 0.9 && c.estimate() < 2.0, "{}", c.estimate());
+        assert!(
+            c.estimate() >= 0.9 && c.estimate() < 2.0,
+            "{}",
+            c.estimate()
+        );
     }
 
     #[test]

@@ -142,8 +142,14 @@ mod tests {
 
     #[test]
     fn discrepancy_factor_symmetric() {
-        assert_eq!(m("p", Some(100.0), 1_000.0).discrepancy_factor(), Some(10.0));
-        assert_eq!(m("p", Some(1_000.0), 100.0).discrepancy_factor(), Some(10.0));
+        assert_eq!(
+            m("p", Some(100.0), 1_000.0).discrepancy_factor(),
+            Some(10.0)
+        );
+        assert_eq!(
+            m("p", Some(1_000.0), 100.0).discrepancy_factor(),
+            Some(10.0)
+        );
         assert_eq!(m("p", None, 100.0).discrepancy_factor(), None);
         assert_eq!(m("p", Some(0.0), 100.0).discrepancy_factor(), None);
     }
@@ -173,8 +179,14 @@ mod tests {
 
     #[test]
     fn mechanism_display() {
-        assert_eq!(Mechanism::PageSampling(0.01).to_string(), "page-sampling(f=0.01)");
-        assert_eq!(Mechanism::BitVector(4096).to_string(), "bit-vector(4096 bits)");
+        assert_eq!(
+            Mechanism::PageSampling(0.01).to_string(),
+            "page-sampling(f=0.01)"
+        );
+        assert_eq!(
+            Mechanism::BitVector(4096).to_string(),
+            "bit-vector(4096 bits)"
+        );
         assert_eq!(Mechanism::LinearCounting.to_string(), "linear-counting");
     }
 

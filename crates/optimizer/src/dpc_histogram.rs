@@ -210,7 +210,10 @@ mod tests {
         h.observe(0.0, 3_000.0, rows, cardenas(rows, pages), pages);
         let est = h.estimate(500.0, 2_000.0, 1_500.0, pages).unwrap();
         let analytic = cardenas(1_500.0, pages);
-        assert!((est - analytic).abs() / analytic < 0.05, "{est} vs {analytic}");
+        assert!(
+            (est - analytic).abs() / analytic < 0.05,
+            "{est} vs {analytic}"
+        );
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub fn yao(n: u64, rows: u64, pages: u64) -> f64 {
     let rows_f = rows as f64;
     let per_page = rows_f / pages as f64;
     let m = rows_f - per_page; // rows not on a given page
-    // ∏ (m − i)/(rows − i) for i in 0..n  — in log space for stability.
+                               // ∏ (m − i)/(rows − i) for i in 0..n  — in log space for stability.
     let mut log_prod = 0.0f64;
     for i in 0..n {
         let num = m - i as f64;

@@ -15,7 +15,12 @@ use pf_feedback::FeedbackReport;
 use std::collections::HashMap;
 
 /// Canonical key for a join predicate `outer.oc = inner.ic`.
-pub fn join_expr_key(outer_table: &str, outer_col: &str, inner_table: &str, inner_col: &str) -> String {
+pub fn join_expr_key(
+    outer_table: &str,
+    outer_col: &str,
+    inner_table: &str,
+    inner_col: &str,
+) -> String {
     format!("{outer_table}.{outer_col}={inner_table}.{inner_col}")
 }
 

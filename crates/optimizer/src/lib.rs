@@ -28,8 +28,8 @@ pub mod plan;
 pub mod stats;
 
 pub use cardinality::CardinalityEstimator;
-pub use dpc_histogram::DpcHistogram;
 pub use cost::CostModel;
+pub use dpc_histogram::DpcHistogram;
 pub use hints::{join_dpc_key, join_expr_key, HintSet};
 pub use optimizer::Optimizer;
 pub use plan::{AccessPath, JoinMethod, JoinPlan, JoinSpec, SingleTablePlan};

@@ -123,11 +123,7 @@ impl<'a> Optimizer<'a> {
         // 3. Index seeks, one candidate per indexed column group.
         let indexed: Vec<(&Vec<usize>, &pf_storage::IndexMeta)> = groups
             .iter()
-            .filter_map(|(c, idx)| {
-                self.catalog
-                    .index_on_column(table, *c)
-                    .map(|ix| (idx, ix))
-            })
+            .filter_map(|(c, idx)| self.catalog.index_on_column(table, *c).map(|ix| (idx, ix)))
             .collect();
         for (idx, ix) in &indexed {
             let n = est.rows_of(pred, idx);
@@ -139,9 +135,7 @@ impl<'a> Optimizer<'a> {
                     index: ix.id,
                     atoms: (*idx).clone(),
                 },
-                cost_ms: self
-                    .cost
-                    .index_seek(ix.height, n, dpc, natoms - idx.len()),
+                cost_ms: self.cost.index_seek(ix.height, n, dpc, natoms - idx.len()),
                 est_rows: out_rows,
                 est_dpc: Some(dpc),
                 dpc_source: src,
@@ -177,8 +171,7 @@ impl<'a> Optimizer<'a> {
             for (idx_b, ix_b) in indexed.iter().skip(x + 1) {
                 let rows_a = est.rows_of(pred, idx_a);
                 let rows_b = est.rows_of(pred, idx_b);
-                let mut both: Vec<usize> =
-                    idx_a.iter().chain(idx_b.iter()).copied().collect();
+                let mut both: Vec<usize> = idx_a.iter().chain(idx_b.iter()).copied().collect();
                 both.sort_unstable();
                 let inter = est.rows_of(pred, &both);
                 let key = pred.key_of(&both);
@@ -268,7 +261,10 @@ impl<'a> Optimizer<'a> {
         });
 
         // INL join: requires an index on the inner join column.
-        if let Some(ix) = self.catalog.index_on_column(spec.inner, spec.inner_join_col) {
+        if let Some(ix) = self
+            .catalog
+            .index_on_column(spec.inner, spec.inner_join_col)
+        {
             let jkey = join_dpc_key(
                 &outer_meta.name,
                 &outer_meta.schema().column(spec.outer_join_col).name,
@@ -505,8 +501,8 @@ mod tests {
             outer: t1,
             inner: id,
             outer_pred: lt(&cat, t1, "c1", 400),
-            outer_join_col: 1,  // T1.c2
-            inner_join_col: 1,  // T.c2 (indexed)
+            outer_join_col: 1, // T1.c2
+            inner_join_col: 1, // T.c2 (indexed)
         };
         // Analytical: scattered pages ⇒ Hash wins.
         let hints = HintSet::new();

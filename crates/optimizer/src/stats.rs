@@ -120,7 +120,10 @@ impl DbStats {
             }
             tables.insert(
                 t.id,
-                columns.iter().map(|vals| ColumnStats::build(vals)).collect(),
+                columns
+                    .iter()
+                    .map(|vals| ColumnStats::build(vals))
+                    .collect(),
             );
         }
         Ok(DbStats { tables })

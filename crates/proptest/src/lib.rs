@@ -1,0 +1,465 @@
+//! A minimal, dependency-free property-testing harness exposing the subset
+//! of the `proptest` crate's API that this workspace uses.
+//!
+//! The workspace builds in fully offline environments, so the test suite
+//! cannot pull the real `proptest` from a registry. This shim keeps the
+//! test sources byte-compatible: `use proptest::prelude::*`, the
+//! `proptest! { #[test] fn ... }` macro, `Strategy`/`prop_map`,
+//! `any::<T>()`, `prop_oneof!`, `Just`, simple `[class]{m,n}` string
+//! regexes, numeric `Range` strategies, tuple strategies, and
+//! `prop::collection::{vec, hash_set}` all behave the way the tests
+//! expect. Generation is deterministic per test name (no global RNG), and
+//! the case count honors `PROPTEST_CASES`.
+
+pub mod rng {
+    /// SplitMix64 — small, fast, and deterministic across platforms.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::rng::TestRng;
+    use std::ops::Range;
+
+    /// Value-generation strategy. Unlike real proptest there is no
+    /// shrinking: a failing case reports its deterministic seed instead.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty => $u:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u);
+                    (self.start as $u).wrapping_add((rng.next_u64() as $u) % span) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(
+        i16 => u16,
+        u16 => u16,
+        i32 => u32,
+        u32 => u32,
+        i64 => u64,
+        u64 => u64,
+        isize => u64,
+        usize => u64,
+    );
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String strategies from `[class]{m,n}` character-class regexes — the
+    /// only regex form the workspace's tests use.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_class_regex(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+        fn fail(pattern: &str) -> ! {
+            panic!("shim proptest only supports `[class]{{m,n}}` regexes, got {pattern:?}")
+        }
+        let rest = pattern.strip_prefix('[').unwrap_or_else(|| fail(pattern));
+        let (class, counts) = rest.split_once(']').unwrap_or_else(|| fail(pattern));
+        let counts = counts
+            .strip_prefix('{')
+            .and_then(|c| c.strip_suffix('}'))
+            .unwrap_or_else(|| fail(pattern));
+        let (lo, hi) = counts.split_once(',').unwrap_or_else(|| fail(pattern));
+        let lo: usize = lo.trim().parse().unwrap_or_else(|_| fail(pattern));
+        let hi: usize = hi.trim().parse().unwrap_or_else(|_| fail(pattern));
+        assert!(lo <= hi, "bad repetition bounds in {pattern:?}");
+
+        let mut chars = Vec::new();
+        let src: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < src.len() {
+            if i + 2 < src.len() && src[i + 1] == '-' {
+                let (a, b) = (src[i] as u32, src[i + 2] as u32);
+                assert!(a <= b, "bad char range in {pattern:?}");
+                chars.extend((a..=b).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(src[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty character class in {pattern:?}");
+        (chars, lo, hi)
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    /// `any::<T>()` — the full domain of `T` (finite values for floats).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(i16, u16, i32, u32, i64, u64, isize, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Arbitrary bit patterns, but keep the values finite so
+            // generated data can round-trip through comparisons.
+            loop {
+                let f = f64::from_bits(rng.next_u64());
+                if f.is_finite() {
+                    return f;
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` with a length drawn from `size` and elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` with a target size drawn from `size`. The element
+    /// domain must be large enough to reach the target distinct count.
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * n + 1_000,
+                    "hash_set strategy could not reach {n} distinct elements"
+                );
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::rng::TestRng;
+    use std::fmt;
+
+    /// A failed property assertion (from `prop_assert!`-family macros).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive a property: `cases` deterministic seeds derived from the test
+    /// name, panicking with the failing case index on the first error.
+    pub fn run<F>(name: &str, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases: u64 = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let base = fnv1a(name.as_bytes());
+        for case in 0..cases {
+            let mut rng = TestRng::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if let Err(e) = property(&mut rng) {
+                panic!("property `{name}` failed at case {case}/{cases}: {e}");
+            }
+        }
+    }
+}
+
+/// Define property tests: each argument is drawn from its strategy and the
+/// body runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}

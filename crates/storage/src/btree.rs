@@ -104,26 +104,24 @@ impl BPlusTree {
 
     fn insert_rec(&mut self, node: usize, key: Datum, rid: Rid) -> Option<(Datum, usize)> {
         match &mut self.arena[node] {
-            Node::Leaf { keys, postings, .. } => {
-                match keys.binary_search_by(|k| dcmp(k, &key)) {
-                    Ok(i) => {
-                        postings[i].push(rid);
-                        self.entry_count += 1;
+            Node::Leaf { keys, postings, .. } => match keys.binary_search_by(|k| dcmp(k, &key)) {
+                Ok(i) => {
+                    postings[i].push(rid);
+                    self.entry_count += 1;
+                    None
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    postings.insert(i, vec![rid]);
+                    self.len += 1;
+                    self.entry_count += 1;
+                    if keys.len() > self.order {
+                        Some(self.split_leaf(node))
+                    } else {
                         None
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        postings.insert(i, vec![rid]);
-                        self.len += 1;
-                        self.entry_count += 1;
-                        if keys.len() > self.order {
-                            Some(self.split_leaf(node))
-                        } else {
-                            None
-                        }
-                    }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| dcmp(k, &key) != Ordering::Greater);
                 let child = children[idx];
@@ -175,7 +173,9 @@ impl BPlusTree {
         let mid = keys.len() / 2;
         // keys[mid] moves up as the separator.
         let right_keys = keys.split_off(mid + 1);
-        let sep = keys.pop().expect("internal node splitting must have a middle key");
+        let sep = keys
+            .pop()
+            .expect("internal node splitting must have a middle key");
         let right_children = children.split_off(mid + 1);
         self.arena.push(Node::Internal {
             keys: right_keys,
@@ -235,11 +235,7 @@ impl BPlusTree {
     }
 
     /// Iterates `(key, rids)` for keys within the given bounds, in key order.
-    pub fn range<'a>(
-        &'a self,
-        lo: Bound<&'a Datum>,
-        hi: Bound<&'a Datum>,
-    ) -> RangeIter<'a> {
+    pub fn range<'a>(&'a self, lo: Bound<&'a Datum>, hi: Bound<&'a Datum>) -> RangeIter<'a> {
         // Descend to the leaf that may hold the lower bound.
         let mut node = self.root;
         loop {
@@ -314,7 +310,11 @@ impl BPlusTree {
             match node {
                 Node::Leaf { keys, postings, .. } => {
                     if keys.len() != postings.len() {
-                        problems.push(format!("leaf {i}: {} keys, {} postings", keys.len(), postings.len()));
+                        problems.push(format!(
+                            "leaf {i}: {} keys, {} postings",
+                            keys.len(),
+                            postings.len()
+                        ));
                     }
                     if postings.iter().any(Vec::is_empty) {
                         problems.push(format!("leaf {i}: empty posting list"));

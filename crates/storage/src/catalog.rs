@@ -4,7 +4,7 @@ use crate::btree::BPlusTree;
 use crate::page::DEFAULT_PAGE_SIZE;
 use crate::table::TableStorage;
 use pf_common::{Error, IndexId, Result, Row, Schema, TableId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Catalog-level statistics for a table (what `sys.dm_db_partition_stats`
 /// would expose): the inputs to both the analytical DPC models and the
@@ -27,7 +27,7 @@ pub struct TableMeta {
     /// Unique name.
     pub name: String,
     /// Physical storage (pages).
-    pub storage: Rc<TableStorage>,
+    pub storage: Arc<TableStorage>,
     /// Statistics captured at load time.
     pub stats: TableStats,
 }
@@ -51,7 +51,7 @@ pub struct IndexMeta {
     /// Ordinal of the key column in the table schema.
     pub key_column: usize,
     /// The B+-tree (`key -> RIDs`).
-    pub tree: Rc<BPlusTree>,
+    pub tree: Arc<BPlusTree>,
     /// Estimated leaf pages (for index I/O costing).
     pub leaf_pages: u32,
     /// Tree height (root to leaf).
@@ -88,7 +88,7 @@ impl Catalog {
         self.tables.push(TableMeta {
             id,
             name,
-            storage: Rc::new(storage),
+            storage: Arc::new(storage),
             stats,
         });
         Ok(id)
@@ -109,7 +109,7 @@ impl Catalog {
         }
         let meta = self.table(table)?;
         let col = meta.schema().index_of(column)?;
-        let storage = Rc::clone(&meta.storage);
+        let storage = Arc::clone(&meta.storage);
 
         let mut tree = BPlusTree::new();
         let mut key_bytes_total = 0usize;
@@ -133,7 +133,7 @@ impl Catalog {
             name,
             table,
             key_column: col,
-            tree: Rc::new(tree),
+            tree: Arc::new(tree),
             leaf_pages,
             height,
         });
@@ -396,7 +396,10 @@ mod tests {
         assert!(cat.index_on_column(id, 0).is_none());
         assert!(cat.index_by_name("a").is_ok());
         assert!(cat.index_by_name("zz").is_err());
-        assert!(cat.create_index("a", id, "perm").is_err(), "duplicate index name");
+        assert!(
+            cat.create_index("a", id, "perm").is_err(),
+            "duplicate index name"
+        );
     }
 
     #[test]

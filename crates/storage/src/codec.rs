@@ -22,9 +22,8 @@ pub fn encode_row(schema: &Schema, row: &Row, out: &mut Vec<u8>) -> Result<()> {
             Datum::Float(v) => out.extend_from_slice(&v.to_bits().to_le_bytes()),
             Datum::Date(v) => out.extend_from_slice(&v.to_le_bytes()),
             Datum::Str(s) => {
-                let len = u32::try_from(s.len()).map_err(|_| {
-                    Error::InvalidArgument("string exceeds u32::MAX bytes".into())
-                })?;
+                let len = u32::try_from(s.len())
+                    .map_err(|_| Error::InvalidArgument("string exceeds u32::MAX bytes".into()))?;
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(s.as_bytes());
             }

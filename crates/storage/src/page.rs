@@ -39,7 +39,10 @@ impl Page {
             page_size > HEADER_SIZE + SLOT_SIZE,
             "page size too small: {page_size}"
         );
-        assert!(page_size <= u16::MAX as usize, "page size exceeds u16 addressing");
+        assert!(
+            page_size <= u16::MAX as usize,
+            "page size exceeds u16 addressing"
+        );
         Page {
             data: vec![0u8; page_size].into_boxed_slice(),
             slot_count: 0,
@@ -85,8 +88,7 @@ impl Page {
 
         let slot = self.slot_count;
         let dir_pos = self.data.len() - SLOT_SIZE * (slot as usize + 1);
-        self.data[dir_pos..dir_pos + SLOT_SIZE]
-            .copy_from_slice(&(offset as u16).to_le_bytes());
+        self.data[dir_pos..dir_pos + SLOT_SIZE].copy_from_slice(&(offset as u16).to_le_bytes());
         self.slot_count += 1;
         Ok(SlotId(slot))
     }
@@ -100,8 +102,7 @@ impl Page {
             });
         }
         let dir_pos = self.data.len() - SLOT_SIZE * (slot.0 as usize + 1);
-        let offset =
-            u16::from_le_bytes([self.data[dir_pos], self.data[dir_pos + 1]]) as usize;
+        let offset = u16::from_le_bytes([self.data[dir_pos], self.data[dir_pos + 1]]) as usize;
         let (row, _) = codec::decode_row(schema, &self.data[offset..])?;
         Ok(row)
     }

@@ -26,7 +26,10 @@ pub fn scattered_permutation(n: usize, p: f64, seed: u64) -> Vec<i64> {
 /// chosen at random and their values shuffled among themselves
 /// (`p = 1` is a full shuffle). Composable with other disorder models.
 pub fn scatter_values(values: &mut [i64], p: f64, seed: u64) {
-    assert!((0.0..=1.0).contains(&p), "scatter fraction out of range: {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "scatter fraction out of range: {p}"
+    );
     let n = values.len();
     if p <= 0.0 || n < 2 {
         return;
@@ -110,7 +113,11 @@ mod tests {
 
     /// Fraction of positions whose value moved.
     fn displaced_fraction(v: &[i64]) -> f64 {
-        let moved = v.iter().enumerate().filter(|(i, &x)| *i as i64 != x).count();
+        let moved = v
+            .iter()
+            .enumerate()
+            .filter(|(i, &x)| *i as i64 != x)
+            .count();
         moved as f64 / v.len() as f64
     }
 
@@ -152,7 +159,10 @@ mod tests {
         let v = windowed_permutation(5_000, w, 9);
         assert!(is_permutation(&v));
         for (i, &x) in v.iter().enumerate() {
-            assert!((i as i64 - x).unsigned_abs() < w as u64, "pos {i} value {x}");
+            assert!(
+                (i as i64 - x).unsigned_abs() < w as u64,
+                "pos {i} value {x}"
+            );
         }
     }
 

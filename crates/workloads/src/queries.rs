@@ -157,11 +157,8 @@ mod tests {
         let s = ColumnSampler::build(&db, "T", "c5").unwrap();
         let v = s.quantile(0.05);
         let schema = db.catalog().table_by_name("T").unwrap().schema().clone();
-        let pred = Query::resolve_predicates(
-            &[PredSpec::new("c5", CompareOp::Lt, v)],
-            &schema,
-        )
-        .unwrap();
+        let pred =
+            Query::resolve_predicates(&[PredSpec::new("c5", CompareOp::Lt, v)], &schema).unwrap();
         let n = db.true_cardinality("T", &pred).unwrap();
         let frac = n as f64 / 10_000.0;
         assert!((0.03..0.07).contains(&frac), "fraction {frac}");
@@ -170,13 +167,11 @@ mod tests {
     #[test]
     fn single_table_workload_shape_and_selectivities() {
         let db = small_db();
-        let qs =
-            single_table_workload(&db, "T", &["c2", "c5"], 5, (0.01, 0.10), 9).unwrap();
+        let qs = single_table_workload(&db, "T", &["c2", "c5"], 5, (0.01, 0.10), 9).unwrap();
         assert_eq!(qs.len(), 10);
         for q in &qs {
-            let Query::Count { table, predicate, .. } = q else {
-                panic!("expected single-table query")
-            };
+            let (table, predicate, _) = q.as_count().expect("single-table workload");
+            assert!(q.as_join().is_err(), "shape accessors are exclusive");
             assert_eq!(table, "T");
             assert_eq!(predicate.len(), 1);
             let out = db.run(q, &MonitorConfig::off()).unwrap();
@@ -198,13 +193,10 @@ mod tests {
     #[test]
     fn multi_predicate_workload_increasing_arity() {
         let db = small_db();
-        let qs =
-            multi_predicate_workload(&db, "T", &["c2", "c3", "c4", "c5"], 0.5, 1).unwrap();
+        let qs = multi_predicate_workload(&db, "T", &["c2", "c3", "c4", "c5"], 0.5, 1).unwrap();
         assert_eq!(qs.len(), 4);
         for (i, q) in qs.iter().enumerate() {
-            let Query::Count { predicate, .. } = q else {
-                panic!()
-            };
+            let (_, predicate, _) = q.as_count().expect("single-table workload");
             assert_eq!(predicate.len(), i + 1);
         }
     }

@@ -38,7 +38,10 @@ fn main() -> Result<()> {
     println!("--- training: 8 monitored reporting queries on c2 ---");
     for i in 0..8 {
         let lo = i * 10_000;
-        let out = db.feedback_loop(&range_query("c2", lo, lo + 10_000), &MonitorConfig::default())?;
+        let out = db.feedback_loop(
+            &range_query("c2", lo, lo + 10_000),
+            &MonitorConfig::default(),
+        )?;
         println!(
             "  trained on c2 ∈ [{lo}, {}): {} -> {}",
             lo + 10_000,

@@ -41,7 +41,10 @@ fn main() -> Result<()> {
     );
 
     let cfg = MonitorConfig::sampled(0.25); // DPSample on the probe scan
-    for (name, q) in [("clustered (c2)", &clustered_join), ("scattered (c5)", &scattered_join)] {
+    for (name, q) in [
+        ("clustered (c2)", &clustered_join),
+        ("scattered (c5)", &scattered_join),
+    ] {
         let out = db.feedback_loop(q, &cfg)?;
         println!("--- join on {name} ---");
         println!("rows joined:   {}", out.before.count);

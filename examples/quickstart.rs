@@ -58,10 +58,10 @@ fn main() -> Result<()> {
         outcome.after.elapsed_ms,
         outcome.speedup() * 100.0
     );
+    println!("monitoring overhead: {:.2}%", outcome.overhead() * 100.0);
     println!(
-        "monitoring overhead: {:.2}%",
-        outcome.overhead() * 100.0
+        "\nstatistics-xml style feedback report:\n{}",
+        outcome.report
     );
-    println!("\nstatistics-xml style feedback report:\n{}", outcome.report);
     Ok(())
 }

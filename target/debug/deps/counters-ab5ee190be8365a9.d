@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/counters-ab5ee190be8365a9.d: crates/bench/benches/counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcounters-ab5ee190be8365a9.rmeta: crates/bench/benches/counters.rs Cargo.toml
+
+crates/bench/benches/counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

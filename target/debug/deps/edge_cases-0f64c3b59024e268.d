@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-0f64c3b59024e268.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-0f64c3b59024e268: tests/edge_cases.rs
+
+tests/edge_cases.rs:

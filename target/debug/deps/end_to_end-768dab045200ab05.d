@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-768dab045200ab05.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-768dab045200ab05: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-3d4d1e846ab61759.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-3d4d1e846ab61759: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitors-9ee7cd276bda2d7d.d: crates/bench/benches/monitors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitors-9ee7cd276bda2d7d.rmeta: crates/bench/benches/monitors.rs Cargo.toml
+
+crates/bench/benches/monitors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

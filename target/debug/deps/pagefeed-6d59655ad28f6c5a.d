@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pagefeed-6d59655ad28f6c5a.d: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/dba.rs crates/core/src/feedback_loop.rs crates/core/src/histogram_cache.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/snapshot.rs crates/core/src/sql.rs
+
+/root/repo/target/debug/deps/pagefeed-6d59655ad28f6c5a: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/dba.rs crates/core/src/feedback_loop.rs crates/core/src/histogram_cache.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/snapshot.rs crates/core/src/sql.rs
+
+crates/core/src/lib.rs:
+crates/core/src/db.rs:
+crates/core/src/dba.rs:
+crates/core/src/feedback_loop.rs:
+crates/core/src/histogram_cache.rs:
+crates/core/src/parallel.rs:
+crates/core/src/planner.rs:
+crates/core/src/query.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/sql.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pagefeed-f845ba590c7bb965.d: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/dba.rs crates/core/src/feedback_loop.rs crates/core/src/histogram_cache.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/snapshot.rs crates/core/src/sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagefeed-f845ba590c7bb965.rmeta: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/dba.rs crates/core/src/feedback_loop.rs crates/core/src/histogram_cache.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/snapshot.rs crates/core/src/sql.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/db.rs:
+crates/core/src/dba.rs:
+crates/core/src/feedback_loop.rs:
+crates/core/src/histogram_cache.rs:
+crates/core/src/parallel.rs:
+crates/core/src/planner.rs:
+crates/core/src/query.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pagefeed_cli-132291d40881e077.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/pagefeed_cli-132291d40881e077: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

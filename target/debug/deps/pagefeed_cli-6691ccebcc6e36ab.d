@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pagefeed_cli-6691ccebcc6e36ab.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagefeed_cli-6691ccebcc6e36ab.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

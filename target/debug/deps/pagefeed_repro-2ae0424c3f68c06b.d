@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pagefeed_repro-2ae0424c3f68c06b.d: src/lib.rs
+
+/root/repo/target/debug/deps/pagefeed_repro-2ae0424c3f68c06b: src/lib.rs
+
+src/lib.rs:

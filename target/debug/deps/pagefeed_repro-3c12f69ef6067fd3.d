@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pagefeed_repro-3c12f69ef6067fd3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpagefeed_repro-3c12f69ef6067fd3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpagefeed_repro-3c12f69ef6067fd3.rmeta: src/lib.rs
+
+src/lib.rs:

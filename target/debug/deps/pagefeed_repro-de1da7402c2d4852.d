@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pagefeed_repro-de1da7402c2d4852.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagefeed_repro-de1da7402c2d4852.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pagefeed_repro-e71c09a0bd424fb6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagefeed_repro-e71c09a0bd424fb6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

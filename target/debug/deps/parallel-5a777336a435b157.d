@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-5a777336a435b157.d: tests/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-5a777336a435b157.rmeta: tests/parallel.rs Cargo.toml
+
+tests/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

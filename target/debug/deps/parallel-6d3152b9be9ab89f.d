@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-6d3152b9be9ab89f.d: tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-6d3152b9be9ab89f: tests/parallel.rs
+
+tests/parallel.rs:

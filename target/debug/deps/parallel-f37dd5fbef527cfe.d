@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parallel-f37dd5fbef527cfe.d: crates/bench/benches/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-f37dd5fbef527cfe.rmeta: crates/bench/benches/parallel.rs Cargo.toml
+
+crates/bench/benches/parallel.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pf_bench-d54649d934f627ca.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table1.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/libpf_bench-d54649d934f627ca.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table1.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/libpf_bench-d54649d934f627ca.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table1.rs crates/bench/src/util.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/util.rs:

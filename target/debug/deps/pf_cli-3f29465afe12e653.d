@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pf_cli-3f29465afe12e653.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/pf_cli-3f29465afe12e653: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pf_cli-714816af0ecde0e9.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpf_cli-714816af0ecde0e9.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

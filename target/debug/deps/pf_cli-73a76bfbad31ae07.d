@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pf_cli-73a76bfbad31ae07.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libpf_cli-73a76bfbad31ae07.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libpf_cli-73a76bfbad31ae07.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pf_cli-b355d45e59a33bd7.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpf_cli-b355d45e59a33bd7.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pf_common-0d51c03da190a9ff.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpf_common-0d51c03da190a9ff.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs Cargo.toml
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pf_common-43cf5045aceda9f0.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/pf_common-43cf5045aceda9f0: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pf_common-791410463db9579b.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libpf_common-791410463db9579b.rlib: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/debug/deps/libpf_common-791410463db9579b.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

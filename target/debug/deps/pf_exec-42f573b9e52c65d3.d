@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pf_exec-42f573b9e52c65d3.d: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+/root/repo/target/debug/deps/libpf_exec-42f573b9e52c65d3.rlib: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+/root/repo/target/debug/deps/libpf_exec-42f573b9e52c65d3.rmeta: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/agg.rs:
+crates/exec/src/context.rs:
+crates/exec/src/expr.rs:
+crates/exec/src/index.rs:
+crates/exec/src/join.rs:
+crates/exec/src/monitor.rs:
+crates/exec/src/op.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sort.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pf_exec-4450f478e9869187.d: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpf_exec-4450f478e9869187.rmeta: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/agg.rs:
+crates/exec/src/context.rs:
+crates/exec/src/expr.rs:
+crates/exec/src/index.rs:
+crates/exec/src/join.rs:
+crates/exec/src/monitor.rs:
+crates/exec/src/op.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pf_exec-f0a0cc47e08c0335.d: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+/root/repo/target/debug/deps/pf_exec-f0a0cc47e08c0335: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/agg.rs:
+crates/exec/src/context.rs:
+crates/exec/src/expr.rs:
+crates/exec/src/index.rs:
+crates/exec/src/join.rs:
+crates/exec/src/monitor.rs:
+crates/exec/src/op.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sort.rs:

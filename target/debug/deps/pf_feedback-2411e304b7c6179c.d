@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pf_feedback-2411e304b7c6179c.d: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpf_feedback-2411e304b7c6179c.rmeta: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs Cargo.toml
+
+crates/feedback/src/lib.rs:
+crates/feedback/src/bitvector.rs:
+crates/feedback/src/clustering_ratio.rs:
+crates/feedback/src/distinct_estimators.rs:
+crates/feedback/src/dpsample.rs:
+crates/feedback/src/fm_sketch.rs:
+crates/feedback/src/grouped_counter.rs:
+crates/feedback/src/linear_counter.rs:
+crates/feedback/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pf_feedback-dbe96fab1bd1dc00.d: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+/root/repo/target/debug/deps/libpf_feedback-dbe96fab1bd1dc00.rlib: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+/root/repo/target/debug/deps/libpf_feedback-dbe96fab1bd1dc00.rmeta: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+crates/feedback/src/lib.rs:
+crates/feedback/src/bitvector.rs:
+crates/feedback/src/clustering_ratio.rs:
+crates/feedback/src/distinct_estimators.rs:
+crates/feedback/src/dpsample.rs:
+crates/feedback/src/fm_sketch.rs:
+crates/feedback/src/grouped_counter.rs:
+crates/feedback/src/linear_counter.rs:
+crates/feedback/src/report.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pf_optimizer-9f05eeeea63b97f0.d: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpf_optimizer-9f05eeeea63b97f0.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs Cargo.toml
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/cardinality.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/dpc_histogram.rs:
+crates/optimizer/src/dpc_model.rs:
+crates/optimizer/src/hints.rs:
+crates/optimizer/src/histogram.rs:
+crates/optimizer/src/optimizer.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pf_optimizer-af6be6071b5589b1.d: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+/root/repo/target/debug/deps/pf_optimizer-af6be6071b5589b1: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/cardinality.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/dpc_histogram.rs:
+crates/optimizer/src/dpc_model.rs:
+crates/optimizer/src/hints.rs:
+crates/optimizer/src/histogram.rs:
+crates/optimizer/src/optimizer.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/stats.rs:

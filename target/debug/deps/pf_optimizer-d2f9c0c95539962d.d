@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pf_optimizer-d2f9c0c95539962d.d: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+/root/repo/target/debug/deps/libpf_optimizer-d2f9c0c95539962d.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+/root/repo/target/debug/deps/libpf_optimizer-d2f9c0c95539962d.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/cardinality.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/dpc_histogram.rs:
+crates/optimizer/src/dpc_model.rs:
+crates/optimizer/src/hints.rs:
+crates/optimizer/src/histogram.rs:
+crates/optimizer/src/optimizer.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/stats.rs:

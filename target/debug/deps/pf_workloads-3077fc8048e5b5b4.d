@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pf_workloads-3077fc8048e5b5b4.d: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/pf_workloads-3077fc8048e5b5b4: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/perm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/realworld.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

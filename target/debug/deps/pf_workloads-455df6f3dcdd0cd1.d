@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pf_workloads-455df6f3dcdd0cd1.d: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpf_workloads-455df6f3dcdd0cd1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/perm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/realworld.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pf_workloads-963c08abaa79f191.d: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libpf_workloads-963c08abaa79f191.rlib: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libpf_workloads-963c08abaa79f191.rmeta: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/perm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/realworld.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7d667b8c2084587a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7d667b8c2084587a: tests/properties.rs
+
+tests/properties.rs:

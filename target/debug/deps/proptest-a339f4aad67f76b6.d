@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a339f4aad67f76b6.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a339f4aad67f76b6.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a339f4aad67f76b6.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b7875e8bec7d4f8b.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b7875e8bec7d4f8b: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d35f0d6fddd9884c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d35f0d6fddd9884c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

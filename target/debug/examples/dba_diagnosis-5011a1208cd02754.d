@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dba_diagnosis-5011a1208cd02754.d: examples/dba_diagnosis.rs
+
+/root/repo/target/debug/examples/dba_diagnosis-5011a1208cd02754: examples/dba_diagnosis.rs
+
+examples/dba_diagnosis.rs:

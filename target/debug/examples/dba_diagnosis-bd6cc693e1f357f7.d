@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dba_diagnosis-bd6cc693e1f357f7.d: examples/dba_diagnosis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdba_diagnosis-bd6cc693e1f357f7.rmeta: examples/dba_diagnosis.rs Cargo.toml
+
+examples/dba_diagnosis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

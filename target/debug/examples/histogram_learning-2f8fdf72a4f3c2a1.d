@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/histogram_learning-2f8fdf72a4f3c2a1.d: examples/histogram_learning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhistogram_learning-2f8fdf72a4f3c2a1.rmeta: examples/histogram_learning.rs Cargo.toml
+
+examples/histogram_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

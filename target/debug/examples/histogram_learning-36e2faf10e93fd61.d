@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram_learning-36e2faf10e93fd61.d: examples/histogram_learning.rs
+
+/root/repo/target/debug/examples/histogram_learning-36e2faf10e93fd61: examples/histogram_learning.rs
+
+examples/histogram_learning.rs:

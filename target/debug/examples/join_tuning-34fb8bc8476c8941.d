@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/join_tuning-34fb8bc8476c8941.d: examples/join_tuning.rs
+
+/root/repo/target/debug/examples/join_tuning-34fb8bc8476c8941: examples/join_tuning.rs
+
+examples/join_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/join_tuning-7968b31f6b9bcdbd.d: examples/join_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjoin_tuning-7968b31f6b9bcdbd.rmeta: examples/join_tuning.rs Cargo.toml
+
+examples/join_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2a63617011113bf6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2a63617011113bf6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/self_tuning-2a32d19d98749e4e.d: examples/self_tuning.rs
+
+/root/repo/target/debug/examples/self_tuning-2a32d19d98749e4e: examples/self_tuning.rs
+
+examples/self_tuning.rs:

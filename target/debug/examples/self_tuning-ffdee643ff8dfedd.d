@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/self_tuning-ffdee643ff8dfedd.d: examples/self_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libself_tuning-ffdee643ff8dfedd.rmeta: examples/self_tuning.rs Cargo.toml
+
+examples/self_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

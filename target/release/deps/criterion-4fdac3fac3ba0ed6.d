@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-4fdac3fac3ba0ed6.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-4fdac3fac3ba0ed6.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-4fdac3fac3ba0ed6.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

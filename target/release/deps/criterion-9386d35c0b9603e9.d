@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9386d35c0b9603e9.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9386d35c0b9603e9.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9386d35c0b9603e9.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

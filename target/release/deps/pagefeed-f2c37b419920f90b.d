@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pagefeed-f2c37b419920f90b.d: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/dba.rs crates/core/src/feedback_loop.rs crates/core/src/histogram_cache.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/snapshot.rs crates/core/src/sql.rs
+
+/root/repo/target/release/deps/libpagefeed-f2c37b419920f90b.rlib: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/dba.rs crates/core/src/feedback_loop.rs crates/core/src/histogram_cache.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/snapshot.rs crates/core/src/sql.rs
+
+/root/repo/target/release/deps/libpagefeed-f2c37b419920f90b.rmeta: crates/core/src/lib.rs crates/core/src/db.rs crates/core/src/dba.rs crates/core/src/feedback_loop.rs crates/core/src/histogram_cache.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/snapshot.rs crates/core/src/sql.rs
+
+crates/core/src/lib.rs:
+crates/core/src/db.rs:
+crates/core/src/dba.rs:
+crates/core/src/feedback_loop.rs:
+crates/core/src/histogram_cache.rs:
+crates/core/src/parallel.rs:
+crates/core/src/planner.rs:
+crates/core/src/query.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pagefeed_cli-68b3a75d632fe2e4.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/pagefeed_cli-68b3a75d632fe2e4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

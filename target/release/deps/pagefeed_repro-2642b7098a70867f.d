@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pagefeed_repro-2642b7098a70867f.d: src/lib.rs
+
+/root/repo/target/release/deps/libpagefeed_repro-2642b7098a70867f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpagefeed_repro-2642b7098a70867f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parallel-4460ca70cf99a442.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/release/deps/parallel-4460ca70cf99a442: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pf_cli-9b56f6704d802b76.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libpf_cli-9b56f6704d802b76.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libpf_cli-9b56f6704d802b76.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

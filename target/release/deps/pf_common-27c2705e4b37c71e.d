@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pf_common-27c2705e4b37c71e.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libpf_common-27c2705e4b37c71e.rlib: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/libpf_common-27c2705e4b37c71e.rmeta: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pf_exec-4ed8bf29d7dedc45.d: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+/root/repo/target/release/deps/libpf_exec-4ed8bf29d7dedc45.rlib: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+/root/repo/target/release/deps/libpf_exec-4ed8bf29d7dedc45.rmeta: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/agg.rs:
+crates/exec/src/context.rs:
+crates/exec/src/expr.rs:
+crates/exec/src/index.rs:
+crates/exec/src/join.rs:
+crates/exec/src/monitor.rs:
+crates/exec/src/op.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sort.rs:

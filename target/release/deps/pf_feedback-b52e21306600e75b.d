@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pf_feedback-b52e21306600e75b.d: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+/root/repo/target/release/deps/libpf_feedback-b52e21306600e75b.rlib: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+/root/repo/target/release/deps/libpf_feedback-b52e21306600e75b.rmeta: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+crates/feedback/src/lib.rs:
+crates/feedback/src/bitvector.rs:
+crates/feedback/src/clustering_ratio.rs:
+crates/feedback/src/distinct_estimators.rs:
+crates/feedback/src/dpsample.rs:
+crates/feedback/src/fm_sketch.rs:
+crates/feedback/src/grouped_counter.rs:
+crates/feedback/src/linear_counter.rs:
+crates/feedback/src/report.rs:

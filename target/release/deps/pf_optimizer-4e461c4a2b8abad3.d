@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pf_optimizer-4e461c4a2b8abad3.d: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+/root/repo/target/release/deps/libpf_optimizer-4e461c4a2b8abad3.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+/root/repo/target/release/deps/libpf_optimizer-4e461c4a2b8abad3.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/cardinality.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/dpc_histogram.rs:
+crates/optimizer/src/dpc_model.rs:
+crates/optimizer/src/hints.rs:
+crates/optimizer/src/histogram.rs:
+crates/optimizer/src/optimizer.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pf_optimizer-f8385a2a950d9275.d: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+/root/repo/target/release/deps/libpf_optimizer-f8385a2a950d9275.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+/root/repo/target/release/deps/libpf_optimizer-f8385a2a950d9275.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/cardinality.rs crates/optimizer/src/cost.rs crates/optimizer/src/dpc_histogram.rs crates/optimizer/src/dpc_model.rs crates/optimizer/src/hints.rs crates/optimizer/src/histogram.rs crates/optimizer/src/optimizer.rs crates/optimizer/src/plan.rs crates/optimizer/src/stats.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/cardinality.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/dpc_histogram.rs:
+crates/optimizer/src/dpc_model.rs:
+crates/optimizer/src/hints.rs:
+crates/optimizer/src/histogram.rs:
+crates/optimizer/src/optimizer.rs:
+crates/optimizer/src/plan.rs:
+crates/optimizer/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pf_workloads-41c9e832acb263b6.d: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libpf_workloads-41c9e832acb263b6.rlib: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libpf_workloads-41c9e832acb263b6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/perm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/realworld.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

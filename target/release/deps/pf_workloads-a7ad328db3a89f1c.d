@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pf_workloads-a7ad328db3a89f1c.d: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libpf_workloads-a7ad328db3a89f1c.rlib: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libpf_workloads-a7ad328db3a89f1c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/perm.rs crates/workloads/src/queries.rs crates/workloads/src/realworld.rs crates/workloads/src/synthetic.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/perm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/realworld.rs:
+crates/workloads/src/synthetic.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-85f83147a430a725.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-85f83147a430a725.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-85f83147a430a725.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-d1dbadb83732190b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-d1dbadb83732190b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

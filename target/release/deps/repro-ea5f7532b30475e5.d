@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-ea5f7532b30475e5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-ea5f7532b30475e5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -42,7 +42,8 @@ fn empty_table_through_the_full_stack() {
 #[test]
 fn single_row_table() {
     let mut db = Database::new();
-    db.create_table("t", schema(), rows(1, 8), Some("id")).unwrap();
+    db.create_table("t", schema(), rows(1, 8), Some("id"))
+        .unwrap();
     db.create_index("ix", "t", "v").unwrap();
     db.analyze().unwrap();
     let hit = Query::count("t", vec![PredSpec::new("v", CompareOp::Eq, Datum::Int(0))]);
@@ -54,11 +55,15 @@ fn single_row_table() {
 #[test]
 fn heap_table_has_no_clustered_range_plan() {
     let mut db = Database::new();
-    db.create_table("h", schema(), rows(5_000, 40), None).unwrap();
+    db.create_table("h", schema(), rows(5_000, 40), None)
+        .unwrap();
     db.create_index("ix_v", "h", "v").unwrap();
     db.analyze().unwrap();
     // A predicate on id (would be the clustering column if clustered).
-    let q = Query::count("h", vec![PredSpec::new("id", CompareOp::Lt, Datum::Int(50))]);
+    let q = Query::count(
+        "h",
+        vec![PredSpec::new("id", CompareOp::Lt, Datum::Int(50))],
+    );
     let out = db.run(&q, &MonitorConfig::off()).unwrap();
     assert_eq!(out.count, 50);
     assert!(
@@ -86,8 +91,11 @@ fn oversized_row_is_rejected_cleanly() {
 #[test]
 fn duplicate_table_and_index_names_rejected() {
     let mut db = Database::new();
-    db.create_table("t", schema(), rows(10, 8), Some("id")).unwrap();
-    assert!(db.create_table("t", schema(), rows(10, 8), Some("id")).is_err());
+    db.create_table("t", schema(), rows(10, 8), Some("id"))
+        .unwrap();
+    assert!(db
+        .create_table("t", schema(), rows(10, 8), Some("id"))
+        .is_err());
     db.create_index("ix", "t", "v").unwrap();
     assert!(db.create_index("ix", "t", "v").is_err());
 }
@@ -95,7 +103,8 @@ fn duplicate_table_and_index_names_rejected() {
 #[test]
 fn unknown_names_error_not_panic() {
     let mut db = Database::new();
-    db.create_table("t", schema(), rows(10, 8), Some("id")).unwrap();
+    db.create_table("t", schema(), rows(10, 8), Some("id"))
+        .unwrap();
     db.analyze().unwrap();
     let bad_table = Query::count("zz", vec![]);
     assert!(db.run(&bad_table, &MonitorConfig::off()).is_err());
@@ -112,7 +121,8 @@ fn unknown_names_error_not_panic() {
 #[test]
 fn contradictory_range_returns_empty() {
     let mut db = Database::new();
-    db.create_table("t", schema(), rows(2_000, 40), Some("id")).unwrap();
+    db.create_table("t", schema(), rows(2_000, 40), Some("id"))
+        .unwrap();
     db.create_index("ix", "t", "v").unwrap();
     db.analyze().unwrap();
     let q = Query::count(
@@ -130,7 +140,8 @@ fn contradictory_range_returns_empty() {
 #[test]
 fn ne_predicates_never_seek() {
     let mut db = Database::new();
-    db.create_table("t", schema(), rows(3_000, 40), Some("id")).unwrap();
+    db.create_table("t", schema(), rows(3_000, 40), Some("id"))
+        .unwrap();
     db.create_index("ix", "t", "v").unwrap();
     db.analyze().unwrap();
     let q = Query::count("t", vec![PredSpec::new("v", CompareOp::Ne, Datum::Int(7))]);
@@ -186,9 +197,13 @@ fn zero_fill_factor_rejected_and_low_fill_expands() {
     db.create_table_with(t).unwrap();
     let half = db.catalog().table_by_name("half").unwrap().stats.pages;
     let mut db2 = Database::new();
-    db2.create_table("full", schema(), rows(2_000, 40), Some("id")).unwrap();
+    db2.create_table("full", schema(), rows(2_000, 40), Some("id"))
+        .unwrap();
     let full = db2.catalog().table_by_name("full").unwrap().stats.pages;
-    assert!(half > full, "fill factor must spread pages: {half} vs {full}");
+    assert!(
+        half > full,
+        "fill factor must spread pages: {half} vs {full}"
+    );
 }
 
 #[test]

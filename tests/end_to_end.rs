@@ -44,7 +44,11 @@ fn all_access_paths_agree_and_io_matches_dpc() {
             .lower_single(&plan, &pred, &MonitorConfig::off())
             .unwrap();
         let outcome = db.execute(lowered).unwrap();
-        assert_eq!(outcome.count, truth_rows, "plan {} wrong", outcome.description);
+        assert_eq!(
+            outcome.count, truth_rows,
+            "plan {} wrong",
+            outcome.description
+        );
         if is_seek {
             assert_eq!(
                 outcome.stats.rand_physical_reads, truth_dpc,
@@ -63,13 +67,17 @@ fn feedback_loop_flips_correlated_only() {
     let mut db = synthetic_db(20_000);
 
     let correlated = Query::count("T", vec![lt("c2", 300)]);
-    let out = db.feedback_loop(&correlated, &MonitorConfig::default()).unwrap();
+    let out = db
+        .feedback_loop(&correlated, &MonitorConfig::default())
+        .unwrap();
     assert!(out.plan_changed());
     assert!(out.speedup() > 0.3, "speedup {}", out.speedup());
     assert_eq!(out.before.count, out.after.count);
 
     let scattered = Query::count("T", vec![lt("c5", 300)]);
-    let out = db.feedback_loop(&scattered, &MonitorConfig::default()).unwrap();
+    let out = db
+        .feedback_loop(&scattered, &MonitorConfig::default())
+        .unwrap();
     assert!(!out.plan_changed());
 }
 
@@ -85,11 +93,8 @@ fn measured_dpc_matches_brute_force() {
         let out = db.run(&query, &MonitorConfig::sampled(fraction)).unwrap();
         for m in &out.report.measurements {
             // Rebuild the measured expression from its label.
-            let full = Query::resolve_predicates(
-                &[lt("c2", 5_000), lt("c4", 5_000)],
-                &schema,
-            )
-            .unwrap();
+            let full =
+                Query::resolve_predicates(&[lt("c2", 5_000), lt("c4", 5_000)], &schema).unwrap();
             let atoms: Vec<_> = full
                 .atoms
                 .iter()
@@ -148,7 +153,8 @@ fn join_feedback_measures_and_flips() {
 fn join_feedback_is_selectivity_specific() {
     let mut db = synthetic_db(20_000);
     let narrow = Query::join_count("T1", "T", vec![lt("c1", 200)], "c4", "c4");
-    db.feedback_loop(&narrow, &MonitorConfig::default()).unwrap();
+    db.feedback_loop(&narrow, &MonitorConfig::default())
+        .unwrap();
     // A much wider join: its plan must be costed fresh (analytical),
     // not with the narrow query's tiny measured DPC.
     let wide = Query::join_count("T1", "T", vec![lt("c1", 4_000)], "c4", "c4");
@@ -224,16 +230,28 @@ fn count_star_uses_index_only_scan() {
     let base = Query::count("T", vec![lt("c5", 2_000)]);
     let out = db.run(&base, &MonitorConfig::off()).unwrap();
     assert_eq!(out.count, 2_000);
-    assert!(!out.description.contains("IndexOnlyScan"), "{}", out.description);
+    assert!(
+        !out.description.contains("IndexOnlyScan"),
+        "{}",
+        out.description
+    );
 
     // COUNT(pad) via SQL behaves like the base-row shape (pad is not an
     // index key), while COUNT(c5) is covered.
     let sql_cover = pagefeed::parse_query("SELECT COUNT(c5) FROM T WHERE c5 < 2000").unwrap();
     let out = db.run(&sql_cover, &MonitorConfig::off()).unwrap();
-    assert!(out.description.contains("IndexOnlyScan"), "{}", out.description);
+    assert!(
+        out.description.contains("IndexOnlyScan"),
+        "{}",
+        out.description
+    );
     let sql_base = pagefeed::parse_query("SELECT COUNT(pad) FROM T WHERE c5 < 2000").unwrap();
     let out = db.run(&sql_base, &MonitorConfig::off()).unwrap();
-    assert!(!out.description.contains("IndexOnlyScan"), "{}", out.description);
+    assert!(
+        !out.description.contains("IndexOnlyScan"),
+        "{}",
+        out.description
+    );
 }
 
 /// Executions are deterministic: same query, same config, same counters.

@@ -10,7 +10,7 @@ use pf_bench::*;
 /// page-count feedback; the uncorrelated column (c5) does not.
 #[test]
 fn fig6_correlated_columns_benefit() {
-    let points = run_fig6(40_000, 6).unwrap();
+    let points = run_fig6(40_000, 6, 2).unwrap();
     let mean_of = |col: &str| {
         mean(
             &points
@@ -24,7 +24,10 @@ fn fig6_correlated_columns_benefit() {
     assert!(mean_of("c3") > 0.05, "c3 mean {}", mean_of("c3"));
     assert!(mean_of("c5").abs() < 0.02, "c5 mean {}", mean_of("c5"));
     assert!(
-        points.iter().filter(|p| p.column == "c5").all(|p| !p.plan_changed),
+        points
+            .iter()
+            .filter(|p| p.column == "c5")
+            .all(|p| !p.plan_changed),
         "feedback must not change plans on the uncorrelated column"
     );
 }
@@ -33,7 +36,7 @@ fn fig6_correlated_columns_benefit() {
 /// queries).
 #[test]
 fn fig7_overheads_are_small() {
-    let points = run_fig7(40_000, 6).unwrap();
+    let points = run_fig7(40_000, 6, 2).unwrap();
     let os: Vec<f64> = points.iter().map(|p| p.overhead).collect();
     assert!(mean(&os) < 0.02, "mean overhead {}", mean(&os));
     assert!(max(&os) < 0.06, "max overhead {}", max(&os));
@@ -43,7 +46,7 @@ fn fig7_overheads_are_small() {
 /// the scattered column sees none; bit-vector overhead stays small.
 #[test]
 fn fig8_join_feedback_shape() {
-    let points = run_fig8(60_000, 5).unwrap();
+    let points = run_fig8(60_000, 5, 2).unwrap();
     let speeds = |col: &str| {
         points
             .iter()
@@ -51,7 +54,11 @@ fn fig8_join_feedback_shape() {
             .map(|p| p.speedup)
             .collect::<Vec<_>>()
     };
-    assert!(mean(&speeds("c2")) > 0.10, "c2 mean {}", mean(&speeds("c2")));
+    assert!(
+        mean(&speeds("c2")) > 0.10,
+        "c2 mean {}",
+        mean(&speeds("c2"))
+    );
     assert!(
         mean(&speeds("c5")).abs() < 0.02,
         "c5 mean {}",
@@ -88,8 +95,16 @@ fn fig9_sampling_tames_shortcircuit_cost() {
     // a 1.45 M-page table; our 40 K-row table has only ~500 pages, so
     // the 1 % line is statistically starved here — see EXPERIMENTS.md.)
     assert!(cell(k, 1.0).max_error < 1e-9);
-    assert!(cell(k, 0.10).max_error < 0.30, "err {}", cell(k, 0.10).max_error);
-    assert!(cell(k, 0.01).max_error < 0.90, "err {}", cell(k, 0.01).max_error);
+    assert!(
+        cell(k, 0.10).max_error < 0.30,
+        "err {}",
+        cell(k, 0.10).max_error
+    );
+    assert!(
+        cell(k, 0.01).max_error < 0.90,
+        "err {}",
+        cell(k, 0.01).max_error
+    );
 }
 
 /// Fig 10 shape: clustering ratios spread widely across real-world-like
@@ -99,8 +114,8 @@ fn fig10_clustering_ratio_spread() {
     let points = run_fig10().unwrap();
     assert!(points.len() > 30, "only {} observations", points.len());
     let crs: Vec<f64> = points.iter().map(|p| p.cr).collect();
-    let spread = crs.iter().cloned().fold(f64::INFINITY, f64::min)
-        ..crs.iter().cloned().fold(0.0, f64::max);
+    let spread =
+        crs.iter().cloned().fold(f64::INFINITY, f64::min)..crs.iter().cloned().fold(0.0, f64::max);
     assert!(spread.start < 0.1, "no well-clustered columns: {spread:?}");
     assert!(spread.end > 0.7, "no scattered columns: {spread:?}");
     let m = mean(&crs);
@@ -111,7 +126,7 @@ fn fig10_clustering_ratio_spread() {
 /// by plan changes on clustered columns.
 #[test]
 fn fig11_real_world_speedups() {
-    let points = run_fig11(2).unwrap();
+    let points = run_fig11(2, 2).unwrap();
     let all: Vec<f64> = points.iter().map(|p| p.speedup).collect();
     assert!(mean(&all) > 0.05, "mean speedup {}", mean(&all));
     assert!(points.iter().any(|p| p.plan_changed));
@@ -130,7 +145,13 @@ fn table1_shapes_match() {
     assert_eq!(shapes.len(), 6);
     for s in &shapes {
         let rel = (s.rows_per_page - s.paper_rows_per_page).abs() / s.paper_rows_per_page;
-        assert!(rel < 0.2, "{}: rows/page {} vs paper {}", s.name, s.rows_per_page, s.paper_rows_per_page);
+        assert!(
+            rel < 0.2,
+            "{}: rows/page {} vs paper {}",
+            s.name,
+            s.rows_per_page,
+            s.paper_rows_per_page
+        );
     }
 }
 
@@ -157,7 +178,10 @@ fn ablation_shapes() {
     let first = bv.first().unwrap();
     let last = bv.last().unwrap();
     assert!(last.overestimate < first.overestimate);
-    assert!(last.overestimate < 1.2, "1% of table size should be accurate");
+    assert!(
+        last.overestimate < 1.2,
+        "1% of table size should be accurate"
+    );
 
     let models = ablation_models().unwrap();
     let err = |r: &ablations::ModelRow| (r.cardenas - r.truth).abs() / r.truth;
@@ -184,8 +208,7 @@ fn ablation_buffer_shape() {
     let tight = rows.iter().min_by_key(|r| r.buffer_pages).unwrap();
     assert!(tight.physical_reads > 3 * tight.dpc, "thrashing expected");
     for r in &rows {
-        let rel = (r.physical_reads as f64 - r.ml_prediction).abs()
-            / r.ml_prediction.max(1.0);
+        let rel = (r.physical_reads as f64 - r.ml_prediction).abs() / r.ml_prediction.max(1.0);
         assert!(rel < 0.10, "M-L off by {rel} at {} pages", r.buffer_pages);
     }
 }

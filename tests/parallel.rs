@@ -1,0 +1,319 @@
+//! The parallel driver's contract: per-worker sketches merge into
+//! exactly the serial sketch, and `ParallelRunner` produces bit-identical
+//! feedback no matter the worker count.
+
+use proptest::prelude::*;
+
+use pagefeed::{Database, MonitorConfig, ParallelRunner, PredSpec, Query, WorkloadSummary};
+use pf_common::{Column, DataType, Datum, Row, Schema};
+use pf_exec::CompareOp;
+use pf_feedback::{DpSampler, FmSketch, GroupedPageCounter, LinearCounter};
+
+// ---------------------------------------------------------------------
+// Mergeable sketches: chunked == serial, bit for bit
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Splitting a PID stream across workers and OR-merging their linear
+    /// counters yields the same bitmap, estimate, and observation count
+    /// as one counter fed the concatenated stream.
+    #[test]
+    fn linear_counter_merge_is_bit_identical(
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<u32>().prop_map(|p| p % 10_000), 0..60),
+            1..8,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let numbits = 1_024;
+        let mut serial = LinearCounter::new(numbits, seed);
+        for pid in chunks.iter().flatten() {
+            serial.observe(*pid);
+        }
+
+        let mut merged = LinearCounter::new(numbits, seed);
+        for chunk in &chunks {
+            let mut worker = LinearCounter::new(numbits, seed);
+            for pid in chunk {
+                worker.observe(*pid);
+            }
+            merged.merge(&worker).unwrap();
+        }
+
+        prop_assert_eq!(merged.bits_set(), serial.bits_set());
+        prop_assert_eq!(merged.observations(), serial.observations());
+        let (m, s) = (merged.estimate(), serial.estimate());
+        prop_assert!((m - s).abs() < 1e-12, "estimates {} vs {}", m, s);
+    }
+
+    /// The same chunked-vs-serial identity for the FM/PCSA sketch.
+    #[test]
+    fn fm_sketch_merge_is_bit_identical(
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<u32>().prop_map(|p| p % 50_000), 0..60),
+            1..8,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let m = 64;
+        let mut serial = FmSketch::new(m, seed);
+        for pid in chunks.iter().flatten() {
+            serial.observe(*pid);
+        }
+
+        let mut merged = FmSketch::new(m, seed);
+        for chunk in &chunks {
+            let mut worker = FmSketch::new(m, seed);
+            for pid in chunk {
+                worker.observe(*pid);
+            }
+            merged.merge(&worker).unwrap();
+        }
+
+        prop_assert_eq!(merged.observations(), serial.observations());
+        let (me, se) = (merged.estimate(), serial.estimate());
+        prop_assert!((me - se).abs() < 1e-12, "estimates {} vs {}", me, se);
+    }
+
+    /// Grouped page counters over disjoint page ranges merge to the
+    /// serial count — including pages still pending at the split point.
+    #[test]
+    fn grouped_counter_merge_sums_disjoint_ranges(
+        pages in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 1..5),
+            1..30,
+        ),
+        split_at in any::<u64>(),
+    ) {
+        let split = (split_at as usize) % (pages.len() + 1);
+
+        let mut serial = GroupedPageCounter::new();
+        for (p, rows) in pages.iter().enumerate() {
+            for &sat in rows {
+                serial.observe_row(p as u32, sat);
+            }
+        }
+        serial.finish();
+
+        let mut left = GroupedPageCounter::new();
+        for (p, rows) in pages.iter().enumerate().take(split) {
+            for &sat in rows {
+                left.observe_row(p as u32, sat);
+            }
+        }
+        let mut right = GroupedPageCounter::new();
+        for (p, rows) in pages.iter().enumerate().skip(split) {
+            for &sat in rows {
+                right.observe_row(p as u32, sat);
+            }
+        }
+        left.merge(&right);
+        left.finish();
+
+        prop_assert_eq!(left.count(), serial.count());
+        prop_assert_eq!(left.pages_seen(), serial.pages_seen());
+    }
+
+    /// `DpSample` partials merge to the sum of their independently
+    /// finished counts (same sampling fraction required).
+    #[test]
+    fn dpsample_merge_sums_partials(
+        a_pages in prop::collection::vec(prop::collection::vec(any::<bool>(), 1..4), 0..20),
+        b_pages in prop::collection::vec(prop::collection::vec(any::<bool>(), 1..4), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let feed = |s: &mut DpSampler, pages: &[Vec<bool>]| {
+            for rows in pages {
+                if s.start_page() {
+                    for &sat in rows {
+                        s.observe_row(sat);
+                    }
+                }
+            }
+        };
+        // Identically seeded duplicates make the same page-sampling
+        // decisions, so the finished pair is the merged pair's oracle.
+        let mut a1 = DpSampler::new(0.5, seed).unwrap();
+        let mut b1 = DpSampler::new(0.5, seed.wrapping_add(1)).unwrap();
+        let mut a2 = DpSampler::new(0.5, seed).unwrap();
+        let mut b2 = DpSampler::new(0.5, seed.wrapping_add(1)).unwrap();
+        feed(&mut a1, &a_pages);
+        feed(&mut b1, &b_pages);
+        feed(&mut a2, &a_pages);
+        feed(&mut b2, &b_pages);
+
+        a1.merge(&b1).unwrap();
+        a1.finish();
+        a2.finish();
+        b2.finish();
+
+        prop_assert_eq!(a1.raw_count(), a2.raw_count() + b2.raw_count());
+        prop_assert_eq!(a1.pages_seen(), a2.pages_seen() + b2.pages_seen());
+        prop_assert_eq!(a1.pages_sampled(), a2.pages_sampled() + b2.pages_sampled());
+    }
+}
+
+#[test]
+fn merges_reject_mismatched_configurations() {
+    let mut a = LinearCounter::new(1_024, 1);
+    assert!(
+        a.merge(&LinearCounter::new(1_024, 2)).is_err(),
+        "seed mismatch"
+    );
+    assert!(
+        a.merge(&LinearCounter::new(2_048, 1)).is_err(),
+        "size mismatch"
+    );
+
+    let mut f = FmSketch::new(64, 1);
+    assert!(f.merge(&FmSketch::new(64, 2)).is_err(), "seed mismatch");
+    assert!(f.merge(&FmSketch::new(32, 1)).is_err(), "size mismatch");
+
+    let mut d = DpSampler::new(0.5, 1).unwrap();
+    assert!(
+        d.merge(&DpSampler::new(0.25, 1).unwrap()).is_err(),
+        "fraction mismatch"
+    );
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the runner is jobs-invariant
+// ---------------------------------------------------------------------
+
+fn build_db() -> Database {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("corr", DataType::Int),
+        Column::new("scat", DataType::Int),
+        Column::new("pad", DataType::Str),
+    ]);
+    let n = 20_000i64;
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int(i),
+                Datum::Int(i),
+                Datum::Int((i * 7919) % n),
+                Datum::Str("x".repeat(60)),
+            ])
+        })
+        .collect();
+    db.create_table("t", schema, rows, Some("id")).unwrap();
+    db.create_index("ix_corr", "t", "corr").unwrap();
+    db.create_index("ix_scat", "t", "scat").unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+fn feedback_workload() -> Vec<Query> {
+    (0..10)
+        .flat_map(|i| {
+            [
+                Query::count(
+                    "t",
+                    vec![PredSpec::new(
+                        "corr",
+                        CompareOp::Lt,
+                        Datum::Int(300 + 150 * i),
+                    )],
+                ),
+                Query::count(
+                    "t",
+                    vec![PredSpec::new(
+                        "scat",
+                        CompareOp::Lt,
+                        Datum::Int(300 + 150 * i),
+                    )],
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// Running the feedback workload at 1, 2, and 8 workers yields
+/// byte-identical feedback reports, I/O statistics, plans, and simulated
+/// times per query — and the same final hint state.
+#[test]
+fn runner_feedback_is_identical_across_job_counts() {
+    let queries = feedback_workload();
+    let cfg = MonitorConfig::sampled(0.5); // sampling exercises the RNG seeds
+
+    // Database is deliberately !Clone (it owns Arc'd storage); rebuild
+    // per worker count from the same deterministic recipe instead.
+    let mut serial_db = build_db();
+    let serial = ParallelRunner::new(1)
+        .run_feedback(&mut serial_db, &queries, &cfg)
+        .unwrap();
+    assert!(
+        serial.iter().any(|o| o.plan_changed()),
+        "workload must exercise plan flips"
+    );
+
+    for jobs in [2, 8] {
+        let mut db = build_db();
+        let parallel = ParallelRunner::new(jobs)
+            .run_feedback(&mut db, &queries, &cfg)
+            .unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                s.report, p.report,
+                "report diverged at query {i}, jobs {jobs}"
+            );
+            assert_eq!(s.before.count, p.before.count, "query {i}");
+            assert_eq!(s.before.stats, p.before.stats, "query {i}");
+            assert_eq!(s.after.stats, p.after.stats, "query {i}");
+            assert_eq!(s.before.description, p.before.description, "query {i}");
+            assert_eq!(s.after.description, p.after.description, "query {i}");
+            assert!((s.before.elapsed_ms - p.before.elapsed_ms).abs() < 1e-12);
+            assert!((s.after.elapsed_ms - p.after.elapsed_ms).abs() < 1e-12);
+            assert!((s.monitored_elapsed_ms - p.monitored_elapsed_ms).abs() < 1e-12);
+        }
+        assert_eq!(
+            serial_db.hints().len(),
+            db.hints().len(),
+            "absorbed hint state diverged at jobs {jobs}"
+        );
+    }
+}
+
+/// Plain query execution is also jobs-invariant, and the workload
+/// summary equals the sum of the serial per-query statistics.
+#[test]
+fn runner_queries_and_summary_match_serial() {
+    let db = build_db();
+    let queries = feedback_workload();
+    let cfg = MonitorConfig::default();
+
+    let serial: Vec<_> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| db.run(q, &ParallelRunner::cfg_for(&cfg, i)).unwrap())
+        .collect();
+
+    for jobs in [1, 2, 8] {
+        let outcomes = ParallelRunner::new(jobs)
+            .run_queries(&db, &queries, &cfg)
+            .unwrap();
+        for (s, p) in serial.iter().zip(&outcomes) {
+            assert_eq!(s.count, p.count);
+            assert_eq!(s.stats, p.stats);
+            assert_eq!(s.report, p.report);
+        }
+        let summary = WorkloadSummary::from_outcomes(&outcomes);
+        assert_eq!(summary.queries, queries.len());
+        let mut expected = pf_storage::IoStats::default();
+        for o in &serial {
+            expected.add(&o.stats);
+        }
+        assert_eq!(summary.total_stats, expected, "summed IoStats, jobs {jobs}");
+        assert_eq!(
+            summary.report.measurements.len(),
+            serial
+                .iter()
+                .map(|o| o.report.measurements.len())
+                .sum::<usize>()
+        );
+    }
+}

@@ -8,7 +8,9 @@ use std::ops::Bound;
 use pf_common::{Column, DataType, Datum, Rid, Row, Schema};
 use pf_exec::index::SeekRange;
 use pf_exec::CompareOp;
-use pf_feedback::{clustering_ratio, BitVectorFilter, DpSampler, GroupedPageCounter, LinearCounter};
+use pf_feedback::{
+    clustering_ratio, BitVectorFilter, DpSampler, GroupedPageCounter, LinearCounter,
+};
 use pf_optimizer::histogram::EquiDepthHistogram;
 use pf_storage::btree::BPlusTree;
 use pf_storage::TableStorage;
