@@ -425,11 +425,11 @@ pub fn ablation_histogram(rows: usize) -> Result<Vec<HistogramRow>> {
 
             let key = pred.key();
             let eff = db.effective_hints(&test)?;
-            let predicted = eff.dpc("T", &key).unwrap_or(analytic);
+            let predicted = eff.dpc("T", key).unwrap_or(analytic);
 
             // Oracle plan: exact DPC injected.
             let mut oracle_hints = db.hints().clone();
-            oracle_hints.inject_dpc("T", key.clone(), truth);
+            oracle_hints.inject_dpc("T", key, truth);
             let oracle = {
                 let saved = db.hints().clone();
                 *db.hints_mut() = oracle_hints;

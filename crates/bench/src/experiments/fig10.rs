@@ -55,7 +55,7 @@ fn observe(
     if let Some(cr) = obs.ratio() {
         out.push(CrPoint {
             database: dbname.to_string(),
-            predicate: pred.key(),
+            predicate: pred.key().to_string(),
             rows: n,
             pages,
             cr,

@@ -8,7 +8,7 @@
 //! by `std`. Determinism across runs and platforms also keeps the
 //! experiment harness exactly reproducible.
 
-use crate::value::Datum;
+use crate::value::{Datum, DatumRef};
 
 /// SplitMix64 finalizer: a full-avalanche mix of a 64-bit value.
 #[inline]
@@ -39,12 +39,20 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// Hashes a datum (join keys for bit-vector filters), seeded.
 #[inline]
 pub fn hash_datum(d: &Datum, seed: u64) -> u64 {
+    hash_datum_ref(DatumRef::from(d), seed)
+}
+
+/// Hashes a *borrowed* datum, seeded — bit-identical to [`hash_datum`]
+/// on the corresponding owned value, so zero-copy scan monitors feed
+/// the exact same bits into their sketches as the owned path did.
+#[inline]
+pub fn hash_datum_ref(d: DatumRef<'_>, seed: u64) -> u64 {
     // A per-variant tag keeps e.g. Int(1) and Date(1) from colliding.
     let base = match d {
-        Datum::Int(v) => mix64(*v as u64),
-        Datum::Float(v) => mix64(v.to_bits()) ^ 0x1111_1111_1111_1111,
-        Datum::Str(s) => fnv1a(s.as_bytes()) ^ 0x2222_2222_2222_2222,
-        Datum::Date(v) => mix64(*v as u32 as u64) ^ 0x3333_3333_3333_3333,
+        DatumRef::Int(v) => mix64(v as u64),
+        DatumRef::Float(v) => mix64(v.to_bits()) ^ 0x1111_1111_1111_1111,
+        DatumRef::Str(s) => fnv1a(s.as_bytes()) ^ 0x2222_2222_2222_2222,
+        DatumRef::Date(v) => mix64(v as u32 as u64) ^ 0x3333_3333_3333_3333,
     };
     mix64(base ^ seed)
 }

@@ -23,4 +23,4 @@ pub mod value;
 pub use error::{Error, Result};
 pub use ids::{ColumnId, IndexId, PageId, Rid, SlotId, TableId};
 pub use schema::{Column, Row, Schema};
-pub use value::{DataType, Datum};
+pub use value::{DataType, Datum, DatumAccess, DatumRef};

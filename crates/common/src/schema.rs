@@ -1,7 +1,7 @@
 //! Table schemas and rows.
 
 use crate::error::{Error, Result};
-use crate::value::{DataType, Datum};
+use crate::value::{DataType, Datum, DatumAccess, DatumRef};
 
 /// A named, typed column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,6 +126,12 @@ impl Row {
         let mut values = self.values.clone();
         values.extend(right.values.iter().cloned());
         Row { values }
+    }
+}
+
+impl DatumAccess for Row {
+    fn datum_ref(&self, idx: usize) -> DatumRef<'_> {
+        DatumRef::from(&self.values[idx])
     }
 }
 

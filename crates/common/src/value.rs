@@ -167,6 +167,92 @@ impl fmt::Display for Datum {
     }
 }
 
+/// A borrowed view of a scalar value.
+///
+/// Fixed-width types are decoded by value (they fit in a register);
+/// strings borrow the underlying bytes — no allocation. `DatumRef` is
+/// the currency of the zero-copy page pipeline: predicates compare it
+/// against literal [`Datum`]s and monitors hash it, both without ever
+/// materializing an owned value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatumRef<'a> {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string slice borrowed from page bytes.
+    Str(&'a str),
+    /// Days since 1970-01-01.
+    Date(i32),
+}
+
+impl<'a> DatumRef<'a> {
+    /// The runtime type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            DatumRef::Int(_) => DataType::Int,
+            DatumRef::Float(_) => DataType::Float,
+            DatumRef::Str(_) => DataType::Str,
+            DatumRef::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Materializes an owned [`Datum`] (the only allocating operation,
+    /// and only for `Str`).
+    pub fn to_datum(self) -> Datum {
+        match self {
+            DatumRef::Int(v) => Datum::Int(v),
+            DatumRef::Float(v) => Datum::Float(v),
+            DatumRef::Str(s) => Datum::Str(s.to_string()),
+            DatumRef::Date(v) => Datum::Date(v),
+        }
+    }
+
+    /// Total-order comparison against an owned datum of the *same* type,
+    /// bit-identical to [`Datum::cmp_same_type`] (floats use
+    /// `total_cmp`). Returns `None` when types differ.
+    pub fn cmp_datum(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (DatumRef::Int(a), Datum::Int(b)) => Some(a.cmp(b)),
+            (DatumRef::Float(a), Datum::Float(b)) => Some(a.total_cmp(b)),
+            (DatumRef::Str(a), Datum::Str(b)) => Some((*a).cmp(b.as_str())),
+            (DatumRef::Date(a), Datum::Date(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl<'a> From<&'a Datum> for DatumRef<'a> {
+    fn from(d: &'a Datum) -> Self {
+        match d {
+            Datum::Int(v) => DatumRef::Int(*v),
+            Datum::Float(v) => DatumRef::Float(*v),
+            Datum::Str(s) => DatumRef::Str(s),
+            Datum::Date(v) => DatumRef::Date(*v),
+        }
+    }
+}
+
+impl fmt::Display for DatumRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatumRef::Int(v) => write!(f, "{v}"),
+            DatumRef::Float(v) => write!(f, "{v}"),
+            DatumRef::Str(v) => write!(f, "'{v}'"),
+            DatumRef::Date(v) => write!(f, "date({v})"),
+        }
+    }
+}
+
+/// Positional access to the values of a row-shaped thing, by borrowed
+/// reference. Implemented by owned [`crate::Row`]s and by the storage
+/// engine's borrowed row views, so monitors and predicates can run
+/// identically over either without materializing.
+pub trait DatumAccess {
+    /// The value at column ordinal `idx`.
+    fn datum_ref(&self, idx: usize) -> DatumRef<'_>;
+}
+
 impl Eq for Datum {}
 
 // `Datum` participates in hash tables (hash-join keys, bit-vector

@@ -453,7 +453,7 @@ impl<'a> Planner<'a> {
             &outer_meta.schema().column(spec.outer_join_col).name,
             &inner_meta.name,
             &inner_meta.schema().column(spec.inner_join_col).name,
-            &spec.outer_pred.key(),
+            spec.outer_pred.key(),
         );
         let inner_index = self
             .catalog

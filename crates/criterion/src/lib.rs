@@ -83,7 +83,21 @@ impl Bencher {
         }
     }
 
-    fn ns_per_iter(&self) -> f64 {
+    /// Iterations measured by the last [`Bencher::iter`] run.
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
+
+    /// Total wall-clock time of the last [`Bencher::iter`] run.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Nanoseconds per iteration of the last [`Bencher::iter`] run
+    /// (`NaN` before any run). Public so harness-free benches can
+    /// compute derived metrics (rows/sec, JSON artifacts) from the same
+    /// measurement the report line prints.
+    pub fn ns_per_iter(&self) -> f64 {
         if self.iters == 0 {
             return f64::NAN;
         }
@@ -97,8 +111,15 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `PF_BENCH_BUDGET_MS` shrinks (or stretches) the per-benchmark
+        // timing budget — CI smoke jobs run benches in quick mode
+        // without patching bench sources.
+        let ms = std::env::var("PF_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
         Self {
-            budget: Duration::from_millis(200),
+            budget: Duration::from_millis(ms),
         }
     }
 }

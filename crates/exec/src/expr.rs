@@ -9,7 +9,7 @@
 //! many conjuncts were actually evaluated so the executor can charge the
 //! difference to the monitoring overhead (Fig 9).
 
-use pf_common::{Datum, Error, Result, Row, Schema};
+use pf_common::{Datum, DatumAccess, Error, Result, Schema};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -94,12 +94,14 @@ impl AtomicPredicate {
         })
     }
 
-    /// Evaluates the atom on a row.
+    /// Evaluates the atom on any row representation — an owned
+    /// [`pf_common::Row`] or a borrowed page view — without
+    /// materializing a [`Datum`].
     #[inline]
-    pub fn eval(&self, row: &Row) -> bool {
+    pub fn eval<R: DatumAccess + ?Sized>(&self, row: &R) -> bool {
         let ord = row
-            .get(self.column)
-            .cmp_same_type(&self.value)
+            .datum_ref(self.column)
+            .cmp_datum(&self.value)
             .expect("atom was type-checked at construction");
         self.op.matches(ord)
     }
@@ -112,21 +114,46 @@ impl fmt::Display for AtomicPredicate {
 }
 
 /// A left-to-right conjunction of atoms.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Canonical expression text (the monitor-registry key) is rendered once
+/// at construction; `atoms` must not be mutated afterwards or the cached
+/// text goes stale — every constructor in the workspace goes through
+/// [`Conjunction::new`] / [`Conjunction::always_true`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Conjunction {
     /// The conjuncts, in evaluation order.
     pub atoms: Vec<AtomicPredicate>,
+    /// Cached canonical text of the whole conjunction.
+    key: String,
+    /// Cached canonical text of each atom (for [`Conjunction::key_of`]).
+    atom_texts: Vec<String>,
+}
+
+impl Default for Conjunction {
+    fn default() -> Self {
+        Conjunction::always_true()
+    }
 }
 
 impl Conjunction {
     /// An always-true predicate.
     pub fn always_true() -> Self {
-        Conjunction { atoms: Vec::new() }
+        Conjunction::new(Vec::new())
     }
 
     /// Builds a conjunction from atoms.
     pub fn new(atoms: Vec<AtomicPredicate>) -> Self {
-        Conjunction { atoms }
+        let atom_texts: Vec<String> = atoms.iter().map(|a| a.to_string()).collect();
+        let key = if atom_texts.is_empty() {
+            "TRUE".to_string()
+        } else {
+            atom_texts.join(" AND ")
+        };
+        Conjunction {
+            atoms,
+            key,
+            atom_texts,
+        }
     }
 
     /// Number of conjuncts.
@@ -139,14 +166,14 @@ impl Conjunction {
         self.atoms.is_empty()
     }
 
-    /// Evaluates with short-circuiting.
+    /// Evaluates with short-circuiting, on any row representation.
     ///
     /// Returns `(passed, evaluated)`: the overall result and how many
     /// conjuncts were evaluated (for CPU accounting). On failure at
     /// conjunct `j`, conjuncts `0..j` are known true, `j` known false,
     /// and the rest unknown.
     #[inline]
-    pub fn eval_short_circuit(&self, row: &Row) -> (bool, usize) {
+    pub fn eval_short_circuit<R: DatumAccess + ?Sized>(&self, row: &R) -> (bool, usize) {
         for (i, atom) in self.atoms.iter().enumerate() {
             if !atom.eval(row) {
                 return (false, i + 1);
@@ -158,7 +185,7 @@ impl Conjunction {
     /// Evaluates *every* conjunct (short-circuiting off), writing each
     /// result into `results` (resized to `len()`); returns overall truth.
     #[inline]
-    pub fn eval_all(&self, row: &Row, results: &mut Vec<bool>) -> bool {
+    pub fn eval_all<R: DatumAccess + ?Sized>(&self, row: &R, results: &mut Vec<bool>) -> bool {
         results.clear();
         let mut all = true;
         for atom in &self.atoms {
@@ -170,40 +197,39 @@ impl Conjunction {
     }
 
     /// Canonical text, e.g. `C2<5000 AND state='CA'`; `TRUE` if empty.
-    pub fn key(&self) -> String {
-        if self.atoms.is_empty() {
-            return "TRUE".to_string();
-        }
-        self.atoms
-            .iter()
-            .map(|a| a.to_string())
-            .collect::<Vec<_>>()
-            .join(" AND ")
+    /// Rendered once at construction — this is just a borrow.
+    pub fn key(&self) -> &str {
+        &self.key
     }
 
-    /// Canonical text of the prefix/subset of atoms at `indices`.
+    /// Canonical text of the prefix/subset of atoms at `indices`,
+    /// joined from per-atom text cached at construction.
     pub fn key_of(&self, indices: &[usize]) -> String {
         if indices.is_empty() {
             return "TRUE".to_string();
         }
-        indices
-            .iter()
-            .map(|&i| self.atoms[i].to_string())
-            .collect::<Vec<_>>()
-            .join(" AND ")
+        let mut out =
+            String::with_capacity(indices.iter().map(|&i| self.atom_texts[i].len() + 5).sum());
+        for (n, &i) in indices.iter().enumerate() {
+            if n > 0 {
+                out.push_str(" AND ");
+            }
+            out.push_str(&self.atom_texts[i]);
+        }
+        out
     }
 }
 
 impl fmt::Display for Conjunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.key())
+        f.write_str(self.key())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_common::{Column, DataType};
+    use pf_common::{Column, DataType, Row};
 
     fn schema() -> Schema {
         Schema::new(vec![

@@ -378,7 +378,10 @@ impl Operator for Fetch {
         while let Some(rid) = self.source.next_rid(ctx)? {
             ctx.pool
                 .access(self.table_id, rid.page, AccessPattern::Random);
-            let row = self.storage.read_row(rid)?;
+            // Zero-copy: seek straight to the slot and evaluate the
+            // residual on the borrowed view; rows rejected here are
+            // never decoded into owned values.
+            let view = self.storage.read_row_view(rid)?;
             ctx.pool.charge_rows(1);
 
             if let Some(ms) = &self.monitors {
@@ -390,7 +393,7 @@ impl Operator for Fetch {
                 }
             }
 
-            let (pass, evaluated) = self.residual.eval_short_circuit(&row);
+            let (pass, evaluated) = self.residual.eval_short_circuit(&view);
             ctx.pool.charge_pred_evals(evaluated as u64);
             if pass {
                 if let Some(ms) = &self.monitors {
@@ -401,7 +404,7 @@ impl Operator for Fetch {
                         }
                     }
                 }
-                return Ok(Some(row));
+                return Ok(Some(view.materialize()));
             }
         }
         Ok(None)

@@ -81,13 +81,21 @@ impl HashJoin {
             .as_ref()
             .map(|c| BitVectorFilter::new(c.numbits, c.seed));
         while let Some(row) = self.build.next(ctx)? {
-            let key = row.get(self.build_key).clone();
             ctx.pool.charge_hashes(1);
             if let Some(f) = filter.as_mut() {
-                f.insert(&key);
+                f.insert(row.get(self.build_key));
                 ctx.pool.charge_hashes(1);
             }
-            self.table.entry(key).or_default().push(row);
+            // Clone the key only on its first occurrence: repeated keys
+            // (the common case for a skewed build side) take the
+            // `get_mut` fast path without allocating.
+            match self.table.get_mut(row.get(self.build_key)) {
+                Some(bucket) => bucket.push(row),
+                None => {
+                    let key = row.get(self.build_key).clone();
+                    self.table.insert(key, vec![row]);
+                }
+            }
         }
         if let (Some(f), Some(c)) = (filter, &self.bitvector) {
             // The SE→RE callback: hand the filter to the probe-side scan

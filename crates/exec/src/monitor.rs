@@ -16,9 +16,10 @@
 
 use crate::expr::Conjunction;
 use pf_common::rng::Rng;
-use pf_common::Row;
+use pf_common::DatumAccess;
 use pf_feedback::{BitVectorFilter, DpcMeasurement, FeedbackReport, LinearCounter, Mechanism};
 use std::cell::RefCell;
+use std::cmp::Ordering;
 use std::rc::Rc;
 
 /// The cell through which the RE-side join hands its bit-vector filter to
@@ -128,6 +129,34 @@ impl ScanExprMonitor {
     }
 }
 
+/// How a scan communicates per-conjunct truth for one row, without
+/// forcing the hot path to materialize an `Option<bool>` buffer.
+#[derive(Clone, Copy)]
+enum AtomResults<'a> {
+    /// Explicit per-conjunct results (legacy shape; tests use it).
+    Explicit(&'a [Option<bool>]),
+    /// Every conjunct evaluated (short-circuiting off).
+    Full(&'a [bool]),
+    /// Short-circuited: `0..evaluated-1` true, `evaluated-1` is `pass`,
+    /// the rest unknown.
+    Prefix { evaluated: usize, pass: bool },
+}
+
+impl AtomResults<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<bool> {
+        match *self {
+            AtomResults::Explicit(r) => r[i],
+            AtomResults::Full(r) => Some(r[i]),
+            AtomResults::Prefix { evaluated, pass } => match (i + 1).cmp(&evaluated) {
+                Ordering::Less => Some(true),
+                Ordering::Equal => Some(pass),
+                Ordering::Greater => None,
+            },
+        }
+    }
+}
+
 /// The set of DPC monitors attached to one scan operator.
 ///
 /// Drives all monitored expressions from a single page-sampling decision
@@ -190,7 +219,34 @@ impl ScanMonitorSet {
     /// a short-circuited prefix otherwise); `row` is used for semi-join
     /// key hashing. Returns immediately on pages where nothing needs
     /// observing.
-    pub fn observe_row(&mut self, atom_results: &[Option<bool>], row: &Row) {
+    pub fn observe_row<R: DatumAccess + ?Sized>(&mut self, atom_results: &[Option<bool>], row: &R) {
+        self.observe_impl(AtomResults::Explicit(atom_results), row);
+    }
+
+    /// Observes a row whose conjuncts were *all* evaluated
+    /// (short-circuiting off): `results[i]` is conjunct `i`'s truth.
+    /// Equivalent to [`ScanMonitorSet::observe_row`] with every entry
+    /// `Some`, without building an `Option` buffer.
+    pub fn observe_full_row<R: DatumAccess + ?Sized>(&mut self, results: &[bool], row: &R) {
+        self.observe_impl(AtomResults::Full(results), row);
+    }
+
+    /// Observes a short-circuited row: conjuncts `0..evaluated-1` passed,
+    /// conjunct `evaluated-1` evaluated to `pass`, the rest are unknown —
+    /// exactly the `(passed, evaluated)` pair
+    /// [`Conjunction::eval_short_circuit`] returns. Equivalent to
+    /// [`ScanMonitorSet::observe_row`] with the corresponding
+    /// `Some(true)…Some(pass), None…` buffer, without building it.
+    pub fn observe_prefix_row<R: DatumAccess + ?Sized>(
+        &mut self,
+        evaluated: usize,
+        pass: bool,
+        row: &R,
+    ) {
+        self.observe_impl(AtomResults::Prefix { evaluated, pass }, row);
+    }
+
+    fn observe_impl<R: DatumAccess + ?Sized>(&mut self, atom_results: AtomResults<'_>, row: &R) {
         let sampled = self.page_sampled;
         self.rows_seen += 1;
         for e in &mut self.exprs {
@@ -207,7 +263,7 @@ impl ScanMonitorSet {
                     if prefix_len.is_none() && !sampled {
                         continue;
                     }
-                    let satisfied = indices.iter().all(|&i| atom_results[i] == Some(true));
+                    let satisfied = indices.iter().all(|&i| atom_results.get(i) == Some(true));
                     // On short-circuited rows a prefix expression may be
                     // undecidable only if an earlier atom was false — in
                     // which case it is correctly "not satisfied".
@@ -222,7 +278,7 @@ impl ScanMonitorSet {
                     let cell = slot.borrow();
                     self.hash_ops += 1;
                     let hit = match &cell.filter {
-                        Some(f) => f.may_contain(row.get(cell.key_column)),
+                        Some(f) => f.may_contain_ref(row.datum_ref(cell.key_column)),
                         // Filter not yet installed: conservatively true
                         // (cannot under-count; should not occur in a
                         // well-formed plan).
@@ -392,7 +448,7 @@ pub type FetchMonitorHandle = Rc<RefCell<Vec<FetchMonitor>>>;
 mod tests {
     use super::*;
     use crate::expr::{AtomicPredicate, CompareOp};
-    use pf_common::{Column, DataType, Datum, Schema};
+    use pf_common::{Column, DataType, Datum, Row, Schema};
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -499,6 +555,57 @@ mod tests {
             rep.measurements[0].mechanism,
             Mechanism::BitVector(_)
         ));
+    }
+
+    #[test]
+    fn observation_shapes_are_equivalent() {
+        let s = schema();
+        let c = conj(&s);
+        let row = Row::new(vec![Datum::Int(0), Datum::Int(0)]);
+        let mk = || {
+            ScanMonitorSet::new(
+                vec![
+                    ScanExprMonitor::atoms(&c, vec![0], None),
+                    ScanExprMonitor::atoms(&c, vec![0, 1], None),
+                    ScanExprMonitor::atoms(&c, vec![1], None),
+                ],
+                1.0,
+                1,
+            )
+        };
+        let harvest = |set: &mut ScanMonitorSet| {
+            let mut rep = FeedbackReport::new();
+            set.harvest("t", &mut rep);
+            rep.measurements
+                .iter()
+                .map(|m| m.actual)
+                .collect::<Vec<_>>()
+        };
+        // Full-eval shape: (true, false) per row on every page.
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..3 {
+            a.start_page();
+            a.observe_row(&[Some(true), Some(false)], &row);
+            b.start_page();
+            b.observe_full_row(&[true, false], &row);
+        }
+        assert_eq!(harvest(&mut a), harvest(&mut b));
+        // Short-circuit shape: conjunct 0 passed, conjunct 1 failed.
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..3 {
+            a.start_page();
+            a.observe_row(&[Some(true), Some(false)], &row);
+            b.start_page();
+            b.observe_prefix_row(2, false, &row);
+        }
+        assert_eq!(harvest(&mut a), harvest(&mut b));
+        // Short-circuit failing at conjunct 0: rest unknown.
+        let (mut a, mut b) = (mk(), mk());
+        a.start_page();
+        a.observe_row(&[Some(false), None], &row);
+        b.start_page();
+        b.observe_prefix_row(1, false, &row);
+        assert_eq!(harvest(&mut a), harvest(&mut b));
     }
 
     #[test]

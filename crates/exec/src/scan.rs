@@ -10,7 +10,7 @@ use crate::context::ExecContext;
 use crate::expr::Conjunction;
 use crate::monitor::ScanMonitorHandle;
 use crate::op::Operator;
-use pf_common::{Datum, PageId, Result, Row, Schema, TableId};
+use pf_common::{Datum, PageId, Result, Row, Schema, SlotId, TableId};
 use pf_storage::{AccessPattern, TableStorage};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -31,8 +31,13 @@ pub struct SeqScan {
     started: bool,
     finished: bool,
     buffer: VecDeque<(Row, u32)>,
+    /// Per-conjunct truth of the current row on fully-evaluated pages.
     atom_buf: Vec<bool>,
-    opt_buf: Vec<Option<bool>>,
+    /// Reusable per-page bitmap of qualifying slots: predicates are
+    /// evaluated over borrowed page views in one batched pass, and only
+    /// the slots marked here are materialized into `buffer` (rows the
+    /// parent will actually receive).
+    qualifying: Vec<u64>,
     /// When set, monitors observe each row as it is *delivered* to the
     /// parent (not when its page is loaded). Required for partial
     /// bit-vector filters under a streaming merge join (Section IV): the
@@ -69,7 +74,7 @@ impl SeqScan {
             finished: false,
             buffer: VecDeque::new(),
             atom_buf: Vec::new(),
-            opt_buf: Vec::new(),
+            qualifying: Vec::new(),
             deferred_monitoring: false,
             last_delivered_page: None,
             pending_observation: None,
@@ -118,7 +123,7 @@ impl SeqScan {
             finished: false,
             buffer: VecDeque::new(),
             atom_buf: Vec::new(),
-            opt_buf: Vec::new(),
+            qualifying: Vec::new(),
             deferred_monitoring: false,
             last_delivered_page: None,
             pending_observation: None,
@@ -143,8 +148,9 @@ impl SeqScan {
         };
         self.started = true;
         ctx.pool.access(self.table_id, pid, pattern);
-        let rows = self.storage.rows_on_page(pid)?;
-        ctx.pool.charge_rows(rows.len() as u64);
+        let page = self.storage.page(pid)?;
+        let layout = self.storage.layout();
+        ctx.pool.charge_rows(u64::from(page.slot_count()));
 
         // Monitoring setup for this page (Fig 4, steps 3–4). In
         // deferred mode the page is announced when its first row is
@@ -158,56 +164,64 @@ impl SeqScan {
             _ => (false, false),
         };
 
+        // Pass 1 (zero-copy): evaluate the whole page over borrowed
+        // views — no row is decoded into owned values here. Predicate
+        // truth and monitor observations come straight from page bytes;
+        // qualifying slots are marked in the reusable bitmap.
         let natoms = self.predicate.len();
-        for row in rows {
-            if full_eval {
+        self.qualifying.clear();
+        self.qualifying
+            .resize(usize::from(page.slot_count()).div_ceil(64), 0);
+        for (slot, view) in page.cursor(layout).enumerate() {
+            let view = view?;
+            let pass = if full_eval {
                 // Short-circuiting OFF for this sampled page: evaluate
                 // every conjunct, charging the surplus as monitoring
                 // overhead.
-                let pass = self.predicate.eval_all(&row, &mut self.atom_buf);
+                let pass = self.predicate.eval_all(&view, &mut self.atom_buf);
                 let sc_evals = match self.atom_buf.iter().position(|r| !*r) {
                     Some(i) => i + 1,
                     None => natoms,
                 };
                 ctx.pool.charge_pred_evals(sc_evals as u64);
                 ctx.pool.charge_extra_pred_evals((natoms - sc_evals) as u64);
-                self.opt_buf.clear();
-                self.opt_buf.extend(self.atom_buf.iter().map(|r| Some(*r)));
                 if let Some(m) = &self.monitors {
-                    m.borrow_mut().observe_row(&self.opt_buf, &row);
+                    m.borrow_mut().observe_full_row(&self.atom_buf, &view);
                     ctx.pool.charge_monitor_ops(1);
                 }
-                if pass {
-                    self.buffer.push_back((row, pid.0));
-                }
+                pass
             } else {
-                let (pass, evaluated) = self.predicate.eval_short_circuit(&row);
+                let (pass, evaluated) = self.predicate.eval_short_circuit(&view);
                 ctx.pool.charge_pred_evals(evaluated as u64);
                 if self.monitors.is_some() && !self.deferred_monitoring {
-                    // Truths known from short-circuit evaluation: the
-                    // first `evaluated` conjuncts; all true except
-                    // possibly the last.
-                    self.opt_buf.clear();
-                    for i in 0..natoms {
-                        // Conjuncts before the stopping point are true;
-                        // the stopping conjunct is true iff the row
-                        // passed; later conjuncts were never evaluated.
-                        self.opt_buf.push(match (i + 1).cmp(&evaluated) {
-                            std::cmp::Ordering::Less => Some(true),
-                            std::cmp::Ordering::Equal => Some(pass),
-                            std::cmp::Ordering::Greater => None,
-                        });
-                    }
                     if let Some(m) = &self.monitors {
-                        m.borrow_mut().observe_row(&self.opt_buf, &row);
+                        // Truths known from short-circuit evaluation:
+                        // conjuncts before the stopping point are true,
+                        // the stopping conjunct is true iff the row
+                        // passed, later conjuncts were never evaluated.
+                        m.borrow_mut().observe_prefix_row(evaluated, pass, &view);
                         ctx.pool.charge_monitor_ops(1);
                     }
                 }
-                if pass {
-                    self.buffer.push_back((row, pid.0));
-                }
+                pass
+            };
+            if pass {
+                self.qualifying[slot / 64] |= 1 << (slot % 64);
             }
         }
+
+        // Pass 2: materialize only the qualifying rows — the ones the
+        // parent operator will actually receive.
+        for (word, &bits) in self.qualifying.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let slot = word * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let row = page.view(layout, SlotId(slot as u16))?.materialize();
+                self.buffer.push_back((row, pid.0));
+            }
+        }
+
         if let Some(m) = &self.monitors {
             let hashes = m.borrow_mut().take_hash_ops();
             ctx.pool.charge_hashes(hashes);
@@ -224,8 +238,10 @@ impl SeqScan {
                 m.start_page();
                 self.last_delivered_page = Some(pid);
             }
-            self.opt_buf.clear();
-            m.observe_row(&self.opt_buf, row);
+            // Deferred scans are predicate-free (asserted at
+            // construction): no conjunct was evaluated, which is exactly
+            // an empty short-circuit prefix that passed.
+            m.observe_prefix_row(0, true, row);
             ctx.pool.charge_monitor_ops(1);
             ctx.pool.charge_hashes(m.take_hash_ops());
         }

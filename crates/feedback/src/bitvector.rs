@@ -11,8 +11,8 @@
 //! **overestimate** (no false negatives), and the paper observes small
 //! overestimation already at < 1 % of table size.
 
-use pf_common::hash::hash_datum;
-use pf_common::Datum;
+use pf_common::hash::{hash_datum, hash_datum_ref};
+use pf_common::{Datum, DatumRef};
 
 /// A Bloom-style single-hash bit vector over join-key values.
 #[derive(Debug, Clone)]
@@ -51,11 +51,28 @@ impl BitVectorFilter {
         self.insertions += 1;
     }
 
+    /// Inserts a *borrowed* build-side key — same bit as
+    /// [`BitVectorFilter::insert`] on the owned value
+    /// ([`hash_datum_ref`] is bit-identical to [`hash_datum`]).
+    #[inline]
+    pub fn insert_ref(&mut self, key: DatumRef<'_>) {
+        let bit = hash_datum_ref(key, self.seed) % self.numbits;
+        self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        self.insertions += 1;
+    }
+
     /// Tests a probe-side join-key value (the derived semi-join
     /// predicate). Never returns `false` for a key that was inserted.
     #[inline]
     pub fn may_contain(&self, key: &Datum) -> bool {
-        let bit = hash_datum(key, self.seed) % self.numbits;
+        self.may_contain_ref(DatumRef::from(key))
+    }
+
+    /// Tests a *borrowed* probe-side key, allocation-free; bit-identical
+    /// to [`BitVectorFilter::may_contain`] on the owned value.
+    #[inline]
+    pub fn may_contain_ref(&self, key: DatumRef<'_>) -> bool {
+        let bit = hash_datum_ref(key, self.seed) % self.numbits;
         self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
     }
 
@@ -134,6 +151,18 @@ mod tests {
         f.insert(&Datum::Date(12_345));
         assert!(f.may_contain(&Datum::Str("ca".into())));
         assert!(f.may_contain(&Datum::Date(12_345)));
+    }
+
+    #[test]
+    fn borrowed_and_owned_keys_agree() {
+        let mut f = BitVectorFilter::new(256, 11);
+        f.insert_ref(DatumRef::Str("ca"));
+        f.insert(&Datum::Int(7));
+        for key in [Datum::Str("ca".into()), Datum::Int(7), Datum::Int(8)] {
+            assert_eq!(f.may_contain(&key), f.may_contain_ref(DatumRef::from(&key)));
+        }
+        assert!(f.may_contain(&Datum::Str("ca".into())), "inserted via ref");
+        assert!(f.may_contain_ref(DatumRef::Int(7)), "inserted via owned");
     }
 
     #[test]

@@ -270,7 +270,7 @@ impl<'a> Optimizer<'a> {
                 &outer_meta.schema().column(spec.outer_join_col).name,
                 &inner_meta.name,
                 &inner_meta.schema().column(spec.inner_join_col).name,
-                &spec.outer_pred.key(),
+                spec.outer_pred.key(),
             );
             let (dpc, src) = self.dpc_or_analytic(&inner_meta.name, &jkey, matched, inner_pages);
             plans.push(JoinPlan {
@@ -514,7 +514,7 @@ mod tests {
         let mut hints2 = HintSet::new();
         hints2.inject_dpc(
             "T",
-            join_dpc_key("T1", "c2", "T", "c2", &spec.outer_pred.key()),
+            join_dpc_key("T1", "c2", "T", "c2", spec.outer_pred.key()),
             6.0,
         );
         let opt2 = Optimizer::new(&cat, &stats, CostModel::new(), &hints2);

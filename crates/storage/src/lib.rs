@@ -6,6 +6,9 @@
 //!
 //! * [`codec`] — binary row serialization (schema-directed, no per-value tags),
 //! * [`page`] — slotted 8 KB pages with a slot directory,
+//! * [`view`] — zero-copy row views: a schema-compiled [`RowLayout`]
+//!   plus borrowed [`RowView`]s and [`PageCursor`]s, so the executor's
+//!   scan hot path decodes without allocating,
 //! * [`table`] — bulk-loaded table storage; a table is either a heap
 //!   (load order) or a *clustered index* (rows ordered by the clustering
 //!   key, with a sparse page-level key index for seeks),
@@ -30,9 +33,11 @@ pub mod disk;
 pub mod lru;
 pub mod page;
 pub mod table;
+pub mod view;
 
 pub use bufferpool::{AccessPattern, BufferPool, IoStats};
 pub use catalog::{Catalog, IndexMeta, TableBuilder, TableMeta, TableStats};
 pub use disk::DiskModel;
 pub use page::{Page, DEFAULT_PAGE_SIZE};
 pub use table::TableStorage;
+pub use view::{PageCursor, RowLayout, RowView};

@@ -93,8 +93,17 @@ impl Page {
         Ok(SlotId(slot))
     }
 
-    /// Decodes the row in `slot`.
+    /// Decodes the row in `slot` (owned path; see [`crate::view`] for the
+    /// zero-copy equivalent).
     pub fn read(&self, schema: &Schema, slot: SlotId) -> Result<Row> {
+        let (row, _) = codec::decode_row(schema, self.slot_bytes(slot)?)?;
+        Ok(row)
+    }
+
+    /// The page bytes from `slot`'s payload offset to the end of the
+    /// page (row encodings are self-delimiting), located directly via
+    /// the slot directory.
+    pub(crate) fn slot_bytes(&self, slot: SlotId) -> Result<&[u8]> {
         if slot.0 >= self.slot_count {
             return Err(Error::SlotOutOfBounds {
                 slot: slot.0,
@@ -103,8 +112,7 @@ impl Page {
         }
         let dir_pos = self.data.len() - SLOT_SIZE * (slot.0 as usize + 1);
         let offset = u16::from_le_bytes([self.data[dir_pos], self.data[dir_pos + 1]]) as usize;
-        let (row, _) = codec::decode_row(schema, &self.data[offset..])?;
-        Ok(row)
+        Ok(&self.data[offset..])
     }
 
     /// Decodes every row on the page, in slot order.

@@ -13,12 +13,16 @@
 //! without scanning.
 
 use crate::page::{Page, DEFAULT_PAGE_SIZE};
+use crate::view::{PageCursor, RowLayout, RowView};
 use pf_common::{Datum, Error, PageId, Result, Rid, Row, Schema, SlotId};
 
 /// Immutable, bulk-loaded table storage.
 #[derive(Debug)]
 pub struct TableStorage {
     schema: Schema,
+    /// Schema-compiled decode plan, built once at load; shared by every
+    /// zero-copy cursor and view over this table.
+    layout: RowLayout,
     pages: Vec<Page>,
     row_count: u64,
     /// Ordinal of the clustering column, if rows were loaded sorted.
@@ -114,6 +118,7 @@ impl TableStorage {
         }
 
         Ok(TableStorage {
+            layout: RowLayout::new(&schema),
             schema,
             row_count: rows.len() as u64,
             pages,
@@ -184,14 +189,32 @@ impl TableStorage {
             })
     }
 
+    /// The table's compiled row layout.
+    pub fn layout(&self) -> &RowLayout {
+        &self.layout
+    }
+
+    /// Zero-copy cursor over the rows of page `pid` (the scan hot path;
+    /// see [`TableStorage::rows_on_page`] for the owned equivalent).
+    pub fn page_cursor(&self, pid: PageId) -> Result<PageCursor<'_>> {
+        Ok(self.page(pid)?.cursor(&self.layout))
+    }
+
+    /// Zero-copy view of the row at `rid`, landing directly on its slot
+    /// via the slot directory (the index-fetch hot path).
+    pub fn read_row_view(&self, rid: Rid) -> Result<RowView<'_>> {
+        self.page(rid.page)?.view(&self.layout, rid.slot)
+    }
+
     /// Decodes every row on page `pid`.
     pub fn rows_on_page(&self, pid: PageId) -> Result<Vec<Row>> {
         self.page(pid)?.read_all(&self.schema)
     }
 
-    /// Decodes the row at `rid`.
+    /// Decodes the row at `rid`, seeking directly to its slot and
+    /// materializing through the table's compiled layout.
     pub fn read_row(&self, rid: Rid) -> Result<Row> {
-        self.page(rid.page)?.read(&self.schema, rid.slot)
+        Ok(self.read_row_view(rid)?.materialize())
     }
 
     /// All RIDs of the table in physical order (used for index builds).
@@ -309,6 +332,24 @@ mod tests {
         assert_eq!(rids.len(), 100);
         for (i, rid) in rids.iter().enumerate() {
             assert_eq!(t.read_row(*rid).unwrap().get(0).as_int().unwrap(), i as i64);
+        }
+    }
+
+    #[test]
+    fn view_path_matches_owned_path() {
+        let t = TableStorage::bulk_load(schema(), &rows(200, 10), Some(0), 512, 1.0).unwrap();
+        for p in 0..t.page_count() {
+            let owned = t.rows_on_page(PageId(p)).unwrap();
+            let viewed: Vec<Row> = t
+                .page_cursor(PageId(p))
+                .unwrap()
+                .map(|v| v.unwrap().materialize())
+                .collect();
+            assert_eq!(owned, viewed);
+        }
+        for rid in t.all_rids() {
+            let view = t.read_row_view(rid).unwrap();
+            assert_eq!(t.read_row(rid).unwrap(), view.materialize());
         }
     }
 

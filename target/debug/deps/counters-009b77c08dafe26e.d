@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/counters-009b77c08dafe26e.d: crates/bench/benches/counters.rs
+
+/root/repo/target/debug/deps/counters-009b77c08dafe26e: crates/bench/benches/counters.rs
+
+crates/bench/benches/counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitors-da9f77a0007b8fb9.d: crates/bench/benches/monitors.rs
+
+/root/repo/target/debug/deps/monitors-da9f77a0007b8fb9: crates/bench/benches/monitors.rs
+
+crates/bench/benches/monitors.rs:

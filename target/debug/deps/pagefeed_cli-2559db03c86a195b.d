@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pagefeed_cli-2559db03c86a195b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/pagefeed_cli-2559db03c86a195b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

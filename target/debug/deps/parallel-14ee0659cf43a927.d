@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parallel-14ee0659cf43a927.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/debug/deps/parallel-14ee0659cf43a927: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pf_storage-8a9394ffbdf50dd5.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/debug/deps/pf_storage-8a9394ffbdf50dd5.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
-/root/repo/target/debug/deps/pf_storage-8a9394ffbdf50dd5: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/debug/deps/pf_storage-8a9394ffbdf50dd5: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
 crates/storage/src/lib.rs:
 crates/storage/src/btree.rs:
@@ -11,3 +11,4 @@ crates/storage/src/disk.rs:
 crates/storage/src/lru.rs:
 crates/storage/src/page.rs:
 crates/storage/src/table.rs:
+crates/storage/src/view.rs:

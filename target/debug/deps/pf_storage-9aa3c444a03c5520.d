@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/pf_storage-9aa3c444a03c5520.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/pf_storage-9aa3c444a03c5520.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpf_storage-9aa3c444a03c5520.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libpf_storage-9aa3c444a03c5520.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs Cargo.toml
 
 crates/storage/src/lib.rs:
 crates/storage/src/btree.rs:
@@ -11,6 +11,7 @@ crates/storage/src/disk.rs:
 crates/storage/src/lru.rs:
 crates/storage/src/page.rs:
 crates/storage/src/table.rs:
+crates/storage/src/view.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/pf_storage-a6308ba8c2ffb3f4.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/debug/deps/pf_storage-a6308ba8c2ffb3f4.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
-/root/repo/target/debug/deps/libpf_storage-a6308ba8c2ffb3f4.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/debug/deps/libpf_storage-a6308ba8c2ffb3f4.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
-/root/repo/target/debug/deps/libpf_storage-a6308ba8c2ffb3f4.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/debug/deps/libpf_storage-a6308ba8c2ffb3f4.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
 crates/storage/src/lib.rs:
 crates/storage/src/btree.rs:
@@ -13,3 +13,4 @@ crates/storage/src/disk.rs:
 crates/storage/src/lru.rs:
 crates/storage/src/page.rs:
 crates/storage/src/table.rs:
+crates/storage/src/view.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6b7869d24607fb78.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6b7869d24607fb78: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

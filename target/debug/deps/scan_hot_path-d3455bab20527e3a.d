@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scan_hot_path-d3455bab20527e3a.d: crates/bench/benches/scan_hot_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscan_hot_path-d3455bab20527e3a.rmeta: crates/bench/benches/scan_hot_path.rs Cargo.toml
+
+crates/bench/benches/scan_hot_path.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pagefeed_repro-e88a256bc7f38792.d: src/lib.rs
+
+/root/repo/target/release/deps/pagefeed_repro-e88a256bc7f38792: src/lib.rs
+
+src/lib.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/pf_storage-db41ce175a130b38.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/release/deps/pf_storage-db41ce175a130b38.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
-/root/repo/target/release/deps/libpf_storage-db41ce175a130b38.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/release/deps/libpf_storage-db41ce175a130b38.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
-/root/repo/target/release/deps/libpf_storage-db41ce175a130b38.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs
+/root/repo/target/release/deps/libpf_storage-db41ce175a130b38.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
 
 crates/storage/src/lib.rs:
 crates/storage/src/btree.rs:
@@ -13,3 +13,4 @@ crates/storage/src/disk.rs:
 crates/storage/src/lru.rs:
 crates/storage/src/page.rs:
 crates/storage/src/table.rs:
+crates/storage/src/view.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7fff63a6ec7a9e47.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-7fff63a6ec7a9e47: tests/properties.rs
+
+tests/properties.rs:

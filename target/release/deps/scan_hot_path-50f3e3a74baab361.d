@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scan_hot_path-50f3e3a74baab361.d: crates/bench/benches/scan_hot_path.rs
+
+/root/repo/target/release/deps/scan_hot_path-50f3e3a74baab361: crates/bench/benches/scan_hot_path.rs
+
+crates/bench/benches/scan_hot_path.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

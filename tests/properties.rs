@@ -107,6 +107,111 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Zero-copy row views vs the owned codec
+// ---------------------------------------------------------------------
+
+/// Derives the schema a generated row conforms to.
+fn schema_of(cells: &[Datum]) -> Schema {
+    Schema::new(
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Column::new(format!("c{i}"), d.data_type()))
+            .collect(),
+    )
+}
+
+proptest! {
+    /// For arbitrary schemas — including multiple `Str` columns and empty
+    /// strings — `RowView::materialize` is value-identical to
+    /// `decode_row`, per-column borrowed access agrees with both, and
+    /// `RowLayout::validate` consumes exactly the bytes the owned decoder
+    /// consumes.
+    #[test]
+    fn row_view_matches_owned_decode(
+        cells in prop::collection::vec(arb_datum(), 1..8),
+        suffix in prop::collection::vec(any::<u64>().prop_map(|v| v as u8), 0..16),
+    ) {
+        let schema = schema_of(&cells);
+        let row = Row::new(cells);
+        let mut bytes = Vec::new();
+        pf_storage::codec::encode_row(&schema, &row, &mut bytes).unwrap();
+        let encoded_len = bytes.len();
+        // Decoders must ignore trailing bytes (rows share page space).
+        bytes.extend_from_slice(&suffix);
+
+        let (decoded, consumed) = pf_storage::codec::decode_row(&schema, &bytes).unwrap();
+        prop_assert_eq!(consumed, encoded_len);
+
+        let layout = pf_storage::RowLayout::new(&schema);
+        prop_assert_eq!(layout.validate(&bytes).unwrap(), encoded_len);
+        let view = pf_storage::RowView::new(&layout, &bytes).unwrap();
+        prop_assert_eq!(&view.materialize(), &decoded);
+        prop_assert_eq!(&decoded, &row);
+        for (i, cell) in row.values.iter().enumerate() {
+            prop_assert_eq!(&view.get(i).to_datum(), cell);
+        }
+    }
+
+    /// Truncation-rejection parity: every strict prefix of an encoded row
+    /// is rejected by the owned decoder and the view validator alike —
+    /// the zero-copy path accepts exactly the byte strings the codec
+    /// accepts.
+    #[test]
+    fn row_view_rejects_exactly_what_decode_rejects(
+        cells in prop::collection::vec(arb_datum(), 1..6),
+    ) {
+        let schema = schema_of(&cells);
+        let row = Row::new(cells);
+        let mut bytes = Vec::new();
+        pf_storage::codec::encode_row(&schema, &row, &mut bytes).unwrap();
+        let layout = pf_storage::RowLayout::new(&schema);
+        for cut in 0..bytes.len() {
+            let truncated = &bytes[..cut];
+            prop_assert!(
+                pf_storage::codec::decode_row(&schema, truncated).is_err(),
+                "owned decode accepted a {cut}-byte prefix of {} bytes",
+                bytes.len()
+            );
+            prop_assert!(
+                pf_storage::RowView::new(&layout, truncated).is_err(),
+                "view accepted a {cut}-byte prefix of {} bytes",
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// The proptest shim only generates finite floats, so NaN payload
+/// preservation gets a targeted check: both decode paths must return the
+/// exact NaN bit pattern stored, not a canonicalized one.
+#[test]
+fn nan_bits_survive_both_decode_paths() {
+    let nan = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+    let schema = Schema::new(vec![
+        Column::new("f", DataType::Float),
+        Column::new("s", DataType::Str),
+    ]);
+    let row = Row::new(vec![Datum::Float(nan), Datum::Str(String::new())]);
+    let mut bytes = Vec::new();
+    pf_storage::codec::encode_row(&schema, &row, &mut bytes).unwrap();
+
+    let (decoded, _) = pf_storage::codec::decode_row(&schema, &bytes).unwrap();
+    let layout = pf_storage::RowLayout::new(&schema);
+    let view = pf_storage::RowView::new(&layout, &bytes).unwrap();
+    for r in [&decoded, &view.materialize()] {
+        match r.get(0) {
+            Datum::Float(f) => assert_eq!(f.to_bits(), nan.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+    match view.get(0) {
+        pf_common::DatumRef::Float(f) => assert_eq!(f.to_bits(), nan.to_bits()),
+        other => panic!("expected float ref, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
 // B+-tree vs a sorted-multimap model
 // ---------------------------------------------------------------------
 
