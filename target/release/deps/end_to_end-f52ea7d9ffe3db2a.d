@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-f52ea7d9ffe3db2a.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-f52ea7d9ffe3db2a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

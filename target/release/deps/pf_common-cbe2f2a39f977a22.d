@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pf_common-cbe2f2a39f977a22.d: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+/root/repo/target/release/deps/pf_common-cbe2f2a39f977a22: crates/common/src/lib.rs crates/common/src/error.rs crates/common/src/hash.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/schema.rs crates/common/src/value.rs
+
+crates/common/src/lib.rs:
+crates/common/src/error.rs:
+crates/common/src/hash.rs:
+crates/common/src/ids.rs:
+crates/common/src/rng.rs:
+crates/common/src/schema.rs:
+crates/common/src/value.rs:

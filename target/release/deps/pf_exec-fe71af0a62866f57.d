@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pf_exec-fe71af0a62866f57.d: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+/root/repo/target/release/deps/pf_exec-fe71af0a62866f57: crates/exec/src/lib.rs crates/exec/src/agg.rs crates/exec/src/context.rs crates/exec/src/expr.rs crates/exec/src/index.rs crates/exec/src/join.rs crates/exec/src/monitor.rs crates/exec/src/op.rs crates/exec/src/scan.rs crates/exec/src/sort.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/agg.rs:
+crates/exec/src/context.rs:
+crates/exec/src/expr.rs:
+crates/exec/src/index.rs:
+crates/exec/src/join.rs:
+crates/exec/src/monitor.rs:
+crates/exec/src/op.rs:
+crates/exec/src/scan.rs:
+crates/exec/src/sort.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pf_feedback-98601cc65ba719b1.d: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+/root/repo/target/release/deps/pf_feedback-98601cc65ba719b1: crates/feedback/src/lib.rs crates/feedback/src/bitvector.rs crates/feedback/src/clustering_ratio.rs crates/feedback/src/distinct_estimators.rs crates/feedback/src/dpsample.rs crates/feedback/src/fm_sketch.rs crates/feedback/src/grouped_counter.rs crates/feedback/src/linear_counter.rs crates/feedback/src/report.rs
+
+crates/feedback/src/lib.rs:
+crates/feedback/src/bitvector.rs:
+crates/feedback/src/clustering_ratio.rs:
+crates/feedback/src/distinct_estimators.rs:
+crates/feedback/src/dpsample.rs:
+crates/feedback/src/fm_sketch.rs:
+crates/feedback/src/grouped_counter.rs:
+crates/feedback/src/linear_counter.rs:
+crates/feedback/src/report.rs:

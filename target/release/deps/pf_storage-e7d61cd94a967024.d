@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pf_storage-e7d61cd94a967024.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
+
+/root/repo/target/release/deps/pf_storage-e7d61cd94a967024: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/catalog.rs crates/storage/src/codec.rs crates/storage/src/disk.rs crates/storage/src/lru.rs crates/storage/src/page.rs crates/storage/src/table.rs crates/storage/src/view.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/bufferpool.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/codec.rs:
+crates/storage/src/disk.rs:
+crates/storage/src/lru.rs:
+crates/storage/src/page.rs:
+crates/storage/src/table.rs:
+crates/storage/src/view.rs:
