@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--jobs N] table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11
+//! repro [--jobs N] [--fault-seed N] [--fault-rate P]
+//!       table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11
 //!       | ablation-counters | ablation-bitvector | ablation-dpsample | ablation-models
 //!       | all | quick
 //! ```
@@ -11,6 +12,12 @@
 //! `--jobs N` (or `PF_JOBS=<n>`, default: all cores) sets how many
 //! worker threads the feedback-loop experiments use — output is
 //! identical for any worker count.
+//!
+//! `--fault-seed N --fault-rate P` (or `PF_FAULT_SEED` /
+//! `PF_FAULT_RATE`) turn on deterministic storage fault injection: a
+//! fraction `P` of pages is damaged at load, chosen purely by
+//! `(seed, table, page)`. The run must still complete — corrupt pages
+//! are skipped and the affected estimates labelled degraded.
 
 use pagefeed::ParallelRunner;
 use pf_bench::util::synthetic_rows;
@@ -18,37 +25,82 @@ use pf_bench::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--jobs N] [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
+        "usage: repro [--jobs N] [--fault-seed N] [--fault-rate P] \
+         [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
     );
     std::process::exit(2);
 }
 
+/// Parses `--name V` / `--name=V`, exiting with usage on a malformed
+/// value. Returns `None` when `arg` is not this flag at all.
+fn flag_value<T: std::str::FromStr>(
+    arg: &str,
+    name: &str,
+    args: &mut impl Iterator<Item = String>,
+) -> Option<T> {
+    let raw = if arg == name {
+        args.next()
+    } else {
+        arg.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix('='))
+            .map(str::to_string)
+    }?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("{name} expects a valid value, got {raw:?}");
+            usage();
+        }
+    }
+}
+
 fn main() {
     let mut jobs = ParallelRunner::from_env().jobs();
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate: Option<f64> = None;
     let mut cmd: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--jobs" | "-j" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => jobs = n,
-                None => {
-                    eprintln!("--jobs expects a positive integer");
-                    usage();
-                }
-            },
-            flag if flag.starts_with("--jobs=") => match flag["--jobs=".len()..].parse() {
-                Ok(n) => jobs = n,
-                Err(_) => {
-                    eprintln!("--jobs expects a positive integer");
-                    usage();
-                }
-            },
+        let a = arg.as_str();
+        if a == "-j" || a.starts_with("--jobs") {
+            let name = if a == "-j" { "-j" } else { "--jobs" };
+            if let Some(n) = flag_value(a, name, &mut args) {
+                jobs = n;
+                continue;
+            }
+        }
+        if a.starts_with("--fault-seed") {
+            if let Some(n) = flag_value(a, "--fault-seed", &mut args) {
+                fault_seed = Some(n);
+                continue;
+            }
+        }
+        if a.starts_with("--fault-rate") {
+            if let Some(p) = flag_value(a, "--fault-rate", &mut args) {
+                fault_rate = Some(p);
+                continue;
+            }
+        }
+        match a {
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument: {other}");
                 usage();
             }
         }
+    }
+    // Experiments construct their databases internally, so the fault
+    // plan travels via the environment `FaultPlan::from_env` reads.
+    // Single-threaded here: no worker threads exist yet.
+    if let Some(seed) = fault_seed {
+        std::env::set_var(pf_storage::FAULT_SEED_ENV, seed.to_string());
+    }
+    if let Some(rate) = fault_rate {
+        if !(0.0..=1.0).contains(&rate) {
+            eprintln!("--fault-rate expects a probability in [0, 1], got {rate}");
+            usage();
+        }
+        std::env::set_var(pf_storage::FAULT_RATE_ENV, rate.to_string());
     }
     let cmd = cmd.unwrap_or_else(|| "all".to_string());
     let rows = synthetic_rows();

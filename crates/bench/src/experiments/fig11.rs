@@ -62,6 +62,7 @@ pub fn run_fig11(per_column: usize, jobs: usize) -> Result<Vec<RealWorldPoint>> 
 
     let runner = ParallelRunner::new(jobs);
     let mut points = Vec::new();
+    let mut all_outcomes = Vec::new();
     let mut qid = 0;
     for (dbname, table, db, cols) in &mut dbs {
         let queries =
@@ -76,6 +77,7 @@ pub fn run_fig11(per_column: usize, jobs: usize) -> Result<Vec<RealWorldPoint>> 
             });
             qid += 1;
         }
+        all_outcomes.extend(outcomes);
     }
 
     println!(
@@ -105,5 +107,6 @@ pub fn run_fig11(per_column: usize, jobs: usize) -> Result<Vec<RealWorldPoint>> 
             .collect();
         println!("mean speedup {dbname}: {:.1}%", mean(&s) * 100.0);
     }
+    crate::util::report_degraded(&all_outcomes);
     Ok(points)
 }

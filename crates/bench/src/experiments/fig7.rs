@@ -55,5 +55,6 @@ pub fn run_fig7(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<Overh
         mean(&os) * 100.0,
         max(&os) * 100.0
     );
+    crate::util::report_degraded(&outcomes);
     Ok(points)
 }

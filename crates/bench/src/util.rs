@@ -36,6 +36,26 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Prints which queries of a feedback workload ran degraded (skipped
+/// corrupt pages) — silent when the run was fault-free, so the tables
+/// above stay byte-identical to a run without injection.
+pub fn report_degraded(outcomes: &[pagefeed::FeedbackOutcome]) {
+    let degraded: Vec<String> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.degraded())
+        .map(|(i, o)| format!("{i} ({} pages)", o.skipped_pages()))
+        .collect();
+    if !degraded.is_empty() {
+        println!(
+            "degraded queries ({} of {} skipped corrupt pages): {}",
+            degraded.len(),
+            outcomes.len(),
+            degraded.join(", ")
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

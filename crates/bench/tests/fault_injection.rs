@@ -1,0 +1,162 @@
+//! End-to-end corruption tolerance: a full monitored workload over a
+//! database carrying ~1% deterministic page damage must complete with
+//! zero panics, report exactly which queries were degraded, and leave
+//! every *non-degraded* query's feedback sketch identical to the
+//! fault-free run's — the headline robustness guarantee of the harness.
+
+use pagefeed::{Database, FaultPlan, MonitorConfig, ParallelRunner, PredSpec, Query};
+use pf_common::Datum;
+use pf_exec::CompareOp;
+use pf_workloads::synthetic::{self, SyntheticConfig};
+
+const ROWS: usize = 40_000;
+
+fn build_db(plan: Option<FaultPlan>) -> Database {
+    let mut db = synthetic::build(&SyntheticConfig {
+        rows: ROWS,
+        with_t1: true,
+        seed: 1,
+    })
+    .expect("synthetic build");
+    db.set_fault_plan(plan).expect("install fault plan");
+    db
+}
+
+/// A mixed workload: scans, seeks, fetches, and a join — every monitored
+/// code path that can meet a corrupt page.
+fn workload() -> Vec<Query> {
+    let mut qs = Vec::new();
+    for i in 0..10 {
+        let cut = 500 + 1_700 * i;
+        // c2 is correlated with layout (clustered-ish), c5 scattered:
+        // the two extremes of the paper's fetch patterns.
+        qs.push(Query::count(
+            "T",
+            vec![PredSpec::new("c2", CompareOp::Lt, Datum::Int(cut))],
+        ));
+        qs.push(Query::count(
+            "T",
+            vec![PredSpec::new("c5", CompareOp::Lt, Datum::Int(cut))],
+        ));
+    }
+    qs.push(Query::join_count(
+        "T1",
+        "T",
+        vec![PredSpec::new("c1", CompareOp::Lt, Datum::Int(4_000))],
+        "c2",
+        "c2",
+    ));
+    qs
+}
+
+#[test]
+fn faulted_workload_completes_and_labels_degraded_queries() {
+    let fault_free = build_db(None);
+    let plan = FaultPlan::new(42, 0.01).expect("valid plan");
+    let faulted = build_db(Some(plan));
+    let damaged: usize = faulted
+        .catalog()
+        .tables()
+        .iter()
+        .map(|t| t.storage.injected_fault_count())
+        .sum();
+    assert!(damaged > 0, "1% of a {ROWS}-row database must damage pages");
+
+    let queries = workload();
+    let cfg = MonitorConfig::default();
+    let runner = ParallelRunner::new(4);
+
+    let clean = runner
+        .run_queries(&fault_free, &queries, &cfg)
+        .expect("fault-free workload");
+    let results = runner.run_queries_quarantined(&faulted, &queries, &cfg);
+    assert_eq!(results.len(), queries.len());
+
+    let mut degraded = Vec::new();
+    for (i, r) in results.iter().enumerate() {
+        // Corruption is skipped, stalls are retried: every query must
+        // still produce an outcome.
+        let out = r
+            .as_ref()
+            .unwrap_or_else(|e| panic!("query {i} failed: {e}"));
+        if out.degraded() {
+            degraded.push(i);
+            assert!(
+                out.stats.pages_skipped > 0 || out.report.is_degraded(),
+                "query {i} marked degraded without evidence"
+            );
+        } else {
+            // The robustness contract: untouched queries are *exactly*
+            // the fault-free run — same count, same sketches.
+            assert_eq!(out.count, clean[i].count, "query {i} count drifted");
+            assert_eq!(out.report, clean[i].report, "query {i} sketch drifted");
+        }
+    }
+    assert!(
+        !degraded.is_empty(),
+        "a 1% fault rate must degrade at least one of {} queries",
+        queries.len()
+    );
+
+    // The degraded set is deterministic: a rerun reports the same list.
+    let rerun = runner.run_queries_quarantined(&faulted, &queries, &cfg);
+    let rerun_degraded: Vec<usize> = rerun
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().ok().filter(|o| o.degraded()).map(|_| i))
+        .collect();
+    assert_eq!(degraded, rerun_degraded);
+}
+
+#[test]
+fn faulted_sketches_are_identical_across_worker_counts() {
+    let plan = FaultPlan::new(7, 0.02).expect("valid plan");
+    let db = build_db(Some(plan));
+    let queries = workload();
+    let cfg = MonitorConfig::sampled(0.3);
+
+    let serial = ParallelRunner::new(1).run_queries_quarantined(&db, &queries, &cfg);
+    let parallel = ParallelRunner::new(8).run_queries_quarantined(&db, &queries, &cfg);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        match (s, p) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(s.count, p.count, "query {i}");
+                assert_eq!(s.stats, p.stats, "query {i}");
+                assert_eq!(s.report, p.report, "query {i} sketch depends on jobs");
+                assert_eq!(s.degraded(), p.degraded(), "query {i}");
+            }
+            (s, p) => panic!(
+                "query {i} outcome depends on worker count: jobs=1 ok={}, jobs=8 ok={}",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn healing_the_plan_restores_the_fault_free_run() {
+    let plan = FaultPlan::new(42, 0.01).expect("valid plan");
+    let mut db = build_db(Some(plan));
+    let queries = workload();
+    let cfg = MonitorConfig::default();
+    let runner = ParallelRunner::new(4);
+    let faulted = runner.run_queries_quarantined(&db, &queries, &cfg);
+    assert!(faulted
+        .iter()
+        .any(|r| r.as_ref().is_ok_and(|o| o.degraded())));
+
+    db.set_fault_plan(None).expect("heal");
+    let clean = build_db(None);
+    let healed = runner
+        .run_queries(&db, &queries, &cfg)
+        .expect("healed workload");
+    let reference = runner
+        .run_queries(&clean, &queries, &cfg)
+        .expect("reference workload");
+    for (i, (h, r)) in healed.iter().zip(&reference).enumerate() {
+        assert_eq!(h.count, r.count, "query {i}");
+        assert_eq!(h.report, r.report, "query {i}");
+        assert!(!h.degraded(), "query {i} still degraded after healing");
+    }
+}

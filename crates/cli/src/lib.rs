@@ -62,6 +62,7 @@ impl Shell {
             "feedback" => self.feedback(arg),
             "hints" => self.hints(),
             "jobs" => self.set_jobs(arg),
+            "faults" => self.set_faults(arg),
             "bench" => self.bench(arg),
             other => format!("unknown command .{other} — try .help"),
         };
@@ -171,6 +172,13 @@ impl Shell {
                     "count: {}\nplan:  {}\ntime:  {:.1} ms (simulated, cold cache)",
                     out.count, out.description, out.elapsed_ms
                 );
+                if out.degraded() {
+                    let _ = write!(
+                        s,
+                        "\nwarning: {} corrupt page(s) skipped — count and estimates are degraded",
+                        out.stats.pages_skipped
+                    );
+                }
                 if !out.report.measurements.is_empty() {
                     let _ = write!(s, "\n{}", out.report);
                 }
@@ -302,6 +310,53 @@ impl Shell {
         }
     }
 
+    fn set_faults(&mut self, arg: &str) -> String {
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        if arg.is_empty() {
+            return match db.fault_plan() {
+                None => "fault injection off".to_string(),
+                Some(plan) => {
+                    let damaged: usize = db
+                        .catalog()
+                        .tables()
+                        .iter()
+                        .map(|t| t.storage.injected_fault_count())
+                        .sum();
+                    format!(
+                        "fault injection on: seed {} rate {} — {damaged} damaged pages",
+                        plan.seed(),
+                        plan.rate()
+                    )
+                }
+            };
+        }
+        if arg == "off" {
+            return match db.set_fault_plan(None) {
+                Ok(()) => "fault injection off (injected damage healed)".to_string(),
+                Err(e) => format!("failed: {e}"),
+            };
+        }
+        let mut parts = arg.split_whitespace();
+        let (seed, rate) = match (
+            parts.next().and_then(|s| s.parse::<u64>().ok()),
+            parts.next().and_then(|s| s.parse::<f64>().ok()),
+            parts.next(),
+        ) {
+            (Some(seed), Some(rate), None) => (seed, rate),
+            _ => return "usage: .faults [<seed> <rate>|off]".to_string(),
+        };
+        let plan = match pagefeed::FaultPlan::new(seed, rate) {
+            Ok(p) => p,
+            Err(e) => return format!("bad fault plan: {e}"),
+        };
+        match db.set_fault_plan(Some(plan)) {
+            Ok(()) => self.set_faults(""),
+            Err(e) => format!("failed: {e}"),
+        }
+    }
+
     fn bench(&mut self, arg: &str) -> String {
         let mut parts = arg.splitn(2, ' ');
         let count: usize = match parts.next().unwrap_or("").parse() {
@@ -402,6 +457,7 @@ commands:
   .feedback <sql>     run the full feedback loop (measure, inject, replan)
   .hints              show feedback-cache status
   .jobs [N]           show / set worker threads for .bench (default: PF_JOBS or all cores)
+  .faults [S R|off]   show / set deterministic fault injection (seed S, page rate R)
   .bench <n> <sql>    run the query n times across the worker pool, report throughput
   .quit               exit
 anything else is parsed as SQL:
@@ -496,6 +552,40 @@ mod tests {
         let b = out(sh.eval(".bench 8 SELECT COUNT(*) FROM products WHERE category < 20"));
         assert!(b.contains("8 queries on 3 workers"), "{b}");
         assert!(b.contains("q/s"), "{b}");
+    }
+
+    #[test]
+    fn faults_command_injects_and_heals() {
+        let mut sh = Shell::new();
+        assert!(out(sh.eval(".faults")).contains("no database loaded"));
+        sh.eval(".load products");
+        assert!(out(sh.eval(".faults")).contains("off"));
+        assert!(out(sh.eval(".faults banana")).contains("usage"));
+        assert!(out(sh.eval(".faults 7 2.0")).contains("bad fault plan"));
+
+        // A heavy deterministic rate damages at least one page; queries
+        // still answer, flagged as degraded.
+        let on = out(sh.eval(".faults 7 0.2"));
+        assert!(on.contains("seed 7 rate 0.2"), "{on}");
+        let damaged: usize = on
+            .split(" — ")
+            .nth(1)
+            .and_then(|t| t.split(' ').next())
+            .and_then(|n| n.parse().ok())
+            .expect("damaged-page count in status line");
+        assert!(damaged > 0, "{on}");
+        // COUNT(pad) forces heap access (no index covers pad), so the
+        // scan must cross damaged pages, skip them, and say so.
+        let q = out(sh.eval("SELECT COUNT(pad) FROM products WHERE supplier < 100"));
+        assert!(q.contains("count:"), "{q}");
+        assert!(q.contains("degraded"), "{q}");
+
+        // Healing restores the exact fault-free answer.
+        let healed = out(sh.eval(".faults off"));
+        assert!(healed.contains("healed"), "{healed}");
+        let q = out(sh.eval("SELECT COUNT(pad) FROM products WHERE supplier < 100"));
+        assert!(q.contains("count: 2000"), "{q}");
+        assert!(!q.contains("degraded"), "{q}");
     }
 
     #[test]

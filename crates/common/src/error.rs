@@ -5,6 +5,7 @@
 //! pointing at a missing slot) surfaces as an [`Error`] rather than a
 //! panic, so library users get a recoverable failure.
 
+use crate::ids::{PageId, TableId};
 use std::fmt;
 
 /// Convenient alias used across all `pagefeed` crates.
@@ -53,6 +54,40 @@ pub enum Error {
     NoPlanFound(String),
     /// An invalid parameter was supplied (e.g. sampling fraction outside (0, 1]).
     InvalidArgument(String),
+    /// A page's stored CRC32 did not match its contents — the page is
+    /// damaged (bit rot, torn write, or an injected fault) and must not
+    /// be decoded. Executors skip-and-record rather than abort.
+    ChecksumMismatch {
+        /// Table owning the damaged page.
+        table: TableId,
+        /// The damaged page.
+        page: PageId,
+    },
+    /// A page read exceeded its latency budget (an injected transient
+    /// stall). Retryable: the same read succeeds after backoff.
+    ReadStalled {
+        /// Table owning the slow page.
+        table: TableId,
+        /// The page whose read stalled.
+        page: PageId,
+    },
+    /// A worker thread panicked while executing a workload query. The
+    /// panic is contained; only the offending query is lost.
+    WorkerPanicked {
+        /// Index of the query in the submitted workload.
+        query_index: usize,
+    },
+    /// An internal invariant was violated — a bug, surfaced as an error
+    /// instead of a panic so a workload run can quarantine it.
+    Internal(String),
+}
+
+impl Error {
+    /// Whether the failure is transient and the operation may be retried
+    /// (currently only injected read stalls).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::ReadStalled { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -83,6 +118,19 @@ impl fmt::Display for Error {
             ),
             Error::NoPlanFound(msg) => write!(f, "no plan found: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::ChecksumMismatch { table, page } => {
+                write!(f, "checksum mismatch on {table} {page}: page is corrupt")
+            }
+            Error::ReadStalled { table, page } => {
+                write!(f, "read stalled on {table} {page}: transient, retry")
+            }
+            Error::WorkerPanicked { query_index } => {
+                write!(
+                    f,
+                    "worker thread panicked while running query {query_index}"
+                )
+            }
+            Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -114,6 +162,28 @@ mod tests {
             }
             .to_string(),
             "page 9 out of bounds (table has 4 pages)"
+        );
+    }
+
+    #[test]
+    fn fault_variants_format_and_classify() {
+        let cs = Error::ChecksumMismatch {
+            table: TableId(2),
+            page: PageId(7),
+        };
+        assert_eq!(
+            cs.to_string(),
+            "checksum mismatch on t2 p7: page is corrupt"
+        );
+        assert!(!cs.is_transient());
+        let stall = Error::ReadStalled {
+            table: TableId(1),
+            page: PageId(3),
+        };
+        assert!(stall.is_transient());
+        assert_eq!(
+            Error::WorkerPanicked { query_index: 4 }.to_string(),
+            "worker thread panicked while running query 4"
         );
     }
 

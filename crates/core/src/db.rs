@@ -6,7 +6,12 @@ use pf_common::{Error, IndexId, PageId, Result, Row, Schema, TableId};
 use pf_exec::{drain, Conjunction, ExecContext};
 use pf_feedback::FeedbackReport;
 use pf_optimizer::{CostModel, DbStats, HintSet, Optimizer};
-use pf_storage::{Catalog, DiskModel, IoStats, TableBuilder};
+use pf_storage::{Catalog, DiskModel, FaultPlan, IoStats, TableBuilder};
+
+/// How many times a transient fault (an injected read stall) is retried
+/// before the error surfaces. Stall budgets are at most 2 attempts per
+/// site, so this always clears an injected stall.
+pub const MAX_TRANSIENT_RETRIES: u32 = 3;
 
 /// Everything one run of a query produced.
 #[derive(Debug)]
@@ -23,6 +28,17 @@ pub struct QueryOutcome {
     pub description: String,
     /// The optimizer decision that ran.
     pub choice: PlanChoice,
+    /// How many transient-fault retries this outcome absorbed (0 in a
+    /// fault-free run).
+    pub fault_retries: u32,
+}
+
+impl QueryOutcome {
+    /// Whether execution skipped corrupt pages: the count and every DPC
+    /// measurement are then lower bounds over the readable fraction.
+    pub fn degraded(&self) -> bool {
+        self.stats.pages_skipped > 0 || self.report.is_degraded()
+    }
 }
 
 /// An embedded analytical database with page-count execution feedback.
@@ -46,8 +62,12 @@ impl Database {
     /// (512 MB at 8 KB/page — large enough that within-query re-fetches
     /// never occur at our scales, matching the paper's setup).
     pub fn new() -> Self {
+        let mut catalog = Catalog::new();
+        // Fault injection is opt-in via PF_FAULT_RATE / PF_FAULT_SEED:
+        // unset, this is None and every code path below is fault-free.
+        catalog.set_fault_plan(FaultPlan::from_env());
         Database {
-            catalog: Catalog::new(),
+            catalog,
             stats: None,
             hints: HintSet::new(),
             dpc_cache: None,
@@ -100,6 +120,22 @@ impl Database {
     pub fn analyze(&mut self) -> Result<()> {
         self.stats = Some(DbStats::build(&self.catalog)?);
         Ok(())
+    }
+
+    /// Sets the fault-injection plan: existing tables have their
+    /// deterministic share of page damage (re)materialized and tables
+    /// created later inherit the plan at load. Damage is a pure function
+    /// of `(seed, table, page)` over the pristine bytes, so setting the
+    /// plan after loading is byte-identical to setting it before.
+    /// `None` heals all injected damage. Fails if a query currently
+    /// holds table storage.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) -> Result<()> {
+        self.catalog.install_fault_plan(plan)
+    }
+
+    /// The active fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.catalog.fault_plan()
     }
 
     /// The catalog.
@@ -174,7 +210,16 @@ impl Database {
     }
 
     /// Executes a lowered plan cold-cache and harvests its monitors.
+    ///
+    /// Single-attempt: under an active fault plan an injected read stall
+    /// surfaces as a transient [`Error::ReadStalled`]. Prefer
+    /// [`Database::execute_with_retry`] (or [`Database::run`], which uses
+    /// it) when a fault plan may be active.
     pub fn execute(&self, plan: LoweredPlan) -> Result<QueryOutcome> {
+        self.execute_attempt(plan, 0)
+    }
+
+    fn execute_attempt(&self, plan: LoweredPlan, attempt: u32) -> Result<QueryOutcome> {
         let LoweredPlan {
             mut op,
             harness,
@@ -184,6 +229,7 @@ impl Database {
         } = plan;
         let mut ctx = ExecContext::with_model(self.pool_pages, self.disk);
         ctx.cold_start();
+        ctx.fault_attempt = attempt;
         let rows = drain(op.as_mut(), &mut ctx)?;
         let count = rows.len() as u64;
         Ok(QueryOutcome {
@@ -193,12 +239,32 @@ impl Database {
             report: harness.harvest(),
             description,
             choice,
+            fault_retries: attempt,
         })
     }
 
-    /// Optimizes, lowers, and executes a query in one call.
+    /// Lowers (via `lower`) and executes, retrying the whole query —
+    /// fresh plan, cold cache — when execution hits a transient fault,
+    /// up to [`MAX_TRANSIENT_RETRIES`] retries. Each retry re-lowers so
+    /// monitors are rebuilt from the same seeds: a run that needed
+    /// retries produces byte-identical sketches to one that needed none.
+    pub fn execute_with_retry(
+        &self,
+        lower: impl Fn() -> Result<LoweredPlan>,
+    ) -> Result<QueryOutcome> {
+        let mut attempt = 0;
+        loop {
+            match self.execute_attempt(lower()?, attempt) {
+                Err(e) if e.is_transient() && attempt < MAX_TRANSIENT_RETRIES => attempt += 1,
+                other => return other,
+            }
+        }
+    }
+
+    /// Optimizes, lowers, and executes a query in one call, absorbing
+    /// transient faults via [`Database::execute_with_retry`].
     pub fn run(&self, query: &Query, cfg: &MonitorConfig) -> Result<QueryOutcome> {
-        self.execute(self.lower(query, cfg)?)
+        self.execute_with_retry(|| self.lower(query, cfg))
     }
 
     // ------------------------------------------------------------------

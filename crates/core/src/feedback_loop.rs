@@ -50,6 +50,24 @@ impl FeedbackOutcome {
     pub fn plan_changed(&self) -> bool {
         self.before.description != self.after.description
     }
+
+    /// Whether any run of this experiment skipped corrupt pages — its
+    /// measurements and timings are then lower bounds, not exact.
+    pub fn degraded(&self) -> bool {
+        self.report.is_degraded() || self.before.degraded() || self.after.degraded()
+    }
+
+    /// Corrupt pages skipped across the runs of this experiment.
+    pub fn skipped_pages(&self) -> u64 {
+        self.before.stats.pages_skipped
+            + self.after.stats.pages_skipped
+            + self
+                .report
+                .measurements
+                .iter()
+                .map(|m| m.skipped_pages)
+                .sum::<u64>()
+    }
 }
 
 impl Database {
@@ -98,18 +116,22 @@ impl Database {
         let mut hints = self.hints().clone();
         self.inject_cardinalities_into(query, &mut hints)?;
 
-        // Plan P: monitored run (feedback) + unmonitored run (T).
+        // Plan P: monitored run (feedback) + unmonitored run (T). Each
+        // execution absorbs transient injected faults by re-lowering and
+        // retrying, so a faulted run still completes the methodology.
         let planning_hints = self.effective_hints_from(hints.clone(), query)?;
-        let monitored = self.execute(self.lower_with(query, cfg, &planning_hints)?)?;
-        let before =
-            self.execute(self.lower_with(query, &MonitorConfig::off(), &planning_hints)?)?;
+        let monitored = self.execute_with_retry(|| self.lower_with(query, cfg, &planning_hints))?;
+        let before = self.execute_with_retry(|| {
+            self.lower_with(query, &MonitorConfig::off(), &planning_hints)
+        })?;
         debug_assert_eq!(monitored.description, before.description);
 
         // Inject the DPC feedback into the overlay and re-optimize.
         let report = monitored.report.clone();
         hints.absorb_report(&report);
         let after_hints = self.effective_hints_from(hints, query)?;
-        let after = self.execute(self.lower_with(query, &MonitorConfig::off(), &after_hints)?)?;
+        let after = self
+            .execute_with_retry(|| self.lower_with(query, &MonitorConfig::off(), &after_hints))?;
 
         Ok(FeedbackOutcome {
             monitored_elapsed_ms: monitored.elapsed_ms,

@@ -69,11 +69,12 @@ pub mod query;
 pub mod snapshot;
 pub mod sql;
 
-pub use db::{Database, QueryOutcome};
+pub use db::{Database, QueryOutcome, MAX_TRANSIENT_RETRIES};
 pub use dba::{DbaDiagnosis, Discrepancy};
 pub use feedback_loop::FeedbackOutcome;
 pub use histogram_cache::DpcHistogramCache;
 pub use parallel::{ParallelRunner, WorkloadSummary};
+pub use pf_storage::{FaultKind, FaultPlan};
 pub use planner::{LoweredPlan, MonitorConfig, MonitorHarness, PlanChoice};
 pub use query::{PredSpec, Query};
 pub use sql::parse_query;

@@ -21,10 +21,17 @@ use crate::feedback_loop::FeedbackOutcome;
 use crate::planner::MonitorConfig;
 use crate::query::Query;
 use pf_common::hash::mix64;
-use pf_common::Result;
+use pf_common::{Error, Result};
 use pf_feedback::FeedbackReport;
 use pf_storage::IoStats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Backoff ceiling for runner-level transient-fault retries.
+const MAX_BACKOFF_MS: u64 = 8;
+/// Runner-level retries on top of the database's own per-query retries.
+const RUNNER_RETRIES: u32 = 2;
 
 // Compile-time proof that the read path is shareable across workers.
 const _: () = {
@@ -86,6 +93,24 @@ impl ParallelRunner {
         })
     }
 
+    /// Like [`ParallelRunner::run_queries`], but a failing query is
+    /// *quarantined* instead of aborting the batch: element `i` is its
+    /// own `Result`, so one corrupt or panicking query cannot take down
+    /// a workload run. Panics inside a query are caught and surfaced as
+    /// [`Error::WorkerPanicked`] with that query's index; fault errors
+    /// ([`Error::ChecksumMismatch`], [`Error::ReadStalled`]) carry their
+    /// `(table, page)` site.
+    pub fn run_queries_quarantined(
+        &self,
+        db: &Database,
+        queries: &[Query],
+        cfg: &MonitorConfig,
+    ) -> Vec<Result<QueryOutcome>> {
+        self.run_indexed_quarantined(queries.len(), |i| {
+            db.run(&queries[i], &Self::cfg_for(cfg, i))
+        })
+    }
+
     /// The parallel feedback methodology: every query's
     /// [`Database::feedback_cell`] runs hermetically against a snapshot
     /// of the hint set, then the harvested reports are absorbed and the
@@ -112,17 +137,68 @@ impl ParallelRunner {
     }
 
     /// Evaluates `task(i)` for `i ∈ 0..n` across the worker pool and
-    /// returns results in index order. Workers claim small index batches
-    /// from a shared atomic cursor (work stealing by competition); an
-    /// error is reported for the lowest failing index, independent of
-    /// scheduling.
+    /// returns results in index order; an error is reported for the
+    /// lowest failing index, independent of scheduling.
     fn run_indexed<T, F>(&self, n: usize, task: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(usize) -> Result<T> + Sync,
     {
+        let mut out = Vec::with_capacity(n);
+        let mut first_err = None;
+        for (i, r) in self
+            .run_indexed_quarantined(n, task)
+            .into_iter()
+            .enumerate()
+        {
+            match r {
+                Ok(t) => out.push(t),
+                Err(e) => {
+                    first_err.get_or_insert((i, e));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(out),
+            Some((_, e)) => Err(e),
+        }
+    }
+
+    /// One guarded evaluation of `task(i)`: panics become
+    /// [`Error::WorkerPanicked`] (the query is quarantined, the worker
+    /// thread survives), and transient fault errors are retried with
+    /// capped exponential backoff — a second line of defence on top of
+    /// the database's own re-lower-and-retry loop.
+    fn run_guarded<T>(task: &(impl Fn(usize) -> Result<T> + Sync), i: usize) -> Result<T> {
+        let mut delay_ms = 1u64;
+        let mut tries = 0;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| task(i))) {
+                Err(_) => return Err(Error::WorkerPanicked { query_index: i }),
+                Ok(Err(e)) if e.is_transient() && tries < RUNNER_RETRIES => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                    delay_ms = (delay_ms * 2).min(MAX_BACKOFF_MS);
+                }
+                Ok(r) => return r,
+            }
+        }
+    }
+
+    /// Evaluates `task(i)` for `i ∈ 0..n` across the worker pool and
+    /// returns *per-index* results in index order — no index can abort
+    /// another. Workers claim small index batches from a shared atomic
+    /// cursor (work stealing by competition); each task runs guarded
+    /// ([`ParallelRunner::run_guarded`]), so a panicking query yields
+    /// `Err(WorkerPanicked)` in its own slot while the rest of the
+    /// batch completes normally.
+    fn run_indexed_quarantined<T, F>(&self, n: usize, task: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
         if self.jobs == 1 || n <= 1 {
-            return (0..n).map(task).collect();
+            return (0..n).map(|i| Self::run_guarded(&task, i)).collect();
         }
         // Batches amortize queue contention; small enough to keep the
         // tail balanced across workers.
@@ -130,7 +206,7 @@ impl ParallelRunner {
         let workers = self.jobs.min(n);
         let next = &AtomicUsize::new(0);
         let task = &task;
-        let per_worker: Vec<Vec<(usize, Result<T>)>> = std::thread::scope(|s| {
+        let per_worker: Vec<(usize, Result<T>)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(move || {
@@ -141,7 +217,7 @@ impl ParallelRunner {
                                 break;
                             }
                             for i in start..(start + batch).min(n) {
-                                local.push((i, task(i)));
+                                local.push((i, Self::run_guarded(task, i)));
                             }
                         }
                         local
@@ -150,16 +226,30 @@ impl ParallelRunner {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .flat_map(|h| {
+                    // Tasks are unwind-guarded, so a worker can only die
+                    // of something unrecoverable (e.g. stack overflow
+                    // aborting past catch_unwind). Its claimed indices
+                    // are then re-reported below as uncovered, not
+                    // panicked-through.
+                    h.join().unwrap_or_default()
+                })
                 .collect()
         });
         let mut slots: Vec<Option<Result<T>>> = std::iter::repeat_with(|| None).take(n).collect();
-        for (i, r) in per_worker.into_iter().flatten() {
+        for (i, r) in per_worker.into_iter() {
             slots[i] = Some(r);
         }
         slots
             .into_iter()
-            .map(|r| r.expect("index queue covered every query"))
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    Err(Error::Internal(format!(
+                        "worker thread died before reporting query {i}"
+                    )))
+                })
+            })
             .collect()
     }
 }
@@ -292,6 +382,46 @@ mod tests {
             .run_queries(&db, &queries, &cfg)
             .unwrap_err();
         assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_isolates_failing_queries() {
+        let db = demo_db();
+        let mut queries = workload();
+        queries[5] = Query::count("missing", vec![]);
+        let cfg = MonitorConfig::off();
+        let results = ParallelRunner::new(4).run_queries_quarantined(&db, &queries, &cfg);
+        assert_eq!(results.len(), queries.len());
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                assert!(r.is_err(), "query 5 must be quarantined");
+            } else {
+                assert!(r.is_ok(), "query {i} must survive query 5's failure");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_task_is_quarantined_with_its_index() {
+        // Silence the default panic hook's stderr spew for the
+        // intentional panic below.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let results = ParallelRunner::new(4).run_indexed_quarantined(8, |i| {
+            if i == 3 {
+                panic!("boom")
+            } else {
+                Ok(i)
+            }
+        });
+        std::panic::set_hook(prev);
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => assert_eq!(v, i),
+                Err(Error::WorkerPanicked { query_index }) => assert_eq!(query_index, 3),
+                Err(e) => panic!("unexpected error for {i}: {e}"),
+            }
+        }
     }
 
     #[test]

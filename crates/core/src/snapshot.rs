@@ -45,14 +45,21 @@ fn read_exact(r: &mut impl Read, n: usize) -> Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Reads exactly `N` bytes as a fixed array — the typed-error form of
+/// `read_exact(..).try_into().expect(..)`: a short read is an I/O error,
+/// a length mismatch an internal invariant violation, never a panic.
+fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(buf)
+}
+
 fn read_u32(r: &mut impl Read) -> Result<u32> {
-    let b = read_exact(r, 4)?;
-    Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    Ok(u32::from_le_bytes(read_array(r)?))
 }
 
 fn read_u64(r: &mut impl Read) -> Result<u64> {
-    let b = read_exact(r, 8)?;
-    Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    Ok(u64::from_le_bytes(read_array(r)?))
 }
 
 fn read_str(r: &mut impl Read) -> Result<String> {
@@ -161,14 +168,11 @@ impl Database {
         for _ in 0..table_count {
             let name = read_str(&mut r)?;
             let has_clustering = read_exact(&mut r, 1)?[0] != 0;
-            let clustering_raw = read_exact(&mut r, 2)?;
-            let clustering =
-                u16::from_le_bytes(clustering_raw.try_into().expect("2 bytes")) as usize;
+            let clustering = u16::from_le_bytes(read_array(&mut r)?) as usize;
             let page_size = read_u32(&mut r)? as usize;
-            let fill_bytes = read_exact(&mut r, 8)?;
-            let fill = f64::from_le_bytes(fill_bytes.try_into().expect("8 bytes"));
+            let fill = f64::from_le_bytes(read_array(&mut r)?);
 
-            let arity = u16::from_le_bytes(read_exact(&mut r, 2)?.try_into().expect("2 bytes"));
+            let arity = u16::from_le_bytes(read_array(&mut r)?);
             let mut cols = Vec::with_capacity(usize::from(arity));
             for _ in 0..arity {
                 let cname = read_str(&mut r)?;
@@ -178,11 +182,18 @@ impl Database {
             let schema = Schema::new(cols);
 
             let row_count = read_u64(&mut r)?;
-            let mut rows = Vec::with_capacity(row_count as usize);
+            // Cap the pre-allocation: a corrupt count must not OOM before
+            // the (inevitable) short read surfaces as an error.
+            let mut rows = Vec::with_capacity(row_count.min(1 << 20) as usize);
             for _ in 0..row_count {
                 rows.push(read_row(&mut r, &schema)?);
             }
 
+            if has_clustering && clustering >= schema.arity() {
+                return Err(Error::InvalidArgument(format!(
+                    "snapshot clustering column {clustering} out of range — corrupt file?"
+                )));
+            }
             let clustering_name = has_clustering.then(|| schema.column(clustering).name.clone());
             let mut builder = pf_storage::TableBuilder::new(&name, schema)
                 .rows(rows)
@@ -212,20 +223,9 @@ fn read_row(r: &mut impl Read, schema: &Schema) -> Result<Row> {
     let mut values = Vec::with_capacity(schema.arity());
     for col in schema.columns() {
         let v = match col.ty {
-            DataType::Int => {
-                let b = read_exact(r, 8)?;
-                Datum::Int(i64::from_le_bytes(b.try_into().expect("8 bytes")))
-            }
-            DataType::Float => {
-                let b = read_exact(r, 8)?;
-                Datum::Float(f64::from_bits(u64::from_le_bytes(
-                    b.try_into().expect("8 bytes"),
-                )))
-            }
-            DataType::Date => {
-                let b = read_exact(r, 4)?;
-                Datum::Date(i32::from_le_bytes(b.try_into().expect("4 bytes")))
-            }
+            DataType::Int => Datum::Int(i64::from_le_bytes(read_array(r)?)),
+            DataType::Float => Datum::Float(f64::from_bits(u64::from_le_bytes(read_array(r)?))),
+            DataType::Date => Datum::Date(i32::from_le_bytes(read_array(r)?)),
             DataType::Str => {
                 let len = read_u32(r)? as usize;
                 if len > 1 << 24 {
@@ -339,6 +339,56 @@ mod tests {
         let result = Database::open(&path);
         std::fs::remove_file(&path).ok();
         assert!(result.is_err());
+    }
+
+    /// Byte-level fuzz: flipping any single byte (or truncating at any
+    /// point) of a valid snapshot must yield `Err` or a well-formed
+    /// database — never a panic, never an OOM from a corrupt length.
+    #[test]
+    fn open_survives_byte_corruption() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("s", DataType::Str),
+            Column::new("f", DataType::Float),
+        ]);
+        let rows: Vec<Row> = (0..64)
+            .map(|i| {
+                Row::new(vec![
+                    Datum::Int(i),
+                    Datum::Str(format!("r{i}")),
+                    Datum::Float(i as f64),
+                ])
+            })
+            .collect();
+        db.create_table("t", schema, rows, Some("id")).unwrap();
+        let path = tmp("fuzz");
+        db.save(&path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Deterministic LCG so failures reproduce without a rand dep.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move |bound: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % bound
+        };
+
+        for trial in 0..200 {
+            let mut bytes = pristine.clone();
+            if trial % 4 == 0 {
+                bytes.truncate(next(bytes.len()));
+            } else {
+                let at = next(bytes.len());
+                bytes[at] ^= 1 << next(8);
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            // Ok (corruption hit a don't-care byte) and Err are both
+            // acceptable; reaching the next iteration proves no panic.
+            let _ = Database::open(&path);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

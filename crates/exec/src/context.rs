@@ -13,6 +13,12 @@ pub struct ExecContext {
     pub pool: BufferPool,
     /// The simulated clock.
     pub model: DiskModel,
+    /// Which retry of the current query this execution is (0 = first
+    /// try). [`pf_storage::TableStorage`] clears transient read-stall
+    /// faults once the attempt reaches the site's stall budget, so a
+    /// runner that retries with an incremented attempt always makes
+    /// progress.
+    pub fault_attempt: u32,
 }
 
 impl ExecContext {
@@ -21,6 +27,7 @@ impl ExecContext {
         ExecContext {
             pool: BufferPool::new(pool_pages),
             model: DiskModel::default(),
+            fault_attempt: 0,
         }
     }
 
@@ -29,6 +36,7 @@ impl ExecContext {
         ExecContext {
             pool: BufferPool::new(pool_pages),
             model,
+            fault_attempt: 0,
         }
     }
 

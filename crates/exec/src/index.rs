@@ -348,6 +348,9 @@ pub struct Fetch {
     /// Conjuncts not implied by the seek, evaluated after the fetch.
     residual: Conjunction,
     monitors: Option<FetchMonitorHandle>,
+    /// Pages discovered corrupt during this fetch stream: later RIDs on
+    /// the same page are skipped without re-verifying (or re-counting).
+    corrupt_pages: std::collections::HashSet<u32>,
 }
 
 impl Fetch {
@@ -365,6 +368,7 @@ impl Fetch {
             table_id,
             residual,
             monitors,
+            corrupt_pages: std::collections::HashSet::new(),
         }
     }
 }
@@ -376,12 +380,31 @@ impl Operator for Fetch {
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
         while let Some(rid) = self.source.next_rid(ctx)? {
-            ctx.pool
+            if self.corrupt_pages.contains(&rid.page.0) {
+                continue;
+            }
+            let hit = ctx
+                .pool
                 .access(self.table_id, rid.page, AccessPattern::Random);
             // Zero-copy: seek straight to the slot and evaluate the
             // residual on the borrowed view; rows rejected here are
-            // never decoded into owned values.
-            let view = self.storage.read_row_view(rid)?;
+            // never decoded into owned values. A miss verifies the
+            // page checksum; a corrupt page is skipped and recorded
+            // (its rows are lost to this query), never surfaced.
+            let view = match self.storage.checked_row_view(rid, ctx.fault_attempt, !hit) {
+                Ok(v) => v,
+                Err(pf_common::Error::ChecksumMismatch { .. }) => {
+                    ctx.pool.skip_corrupt(self.table_id, rid.page);
+                    self.corrupt_pages.insert(rid.page.0);
+                    if let Some(ms) = &self.monitors {
+                        for m in ms.borrow_mut().iter_mut() {
+                            m.note_skipped_page();
+                        }
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             ctx.pool.charge_rows(1);
 
             if let Some(ms) = &self.monitors {
@@ -438,10 +461,13 @@ mod tests {
                 ])
             })
             .collect();
-        let storage = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0).unwrap());
+        let storage = Arc::new(
+            TableStorage::bulk_load(schema, &rows, Some(0), 1024, 1.0)
+                .expect("bulk load test table"),
+        );
         let mut tree = BPlusTree::new();
         for rid in storage.all_rids() {
-            let row = storage.read_row(rid).unwrap();
+            let row = storage.read_row(rid).expect("rid points at a loaded row");
             tree.insert(row.get(1).clone(), rid);
         }
         let h = tree.height();
@@ -454,7 +480,7 @@ mod tests {
         let seek = IndexSeek::new(
             Arc::clone(&tree),
             h,
-            SeekRange::from_atom(CompareOp::Lt, Datum::Int(50)).unwrap(),
+            SeekRange::from_atom(CompareOp::Lt, Datum::Int(50)).expect("seekable comparison"),
         );
         let mut fetch = Fetch::new(
             Box::new(seek),
@@ -464,9 +490,11 @@ mod tests {
             None,
         );
         let mut ctx = ExecContext::new(4096);
-        let rows = drain(&mut fetch, &mut ctx).unwrap();
+        let rows = drain(&mut fetch, &mut ctx).expect("plan drains without error");
         assert_eq!(rows.len(), 50);
-        assert!(rows.iter().all(|r| r.get(1).as_int().unwrap() < 50));
+        assert!(rows
+            .iter()
+            .all(|r| r.get(1).as_int().expect("int column") < 50));
         assert!(ctx.stats().index_node_reads > 0);
         assert!(ctx.stats().rand_physical_reads > 0);
     }
@@ -477,7 +505,7 @@ mod tests {
         let seek = IndexSeek::new(
             Arc::clone(&tree),
             h,
-            SeekRange::from_atom(CompareOp::Lt, Datum::Int(100)).unwrap(),
+            SeekRange::from_atom(CompareOp::Lt, Datum::Int(100)).expect("seekable comparison"),
         );
         let mut fetch = Fetch::new(
             Box::new(seek),
@@ -487,13 +515,16 @@ mod tests {
             None,
         );
         let mut ctx = ExecContext::new(8192);
-        run_count(&mut fetch, &mut ctx).unwrap();
+        run_count(&mut fetch, &mut ctx).expect("plan drains without error");
 
         // Ground truth DPC.
         let mut touched = std::collections::HashSet::new();
         for p in 0..storage.page_count() {
-            for r in storage.rows_on_page(PageId(p)).unwrap() {
-                if r.get(1).as_int().unwrap() < 100 {
+            for r in storage
+                .rows_on_page(PageId(p))
+                .expect("page id within table")
+            {
+                if r.get(1).as_int().expect("int column") < 100 {
                     touched.insert(p);
                 }
             }
@@ -507,7 +538,7 @@ mod tests {
         let seek = IndexSeek::new(
             Arc::clone(&tree),
             h,
-            SeekRange::from_atom(CompareOp::Lt, Datum::Int(400)).unwrap(),
+            SeekRange::from_atom(CompareOp::Lt, Datum::Int(400)).expect("seekable comparison"),
         );
         let monitors = Rc::new(RefCell::new(vec![FetchMonitor::new(
             "perm<400",
@@ -524,7 +555,7 @@ mod tests {
             Some(Rc::clone(&monitors)),
         );
         let mut ctx = ExecContext::new(16_384);
-        run_count(&mut fetch, &mut ctx).unwrap();
+        run_count(&mut fetch, &mut ctx).expect("plan drains without error");
         let truth = ctx.stats().rand_physical_reads as f64;
         let mut rep = FeedbackReport::new();
         monitors.borrow()[0].harvest("t", &mut rep);
@@ -539,7 +570,7 @@ mod tests {
         let seek = IndexSeek::new(
             Arc::clone(&tree),
             h,
-            SeekRange::from_atom(CompareOp::Lt, Datum::Int(500)).unwrap(),
+            SeekRange::from_atom(CompareOp::Lt, Datum::Int(500)).expect("seekable comparison"),
         );
         let residual = Conjunction::new(vec![AtomicPredicate::new(
             storage.schema(),
@@ -547,7 +578,7 @@ mod tests {
             CompareOp::Lt,
             Datum::Int(100),
         )
-        .unwrap()]);
+        .expect("test value is well-formed")]);
         let monitors = Rc::new(RefCell::new(vec![
             FetchMonitor::new(
                 "perm<500",
@@ -572,7 +603,7 @@ mod tests {
             Some(Rc::clone(&monitors)),
         );
         let mut ctx = ExecContext::new(16_384);
-        let n = run_count(&mut fetch, &mut ctx).unwrap();
+        let n = run_count(&mut fetch, &mut ctx).expect("plan drains without error");
         assert!(n < 500, "residual filtered ({n})");
         let ms = monitors.borrow();
         assert!(ms[0].counter.estimate() > ms[1].counter.estimate());
@@ -586,12 +617,12 @@ mod tests {
         let a = IndexSeek::new(
             Arc::clone(&tree),
             h,
-            SeekRange::from_atom(CompareOp::Lt, Datum::Int(100)).unwrap(),
+            SeekRange::from_atom(CompareOp::Lt, Datum::Int(100)).expect("seekable comparison"),
         );
         let b = IndexSeek::new(
             Arc::clone(&tree),
             h,
-            SeekRange::from_atom(CompareOp::Ge, Datum::Int(50)).unwrap(),
+            SeekRange::from_atom(CompareOp::Ge, Datum::Int(50)).expect("seekable comparison"),
         );
         let inter = IndexIntersection::new(Box::new(a), Box::new(b));
         let mut fetch = Fetch::new(
@@ -602,11 +633,11 @@ mod tests {
             None,
         );
         let mut ctx = ExecContext::new(8192);
-        let rows = drain(&mut fetch, &mut ctx).unwrap();
+        let rows = drain(&mut fetch, &mut ctx).expect("plan drains without error");
         assert_eq!(rows.len(), 50);
         assert!(rows
             .iter()
-            .all(|r| (50..100).contains(&r.get(1).as_int().unwrap())));
+            .all(|r| (50..100).contains(&r.get(1).as_int().expect("int column"))));
     }
 
     #[test]
@@ -623,7 +654,7 @@ mod tests {
         let seek = IndexSeek::new(
             Arc::clone(&tree),
             h,
-            SeekRange::from_atom(CompareOp::Lt, Datum::Int(0)).unwrap(),
+            SeekRange::from_atom(CompareOp::Lt, Datum::Int(0)).expect("seekable comparison"),
         );
         let mut fetch = Fetch::new(
             Box::new(seek),
@@ -633,7 +664,10 @@ mod tests {
             None,
         );
         let mut ctx = ExecContext::new(1024);
-        assert_eq!(run_count(&mut fetch, &mut ctx).unwrap(), 0);
+        assert_eq!(
+            run_count(&mut fetch, &mut ctx).expect("plan drains without error"),
+            0
+        );
         assert_eq!(ctx.stats().rand_physical_reads, 0);
     }
 }

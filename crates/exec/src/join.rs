@@ -538,7 +538,8 @@ mod tests {
             .map(|i| Row::new(vec![Datum::Int(i), Datum::Str("o".into())]))
             .collect();
         let outer = Arc::new(
-            TableStorage::bulk_load(outer_schema, &outer_rows, Some(0), 1024, 1.0).unwrap(),
+            TableStorage::bulk_load(outer_schema, &outer_rows, Some(0), 1024, 1.0)
+                .expect("bulk load test table"),
         );
 
         let inner_schema = Schema::new(vec![
@@ -556,11 +557,12 @@ mod tests {
             })
             .collect();
         let inner = Arc::new(
-            TableStorage::bulk_load(inner_schema, &inner_rows, Some(0), 1024, 1.0).unwrap(),
+            TableStorage::bulk_load(inner_schema, &inner_rows, Some(0), 1024, 1.0)
+                .expect("bulk load test table"),
         );
         let mut tree = BPlusTree::new();
         for rid in inner.all_rids() {
-            let row = inner.read_row(rid).unwrap();
+            let row = inner.read_row(rid).expect("rid points at a loaded row");
             tree.insert(row.get(1).clone(), rid);
         }
         let h = tree.height();
@@ -574,7 +576,7 @@ mod tests {
             CompareOp::Lt,
             Datum::Int(hi),
         )
-        .unwrap()]);
+        .expect("test value is well-formed")]);
         SeqScan::full(Arc::clone(outer), TableId(0), pred, None)
     }
 
@@ -590,7 +592,7 @@ mod tests {
         );
         let mut hj = HashJoin::new(Box::new(build), Box::new(probe), 0, 1, None);
         let mut ctx = ExecContext::new(8192);
-        let rows = drain(&mut hj, &mut ctx).unwrap();
+        let rows = drain(&mut hj, &mut ctx).expect("plan drains without error");
         // Each outer key 0..50 matches exactly one inner row.
         assert_eq!(rows.len(), 50);
         for r in &rows {
@@ -612,9 +614,9 @@ mod tests {
         );
         let mut hj = HashJoin::new(Box::new(build), Box::new(probe), 0, 1, None);
         let mut hash_keys: Vec<i64> = drain(&mut hj, &mut ctx)
-            .unwrap()
+            .expect("test value is well-formed")
             .iter()
-            .map(|r| r.get(0).as_int().unwrap())
+            .map(|r| r.get(0).as_int().expect("int column"))
             .collect();
         hash_keys.sort_unstable();
 
@@ -631,9 +633,9 @@ mod tests {
             None,
         );
         let mut inl_keys: Vec<i64> = drain(&mut inl, &mut ctx)
-            .unwrap()
+            .expect("test value is well-formed")
             .iter()
-            .map(|r| r.get(0).as_int().unwrap())
+            .map(|r| r.get(0).as_int().expect("int column"))
             .collect();
         inl_keys.sort_unstable();
         assert_eq!(hash_keys, inl_keys);
@@ -661,12 +663,15 @@ mod tests {
             Some(Rc::clone(&monitors)),
         );
         let mut ctx = ExecContext::new(32_768);
-        run_count(&mut inl, &mut ctx).unwrap();
+        run_count(&mut inl, &mut ctx).expect("plan drains without error");
         // Ground truth: distinct inner pages holding k < 300.
         let mut truth = std::collections::HashSet::new();
         for p in 0..inner.page_count() {
-            for r in inner.rows_on_page(pf_common::PageId(p)).unwrap() {
-                if r.get(1).as_int().unwrap() < 300 {
+            for r in inner
+                .rows_on_page(pf_common::PageId(p))
+                .expect("page id within table")
+            {
+                if r.get(1).as_int().expect("int column") < 300 {
                     truth.insert(p);
                 }
             }
@@ -712,13 +717,16 @@ mod tests {
             }),
         );
         let mut ctx = ExecContext::new(32_768);
-        let n = run_count(&mut hj, &mut ctx).unwrap();
+        let n = run_count(&mut hj, &mut ctx).expect("plan drains without error");
         assert_eq!(n, 300);
 
         let mut truth = std::collections::HashSet::new();
         for p in 0..inner.page_count() {
-            for r in inner.rows_on_page(pf_common::PageId(p)).unwrap() {
-                if r.get(1).as_int().unwrap() < 300 {
+            for r in inner
+                .rows_on_page(pf_common::PageId(p))
+                .expect("page id within table")
+            {
+                if r.get(1).as_int().expect("int column") < 300 {
                     truth.insert(p);
                 }
             }
@@ -751,7 +759,7 @@ mod tests {
         );
         let mut mj = MergeJoin::new(Box::new(left), Box::new(right), 0, 1, None);
         let mut ctx = ExecContext::new(8192);
-        let rows = drain(&mut mj, &mut ctx).unwrap();
+        let rows = drain(&mut mj, &mut ctx).expect("plan drains without error");
         assert_eq!(rows.len(), 120);
         for r in &rows {
             assert_eq!(r.get(0), r.get(3));
@@ -789,7 +797,7 @@ mod tests {
             }),
         );
         let mut ctx = ExecContext::new(8192);
-        let n = run_count(&mut mj, &mut ctx).unwrap();
+        let n = run_count(&mut mj, &mut ctx).expect("plan drains without error");
         assert_eq!(n, 100);
         // NOTE: with Sort on the probe side the scan runs during the
         // right Sort's materialization, i.e. after MergeJoin::open_left
@@ -821,9 +829,9 @@ mod tests {
         let mut smj = StreamingMergeJoin::new(Box::new(left), Box::new(right), 0, 1, None);
         let mut ctx = ExecContext::new(8192);
         let mut got: Vec<i64> = drain(&mut smj, &mut ctx)
-            .unwrap()
+            .expect("test value is well-formed")
             .iter()
-            .map(|r| r.get(0).as_int().unwrap())
+            .map(|r| r.get(0).as_int().expect("int column"))
             .collect();
         got.sort_unstable();
         assert_eq!(got, (0..200).collect::<Vec<_>>());
@@ -838,12 +846,18 @@ mod tests {
             Row::new(vec![Datum::Int(2)]),
             Row::new(vec![Datum::Int(3)]),
         ];
-        let t = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
+        let t = Arc::new(
+            TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0)
+                .expect("bulk load test table"),
+        );
         let mk = || SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
         let mut smj = StreamingMergeJoin::new(Box::new(mk()), Box::new(mk()), 0, 0, None);
         let mut ctx = ExecContext::new(256);
         // 1⋈1: 2×2, 2⋈2: 1, 3⋈3: 1 ⇒ 6 rows.
-        assert_eq!(run_count(&mut smj, &mut ctx).unwrap(), 6);
+        assert_eq!(
+            run_count(&mut smj, &mut ctx).expect("plan drains without error"),
+            6
+        );
     }
 
     #[test]
@@ -852,11 +866,16 @@ mod tests {
         // Sort the inner physically on k for the no-sorts case: rebuild
         // it clustered on column 1.
         let mut rows: Vec<Row> = (0..inner.page_count())
-            .flat_map(|p| inner.rows_on_page(pf_common::PageId(p)).unwrap())
+            .flat_map(|p| {
+                inner
+                    .rows_on_page(pf_common::PageId(p))
+                    .expect("page id within table")
+            })
             .collect();
-        rows.sort_by_key(|r| r.get(1).as_int().unwrap());
+        rows.sort_by_key(|r| r.get(1).as_int().expect("int column"));
         let inner_sorted = Arc::new(
-            TableStorage::bulk_load(inner.schema().clone(), &rows, Some(1), 1024, 1.0).unwrap(),
+            TableStorage::bulk_load(inner.schema().clone(), &rows, Some(1), 1024, 1.0)
+                .expect("bulk load test table"),
         );
 
         let slot = semi_join_slot(1);
@@ -885,14 +904,20 @@ mod tests {
             }),
         );
         let mut ctx = ExecContext::new(8192);
-        assert_eq!(run_count(&mut smj, &mut ctx).unwrap(), 400);
+        assert_eq!(
+            run_count(&mut smj, &mut ctx).expect("plan drains without error"),
+            400
+        );
 
         // Inner is clustered on k, so the 400 matching rows sit on a
         // small contiguous page run — the partial filter must find it.
         let mut truth = std::collections::HashSet::new();
         for p in 0..inner_sorted.page_count() {
-            for r in inner_sorted.rows_on_page(pf_common::PageId(p)).unwrap() {
-                if r.get(1).as_int().unwrap() < 400 {
+            for r in inner_sorted
+                .rows_on_page(pf_common::PageId(p))
+                .expect("page id within table")
+            {
+                if r.get(1).as_int().expect("int column") < 400 {
                     truth.insert(p);
                 }
             }
@@ -916,12 +941,18 @@ mod tests {
             Row::new(vec![Datum::Int(1)]),
             Row::new(vec![Datum::Int(2)]),
         ];
-        let t = Arc::new(TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0).unwrap());
+        let t = Arc::new(
+            TableStorage::bulk_load(schema, &rows, Some(0), 512, 1.0)
+                .expect("bulk load test table"),
+        );
         let build = SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
         let probe = SeqScan::full(Arc::clone(&t), TableId(0), Conjunction::always_true(), None);
         let mut hj = HashJoin::new(Box::new(build), Box::new(probe), 0, 0, None);
         let mut ctx = ExecContext::new(1024);
         // 1⋈1: 2×2 = 4, 2⋈2: 1 ⇒ 5 rows.
-        assert_eq!(run_count(&mut hj, &mut ctx).unwrap(), 5);
+        assert_eq!(
+            run_count(&mut hj, &mut ctx).expect("plan drains without error"),
+            5
+        );
     }
 }

@@ -25,6 +25,10 @@
 //! mirroring how the prototype surfaces counters through the
 //! `statistics xml` mode without touching the cached plan.
 
+// Corruption tolerance: operators must surface typed errors, never
+// panic, when page bytes fail verification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod agg;
 pub mod context;
 pub mod expr;

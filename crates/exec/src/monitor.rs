@@ -173,6 +173,7 @@ pub struct ScanMonitorSet {
     pages_sampled: u64,
     rows_seen: u64,
     hash_ops: u64,
+    skipped_pages: u64,
 }
 
 impl ScanMonitorSet {
@@ -189,6 +190,7 @@ impl ScanMonitorSet {
             pages_sampled: 0,
             rows_seen: 0,
             hash_ops: 0,
+            skipped_pages: 0,
         }
     }
 
@@ -314,6 +316,29 @@ impl ScanMonitorSet {
         self.pages_sampled
     }
 
+    /// Records a page the scan skipped because its checksum failed. The
+    /// scan must still announce the page via
+    /// [`ScanMonitorSet::start_page`] first, so the sampling RNG stream
+    /// stays aligned with a fault-free run; the page contributes no rows,
+    /// so counts are unperturbed — but every harvested measurement is
+    /// marked degraded (the actuals are now lower bounds).
+    pub fn note_skipped_page(&mut self) {
+        self.skipped_pages += 1;
+        // A skipped page cannot satisfy anything: drop any sampled flag
+        // so flush_page treats it as empty.
+        self.page_sampled = false;
+    }
+
+    /// Pages skipped under this monitor set's watch.
+    pub fn skipped_pages(&self) -> u64 {
+        self.skipped_pages
+    }
+
+    /// Whether any page was skipped (estimates are lower bounds).
+    pub fn is_degraded(&self) -> bool {
+        self.skipped_pages > 0
+    }
+
     /// Harvests measurements into a report, keyed by `table` name.
     pub fn harvest(&mut self, table: &str, report: &mut FeedbackReport) {
         self.finish();
@@ -370,6 +395,8 @@ impl ScanMonitorSet {
                 estimated: e.estimated,
                 actual,
                 mechanism,
+                degraded: self.skipped_pages > 0,
+                skipped_pages: self.skipped_pages,
             });
         }
     }
@@ -427,6 +454,13 @@ impl FetchMonitor {
         }
     }
 
+    /// Records a page whose rows could not be fetched (checksum failure):
+    /// the linear counter never saw their PIDs, so its estimate is a
+    /// lower bound and the harvested measurement is marked degraded.
+    pub fn note_skipped_page(&mut self) {
+        self.counter.note_skipped_page();
+    }
+
     /// Harvests the measurement into a report.
     pub fn harvest(&self, table: &str, report: &mut FeedbackReport) {
         report.push(DpcMeasurement {
@@ -435,6 +469,8 @@ impl FetchMonitor {
             estimated: self.estimated,
             actual: self.counter.estimate(),
             mechanism: Mechanism::LinearCounting,
+            degraded: self.counter.is_degraded(),
+            skipped_pages: self.counter.skipped_pages(),
         });
     }
 }
@@ -606,6 +642,38 @@ mod tests {
         b.start_page();
         b.observe_prefix_row(1, false, &row);
         assert_eq!(harvest(&mut a), harvest(&mut b));
+    }
+
+    #[test]
+    fn skipped_pages_mark_harvest_degraded() {
+        let s = schema();
+        let c = conj(&s);
+        let mut set = ScanMonitorSet::new(vec![ScanExprMonitor::atoms(&c, vec![0], None)], 1.0, 1);
+        let row = Row::new(vec![Datum::Int(0), Datum::Int(0)]);
+        set.start_page();
+        set.observe_row(&[Some(true), None], &row);
+        // Next page turns out corrupt: announced, then skipped.
+        set.start_page();
+        set.note_skipped_page();
+        set.start_page();
+        set.observe_row(&[Some(true), None], &row);
+        let mut rep = FeedbackReport::new();
+        set.harvest("t", &mut rep);
+        assert_eq!(rep.measurements[0].actual, 2.0, "skip does not count");
+        assert!(rep.measurements[0].degraded);
+        assert_eq!(rep.measurements[0].skipped_pages, 1);
+        assert!(rep.is_degraded());
+    }
+
+    #[test]
+    fn fetch_monitor_degrades_on_skips() {
+        let mut m = FetchMonitor::new("a<10", FetchObserveWhen::AllFetched, 100, None, 3);
+        m.counter.observe(1);
+        m.note_skipped_page();
+        let mut rep = FeedbackReport::new();
+        m.harvest("t", &mut rep);
+        assert!(rep.measurements[0].degraded);
+        assert_eq!(rep.measurements[0].skipped_pages, 1);
     }
 
     #[test]

@@ -147,8 +147,28 @@ impl SeqScan {
             AccessPattern::Sequential
         };
         self.started = true;
-        ctx.pool.access(self.table_id, pid, pattern);
-        let page = self.storage.page(pid)?;
+        let hit = ctx.pool.access(self.table_id, pid, pattern);
+        // A miss means the bytes "came from disk": verify the checksum
+        // (and let the fault plan interpose). A corrupt page is skipped
+        // and recorded rather than failing the query; monitors are told
+        // so every harvested estimate is marked degraded.
+        let page = match self.storage.checked_page(pid, ctx.fault_attempt, !hit) {
+            Ok(p) => p,
+            Err(pf_common::Error::ChecksumMismatch { .. }) => {
+                ctx.pool.skip_corrupt(self.table_id, pid);
+                if let Some(m) = &self.monitors {
+                    let mut m = m.borrow_mut();
+                    if !self.deferred_monitoring {
+                        // Announce the page first so the sampling RNG
+                        // stream stays aligned with a fault-free run.
+                        m.start_page();
+                    }
+                    m.note_skipped_page();
+                }
+                return Ok(true);
+            }
+            Err(e) => return Err(e),
+        };
         let layout = self.storage.layout();
         ctx.pool.charge_rows(u64::from(page.slot_count()));
 

@@ -12,7 +12,7 @@
 //! overestimation already at < 1 % of table size.
 
 use pf_common::hash::{hash_datum, hash_datum_ref};
-use pf_common::{Datum, DatumRef};
+use pf_common::{Datum, DatumRef, Error, Result};
 
 /// A Bloom-style single-hash bit vector over join-key values.
 #[derive(Debug, Clone)]
@@ -21,6 +21,8 @@ pub struct BitVectorFilter {
     numbits: u64,
     seed: u64,
     insertions: u64,
+    degraded: bool,
+    skipped_pages: u64,
 }
 
 impl BitVectorFilter {
@@ -33,6 +35,8 @@ impl BitVectorFilter {
             numbits: (words * 64) as u64,
             seed,
             insertions: 0,
+            degraded: false,
+            skipped_pages: 0,
         }
     }
 
@@ -74,6 +78,43 @@ impl BitVectorFilter {
     pub fn may_contain_ref(&self, key: DatumRef<'_>) -> bool {
         let bit = hash_datum_ref(key, self.seed) % self.numbits;
         self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+    }
+
+    /// Unions `other` into `self` (bitwise OR), so per-worker filters
+    /// built over a partitioned build side combine into the filter a
+    /// serial build would have produced. Seeds and sizes must match.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.numbits != other.numbits || self.seed != other.seed {
+            return Err(Error::InvalidArgument(format!(
+                "cannot merge bit-vector filters: numbits {} vs {}, seed {} vs {}",
+                self.numbits, other.numbits, self.seed, other.seed
+            )));
+        }
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+        self.insertions += other.insertions;
+        self.degraded |= other.degraded;
+        self.skipped_pages += other.skipped_pages;
+        Ok(())
+    }
+
+    /// Records a build- or probe-side page the executor skipped: keys on
+    /// it never reached the filter, so "no false negatives" no longer
+    /// holds and downstream DPC estimates are degraded.
+    pub fn note_skipped_page(&mut self) {
+        self.degraded = true;
+        self.skipped_pages += 1;
+    }
+
+    /// Whether skipped pages truncated the inserted key stream.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Number of pages skipped under this filter's watch.
+    pub fn skipped_pages(&self) -> u64 {
+        self.skipped_pages
     }
 
     /// Number of insert calls (not distinct keys).
@@ -163,6 +204,23 @@ mod tests {
         }
         assert!(f.may_contain(&Datum::Str("ca".into())), "inserted via ref");
         assert!(f.may_contain_ref(DatumRef::Int(7)), "inserted via owned");
+    }
+
+    #[test]
+    fn merge_unions_and_carries_degradation() {
+        let mut a = BitVectorFilter::new(256, 3);
+        let mut b = BitVectorFilter::new(256, 3);
+        a.insert(&int(1));
+        b.insert(&int(2));
+        b.note_skipped_page();
+        a.merge(&b).unwrap();
+        assert!(a.may_contain(&int(1)) && a.may_contain(&int(2)));
+        assert_eq!(a.insertions(), 2);
+        assert!(a.is_degraded());
+        assert_eq!(a.skipped_pages(), 1);
+        // Mismatched parameters refuse to merge.
+        let c = BitVectorFilter::new(512, 3);
+        assert!(a.merge(&c).is_err());
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub struct DpSampler {
     page_count: u64,
     pages_seen: u64,
     pages_sampled: u64,
+    degraded: bool,
+    skipped_pages: u64,
 }
 
 impl DpSampler {
@@ -49,6 +51,8 @@ impl DpSampler {
             page_count: 0,
             pages_seen: 0,
             pages_sampled: 0,
+            degraded: false,
+            skipped_pages: 0,
         })
     }
 
@@ -99,7 +103,35 @@ impl DpSampler {
         self.page_count += other.page_count + u64::from(other.in_page && other.current_satisfied);
         self.pages_seen += other.pages_seen;
         self.pages_sampled += other.pages_sampled;
+        self.degraded |= other.degraded;
+        self.skipped_pages += other.skipped_pages;
         Ok(())
+    }
+
+    /// Records a page the scan skipped (checksum failure). The caller
+    /// must still have announced the page via [`DpSampler::start_page`]
+    /// so the sampling RNG stream stays aligned with a fault-free run;
+    /// this then retracts the page from the sample and marks the
+    /// estimate degraded.
+    pub fn note_skipped_page(&mut self) {
+        if self.in_page {
+            // The skipped page contributed nothing: drop its open state
+            // so flush() cannot count it.
+            self.current_satisfied = false;
+            self.current_sampled = false;
+        }
+        self.degraded = true;
+        self.skipped_pages += 1;
+    }
+
+    /// Whether skipped pages truncated the observed stream.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Number of pages skipped under this sampler's watch.
+    pub fn skipped_pages(&self) -> u64 {
+        self.skipped_pages
     }
 
     /// `PageCount / f` (Fig 4, step 7).
@@ -213,6 +245,26 @@ mod tests {
         }
         s.finish();
         assert_eq!(s.raw_count(), s.pages_sampled());
+    }
+
+    #[test]
+    fn skipped_page_degrades_without_counting() {
+        let mut s = DpSampler::new(1.0, 0).unwrap();
+        s.start_page();
+        s.observe_row(true);
+        // The page turned out corrupt: retract it.
+        s.note_skipped_page();
+        s.start_page();
+        s.observe_row(true);
+        s.finish();
+        assert_eq!(s.raw_count(), 1, "skipped page must not count");
+        assert!(s.is_degraded());
+        assert_eq!(s.skipped_pages(), 1);
+        // Degradation survives a merge into a healthy sampler.
+        let mut healthy = DpSampler::new(1.0, 1).unwrap();
+        healthy.merge(&s).unwrap();
+        assert!(healthy.is_degraded());
+        assert_eq!(healthy.skipped_pages(), 1);
     }
 
     #[test]

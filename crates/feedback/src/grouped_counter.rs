@@ -14,6 +14,8 @@ pub struct GroupedPageCounter {
     current_satisfied: bool,
     count: u64,
     pages_seen: u64,
+    degraded: bool,
+    skipped_pages: u64,
 }
 
 impl GroupedPageCounter {
@@ -57,6 +59,25 @@ impl GroupedPageCounter {
         self.count +=
             other.count + u64::from(other.current_page.is_some() && other.current_satisfied);
         self.pages_seen += other.pages_seen;
+        self.degraded |= other.degraded;
+        self.skipped_pages += other.skipped_pages;
+    }
+
+    /// Records a page the scan skipped (checksum failure): its rows were
+    /// never observed, so the exact count is now a lower bound.
+    pub fn note_skipped_page(&mut self) {
+        self.degraded = true;
+        self.skipped_pages += 1;
+    }
+
+    /// Whether skipped pages truncated the observed stream.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Number of pages skipped under this counter's watch.
+    pub fn skipped_pages(&self) -> u64 {
+        self.skipped_pages
     }
 
     /// Marks the end of the scan; must be called before reading
@@ -144,6 +165,19 @@ mod tests {
         c.finish();
         c.finish();
         assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn degraded_survives_merge() {
+        let mut a = GroupedPageCounter::new();
+        a.observe_row(0, true);
+        let mut b = GroupedPageCounter::new();
+        b.note_skipped_page();
+        a.merge(&b);
+        a.finish();
+        assert!(a.is_degraded());
+        assert_eq!(a.skipped_pages(), 1);
+        assert_eq!(a.count(), 1, "skips do not perturb the count itself");
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub struct LinearCounter {
     seed: u64,
     observations: u64,
     last_page: Option<u32>,
+    degraded: bool,
+    skipped_pages: u64,
 }
 
 impl LinearCounter {
@@ -39,6 +41,8 @@ impl LinearCounter {
             seed,
             observations: 0,
             last_page: None,
+            degraded: false,
+            skipped_pages: 0,
         }
     }
 
@@ -82,7 +86,27 @@ impl LinearCounter {
         }
         self.observations += other.observations;
         self.last_page = None;
+        self.degraded |= other.degraded;
+        self.skipped_pages += other.skipped_pages;
         Ok(())
+    }
+
+    /// Records a page the executor skipped (checksum failure): its rows
+    /// never reached [`LinearCounter::observe`], so the estimate is a
+    /// lower bound and the counter is marked degraded.
+    pub fn note_skipped_page(&mut self) {
+        self.degraded = true;
+        self.skipped_pages += 1;
+    }
+
+    /// Whether any observed stream was truncated by skipped pages.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Number of pages skipped under the counter's watch.
+    pub fn skipped_pages(&self) -> u64 {
+        self.skipped_pages
     }
 
     /// Number of rows observed (not distinct pages).
@@ -120,6 +144,8 @@ impl LinearCounter {
         self.bits.fill(0);
         self.observations = 0;
         self.last_page = None;
+        self.degraded = false;
+        self.skipped_pages = 0;
     }
 }
 
@@ -216,6 +242,21 @@ mod tests {
         assert_eq!(c.bits_set(), 0);
         assert_eq!(c.observations(), 0);
         assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn degraded_survives_merge_and_reset() {
+        let mut a = LinearCounter::new(128, 1);
+        let mut b = LinearCounter::new(128, 1);
+        assert!(!a.is_degraded());
+        b.note_skipped_page();
+        b.note_skipped_page();
+        a.merge(&b).unwrap();
+        assert!(a.is_degraded());
+        assert_eq!(a.skipped_pages(), 2);
+        a.reset();
+        assert!(!a.is_degraded());
+        assert_eq!(a.skipped_pages(), 0);
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct DpcMeasurement {
     pub actual: f64,
     /// How it was observed.
     pub mechanism: Mechanism,
+    /// `true` when the executor skipped corrupt pages under this
+    /// monitor's watch: the actual is then a lower bound over the
+    /// readable fraction of the table, not the full DPC.
+    pub degraded: bool,
+    /// How many pages were skipped (0 unless `degraded`).
+    pub skipped_pages: u64,
 }
 
 impl DpcMeasurement {
@@ -102,6 +108,17 @@ impl FeedbackReport {
             .filter(move |m| m.discrepancy_factor().is_some_and(|d| d >= factor))
     }
 
+    /// Whether any measurement came from a degraded monitor (corrupt
+    /// pages were skipped while it watched).
+    pub fn is_degraded(&self) -> bool {
+        self.measurements.iter().any(|m| m.degraded)
+    }
+
+    /// Measurements whose monitors saw skipped pages.
+    pub fn degraded(&self) -> impl Iterator<Item = &DpcMeasurement> {
+        self.measurements.iter().filter(|m| m.degraded)
+    }
+
     /// Merges another report's measurements into this one.
     pub fn extend(&mut self, other: FeedbackReport) {
         self.measurements.extend(other.measurements);
@@ -120,7 +137,11 @@ impl fmt::Display for FeedbackReport {
             if let Some(est) = m.estimated {
                 write!(f, " Estimated=\"{est:.1}\"")?;
             }
-            writeln!(f, " Mechanism=\"{}\" />", m.mechanism)?;
+            write!(f, " Mechanism=\"{}\"", m.mechanism)?;
+            if m.degraded {
+                write!(f, " Degraded=\"true\" SkippedPages=\"{}\"", m.skipped_pages)?;
+            }
+            writeln!(f, " />")?;
         }
         write!(f, "</ShowPlanStatistics>")
     }
@@ -137,6 +158,8 @@ mod tests {
             estimated: est,
             actual: act,
             mechanism: Mechanism::ExactScan,
+            degraded: false,
+            skipped_pages: 0,
         }
     }
 
@@ -175,6 +198,23 @@ mod tests {
         assert!(text.contains("Estimated=\"50.0\""));
         assert!(text.contains("Mechanism=\"exact-scan\""));
         assert!(text.ends_with("</ShowPlanStatistics>"));
+    }
+
+    #[test]
+    fn degraded_measurements_are_labelled() {
+        let mut r = FeedbackReport::new();
+        r.push(m("clean", Some(10.0), 12.0));
+        let mut bad = m("hurt", Some(10.0), 4.0);
+        bad.degraded = true;
+        bad.skipped_pages = 3;
+        r.push(bad);
+        assert!(r.is_degraded());
+        assert_eq!(r.degraded().count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("Degraded=\"true\" SkippedPages=\"3\""));
+        // The clean line carries no degradation attributes.
+        let clean_line = text.lines().find(|l| l.contains("clean")).unwrap();
+        assert!(!clean_line.contains("Degraded"));
     }
 
     #[test]

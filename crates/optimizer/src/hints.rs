@@ -143,6 +143,8 @@ mod tests {
             estimated: Some(4_000.0),
             actual: 120.0,
             mechanism: Mechanism::ExactScan,
+            degraded: false,
+            skipped_pages: 0,
         });
         let mut h = HintSet::new();
         h.absorb_report(&rep);

@@ -50,6 +50,10 @@ pub struct IoStats {
     /// (flag checks/updates — the "single comparison per row" of
     /// Section III-B). Much cheaper than a hash.
     pub monitor_ops: u64,
+    /// Pages skipped by the executor because their checksum failed on
+    /// read — the graceful-degradation path. A nonzero count marks every
+    /// sketch harvested from the query as degraded.
+    pub pages_skipped: u64,
 }
 
 impl IoStats {
@@ -69,6 +73,7 @@ impl IoStats {
         self.extra_pred_evals += other.extra_pred_evals;
         self.pred_evals += other.pred_evals;
         self.monitor_ops += other.monitor_ops;
+        self.pages_skipped += other.pages_skipped;
     }
 }
 
@@ -146,6 +151,14 @@ impl BufferPool {
     /// Charges `n` per-row monitor bookkeeping operations.
     pub fn charge_monitor_ops(&mut self, n: u64) {
         self.stats.monitor_ops += n;
+    }
+
+    /// Records a page skipped for failing its checksum, and evicts it:
+    /// a corrupt page must not sit in the pool where a later access
+    /// would hit it and bypass verification.
+    pub fn skip_corrupt(&mut self, table: TableId, page: PageId) {
+        self.stats.pages_skipped += 1;
+        self.frames.remove(&(table, page));
     }
 
     /// Snapshot of the counters.

@@ -1,6 +1,7 @@
 //! The catalog: tables, nonclustered indexes, and their statistics.
 
 use crate::btree::BPlusTree;
+use crate::fault::FaultPlan;
 use crate::page::DEFAULT_PAGE_SIZE;
 use crate::table::TableStorage;
 use pf_common::{Error, IndexId, Result, Row, Schema, TableId};
@@ -63,6 +64,8 @@ pub struct IndexMeta {
 pub struct Catalog {
     tables: Vec<TableMeta>,
     indexes: Vec<IndexMeta>,
+    /// Fault plan installed into every table registered from now on.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Catalog {
@@ -71,8 +74,50 @@ impl Catalog {
         Self::default()
     }
 
+    /// Sets the fault plan applied to tables registered *after* this
+    /// call (`None` disables injection for subsequent tables).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The catalog's active fault plan.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Installs `plan` retroactively on every registered table as well
+    /// as prospectively for tables registered later. Damage is a pure
+    /// function of `(seed, table, page)` over the pristine bytes, so
+    /// this is byte-identical to having set the plan before loading.
+    /// Fails if any table's storage is currently shared (a query or
+    /// index build holds a reference) — installation must not race the
+    /// read path.
+    pub fn install_fault_plan(&mut self, plan: Option<FaultPlan>) -> Result<()> {
+        for t in &mut self.tables {
+            if Arc::get_mut(&mut t.storage).is_none() {
+                return Err(Error::InvalidArgument(format!(
+                    "cannot change the fault plan while table {} is in use",
+                    t.name
+                )));
+            }
+        }
+        for t in &mut self.tables {
+            if let Some(storage) = Arc::get_mut(&mut t.storage) {
+                storage.attach_fault_plan(t.id, plan);
+            }
+        }
+        self.fault_plan = plan;
+        Ok(())
+    }
+
     /// Registers a loaded table under `name`. Fails on duplicate names.
-    pub fn add_table(&mut self, name: impl Into<String>, storage: TableStorage) -> Result<TableId> {
+    /// The table receives its catalog identity and, if a fault plan is
+    /// set, its deterministic share of injected page damage.
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        mut storage: TableStorage,
+    ) -> Result<TableId> {
         let name = name.into();
         if self.tables.iter().any(|t| t.name == name) {
             return Err(Error::InvalidArgument(format!(
@@ -80,6 +125,7 @@ impl Catalog {
             )));
         }
         let id = TableId(self.tables.len() as u32);
+        storage.attach_fault_plan(id, self.fault_plan);
         let stats = TableStats {
             rows: storage.row_count(),
             pages: storage.page_count(),
@@ -211,8 +257,8 @@ impl Catalog {
 ///     .rows(rows)
 ///     .clustered_on("id")
 ///     .register(&mut catalog)
-///     .unwrap();
-/// catalog.create_index("ix_state", id, "state").unwrap();
+///     .expect("test value is well-formed");
+/// catalog.create_index("ix_state", id, "state").expect("index over known column");
 /// ```
 #[derive(Debug)]
 pub struct TableBuilder {
@@ -275,10 +321,12 @@ impl TableBuilder {
         let clustering_col = match clustering {
             Some(c) => {
                 let col = schema.index_of(&c)?;
+                // Mixed-typed keys sort as equal here; bulk_load's sorted
+                // check below reports them as a SchemaMismatch.
                 rows.sort_by(|a, b| {
                     a.get(col)
                         .cmp_same_type(b.get(col))
-                        .expect("clustering column must be same-typed in all rows")
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 Some(col)
             }
@@ -323,8 +371,8 @@ mod tests {
             .clustered_on("id")
             .page_size(1024)
             .register(&mut cat)
-            .unwrap();
-        let meta = cat.table(id).unwrap();
+            .expect("test value is well-formed");
+        let meta = cat.table(id).expect("test value is well-formed");
         assert_eq!(meta.stats.rows, 500);
         assert!(meta.stats.pages > 1);
         assert!(cat.table_by_name("t").is_ok());
@@ -337,7 +385,7 @@ mod tests {
         TableBuilder::new("t", schema())
             .rows(sample_rows(10))
             .register(&mut cat)
-            .unwrap();
+            .expect("test value is well-formed");
         let dup = TableBuilder::new("t", schema())
             .rows(sample_rows(10))
             .register(&mut cat);
@@ -352,18 +400,26 @@ mod tests {
             .clustered_on("id")
             .page_size(1024)
             .register(&mut cat)
-            .unwrap();
-        let ix = cat.create_index("ix_perm", id, "perm").unwrap();
-        let meta = cat.index(ix).unwrap();
+            .expect("test value is well-formed");
+        let ix = cat
+            .create_index("ix_perm", id, "perm")
+            .expect("index over known column");
+        let meta = cat.index(ix).expect("test value is well-formed");
         assert_eq!(meta.tree.entry_count(), 500);
         assert_eq!(meta.key_column, 1);
         assert!(meta.leaf_pages >= 1);
         // Every key is findable and its RIDs point at matching rows.
-        let table = cat.table(id).unwrap();
+        let table = cat.table(id).expect("test value is well-formed");
         for k in 0..500 {
-            let rids = meta.tree.get(&Datum::Int(k)).unwrap();
+            let rids = meta
+                .tree
+                .get(&Datum::Int(k))
+                .expect("test value is well-formed");
             for rid in rids {
-                let row = table.storage.read_row(*rid).unwrap();
+                let row = table
+                    .storage
+                    .read_row(*rid)
+                    .expect("rid points at a loaded row");
                 assert_eq!(row.get(1), &Datum::Int(k));
             }
         }
@@ -375,10 +431,15 @@ mod tests {
         let id = TableBuilder::new("t", schema())
             .rows(sample_rows(90))
             .register(&mut cat)
-            .unwrap();
-        let ix = cat.create_index("ix_state", id, "state").unwrap();
-        let meta = cat.index(ix).unwrap();
-        let ca = meta.tree.get(&Datum::Str("CA".into())).unwrap();
+            .expect("test value is well-formed");
+        let ix = cat
+            .create_index("ix_state", id, "state")
+            .expect("index over known column");
+        let meta = cat.index(ix).expect("test value is well-formed");
+        let ca = meta
+            .tree
+            .get(&Datum::Str("CA".into()))
+            .expect("test value is well-formed");
         assert_eq!(ca.len(), 30);
     }
 
@@ -388,9 +449,11 @@ mod tests {
         let id = TableBuilder::new("t", schema())
             .rows(sample_rows(50))
             .register(&mut cat)
-            .unwrap();
-        cat.create_index("a", id, "perm").unwrap();
-        cat.create_index("b", id, "state").unwrap();
+            .expect("test value is well-formed");
+        cat.create_index("a", id, "perm")
+            .expect("index over known column");
+        cat.create_index("b", id, "state")
+            .expect("index over known column");
         assert_eq!(cat.indexes_on(id).count(), 2);
         assert!(cat.index_on_column(id, 1).is_some());
         assert!(cat.index_on_column(id, 0).is_none());
@@ -411,9 +474,11 @@ mod tests {
             .rows(rows)
             .clustered_on("id")
             .register(&mut cat)
-            .unwrap();
-        let st = &cat.table(id).unwrap().storage;
-        let first = st.rows_on_page(pf_common::PageId(0)).unwrap();
+            .expect("test value is well-formed");
+        let st = &cat.table(id).expect("test value is well-formed").storage;
+        let first = st
+            .rows_on_page(pf_common::PageId(0))
+            .expect("page id within table");
         assert_eq!(first[0].get(0), &Datum::Int(0));
     }
 }

@@ -116,6 +116,7 @@ mod tests {
             index_node_reads: 1,
             logical_reads: 1,
             monitor_ops: 1,
+            pages_skipped: 0,
         };
         let mut ten = IoStats::default();
         for _ in 0..10 {

@@ -25,11 +25,16 @@
 //! physical random I/O on a cold cache, so the executor's measured cost
 //! is driven by `DPC(T, p)` rather than by cardinality.
 
+// Corruption tolerance starts with never panicking on data we did not
+// author: production code must surface typed errors instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod btree;
 pub mod bufferpool;
 pub mod catalog;
 pub mod codec;
 pub mod disk;
+pub mod fault;
 pub mod lru;
 pub mod page;
 pub mod table;
@@ -38,6 +43,7 @@ pub mod view;
 pub use bufferpool::{AccessPattern, BufferPool, IoStats};
 pub use catalog::{Catalog, IndexMeta, TableBuilder, TableMeta, TableStats};
 pub use disk::DiskModel;
-pub use page::{Page, DEFAULT_PAGE_SIZE};
+pub use fault::{FaultKind, FaultPlan, FAULT_RATE_ENV, FAULT_SEED_ENV};
+pub use page::{crc32, Page, DEFAULT_PAGE_SIZE};
 pub use table::TableStorage;
 pub use view::{PageCursor, RowLayout, RowView};

@@ -105,6 +105,18 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
         (false, evicted)
     }
 
+    /// Removes `key` if resident; returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.map.remove(key) {
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Removes every key.
     pub fn clear(&mut self) {
         self.map.clear();
@@ -174,6 +186,22 @@ mod tests {
         assert_eq!(lru.touch('a'), (false, None));
         assert_eq!(lru.touch('b'), (false, Some('a')));
         assert_eq!(lru.touch('b'), (true, None));
+    }
+
+    #[test]
+    fn remove_frees_a_slot() {
+        let mut lru = LruSet::new(2);
+        lru.touch(1);
+        lru.touch(2);
+        assert!(lru.remove(&1));
+        assert!(!lru.remove(&1), "second removal is a no-op");
+        assert!(!lru.contains(&1));
+        // The freed slot is reusable without evicting.
+        assert_eq!(lru.touch(3), (false, None));
+        assert_eq!(lru.len(), 2);
+        // And the list is still well-formed under further traffic.
+        assert_eq!(lru.touch(4), (false, Some(2)));
+        assert!(lru.contains(&3) && lru.contains(&4));
     }
 
     #[test]

@@ -14,15 +14,47 @@
 //! ```
 
 use crate::codec;
+use crate::fault::FaultKind;
 use pf_common::{Error, Result, Row, Schema, SlotId};
 
 /// Default page size: 8 KB, matching SQL Server.
 pub const DEFAULT_PAGE_SIZE: usize = 8192;
 
-/// Bytes of page header (slot count + reserved).
+/// Bytes of page header — the four reserved bytes hold the CRC32 page
+/// checksum once the page is [sealed](Page::seal).
 const HEADER_SIZE: usize = 4;
 /// Bytes per slot-directory entry.
 const SLOT_SIZE: usize = 2;
+
+/// CRC-32 (IEEE, reflected 0xEDB88320) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Standard CRC-32 (the IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// A fixed-size slotted page holding encoded rows.
 #[derive(Debug, Clone)]
@@ -121,6 +153,73 @@ impl Page {
             .map(|s| self.read(schema, SlotId(s)))
             .collect()
     }
+
+    /// CRC32 over everything the checksum protects: the slot count plus
+    /// the full page body (payload, free space, slot directory).
+    fn compute_checksum(&self) -> u32 {
+        let count = self.slot_count.to_le_bytes();
+        let mut state = !0u32;
+        for &b in count.iter().chain(&self.data[HEADER_SIZE..]) {
+            state = CRC32_TABLE[((state ^ u32::from(b)) & 0xFF) as usize] ^ (state >> 8);
+        }
+        !state
+    }
+
+    /// Writes the page checksum into the reserved header bytes. Called
+    /// once per page at the end of bulk load; a sealed page is immutable.
+    pub fn seal(&mut self) {
+        let c = self.compute_checksum();
+        self.data[0..HEADER_SIZE].copy_from_slice(&c.to_le_bytes());
+    }
+
+    /// The checksum stored in the header at seal time.
+    pub fn stored_checksum(&self) -> u32 {
+        u32::from_le_bytes([self.data[0], self.data[1], self.data[2], self.data[3]])
+    }
+
+    /// Whether the page body still matches its sealed checksum.
+    pub fn checksum_ok(&self) -> bool {
+        self.stored_checksum() == self.compute_checksum()
+    }
+
+    /// Flips one bit of the page image (modulo the page size in bits).
+    ///
+    /// Public so fault-injection harnesses and property tests can model
+    /// media bit rot; regular workloads never mutate a sealed page.
+    pub fn flip_bit(&mut self, bit: u64) {
+        let nbits = self.data.len() as u64 * 8;
+        let pos = (bit % nbits) as usize;
+        self.data[pos / 8] ^= 1 << (pos % 8);
+    }
+
+    /// Damages the page according to `kind`, placing the damage with
+    /// `entropy`. The checksum header is left stale on purpose: the
+    /// checked read path must discover the damage itself.
+    pub(crate) fn inject_fault(&mut self, kind: FaultKind, entropy: u64) {
+        let len = self.data.len();
+        match kind {
+            FaultKind::BitFlip => {
+                // Only the body: flipping a header (checksum) bit is a
+                // different failure (caught identically, less interesting).
+                let body_bits = ((len - HEADER_SIZE) * 8) as u64;
+                self.flip_bit(HEADER_SIZE as u64 * 8 + entropy % body_bits);
+            }
+            FaultKind::TruncatedPage => {
+                // A short write: everything past the midpoint of the used
+                // payload is lost (including the whole slot directory).
+                let cut = HEADER_SIZE + (self.free_start - HEADER_SIZE) / 2;
+                self.data[cut..].fill(0);
+            }
+            FaultKind::TornSlotDirectory => {
+                // A torn sector under the slot directory.
+                let dir_bytes = (SLOT_SIZE * self.slot_count.max(1) as usize).min(len);
+                for b in &mut self.data[len - dir_bytes..] {
+                    *b ^= 0x55;
+                }
+            }
+            FaultKind::ReadStall => {} // latency, not damage
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +290,60 @@ mod tests {
             assert!(now < prev);
             prev = now;
         }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sealed_page_verifies_and_any_bit_flip_is_caught() {
+        let s = schema();
+        let mut p = Page::new(512);
+        for i in 0..8 {
+            p.insert(&s, &row(i, "payload")).expect("row fits");
+        }
+        p.seal();
+        assert!(p.checksum_ok());
+        // Every single-bit flip across the whole image breaks the
+        // checksum (CRC-32 detects all single-bit errors), including
+        // flips inside the stored checksum itself.
+        for bit in (0..512 * 8).step_by(37) {
+            let mut damaged = p.clone();
+            damaged.flip_bit(bit as u64);
+            assert!(!damaged.checksum_ok(), "flip of bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn injected_faults_break_the_checksum() {
+        let s = schema();
+        for kind in [
+            FaultKind::BitFlip,
+            FaultKind::TruncatedPage,
+            FaultKind::TornSlotDirectory,
+        ] {
+            let mut p = Page::new(512);
+            for i in 0..6 {
+                p.insert(&s, &row(i, "abc")).expect("row fits");
+            }
+            p.seal();
+            p.inject_fault(kind, 0xABCD_EF01_2345_6789);
+            assert!(!p.checksum_ok(), "{kind} left the checksum valid");
+        }
+    }
+
+    #[test]
+    fn read_stall_fault_leaves_bytes_intact() {
+        let s = schema();
+        let mut p = Page::new(256);
+        p.insert(&s, &row(1, "zz")).expect("row fits");
+        p.seal();
+        p.inject_fault(FaultKind::ReadStall, 42);
+        assert!(p.checksum_ok(), "a stall must not damage the page");
     }
 
     #[test]

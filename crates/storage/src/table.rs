@@ -12,9 +12,11 @@
 //! page), the leaf level of a clustered B+-tree, enabling range seeks
 //! without scanning.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::page::{Page, DEFAULT_PAGE_SIZE};
 use crate::view::{PageCursor, RowLayout, RowView};
-use pf_common::{Datum, Error, PageId, Result, Rid, Row, Schema, SlotId};
+use pf_common::{Datum, Error, PageId, Result, Rid, Row, Schema, SlotId, TableId};
+use std::collections::HashMap;
 
 /// Immutable, bulk-loaded table storage.
 #[derive(Debug)]
@@ -32,6 +34,16 @@ pub struct TableStorage {
     sparse_index: Vec<Datum>,
     /// Fill factor the table was loaded with (fraction of page used).
     fill_factor: f64,
+    /// Catalog identity, attached at registration; used by the checked
+    /// read path so checksum/stall errors name their fault site.
+    table_id: TableId,
+    /// The active fault plan (None in normal operation).
+    fault_plan: Option<FaultPlan>,
+    /// Deterministically damaged copies of faulted pages, keyed by page
+    /// number. The pristine originals stay in `pages` so derived state
+    /// (index builds, oracle counts) sees the true data; only the
+    /// *checked* read path — what query execution uses — sees damage.
+    injected: HashMap<u32, Page>,
 }
 
 impl TableStorage {
@@ -86,13 +98,12 @@ impl TableStorage {
             if current.slot_count() > 0
                 && (over_budget || !current.fits(crate::codec::encoded_size(row)))
             {
+                current.seal();
                 pages.push(current);
                 if let Some(col) = clustering_column {
-                    sparse_index.push(
-                        first_key_of_page
-                            .take()
-                            .expect("non-empty page must have recorded a first key"),
-                    );
+                    sparse_index.push(first_key_of_page.take().ok_or_else(|| {
+                        Error::Internal("page closed without a recorded first key".into())
+                    })?);
                     first_key_of_page = Some(row.get(col).clone());
                 }
                 current = Page::new(page_size);
@@ -107,13 +118,12 @@ impl TableStorage {
             current.insert(&schema, row)?;
         }
         if current.slot_count() > 0 {
+            current.seal();
             pages.push(current);
             if clustering_column.is_some() {
-                sparse_index.push(
-                    first_key_of_page
-                        .take()
-                        .expect("non-empty final page must have a first key"),
-                );
+                sparse_index.push(first_key_of_page.take().ok_or_else(|| {
+                    Error::Internal("final page closed without a recorded first key".into())
+                })?);
             }
         }
 
@@ -125,6 +135,9 @@ impl TableStorage {
             clustering_column,
             sparse_index,
             fill_factor,
+            table_id: TableId(0),
+            fault_plan: None,
+            injected: HashMap::new(),
         })
     }
 
@@ -179,7 +192,12 @@ impl TableStorage {
             .map_or(DEFAULT_PAGE_SIZE, crate::page::Page::page_size)
     }
 
-    /// The page `pid`, or an error if out of range.
+    /// The *pristine* page `pid`, or an error if out of range.
+    ///
+    /// This is the oracle view: injected faults are invisible here, so
+    /// derived state (index builds, true-DPC counts, snapshots) is
+    /// always computed from the true data. Query execution must go
+    /// through [`TableStorage::checked_page`] instead.
     pub fn page(&self, pid: PageId) -> Result<&Page> {
         self.pages
             .get(pid.0 as usize)
@@ -187,6 +205,89 @@ impl TableStorage {
                 page: pid.0,
                 page_count: self.pages.len() as u32,
             })
+    }
+
+    /// Attaches the table's catalog identity and (optionally) a fault
+    /// plan, materializing damaged copies of every page the plan marks
+    /// with a corrupting fault. Called once at catalog registration,
+    /// before the storage is shared.
+    pub fn attach_fault_plan(&mut self, table: TableId, plan: Option<FaultPlan>) {
+        self.table_id = table;
+        self.fault_plan = plan;
+        self.injected.clear();
+        let Some(plan) = plan else { return };
+        for pid in 0..self.pages.len() as u32 {
+            if let Some(kind) = plan.fault_for(table, PageId(pid)) {
+                if kind.corrupts() {
+                    let mut damaged = self.pages[pid as usize].clone();
+                    damaged.inject_fault(kind, plan.entropy_for(table, PageId(pid)));
+                    self.injected.insert(pid, damaged);
+                }
+            }
+        }
+    }
+
+    /// The fault plan this table was registered under, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Number of pages carrying injected corruption.
+    pub fn injected_fault_count(&self) -> usize {
+        self.injected.len()
+    }
+
+    /// The page `pid` as the execution engine sees it: stall faults
+    /// fire while `attempt` is below the site's stall budget, injected
+    /// damage is visible, and — when `verify` is set, i.e. the access
+    /// missed the buffer pool and "came from disk" — the page checksum
+    /// is validated before any row is decoded.
+    pub fn checked_page(&self, pid: PageId, attempt: u32, verify: bool) -> Result<&Page> {
+        let idx = pid.0 as usize;
+        if idx >= self.pages.len() {
+            return Err(Error::PageOutOfBounds {
+                page: pid.0,
+                page_count: self.pages.len() as u32,
+            });
+        }
+        if verify {
+            if let Some(plan) = &self.fault_plan {
+                if plan.fault_for(self.table_id, pid) == Some(FaultKind::ReadStall)
+                    && attempt < plan.stall_attempts(self.table_id, pid)
+                {
+                    return Err(Error::ReadStalled {
+                        table: self.table_id,
+                        page: pid,
+                    });
+                }
+            }
+        }
+        let page = self.injected.get(&pid.0).unwrap_or(&self.pages[idx]);
+        if verify && !page.checksum_ok() {
+            return Err(Error::ChecksumMismatch {
+                table: self.table_id,
+                page: pid,
+            });
+        }
+        Ok(page)
+    }
+
+    /// Zero-copy cursor over page `pid` via the checked read path.
+    pub fn checked_page_cursor(
+        &self,
+        pid: PageId,
+        attempt: u32,
+        verify: bool,
+    ) -> Result<PageCursor<'_>> {
+        Ok(self
+            .checked_page(pid, attempt, verify)?
+            .cursor(&self.layout))
+    }
+
+    /// Zero-copy view of the row at `rid` via the checked read path.
+    pub fn checked_row_view(&self, rid: Rid, attempt: u32, verify: bool) -> Result<RowView<'_>> {
+        self.checked_page(rid.page, attempt, verify)?
+            .view(&self.layout, rid.slot)
     }
 
     /// The table's compiled row layout.
@@ -241,10 +342,18 @@ impl TableStorage {
         if self.pages.is_empty() {
             return Ok((0, 0));
         }
-        let cmp = |a: &Datum, b: &Datum| {
-            a.cmp_same_type(b)
-                .expect("clustering key comparisons are same-typed")
-        };
+        // Validate bound types once against the sparse index, so the
+        // comparison closure below can stay infallible.
+        for bound in [lo, hi].into_iter().flatten() {
+            if let Some(key) = self.sparse_index.first() {
+                if key.cmp_same_type(bound).is_none() {
+                    return Err(Error::InvalidArgument(
+                        "locate_range bound type differs from clustering key".into(),
+                    ));
+                }
+            }
+        }
+        let cmp = |a: &Datum, b: &Datum| a.cmp_same_type(b).unwrap_or(std::cmp::Ordering::Equal);
         // A page may contain keys ≥ lo unless it ends before lo. The
         // first candidate is the page *before* the first page whose
         // first key is ≥ lo (its tail may still reach lo) — note strict
@@ -288,14 +397,15 @@ mod tests {
 
     #[test]
     fn bulk_load_preserves_order_and_counts() {
-        let t = TableStorage::bulk_load(schema(), &rows(1000, 50), Some(0), 1024, 1.0).unwrap();
+        let t = TableStorage::bulk_load(schema(), &rows(1000, 50), Some(0), 1024, 1.0)
+            .expect("bulk load test table");
         assert_eq!(t.row_count(), 1000);
         assert!(t.page_count() > 1);
         // Physical order == load order.
         let mut seen = Vec::new();
         for p in 0..t.page_count() {
-            for r in t.rows_on_page(PageId(p)).unwrap() {
-                seen.push(r.get(0).as_int().unwrap());
+            for r in t.rows_on_page(PageId(p)).expect("page id within table") {
+                seen.push(r.get(0).as_int().expect("int column"));
             }
         }
         assert_eq!(seen, (0..1000).collect::<Vec<_>>());
@@ -312,59 +422,75 @@ mod tests {
     fn heap_accepts_any_order() {
         let mut rs = rows(10, 4);
         rs.swap(3, 7);
-        let t = TableStorage::bulk_load(schema(), &rs, None, 1024, 1.0).unwrap();
+        let t =
+            TableStorage::bulk_load(schema(), &rs, None, 1024, 1.0).expect("bulk load test table");
         assert_eq!(t.row_count(), 10);
         assert!(t.locate_range(None, None).is_err());
     }
 
     #[test]
     fn fill_factor_spreads_rows_over_more_pages() {
-        let full = TableStorage::bulk_load(schema(), &rows(500, 50), Some(0), 2048, 1.0).unwrap();
-        let half = TableStorage::bulk_load(schema(), &rows(500, 50), Some(0), 2048, 0.5).unwrap();
+        let full = TableStorage::bulk_load(schema(), &rows(500, 50), Some(0), 2048, 1.0)
+            .expect("bulk load test table");
+        let half = TableStorage::bulk_load(schema(), &rows(500, 50), Some(0), 2048, 0.5)
+            .expect("bulk load test table");
         assert!(half.page_count() > full.page_count());
         assert_eq!(half.row_count(), full.row_count());
     }
 
     #[test]
     fn read_row_round_trip() {
-        let t = TableStorage::bulk_load(schema(), &rows(100, 10), Some(0), 512, 1.0).unwrap();
+        let t = TableStorage::bulk_load(schema(), &rows(100, 10), Some(0), 512, 1.0)
+            .expect("bulk load test table");
         let rids: Vec<Rid> = t.all_rids().collect();
         assert_eq!(rids.len(), 100);
         for (i, rid) in rids.iter().enumerate() {
-            assert_eq!(t.read_row(*rid).unwrap().get(0).as_int().unwrap(), i as i64);
+            assert_eq!(
+                t.read_row(*rid)
+                    .expect("int column")
+                    .get(0)
+                    .as_int()
+                    .expect("int column"),
+                i as i64
+            );
         }
     }
 
     #[test]
     fn view_path_matches_owned_path() {
-        let t = TableStorage::bulk_load(schema(), &rows(200, 10), Some(0), 512, 1.0).unwrap();
+        let t = TableStorage::bulk_load(schema(), &rows(200, 10), Some(0), 512, 1.0)
+            .expect("bulk load test table");
         for p in 0..t.page_count() {
-            let owned = t.rows_on_page(PageId(p)).unwrap();
+            let owned = t.rows_on_page(PageId(p)).expect("page id within table");
             let viewed: Vec<Row> = t
                 .page_cursor(PageId(p))
-                .unwrap()
-                .map(|v| v.unwrap().materialize())
+                .expect("test value is well-formed")
+                .map(|v| v.expect("test value is well-formed").materialize())
                 .collect();
             assert_eq!(owned, viewed);
         }
         for rid in t.all_rids() {
-            let view = t.read_row_view(rid).unwrap();
-            assert_eq!(t.read_row(rid).unwrap(), view.materialize());
+            let view = t.read_row_view(rid).expect("rid points at a loaded row");
+            assert_eq!(
+                t.read_row(rid).expect("rid points at a loaded row"),
+                view.materialize()
+            );
         }
     }
 
     #[test]
     fn locate_range_brackets_keys() {
-        let t = TableStorage::bulk_load(schema(), &rows(1000, 50), Some(0), 1024, 1.0).unwrap();
+        let t = TableStorage::bulk_load(schema(), &rows(1000, 50), Some(0), 1024, 1.0)
+            .expect("bulk load test table");
         // Keys 100..=200 must all fall inside the located page range.
         let (lo_p, hi_p) = t
             .locate_range(Some(&Datum::Int(100)), Some(&Datum::Int(200)))
-            .unwrap();
+            .expect("test value is well-formed");
         assert!(lo_p < hi_p);
         let mut found = Vec::new();
         for p in lo_p..hi_p {
-            for r in t.rows_on_page(PageId(p)).unwrap() {
-                let k = r.get(0).as_int().unwrap();
+            for r in t.rows_on_page(PageId(p)).expect("page id within table") {
+                let k = r.get(0).as_int().expect("int column");
                 if (100..=200).contains(&k) {
                     found.push(k);
                 }
@@ -374,25 +500,124 @@ mod tests {
         // Range below all keys locates an empty-ish prefix.
         let (a, b) = t
             .locate_range(Some(&Datum::Int(-50)), Some(&Datum::Int(-10)))
-            .unwrap();
+            .expect("test value is well-formed");
         assert!(b <= a + 1, "negative range should touch at most one page");
     }
 
     #[test]
     fn locate_range_open_ends() {
-        let t = TableStorage::bulk_load(schema(), &rows(300, 50), Some(0), 1024, 1.0).unwrap();
-        assert_eq!(t.locate_range(None, None).unwrap(), (0, t.page_count()));
-        let (s, _) = t.locate_range(Some(&Datum::Int(299)), None).unwrap();
+        let t = TableStorage::bulk_load(schema(), &rows(300, 50), Some(0), 1024, 1.0)
+            .expect("bulk load test table");
+        assert_eq!(
+            t.locate_range(None, None)
+                .expect("bounds typed like the clustering key"),
+            (0, t.page_count())
+        );
+        let (s, _) = t
+            .locate_range(Some(&Datum::Int(299)), None)
+            .expect("bounds typed like the clustering key");
         assert_eq!(s + 1, t.page_count());
     }
 
     #[test]
     fn empty_table() {
-        let t = TableStorage::load_default(schema(), &[], Some(0)).unwrap();
+        let t =
+            TableStorage::load_default(schema(), &[], Some(0)).expect("test value is well-formed");
         assert_eq!(t.page_count(), 0);
         assert_eq!(t.row_count(), 0);
-        assert_eq!(t.locate_range(Some(&Datum::Int(5)), None).unwrap(), (0, 0));
+        assert_eq!(
+            t.locate_range(Some(&Datum::Int(5)), None)
+                .expect("bounds typed like the clustering key"),
+            (0, 0)
+        );
         assert_eq!(t.avg_rows_per_page(), 0.0);
+    }
+
+    #[test]
+    fn checked_page_matches_pristine_without_faults() {
+        let t = TableStorage::bulk_load(schema(), &rows(500, 20), Some(0), 1024, 1.0)
+            .expect("bulk load");
+        for p in 0..t.page_count() {
+            let checked = t.checked_page(PageId(p), 0, true).expect("clean page");
+            assert!(checked.checksum_ok());
+            assert_eq!(
+                checked.slot_count(),
+                t.page(PageId(p)).expect("page").slot_count()
+            );
+        }
+        assert!(t.checked_page(PageId(t.page_count()), 0, true).is_err());
+    }
+
+    #[test]
+    fn fault_plan_damages_only_checked_reads() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(2000, 30), Some(0), 1024, 1.0)
+            .expect("bulk load");
+        let plan = FaultPlan::new(0xBEEF, 1.0).expect("valid plan");
+        t.attach_fault_plan(TableId(3), Some(plan));
+        assert!(t.injected_fault_count() > 0, "rate 1.0 must damage pages");
+
+        let mut checksum_failures = 0;
+        let mut stalls = 0;
+        for p in 0..t.page_count() {
+            // The oracle view never sees damage.
+            assert!(t.page(PageId(p)).expect("pristine page").checksum_ok());
+            match t.checked_page(PageId(p), 0, true) {
+                Err(Error::ChecksumMismatch { table, page }) => {
+                    assert_eq!(table, TableId(3));
+                    assert_eq!(page, PageId(p));
+                    checksum_failures += 1;
+                }
+                Err(Error::ReadStalled { .. }) => stalls += 1,
+                other => panic!("rate-1.0 page read unexpectedly returned {other:?}"),
+            }
+        }
+        assert!(checksum_failures > 0);
+        assert!(stalls > 0);
+    }
+
+    #[test]
+    fn read_stalls_clear_after_bounded_attempts() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(2000, 30), Some(0), 1024, 1.0)
+            .expect("bulk load");
+        let plan = FaultPlan::new(7, 1.0).expect("valid plan");
+        t.attach_fault_plan(TableId(0), Some(plan));
+        for p in 0..t.page_count() {
+            if !matches!(
+                t.checked_page(PageId(p), 0, true),
+                Err(Error::ReadStalled { .. })
+            ) {
+                continue;
+            }
+            let budget = plan.stall_attempts(TableId(0), PageId(p));
+            for a in 0..budget {
+                assert!(
+                    matches!(
+                        t.checked_page(PageId(p), a, true),
+                        Err(Error::ReadStalled { .. })
+                    ),
+                    "attempt {a} under budget {budget} must still stall"
+                );
+            }
+            let ok = t
+                .checked_page(PageId(p), budget, true)
+                .expect("stall clears");
+            assert!(ok.checksum_ok(), "stalled pages are undamaged");
+        }
+    }
+
+    #[test]
+    fn unverified_reads_skip_fault_checks() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(500, 30), Some(0), 1024, 1.0)
+            .expect("bulk load");
+        t.attach_fault_plan(
+            TableId(0),
+            Some(FaultPlan::new(7, 1.0).expect("valid plan")),
+        );
+        // verify=false models a buffer-pool hit: the page was verified
+        // when it entered the pool, so no fault fires on re-access.
+        for p in 0..t.page_count() {
+            assert!(t.checked_page(PageId(p), 0, false).is_ok());
+        }
     }
 
     #[test]
@@ -400,15 +625,16 @@ mod tests {
         let rs: Vec<Row> = (0..100)
             .map(|i| Row::new(vec![Datum::Int(i / 10), Datum::Str("p".into())]))
             .collect();
-        let t = TableStorage::bulk_load(schema(), &rs, Some(0), 256, 1.0).unwrap();
+        let t = TableStorage::bulk_load(schema(), &rs, Some(0), 256, 1.0)
+            .expect("bulk load test table");
         let (lo, hi) = t
             .locate_range(Some(&Datum::Int(5)), Some(&Datum::Int(5)))
-            .unwrap();
+            .expect("test value is well-formed");
         let mut count = 0;
         for p in lo..hi {
             count += t
                 .rows_on_page(PageId(p))
-                .unwrap()
+                .expect("test value is well-formed")
                 .iter()
                 .filter(|r| r.get(0) == &Datum::Int(5))
                 .count();
