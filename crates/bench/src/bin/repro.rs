@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--jobs N] [--fault-seed N] [--fault-rate P]
+//! repro [--jobs N] [--fault-seed N] [--fault-rate P] [--feedback-dir D]
 //!       table1 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11
 //!       | ablation-counters | ablation-bitvector | ablation-dpsample | ablation-models
 //!       | all | quick
@@ -18,6 +18,13 @@
 //! fraction `P` of pages is damaged at load, chosen purely by
 //! `(seed, table, page)`. The run must still complete — corrupt pages
 //! are skipped and the affected estimates labelled degraded.
+//!
+//! `--feedback-dir D` (or `PF_FEEDBACK_DIR`) makes the feedback-loop
+//! figures (6, 7, 8, 11) persist every harvested measurement to a
+//! crash-safe store under `D` (one subdirectory per experiment) and
+//! recover whatever an earlier — possibly crashed — run persisted
+//! before re-optimizing. Kill a run mid-figure, rerun it, and the
+//! re-optimized plans come out byte-identical to an uninterrupted run.
 
 use pagefeed::ParallelRunner;
 use pf_bench::util::synthetic_rows;
@@ -25,7 +32,7 @@ use pf_bench::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--jobs N] [--fault-seed N] [--fault-rate P] \
+        "usage: repro [--jobs N] [--fault-seed N] [--fault-rate P] [--feedback-dir D] \
          [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
     );
     std::process::exit(2);
@@ -58,6 +65,7 @@ fn main() {
     let mut jobs = ParallelRunner::from_env().jobs();
     let mut fault_seed: Option<u64> = None;
     let mut fault_rate: Option<f64> = None;
+    let mut feedback_dir: Option<String> = None;
     let mut cmd: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +89,12 @@ fn main() {
                 continue;
             }
         }
+        if a.starts_with("--feedback-dir") {
+            if let Some(d) = flag_value(a, "--feedback-dir", &mut args) {
+                feedback_dir = Some(d);
+                continue;
+            }
+        }
         match a {
             other if cmd.is_none() => cmd = Some(other.to_string()),
             other => {
@@ -101,6 +115,9 @@ fn main() {
             usage();
         }
         std::env::set_var(pf_storage::FAULT_RATE_ENV, rate.to_string());
+    }
+    if let Some(dir) = feedback_dir {
+        std::env::set_var(pagefeed::FEEDBACK_DIR_ENV, dir);
     }
     let cmd = cmd.unwrap_or_else(|| "all".to_string());
     let rows = synthetic_rows();

@@ -65,6 +65,7 @@ pub fn run_fig11(per_column: usize, jobs: usize) -> Result<Vec<RealWorldPoint>> 
     let mut all_outcomes = Vec::new();
     let mut qid = 0;
     for (dbname, table, db, cols) in &mut dbs {
+        crate::util::attach_feedback_from_env(db, &format!("fig11-{table}"))?;
         let queries =
             single_table_workload(db, table, cols, per_column, (0.01, 0.10), 116 + qid as u64)?;
         let outcomes = runner.run_feedback(db, &queries, &MonitorConfig::default())?;

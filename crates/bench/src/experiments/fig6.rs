@@ -35,6 +35,7 @@ pub fn run_fig6(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<Speed
         with_t1: false,
         seed: 61,
     })?;
+    crate::util::attach_feedback_from_env(&mut db, "fig6")?;
     let columns = ["c2", "c3", "c4", "c5"];
     let queries = single_table_workload(&db, "T", &columns, per_column, (0.01, 0.10), 62)?;
 

@@ -26,6 +26,7 @@ pub fn run_fig7(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<Overh
         with_t1: false,
         seed: 71,
     })?;
+    crate::util::attach_feedback_from_env(&mut db, "fig7")?;
     let queries = single_table_workload(
         &db,
         "T",

@@ -38,6 +38,7 @@ pub fn run_fig8(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<JoinP
         with_t1: true,
         seed: 81,
     })?;
+    crate::util::attach_feedback_from_env(&mut db, "fig8")?;
     let columns = ["c2", "c3", "c4", "c5"];
     let queries = join_workload(
         &db,

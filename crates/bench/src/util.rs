@@ -36,6 +36,33 @@ pub fn section(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Attaches a durable feedback store under `$PF_FEEDBACK_DIR/<name>`
+/// (set by `repro --feedback-dir`), when the variable names a directory.
+/// Recovered measurements are replayed into the hint set before the
+/// workload runs, so a repro restarted after a crash re-optimizes from
+/// persisted feedback — the re-optimized plans are byte-identical to the
+/// uninterrupted run's — and every measurement the workload harvests is
+/// WAL-durable before it is used. Returns the recovered-report count
+/// (0 when persistence is off).
+pub fn attach_feedback_from_env(
+    db: &mut pagefeed::Database,
+    name: &str,
+) -> pf_common::Result<usize> {
+    let Ok(root) = std::env::var(pagefeed::FEEDBACK_DIR_ENV) else {
+        return Ok(0);
+    };
+    if root.is_empty() {
+        return Ok(0);
+    }
+    let dir = std::path::Path::new(&root).join(name);
+    let recovered = db.attach_feedback_store(&dir)?;
+    println!(
+        "feedback store {}: {recovered} report(s) recovered",
+        dir.display()
+    );
+    Ok(recovered)
+}
+
 /// Prints which queries of a feedback workload ran degraded (skipped
 /// corrupt pages) — silent when the run was fault-free, so the tables
 /// above stay byte-identical to a run without injection.

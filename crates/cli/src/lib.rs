@@ -273,7 +273,96 @@ impl Shell {
         }
     }
 
-    fn feedback(&mut self, sql: &str) -> String {
+    /// `.feedback` is two commands in one: a store subcommand
+    /// (`load`/`save`/`stats`/`evict`) manages durable persistence;
+    /// anything else is SQL to run through the feedback loop.
+    fn feedback(&mut self, arg: &str) -> String {
+        let mut parts = arg.splitn(2, ' ');
+        let head = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match head {
+            "load" => self.feedback_load(rest),
+            "save" => self.feedback_save(),
+            "stats" => self.feedback_stats(),
+            "evict" => self.feedback_evict(),
+            _ => self.feedback_sql(arg),
+        }
+    }
+
+    fn feedback_load(&mut self, dir: &str) -> String {
+        if dir.is_empty() {
+            return "usage: .feedback load <dir>".to_string();
+        }
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        match db.attach_feedback_store(dir) {
+            Ok(recovered) => format!(
+                "feedback store attached at {dir}: {recovered} report(s) recovered, {} live hint(s)",
+                db.hints().len()
+            ),
+            Err(e) => format!("attach failed: {e}"),
+        }
+    }
+
+    fn feedback_save(&mut self) -> String {
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        let Some(store) = db.feedback_store_mut() else {
+            return NO_STORE.to_string();
+        };
+        match store.compact() {
+            Ok(()) => {
+                let s = store.stats();
+                format!(
+                    "compacted {} report(s) into an atomic snapshot ({} snapshot bytes, {} WAL bytes)",
+                    s.records, s.snapshot_bytes, s.wal_bytes
+                )
+            }
+            Err(e) => format!("compact failed: {e}"),
+        }
+    }
+
+    fn feedback_stats(&self) -> String {
+        let Some(db) = &self.db else {
+            return NO_DB.to_string();
+        };
+        let Some(store) = db.feedback_store() else {
+            return NO_STORE.to_string();
+        };
+        let s = store.stats();
+        format!(
+            "feedback store at {}:\n  {} report(s), {} measurement(s), next seq {}\n  WAL {} bytes, snapshot {} bytes",
+            store.dir().display(),
+            s.records,
+            s.measurements,
+            s.next_seq,
+            s.wal_bytes,
+            s.snapshot_bytes
+        )
+    }
+
+    fn feedback_evict(&mut self) -> String {
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        let policy = db.staleness;
+        let states = db.table_epoch_states();
+        let from_hints = db.hints_mut().apply_staleness(policy, &states);
+        let from_store = match db.feedback_store_mut() {
+            Some(store) => match store.evict_stale(policy, &states) {
+                Ok(n) => n,
+                Err(e) => return format!("evict failed: {e}"),
+            },
+            None => 0,
+        };
+        format!(
+            "evicted {from_hints} stale hint(s) from memory, {from_store} measurement(s) from the store"
+        )
+    }
+
+    fn feedback_sql(&mut self, sql: &str) -> String {
         let query = match self.parse(sql) {
             Ok(q) => q,
             Err(e) => return e,
@@ -444,6 +533,8 @@ fn summarize_catalog(db: &Database) -> String {
 
 const NO_DB: &str = "no database loaded — try `.load synthetic`";
 
+const NO_STORE: &str = "no feedback store attached — try `.feedback load <dir>`";
+
 const HELP: &str = "\
 commands:
   .load <dataset>     load synthetic|tpch|books|yellowpages|voter|products
@@ -455,6 +546,11 @@ commands:
   .explain <sql>      show the chosen plan tree with estimates
   .diagnose <sql>     DBA diagnosis: estimated-vs-actual page counts
   .feedback <sql>     run the full feedback loop (measure, inject, replan)
+  .feedback load <d>  attach a durable feedback store at directory <d> (WAL + snapshot);
+                      recovered measurements are replayed into the hint set
+  .feedback save      compact the attached store into an atomic snapshot
+  .feedback stats     show store size and contents
+  .feedback evict     age hints against current table epochs; drop dead measurements
   .hints              show feedback-cache status
   .jobs [N]           show / set worker threads for .bench (default: PF_JOBS or all cores)
   .faults [S R|off]   show / set deterministic fault injection (seed S, page rate R)
@@ -586,6 +682,45 @@ mod tests {
         let q = out(sh.eval("SELECT COUNT(pad) FROM products WHERE supplier < 100"));
         assert!(q.contains("count: 2000"), "{q}");
         assert!(!q.contains("degraded"), "{q}");
+    }
+
+    #[test]
+    fn feedback_store_commands_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pf-cli-feedback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dirs = dir.to_string_lossy().to_string();
+
+        let mut sh = Shell::new();
+        assert!(out(sh.eval(".feedback stats")).contains("no database loaded"));
+        sh.eval(".load products");
+        assert!(out(sh.eval(".feedback stats")).contains("no feedback store"));
+        assert!(out(sh.eval(".feedback save")).contains("no feedback store"));
+        assert!(out(sh.eval(".feedback load")).contains("usage"));
+
+        let attached = out(sh.eval(&format!(".feedback load {dirs}")));
+        assert!(attached.contains("0 report(s) recovered"), "{attached}");
+        // COUNT(pad) forces a heap scan, which monitors the predicate's
+        // DPC exactly (an index-only plan would harvest nothing).
+        let fb = out(sh.eval(".feedback SELECT COUNT(pad) FROM products WHERE supplier < 100"));
+        assert!(fb.contains("speedup"), "{fb}");
+        let stats = out(sh.eval(".feedback stats"));
+        assert!(stats.contains("1 report(s), 1 measurement(s)"), "{stats}");
+        let saved = out(sh.eval(".feedback save"));
+        assert!(saved.contains("compacted 1 report(s)"), "{saved}");
+        // Nothing has drifted, so eviction is a no-op.
+        let evicted = out(sh.eval(".feedback evict"));
+        assert!(evicted.contains("evicted 0 stale hint(s)"), "{evicted}");
+        assert!(evicted.contains("0 measurement(s)"), "{evicted}");
+
+        // A fresh shell over the same dataset recovers the measurements
+        // from the snapshot and starts with live hints.
+        let mut sh2 = Shell::new();
+        sh2.eval(".load products");
+        let re = out(sh2.eval(&format!(".feedback load {dirs}")));
+        assert!(re.contains("1 report(s) recovered, 1 live hint(s)"), "{re}");
+        let hints = out(sh2.eval(".hints"));
+        assert!(hints.starts_with("1 injected hint"), "{hints}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! The [`Database`] facade.
 
+use crate::feedback_store::FeedbackStore;
 use crate::planner::{LoweredPlan, MonitorConfig, PlanChoice, Planner};
 use crate::query::Query;
 use pf_common::{Error, IndexId, PageId, Result, Row, Schema, TableId};
 use pf_exec::{drain, Conjunction, ExecContext};
 use pf_feedback::FeedbackReport;
-use pf_optimizer::{CostModel, DbStats, HintSet, Optimizer};
+use pf_optimizer::{
+    CostModel, DbStats, EpochStamp, HintSet, Optimizer, StalenessPolicy, TableEpochState,
+};
 use pf_storage::{Catalog, DiskModel, FaultPlan, IoStats, TableBuilder};
+use std::collections::HashMap;
+use std::path::Path;
 
 /// How many times a transient fault (an injected read stall) is retried
 /// before the error surfaces. Stall budgets are at most 2 attempts per
@@ -51,6 +56,10 @@ pub struct Database {
     hints: HintSet,
     /// Self-tuning DPC-histogram cache (None = disabled).
     pub(crate) dpc_cache: Option<crate::histogram_cache::DpcHistogramCache>,
+    /// Durable feedback persistence (None = in-memory hints only).
+    feedback_store: Option<FeedbackStore>,
+    /// How stamped hints are aged as DML drifts their tables.
+    pub staleness: StalenessPolicy,
     /// Disk-model constants used for costing *and* execution accounting.
     pub disk: DiskModel,
     /// Buffer-pool capacity in pages for each execution.
@@ -71,6 +80,8 @@ impl Database {
             stats: None,
             hints: HintSet::new(),
             dpc_cache: None,
+            feedback_store: None,
+            staleness: StalenessPolicy::default(),
             disk: DiskModel::default(),
             pool_pages: 65_536,
         }
@@ -158,6 +169,126 @@ impl Database {
     /// Read view of the hints.
     pub fn hints(&self) -> &HintSet {
         &self.hints
+    }
+
+    // ------------------------------------------------------------------
+    // Durable feedback and DML epochs.
+    // ------------------------------------------------------------------
+
+    /// Attaches (opening or creating) a durable [`FeedbackStore`] at
+    /// `dir`. Every recovered report is replayed into the hint set with
+    /// its harvest-time epoch stamps, then aged against the tables'
+    /// *current* modification state — measurements taken before heavy
+    /// DML come back discounted or not at all. Returns the number of
+    /// recovered reports.
+    pub fn attach_feedback_store(&mut self, dir: impl AsRef<Path>) -> Result<usize> {
+        let store = FeedbackStore::open(dir)?;
+        let recovered = store.len();
+        store.replay_into(&mut self.hints);
+        let states = self.table_epoch_states();
+        self.hints.apply_staleness(self.staleness, &states);
+        self.feedback_store = Some(store);
+        Ok(recovered)
+    }
+
+    /// The attached feedback store, if any.
+    pub fn feedback_store(&self) -> Option<&FeedbackStore> {
+        self.feedback_store.as_ref()
+    }
+
+    /// Mutable access to the attached feedback store (compaction,
+    /// eviction, stats).
+    pub fn feedback_store_mut(&mut self) -> Option<&mut FeedbackStore> {
+        self.feedback_store.as_mut()
+    }
+
+    /// Detaches and returns the feedback store; hints stay as absorbed.
+    pub fn detach_feedback_store(&mut self) -> Option<FeedbackStore> {
+        self.feedback_store.take()
+    }
+
+    /// Absorbs a harvested report into the hint set, stamping every
+    /// measurement with its table's current modification epoch. When a
+    /// feedback store is attached the report is made durable *first*
+    /// (WAL before use): a crash after this call returns cannot lose
+    /// the measurement.
+    pub fn absorb_feedback(&mut self, report: &FeedbackReport) -> Result<()> {
+        let stamps = self.epoch_stamps();
+        if let Some(store) = &mut self.feedback_store {
+            store.append(report, &stamps)?;
+        }
+        self.hints.absorb_report_stamped(report, &stamps);
+        Ok(())
+    }
+
+    /// Current modification state of every table, keyed by name — the
+    /// input to staleness decisions.
+    pub fn table_epoch_states(&self) -> HashMap<String, TableEpochState> {
+        self.catalog
+            .tables()
+            .iter()
+            .map(|t| {
+                let s = t.storage.epoch_state();
+                (
+                    t.name.clone(),
+                    TableEpochState {
+                        epoch: s.epoch,
+                        dirty_pages: s.dirty_pages,
+                        pages: s.pages,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Harvest-time epoch stamps for every table (the state a
+    /// measurement taken *now* should carry).
+    pub fn epoch_stamps(&self) -> HashMap<String, EpochStamp> {
+        self.catalog
+            .tables()
+            .iter()
+            .map(|t| {
+                let s = t.storage.epoch_state();
+                (
+                    t.name.clone(),
+                    EpochStamp {
+                        epoch: s.epoch,
+                        dirty_pages: s.dirty_pages,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Inserts a row into `table`, advancing its modification epoch.
+    /// Statistics go stale (re-run [`Database::analyze`]) and stamped
+    /// DPC hints are aged against the new state: drifted measurements
+    /// are discounted toward the analytical estimate, dead ones are
+    /// evicted.
+    pub fn insert_row(&mut self, table: &str, row: Row) -> Result<()> {
+        let id = self.catalog.table_by_name(table)?.id;
+        self.catalog.insert_row(id, row)?;
+        self.after_dml()
+    }
+
+    /// Deletes every row of `table` matching `pred`, advancing its
+    /// modification epoch; returns the number of rows deleted. Same
+    /// statistics/hint aging as [`Database::insert_row`].
+    pub fn delete_where<F>(&mut self, table: &str, pred: F) -> Result<u64>
+    where
+        F: FnMut(&Row) -> bool,
+    {
+        let id = self.catalog.table_by_name(table)?.id;
+        let n = self.catalog.delete_where(id, pred)?;
+        self.after_dml()?;
+        Ok(n)
+    }
+
+    fn after_dml(&mut self) -> Result<()> {
+        self.stats = None; // cardinality statistics are stale
+        let states = self.table_epoch_states();
+        self.hints.apply_staleness(self.staleness, &states);
+        Ok(())
     }
 
     /// An optimizer over the current catalog, statistics, and hints.

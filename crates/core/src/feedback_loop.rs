@@ -29,21 +29,28 @@ pub struct FeedbackOutcome {
 
 impl FeedbackOutcome {
     /// `(T − T′)/T` — positive when feedback helped; 0 when the plan did
-    /// not change (T measured on the identical plan).
+    /// not change (T measured on the identical plan). Degenerate timings
+    /// (a zero, negative, or non-finite `T`, or a non-finite `T′`, as a
+    /// degraded run that skipped every page can produce) yield 0 rather
+    /// than `NaN`/`±inf`, so workload aggregates stay finite.
     pub fn speedup(&self) -> f64 {
-        if self.before.elapsed_ms <= 0.0 {
-            return 0.0;
-        }
-        (self.before.elapsed_ms - self.after.elapsed_ms) / self.before.elapsed_ms
+        Self::relative_delta(self.before.elapsed_ms, self.after.elapsed_ms)
     }
 
     /// Monitoring overhead relative to the unmonitored run:
-    /// `(T_monitored − T)/T`.
+    /// `(T_monitored − T)/T`. Degenerate timings yield 0, as with
+    /// [`FeedbackOutcome::speedup`].
     pub fn overhead(&self) -> f64 {
-        if self.before.elapsed_ms <= 0.0 {
+        -Self::relative_delta(self.before.elapsed_ms, self.monitored_elapsed_ms)
+    }
+
+    /// `(base − other)/base`, defined as 0 whenever the ratio would not
+    /// be a finite number.
+    fn relative_delta(base: f64, other: f64) -> f64 {
+        if !base.is_finite() || !other.is_finite() || base <= 0.0 {
             return 0.0;
         }
-        (self.monitored_elapsed_ms - self.before.elapsed_ms) / self.before.elapsed_ms
+        (base - other) / base
     }
 
     /// Whether injection changed the plan.
@@ -92,7 +99,7 @@ impl Database {
         // Inject DPC feedback (and train the histogram cache, if
         // enabled), then re-optimize.
         let report = monitored.report.clone();
-        self.hints_mut().absorb_report(&report);
+        self.absorb_feedback(&report)?;
         self.train_dpc_histograms(query, &report)?;
         let after = self.run(query, &MonitorConfig::off())?;
 
@@ -223,6 +230,67 @@ mod tests {
         // but not literally zero: per-row bookkeeping is charged.
         assert!(out.overhead() < 0.05, "overhead {}", out.overhead());
         assert!(out.overhead() > 0.0, "monitoring must cost something");
+    }
+
+    /// A synthetic outcome with the given elapsed time (everything else
+    /// inert), for pinning the degenerate-timing arithmetic.
+    fn outcome_with_elapsed(elapsed_ms: f64) -> QueryOutcome {
+        use pf_common::TableId;
+        use pf_optimizer::plan::{AccessPath, DpcSource, SingleTablePlan};
+        QueryOutcome {
+            count: 0,
+            stats: pf_storage::IoStats::default(),
+            elapsed_ms,
+            report: FeedbackReport::new(),
+            description: "synthetic".into(),
+            choice: crate::planner::PlanChoice::Single(SingleTablePlan {
+                table: TableId(0),
+                path: AccessPath::FullScan,
+                cost_ms: 0.0,
+                est_rows: 0.0,
+                est_dpc: None,
+                dpc_source: DpcSource::NotApplicable,
+            }),
+            fault_retries: 0,
+        }
+    }
+
+    fn synthetic(before_ms: f64, after_ms: f64, monitored_ms: f64) -> FeedbackOutcome {
+        FeedbackOutcome {
+            before: outcome_with_elapsed(before_ms),
+            after: outcome_with_elapsed(after_ms),
+            monitored_elapsed_ms: monitored_ms,
+            report: FeedbackReport::new(),
+        }
+    }
+
+    #[test]
+    fn degenerate_timings_never_produce_nan() {
+        // A fully-degraded run (every page skipped) can report a zero
+        // elapsed time; injected-fault bookkeeping bugs could even go
+        // negative or non-finite. The ratios must stay defined: 0, not
+        // NaN/±inf, so workload-level aggregation never poisons a mean.
+        for (before, after, monitored) in [
+            (0.0, 10.0, 12.0),
+            (-3.0, 10.0, 12.0),
+            (f64::NAN, 10.0, 12.0),
+            (f64::INFINITY, 10.0, 12.0),
+            (10.0, f64::NAN, f64::NAN),
+            (10.0, f64::INFINITY, f64::NEG_INFINITY),
+            (0.0, 0.0, 0.0),
+        ] {
+            let out = synthetic(before, after, monitored);
+            assert_eq!(out.speedup(), 0.0, "speedup({before}, {after})");
+            assert_eq!(out.overhead(), 0.0, "overhead({before}, {monitored})");
+        }
+        // Healthy timings keep the paper's definitions exactly.
+        let out = synthetic(10.0, 5.0, 11.0);
+        assert!((out.speedup() - 0.5).abs() < 1e-12);
+        assert!((out.overhead() - 0.1).abs() < 1e-12);
+        // A degraded "after" slower than "before" is a *negative*
+        // speedup, not an error — regressions must stay visible.
+        let out = synthetic(10.0, 15.0, 10.0);
+        assert!((out.speedup() + 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -57,11 +57,16 @@
 //!   storage snapshot, with deterministic per-query seeds and serial
 //!   feedback harvesting,
 //! * [`sql`] — a small SQL front end for the supported query shapes,
-//! * [`snapshot`] — save/load the whole database to a single file.
+//! * [`snapshot`] — save/load the whole database to a single file,
+//! * [`feedback_store`] — crash-safe WAL persistence for harvested
+//!   feedback, with epoch stamps for staleness checking after restart.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod db;
 pub mod dba;
 pub mod feedback_loop;
+pub mod feedback_store;
 pub mod histogram_cache;
 pub mod parallel;
 pub mod planner;
@@ -72,6 +77,7 @@ pub mod sql;
 pub use db::{Database, QueryOutcome, MAX_TRANSIENT_RETRIES};
 pub use dba::{DbaDiagnosis, Discrepancy};
 pub use feedback_loop::FeedbackOutcome;
+pub use feedback_store::{FeedbackStore, StoreStats, StoredReport, FEEDBACK_DIR_ENV};
 pub use histogram_cache::DpcHistogramCache;
 pub use parallel::{ParallelRunner, WorkloadSummary};
 pub use pf_storage::{FaultKind, FaultPlan};

@@ -130,7 +130,7 @@ impl ParallelRunner {
             })?
         };
         for (query, outcome) in queries.iter().zip(&outcomes) {
-            db.hints_mut().absorb_report(&outcome.report);
+            db.absorb_feedback(&outcome.report)?;
             db.train_dpc_histograms(query, &outcome.report)?;
         }
         Ok(outcomes)

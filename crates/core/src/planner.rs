@@ -50,6 +50,12 @@ pub struct MonitorConfig {
     pub monitor_pairs: bool,
     /// Seed for sampling and hashing (vary across runs for independence).
     pub seed: u64,
+    /// Monitor memory budget in bytes; monitors that do not fit (charged
+    /// in descending [`ShedClass`] priority) are shed at admission.
+    pub memory_budget: Option<usize>,
+    /// Monitoring deadline in simulated milliseconds; once a run's
+    /// elapsed time passes it, remaining monitors are shed mid-run.
+    pub deadline_ms: Option<f64>,
 }
 
 impl Default for MonitorConfig {
@@ -60,6 +66,8 @@ impl Default for MonitorConfig {
             bitvector_bits: None,
             monitor_pairs: true,
             seed: 0xFEED,
+            memory_budget: None,
+            deadline_ms: None,
         }
     }
 }
@@ -110,17 +118,24 @@ impl PlanChoice {
 }
 
 /// The monitor handles attached to a lowered plan, for harvesting.
+///
+/// Each scan entry carries the byte size of the semi-join bit-vector
+/// filter its monitors will test (0 when none): the filter installs only
+/// after the join's build phase, so the governor's admission pass needs
+/// the planner-known size up front.
 #[derive(Default)]
 pub struct MonitorHarness {
-    scans: Vec<(String, ScanMonitorHandle)>,
+    scans: Vec<(String, ScanMonitorHandle, usize)>,
     fetches: Vec<(String, Rc<RefCell<Vec<FetchMonitor>>>)>,
+    /// The run's resource governor, when the config requested one.
+    pub governor: Option<pf_exec::GovernorHandle>,
 }
 
 impl MonitorHarness {
     /// Collects every measurement into a feedback report.
     pub fn harvest(&self) -> FeedbackReport {
         let mut report = FeedbackReport::new();
-        for (table, handle) in &self.scans {
+        for (table, handle, _) in &self.scans {
             handle.borrow_mut().harvest(table, &mut report);
         }
         for (table, handle) in &self.fetches {
@@ -134,6 +149,68 @@ impl MonitorHarness {
     /// Whether any monitor is attached.
     pub fn is_empty(&self) -> bool {
         self.scans.is_empty() && self.fetches.is_empty()
+    }
+
+    /// Applies the config's resource limits: creates the governor,
+    /// charges every monitor against the memory budget in descending
+    /// [`pf_exec::ShedClass`] priority (declaration order breaks ties, so
+    /// the admission sequence is identical on every run), sheds what does
+    /// not fit, and attaches the governor for mid-run deadline shedding.
+    pub fn apply_governor(&mut self, cfg: &MonitorConfig) {
+        if cfg.memory_budget.is_none() && cfg.deadline_ms.is_none() {
+            return;
+        }
+        let governor = pf_exec::governor_handle(cfg.memory_budget, cfg.deadline_ms);
+        // (class, bytes, is_fetch, outer index, inner index)
+        let mut entries: Vec<(pf_exec::ShedClass, usize, bool, usize, usize)> = Vec::new();
+        for (si, (_, handle, sj_bytes)) in self.scans.iter().enumerate() {
+            for (ei, (bytes, class)) in handle.borrow().expr_costs(*sj_bytes).iter().enumerate() {
+                entries.push((*class, *bytes, false, si, ei));
+            }
+        }
+        for (fi, (_, handle)) in self.fetches.iter().enumerate() {
+            for (mi, m) in handle.borrow().iter().enumerate() {
+                entries.push((
+                    pf_exec::ShedClass::LinearCounting,
+                    m.approx_bytes(),
+                    true,
+                    fi,
+                    mi,
+                ));
+            }
+        }
+        entries.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then(a.2.cmp(&b.2))
+                .then(a.3.cmp(&b.3))
+                .then(a.4.cmp(&b.4))
+        });
+        let mut shed = 0u64;
+        for (_, bytes, is_fetch, i, j) in entries {
+            if governor.borrow_mut().try_charge(bytes) {
+                continue;
+            }
+            if is_fetch {
+                if let Some(m) = self.fetches[i].1.borrow_mut().get_mut(j) {
+                    m.shed = true;
+                }
+            } else {
+                self.scans[i].1.borrow_mut().shed_expr(j);
+            }
+            shed += 1;
+        }
+        if shed > 0 {
+            governor.borrow_mut().note_shed(shed);
+        }
+        for (_, handle, _) in &self.scans {
+            handle.borrow_mut().set_governor(Rc::clone(&governor));
+        }
+        for (_, handle) in &self.fetches {
+            for m in handle.borrow_mut().iter_mut() {
+                m.set_governor(Rc::clone(&governor));
+            }
+        }
+        self.governor = Some(governor);
     }
 }
 
@@ -179,8 +256,16 @@ impl<'a> Planner<'a> {
         Optimizer::new(self.catalog, self.stats, self.cost, self.hints)
     }
 
-    /// Resolves, optimizes, and lowers a query.
+    /// Resolves, optimizes, and lowers a query, then applies the
+    /// config's monitor resource limits (if any) across the whole plan's
+    /// monitors at once — budgets are per query, not per operator.
     pub fn lower_query(&self, query: &Query, cfg: &MonitorConfig) -> Result<LoweredPlan> {
+        let mut lowered = self.lower_query_ungoverned(query, cfg)?;
+        lowered.harness.apply_governor(cfg);
+        Ok(lowered)
+    }
+
+    fn lower_query_ungoverned(&self, query: &Query, cfg: &MonitorConfig) -> Result<LoweredPlan> {
         match query {
             Query::Count {
                 table,
@@ -260,7 +345,9 @@ impl<'a> Planner<'a> {
                     let set = self.scan_monitors(plan.table, pred, cfg, &est, pages);
                     if let Some(set) = set {
                         let handle = Rc::new(RefCell::new(set));
-                        harness.scans.push((meta.name.clone(), Rc::clone(&handle)));
+                        harness
+                            .scans
+                            .push((meta.name.clone(), Rc::clone(&handle), 0));
                         Some(handle)
                     } else {
                         None
@@ -477,9 +564,6 @@ impl<'a> Planner<'a> {
                         cfg.seed ^ 0xB17,
                     );
                     let handle = Rc::new(RefCell::new(set));
-                    harness
-                        .scans
-                        .push((inner_meta.name.clone(), Rc::clone(&handle)));
                     // Sizing: page-level counting amplifies the filter's
                     // false-positive rate by rows-per-page (every row of
                     // a page probes it), so target fill ≈ 1/(32·rpp):
@@ -490,6 +574,9 @@ impl<'a> Planner<'a> {
                     let bits = cfg.bitvector_bits.unwrap_or_else(|| {
                         ((est_build * rpp * 32.0) as usize).clamp(4_096, 1 << 23)
                     });
+                    harness
+                        .scans
+                        .push((inner_meta.name.clone(), Rc::clone(&handle), bits / 8));
                     (
                         Some(handle),
                         Some(BitVectorConfig {

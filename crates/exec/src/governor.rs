@@ -1,0 +1,187 @@
+//! Monitor resource governance: memory budgets and deadlines.
+//!
+//! The paper's monitors are "low overhead" by construction, but a
+//! production engine still bounds them: a monitored run must not hold
+//! unbounded sketch memory, and monitoring must not extend a query past
+//! an operator deadline. [`MonitorGovernor`] enforces both:
+//!
+//! * **memory** — every monitor's sketch bytes (via
+//!   [`pf_feedback::Sketch::approx_bytes`]) are charged against the
+//!   budget *at attach time*, in descending [`ShedClass`] priority;
+//!   monitors that do not fit are shed before the run starts;
+//! * **deadline** — operators call back at page boundaries with the
+//!   simulated clock's elapsed milliseconds; once the deadline passes,
+//!   every still-attached monitor is shed mid-run.
+//!
+//! Shed monitors stay in the plan and still harvest, but their
+//! measurements carry `budget_shed = true` — partial counts that the
+//! feedback loop must never absorb. Both triggers are driven purely by
+//! deterministic inputs (configured sketch sizes, the simulated clock),
+//! so shedding decisions are identical across repeated runs and worker
+//! counts.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shedding priority of a monitor, cheapest-to-lose first.
+///
+/// Ordering is the *shed* order: `PageSampled` monitors go first (their
+/// estimates are already approximate and they force short-circuiting
+/// off), then semi-join bit-vector tests (per-row hashing), then fetch
+/// linear counters, and exact prefix counters last (they are nearly
+/// free and exact — shedding them loses the most information per byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedClass {
+    /// Non-prefix atom expressions counted via page sampling.
+    PageSampled = 0,
+    /// Derived semi-join predicate tests (Fig 5).
+    SemiJoin = 1,
+    /// Linear-counting fetch monitors (Fig 3).
+    LinearCounting = 2,
+    /// Exact prefix counters on scans (Section III-B).
+    Exact = 3,
+}
+
+/// Per-run resource governor shared by all monitors of one query.
+#[derive(Debug)]
+pub struct MonitorGovernor {
+    memory_budget: Option<usize>,
+    deadline_ms: Option<f64>,
+    charged_bytes: usize,
+    shed_monitors: u64,
+    deadline_fired: bool,
+}
+
+impl MonitorGovernor {
+    /// A governor with the given byte budget and/or deadline; `None`
+    /// disables that trigger.
+    pub fn new(memory_budget: Option<usize>, deadline_ms: Option<f64>) -> Self {
+        MonitorGovernor {
+            memory_budget,
+            deadline_ms,
+            charged_bytes: 0,
+            shed_monitors: 0,
+            deadline_fired: false,
+        }
+    }
+
+    /// Tries to charge `bytes` against the memory budget. Returns `true`
+    /// (and records the charge) when it fits; `false` when admitting the
+    /// monitor would exceed the budget — the caller must shed it.
+    pub fn try_charge(&mut self, bytes: usize) -> bool {
+        match self.memory_budget {
+            Some(budget) if self.charged_bytes.saturating_add(bytes) > budget => false,
+            _ => {
+                self.charged_bytes = self.charged_bytes.saturating_add(bytes);
+                true
+            }
+        }
+    }
+
+    /// Records `n` monitors shed (at admission or mid-run).
+    pub fn note_shed(&mut self, n: u64) {
+        self.shed_monitors += n;
+    }
+
+    /// Whether the run's deadline has passed at `elapsed_ms` on the
+    /// simulated clock. Latches: once fired it stays fired, so late
+    /// callers see a consistent answer.
+    pub fn deadline_exceeded(&mut self, elapsed_ms: f64) -> bool {
+        if self.deadline_fired {
+            return true;
+        }
+        if let Some(deadline) = self.deadline_ms {
+            if elapsed_ms > deadline {
+                self.deadline_fired = true;
+            }
+        }
+        self.deadline_fired
+    }
+
+    /// Bytes admitted so far.
+    pub fn charged_bytes(&self) -> usize {
+        self.charged_bytes
+    }
+
+    /// Monitors shed so far.
+    pub fn shed_monitors(&self) -> u64 {
+        self.shed_monitors
+    }
+
+    /// Whether the deadline trigger has fired.
+    pub fn deadline_fired(&self) -> bool {
+        self.deadline_fired
+    }
+
+    /// The configured memory budget, if any.
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.memory_budget
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline_ms(&self) -> Option<f64> {
+        self.deadline_ms
+    }
+}
+
+/// Shared handle to a run's governor.
+pub type GovernorHandle = Rc<RefCell<MonitorGovernor>>;
+
+/// Wraps a governor in a shareable handle.
+pub fn governor_handle(memory_budget: Option<usize>, deadline_ms: Option<f64>) -> GovernorHandle {
+    Rc::new(RefCell::new(MonitorGovernor::new(
+        memory_budget,
+        deadline_ms,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_class_order_is_cheapest_first() {
+        assert!(ShedClass::PageSampled < ShedClass::SemiJoin);
+        assert!(ShedClass::SemiJoin < ShedClass::LinearCounting);
+        assert!(ShedClass::LinearCounting < ShedClass::Exact);
+    }
+
+    #[test]
+    fn charges_until_budget_then_refuses() {
+        let mut g = MonitorGovernor::new(Some(100), None);
+        assert!(g.try_charge(60));
+        assert!(g.try_charge(40));
+        assert!(!g.try_charge(1), "101st byte must be refused");
+        assert_eq!(g.charged_bytes(), 100);
+        // A smaller later charge can still fit a fragmented budget.
+        let mut g = MonitorGovernor::new(Some(100), None);
+        assert!(g.try_charge(90));
+        assert!(!g.try_charge(20));
+        assert!(g.try_charge(10));
+    }
+
+    #[test]
+    fn unlimited_budget_always_charges() {
+        let mut g = MonitorGovernor::new(None, None);
+        assert!(g.try_charge(usize::MAX));
+        assert!(g.try_charge(usize::MAX), "saturating, never overflows");
+    }
+
+    #[test]
+    fn deadline_latches() {
+        let mut g = MonitorGovernor::new(None, Some(10.0));
+        assert!(!g.deadline_exceeded(9.9));
+        assert!(!g.deadline_fired());
+        assert!(g.deadline_exceeded(10.1));
+        assert!(g.deadline_fired());
+        // Latched: an earlier timestamp from another operator still sees
+        // the deadline as fired.
+        assert!(g.deadline_exceeded(0.0));
+    }
+
+    #[test]
+    fn no_deadline_never_fires() {
+        let mut g = MonitorGovernor::new(Some(64), None);
+        assert!(!g.deadline_exceeded(f64::MAX));
+    }
+}

@@ -408,8 +408,12 @@ impl Operator for Fetch {
             ctx.pool.charge_rows(1);
 
             if let Some(ms) = &self.monitors {
+                // Each fetched row is a deadline checkpoint: the clock
+                // is simulated, so shedding is deterministic.
+                let elapsed = ctx.elapsed_ms();
                 for m in ms.borrow_mut().iter_mut() {
-                    if m.when == FetchObserveWhen::AllFetched {
+                    m.check_deadline(elapsed);
+                    if !m.shed && m.when == FetchObserveWhen::AllFetched {
                         m.counter.observe(rid.page.0);
                         ctx.pool.charge_hashes(1);
                     }
@@ -421,7 +425,7 @@ impl Operator for Fetch {
             if pass {
                 if let Some(ms) = &self.monitors {
                     for m in ms.borrow_mut().iter_mut() {
-                        if m.when == FetchObserveWhen::PassedResidual {
+                        if !m.shed && m.when == FetchObserveWhen::PassedResidual {
                             m.counter.observe(rid.page.0);
                             ctx.pool.charge_hashes(1);
                         }

@@ -13,6 +13,8 @@
 //!   through every operator,
 //! * [`monitor`] — monitor wiring: scan-side DPC monitors (exact /
 //!   page-sampled / semi-join filtered) and fetch-side linear counters,
+//! * [`governor`] — per-run monitor resource governance: memory budgets
+//!   charged per sketch and deadlines that shed monitors mid-run,
 //! * [`op`] — the `Operator` / `RidSource` traits and drivers,
 //! * [`scan`] — SE-side sequential & clustered-range scans,
 //! * [`index`] — SE-side index seek, RID intersection, and Fetch,
@@ -32,6 +34,7 @@
 pub mod agg;
 pub mod context;
 pub mod expr;
+pub mod governor;
 pub mod index;
 pub mod join;
 pub mod monitor;
@@ -41,5 +44,6 @@ pub mod sort;
 
 pub use context::ExecContext;
 pub use expr::{AtomicPredicate, CompareOp, Conjunction};
+pub use governor::{governor_handle, GovernorHandle, MonitorGovernor, ShedClass};
 pub use monitor::{FetchMonitor, FetchObserveWhen, ScanExprMonitor, ScanMonitorSet, SemiJoinSlot};
 pub use op::{drain, run_count, Operator, RidSource};

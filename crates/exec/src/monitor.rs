@@ -15,9 +15,12 @@
 //!   its build-side bit vector before the probe scan runs (Fig 5).
 
 use crate::expr::Conjunction;
+use crate::governor::{GovernorHandle, ShedClass};
 use pf_common::rng::Rng;
 use pf_common::DatumAccess;
-use pf_feedback::{BitVectorFilter, DpcMeasurement, FeedbackReport, LinearCounter, Mechanism};
+use pf_feedback::{
+    BitVectorFilter, DpcMeasurement, FeedbackReport, LinearCounter, Mechanism, Sketch,
+};
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::rc::Rc;
@@ -69,6 +72,7 @@ pub struct ScanExprMonitor {
     kind: ScanExprKind,
     satisfied_this_page: bool,
     count: u64,
+    shed: bool,
 }
 
 impl ScanExprMonitor {
@@ -92,6 +96,7 @@ impl ScanExprMonitor {
             },
             satisfied_this_page: false,
             count: 0,
+            shed: false,
         }
     }
 
@@ -103,6 +108,7 @@ impl ScanExprMonitor {
             kind: ScanExprKind::SemiJoin(slot),
             satisfied_this_page: false,
             count: 0,
+            shed: false,
         }
     }
 
@@ -174,6 +180,7 @@ pub struct ScanMonitorSet {
     rows_seen: u64,
     hash_ops: u64,
     skipped_pages: u64,
+    governor: Option<GovernorHandle>,
 }
 
 impl ScanMonitorSet {
@@ -191,13 +198,85 @@ impl ScanMonitorSet {
             rows_seen: 0,
             hash_ops: 0,
             skipped_pages: 0,
+            governor: None,
         }
     }
 
+    /// Attaches the run's resource governor; the set consults it for
+    /// deadline shedding at page boundaries.
+    pub fn set_governor(&mut self, governor: GovernorHandle) {
+        self.governor = Some(governor);
+    }
+
     /// Whether any monitored expression requires short-circuiting off on
-    /// sampled pages.
+    /// sampled pages. Shed expressions no longer observe, so they stop
+    /// forcing full evaluation.
     pub fn needs_full_eval(&self) -> bool {
-        self.exprs.iter().any(ScanExprMonitor::needs_full_eval)
+        self.exprs.iter().any(|e| !e.shed && e.needs_full_eval())
+    }
+
+    /// Memory cost and shed class of each monitored expression, in expr
+    /// order. `semi_join_bytes` is the size of the bit-vector filter a
+    /// semi-join expression will test (the planner knows the configured
+    /// filter size; the filter itself installs only after the build
+    /// phase).
+    pub fn expr_costs(&self, semi_join_bytes: usize) -> Vec<(usize, ShedClass)> {
+        self.exprs
+            .iter()
+            .map(|e| {
+                let base = std::mem::size_of::<ScanExprMonitor>();
+                match &e.kind {
+                    ScanExprKind::Atoms { indices, .. } => {
+                        let bytes = base + indices.len() * std::mem::size_of::<usize>();
+                        let class = if e.is_prefix() {
+                            ShedClass::Exact
+                        } else {
+                            ShedClass::PageSampled
+                        };
+                        (bytes, class)
+                    }
+                    ScanExprKind::SemiJoin(_) => (base + semi_join_bytes, ShedClass::SemiJoin),
+                }
+            })
+            .collect()
+    }
+
+    /// Sheds the expression at `idx`: it stops observing and its harvest
+    /// is marked `budget_shed`. Idempotent.
+    pub fn shed_expr(&mut self, idx: usize) {
+        if let Some(e) = self.exprs.get_mut(idx) {
+            e.shed = true;
+            e.satisfied_this_page = false;
+        }
+    }
+
+    /// Number of expressions currently shed.
+    pub fn shed_count(&self) -> usize {
+        self.exprs.iter().filter(|e| e.shed).count()
+    }
+
+    /// Consults the governor's deadline against the simulated clock;
+    /// once exceeded, sheds every still-live expression. Called by the
+    /// scan at page boundaries, so shedding lands at the same page on
+    /// every run regardless of worker count.
+    pub fn check_deadline(&mut self, elapsed_ms: f64) {
+        let Some(governor) = &self.governor else {
+            return;
+        };
+        if !governor.borrow_mut().deadline_exceeded(elapsed_ms) {
+            return;
+        }
+        let mut newly_shed = 0;
+        for e in &mut self.exprs {
+            if !e.shed {
+                e.shed = true;
+                e.satisfied_this_page = false;
+                newly_shed += 1;
+            }
+        }
+        if newly_shed > 0 {
+            governor.borrow_mut().note_shed(newly_shed);
+        }
     }
 
     /// Starts a new page; returns whether this page is sampled (the scan
@@ -252,7 +331,7 @@ impl ScanMonitorSet {
         let sampled = self.page_sampled;
         self.rows_seen += 1;
         for e in &mut self.exprs {
-            if e.satisfied_this_page {
+            if e.satisfied_this_page || e.shed {
                 continue;
             }
             match &e.kind {
@@ -397,6 +476,7 @@ impl ScanMonitorSet {
                 mechanism,
                 degraded: self.skipped_pages > 0,
                 skipped_pages: self.skipped_pages,
+                budget_shed: e.shed,
             });
         }
     }
@@ -435,6 +515,10 @@ pub struct FetchMonitor {
     pub when: FetchObserveWhen,
     /// The probabilistic counter.
     pub counter: LinearCounter,
+    /// `true` once the governor shed this monitor: it stops observing
+    /// and its harvest is marked `budget_shed`.
+    pub shed: bool,
+    governor: Option<GovernorHandle>,
 }
 
 impl FetchMonitor {
@@ -451,6 +535,35 @@ impl FetchMonitor {
             estimated,
             when,
             counter: LinearCounter::for_table(table_pages, seed),
+            shed: false,
+            governor: None,
+        }
+    }
+
+    /// Attaches the run's resource governor for deadline shedding.
+    pub fn set_governor(&mut self, governor: GovernorHandle) {
+        self.governor = Some(governor);
+    }
+
+    /// Memory this monitor holds — dominated by the linear counter's
+    /// bitmap (one bit per table page).
+    pub fn approx_bytes(&self) -> usize {
+        self.counter.approx_bytes() + self.label.capacity()
+    }
+
+    /// Consults the governor's deadline; once exceeded, sheds this
+    /// monitor. Called by the Fetch operator between fetched rows.
+    pub fn check_deadline(&mut self, elapsed_ms: f64) {
+        if self.shed {
+            return;
+        }
+        let Some(governor) = &self.governor else {
+            return;
+        };
+        let mut g = governor.borrow_mut();
+        if g.deadline_exceeded(elapsed_ms) {
+            self.shed = true;
+            g.note_shed(1);
         }
     }
 
@@ -471,6 +584,7 @@ impl FetchMonitor {
             mechanism: Mechanism::LinearCounting,
             degraded: self.counter.is_degraded(),
             skipped_pages: self.counter.skipped_pages(),
+            budget_shed: self.shed,
         });
     }
 }
@@ -688,6 +802,112 @@ mod tests {
         let a = rep.measurements[0].actual;
         assert!((90.0..110.0).contains(&a), "estimate {a}");
         assert_eq!(rep.measurements[0].estimated, Some(5.0));
+    }
+
+    #[test]
+    fn shed_exprs_stop_counting_and_mark_harvest() {
+        let s = schema();
+        let c = conj(&s);
+        let row = Row::new(vec![Datum::Int(0), Datum::Int(0)]);
+        let mut set = ScanMonitorSet::new(
+            vec![
+                ScanExprMonitor::atoms(&c, vec![0], None),
+                ScanExprMonitor::atoms(&c, vec![1], None),
+            ],
+            1.0,
+            1,
+        );
+        assert!(set.needs_full_eval());
+        set.start_page();
+        set.observe_row(&[Some(true), Some(true)], &row);
+        // Shed the non-prefix expression mid-run.
+        set.shed_expr(1);
+        assert_eq!(set.shed_count(), 1);
+        assert!(!set.needs_full_eval(), "shed expr stops forcing full eval");
+        set.start_page();
+        set.observe_row(&[Some(true), Some(true)], &row);
+        let mut rep = FeedbackReport::new();
+        set.harvest("t", &mut rep);
+        assert_eq!(rep.measurements[0].actual, 2.0);
+        assert!(!rep.measurements[0].budget_shed);
+        // The shed expr counted only the pre-shed page... but its page-1
+        // satisfaction was cleared at shed time, so it kept nothing.
+        assert!(rep.measurements[1].budget_shed);
+        assert!(rep.is_budget_shed());
+        assert!(rep.measurements[1].actual <= 1.0);
+    }
+
+    #[test]
+    fn deadline_sheds_every_live_expr() {
+        use crate::governor::governor_handle;
+        let s = schema();
+        let c = conj(&s);
+        let row = Row::new(vec![Datum::Int(0), Datum::Int(0)]);
+        let mut set = ScanMonitorSet::new(
+            vec![
+                ScanExprMonitor::atoms(&c, vec![0], None),
+                ScanExprMonitor::atoms(&c, vec![1], None),
+            ],
+            1.0,
+            1,
+        );
+        let gov = governor_handle(None, Some(5.0));
+        set.set_governor(Rc::clone(&gov));
+        set.check_deadline(4.0);
+        assert_eq!(set.shed_count(), 0, "before the deadline nothing sheds");
+        set.start_page();
+        set.observe_row(&[Some(true), Some(true)], &row);
+        set.check_deadline(5.5);
+        assert_eq!(set.shed_count(), 2);
+        assert_eq!(gov.borrow().shed_monitors(), 2);
+        assert!(gov.borrow().deadline_fired());
+        let mut rep = FeedbackReport::new();
+        set.harvest("t", &mut rep);
+        assert!(rep.measurements.iter().all(|m| m.budget_shed));
+    }
+
+    #[test]
+    fn expr_costs_classify_monitors() {
+        use crate::governor::ShedClass;
+        let s = schema();
+        let c = conj(&s);
+        let set = ScanMonitorSet::new(
+            vec![
+                ScanExprMonitor::atoms(&c, vec![0], None),
+                ScanExprMonitor::atoms(&c, vec![1], None),
+                ScanExprMonitor::semi_join("j", semi_join_slot(0), None),
+            ],
+            1.0,
+            1,
+        );
+        let costs = set.expr_costs(4096 / 8);
+        assert_eq!(costs[0].1, ShedClass::Exact);
+        assert_eq!(costs[1].1, ShedClass::PageSampled);
+        assert_eq!(costs[2].1, ShedClass::SemiJoin);
+        assert!(
+            costs[2].0 >= 4096 / 8 && costs[2].0 > costs[1].0,
+            "semi-join carries the filter bytes"
+        );
+    }
+
+    #[test]
+    fn fetch_monitor_sheds_on_deadline_and_stays_shed() {
+        use crate::governor::governor_handle;
+        let mut m = FetchMonitor::new("a<10", FetchObserveWhen::AllFetched, 100, None, 3);
+        assert!(m.approx_bytes() > 0);
+        let gov = governor_handle(None, Some(2.0));
+        m.set_governor(Rc::clone(&gov));
+        m.check_deadline(1.0);
+        assert!(!m.shed);
+        m.check_deadline(3.0);
+        assert!(m.shed);
+        assert_eq!(gov.borrow().shed_monitors(), 1);
+        // Re-checking must not double-count the shed.
+        m.check_deadline(4.0);
+        assert_eq!(gov.borrow().shed_monitors(), 1);
+        let mut rep = FeedbackReport::new();
+        m.harvest("t", &mut rep);
+        assert!(rep.measurements[0].budget_shed);
     }
 
     #[test]

@@ -175,9 +175,14 @@ impl SeqScan {
         // Monitoring setup for this page (Fig 4, steps 3–4). In
         // deferred mode the page is announced when its first row is
         // delivered instead.
+        let elapsed = ctx.elapsed_ms();
         let (_sampled, full_eval) = match &self.monitors {
             Some(m) if !self.deferred_monitoring => {
                 let mut m = m.borrow_mut();
+                // Page boundaries are the deadline checkpoints: the
+                // simulated clock is deterministic, so shedding lands on
+                // the same page in every run.
+                m.check_deadline(elapsed);
                 let sampled = m.start_page();
                 (sampled, sampled && m.needs_full_eval())
             }
@@ -255,6 +260,7 @@ impl SeqScan {
         if let Some(m) = &self.monitors {
             let mut m = m.borrow_mut();
             if self.last_delivered_page != Some(pid) {
+                m.check_deadline(ctx.elapsed_ms());
                 m.start_page();
                 self.last_delivered_page = Some(pid);
             }

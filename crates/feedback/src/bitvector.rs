@@ -141,6 +141,12 @@ impl BitVectorFilter {
     }
 }
 
+impl crate::sketch::Sketch for BitVectorFilter {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

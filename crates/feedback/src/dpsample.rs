@@ -168,6 +168,13 @@ impl DpSampler {
     }
 }
 
+impl crate::sketch::Sketch for DpSampler {
+    fn approx_bytes(&self) -> usize {
+        // No heap collections: the RNG state and counters are inline.
+        std::mem::size_of::<Self>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,12 @@ impl FmSketch {
     }
 }
 
+impl crate::sketch::Sketch for FmSketch {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bitmaps.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,6 +105,13 @@ impl GroupedPageCounter {
     }
 }
 
+impl crate::sketch::Sketch for GroupedPageCounter {
+    fn approx_bytes(&self) -> usize {
+        // No heap collections: one flag and a handful of counters.
+        std::mem::size_of::<Self>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

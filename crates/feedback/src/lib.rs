@@ -37,6 +37,7 @@ pub mod fm_sketch;
 pub mod grouped_counter;
 pub mod linear_counter;
 pub mod report;
+pub mod sketch;
 
 pub use bitvector::BitVectorFilter;
 pub use clustering_ratio::{clustering_ratio, ClusteringObservation};
@@ -45,3 +46,4 @@ pub use fm_sketch::FmSketch;
 pub use grouped_counter::GroupedPageCounter;
 pub use linear_counter::LinearCounter;
 pub use report::{DpcMeasurement, FeedbackReport, Mechanism};
+pub use sketch::Sketch;

@@ -149,6 +149,12 @@ impl LinearCounter {
     }
 }
 
+impl crate::sketch::Sketch for LinearCounter {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,10 @@ pub struct DpcMeasurement {
     pub degraded: bool,
     /// How many pages were skipped (0 unless `degraded`).
     pub skipped_pages: u64,
+    /// `true` when the monitor governor shed this monitor before the
+    /// run finished (memory budget or deadline exceeded): the actual is
+    /// a partial count and must not be fed back to the optimizer.
+    pub budget_shed: bool,
 }
 
 impl DpcMeasurement {
@@ -119,6 +123,16 @@ impl FeedbackReport {
         self.measurements.iter().filter(|m| m.degraded)
     }
 
+    /// Whether any monitor was shed by the governor mid-run.
+    pub fn is_budget_shed(&self) -> bool {
+        self.measurements.iter().any(|m| m.budget_shed)
+    }
+
+    /// Measurements whose monitors were shed by the governor.
+    pub fn budget_shed(&self) -> impl Iterator<Item = &DpcMeasurement> {
+        self.measurements.iter().filter(|m| m.budget_shed)
+    }
+
     /// Merges another report's measurements into this one.
     pub fn extend(&mut self, other: FeedbackReport) {
         self.measurements.extend(other.measurements);
@@ -141,6 +155,9 @@ impl fmt::Display for FeedbackReport {
             if m.degraded {
                 write!(f, " Degraded=\"true\" SkippedPages=\"{}\"", m.skipped_pages)?;
             }
+            if m.budget_shed {
+                write!(f, " BudgetShed=\"true\"")?;
+            }
             writeln!(f, " />")?;
         }
         write!(f, "</ShowPlanStatistics>")
@@ -160,7 +177,23 @@ mod tests {
             mechanism: Mechanism::ExactScan,
             degraded: false,
             skipped_pages: 0,
+            budget_shed: false,
         }
+    }
+
+    #[test]
+    fn budget_shed_measurements_are_labelled() {
+        let mut r = FeedbackReport::new();
+        r.push(m("kept", Some(10.0), 12.0));
+        let mut shed = m("shed", Some(10.0), 2.0);
+        shed.budget_shed = true;
+        r.push(shed);
+        assert!(r.is_budget_shed());
+        assert_eq!(r.budget_shed().count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("BudgetShed=\"true\""));
+        let kept_line = text.lines().find(|l| l.contains("kept")).unwrap();
+        assert!(!kept_line.contains("BudgetShed"));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`plan`] — physical plan descriptions,
 //! * [`optimizer`] — enumeration and choice.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod cardinality;
 pub mod cost;
 pub mod dpc_histogram;
@@ -30,7 +32,10 @@ pub mod stats;
 pub use cardinality::CardinalityEstimator;
 pub use cost::CostModel;
 pub use dpc_histogram::DpcHistogram;
-pub use hints::{join_dpc_key, join_expr_key, HintSet};
+pub use hints::{
+    join_dpc_key, join_expr_key, DpcHint, EpochStamp, HintSet, StalenessDecision, StalenessPolicy,
+    TableEpochState,
+};
 pub use optimizer::Optimizer;
 pub use plan::{AccessPath, JoinMethod, JoinPlan, JoinSpec, SingleTablePlan};
 pub use stats::{ColumnStats, DbStats};

@@ -156,7 +156,25 @@ impl Catalog {
         let meta = self.table(table)?;
         let col = meta.schema().index_of(column)?;
         let storage = Arc::clone(&meta.storage);
+        let (tree, leaf_pages, height) = Self::build_index_tree(&storage, col)?;
 
+        let id = IndexId(self.indexes.len() as u32);
+        self.indexes.push(IndexMeta {
+            id,
+            name,
+            table,
+            key_column: col,
+            tree: Arc::new(tree),
+            leaf_pages,
+            height,
+        });
+        Ok(id)
+    }
+
+    /// Builds the B+-tree (and its leaf-page/height estimates) for an
+    /// index keyed on column ordinal `col` of `storage`. Shared by
+    /// initial index creation and post-DML rebuilds.
+    fn build_index_tree(storage: &TableStorage, col: usize) -> Result<(BPlusTree, u32, u32)> {
         let mut tree = BPlusTree::new();
         let mut key_bytes_total = 0usize;
         for rid in storage.all_rids() {
@@ -172,18 +190,62 @@ impl Catalog {
         let leaf_pages =
             ((leaf_bytes as f64 / (DEFAULT_PAGE_SIZE as f64 * 0.7)).ceil() as u32).max(1);
         let height = tree.height();
+        Ok((tree, leaf_pages, height))
+    }
 
-        let id = IndexId(self.indexes.len() as u32);
-        self.indexes.push(IndexMeta {
-            id,
-            name,
-            table,
-            key_column: col,
-            tree: Arc::new(tree),
-            leaf_pages,
-            height,
-        });
-        Ok(id)
+    /// Applies `mutate` to the storage of `table` — the single entry
+    /// point for DML. Requires exclusive ownership of the storage (no
+    /// concurrent query or index build may hold a reference), then
+    /// refreshes the table's statistics and rebuilds every index on the
+    /// table (DML rewrites pages, so RIDs shift).
+    fn mutate_table<R>(
+        &mut self,
+        table: TableId,
+        mutate: impl FnOnce(&mut TableStorage) -> Result<R>,
+    ) -> Result<R> {
+        let meta = self
+            .tables
+            .get_mut(table.0 as usize)
+            .ok_or_else(|| Error::UnknownTable(format!("{table}")))?;
+        let storage = Arc::get_mut(&mut meta.storage).ok_or_else(|| {
+            Error::InvalidArgument(format!(
+                "cannot mutate table {} while it is in use",
+                meta.name
+            ))
+        })?;
+        let out = mutate(storage)?;
+        meta.stats = TableStats {
+            rows: storage.row_count(),
+            pages: storage.page_count(),
+            rows_per_page: storage.avg_rows_per_page(),
+        };
+        // Rebuild the indexes over the rewritten storage.
+        let storage = Arc::clone(&self.tables[table.0 as usize].storage);
+        for ix in self.indexes.iter_mut().filter(|i| i.table == table) {
+            let (tree, leaf_pages, height) = Self::build_index_tree(&storage, ix.key_column)?;
+            ix.tree = Arc::new(tree);
+            ix.leaf_pages = leaf_pages;
+            ix.height = height;
+        }
+        Ok(out)
+    }
+
+    /// Inserts `row` into `table`, keeping stats and indexes consistent.
+    pub fn insert_row(&mut self, table: TableId, row: Row) -> Result<()> {
+        self.mutate_table(table, |s| s.insert_row(row))
+    }
+
+    /// Deletes every row of `table` matching `pred`; returns the count.
+    pub fn delete_where<F>(&mut self, table: TableId, pred: F) -> Result<u64>
+    where
+        F: FnMut(&Row) -> bool,
+    {
+        self.mutate_table(table, |s| s.delete_where(pred))
+    }
+
+    /// The modification state of `table` (epoch, dirty pages, pages).
+    pub fn epoch_state(&self, table: TableId) -> Result<crate::table::EpochState> {
+        Ok(self.table(table)?.storage.epoch_state())
     }
 
     /// Table metadata by id.
@@ -463,6 +525,80 @@ mod tests {
             cat.create_index("a", id, "perm").is_err(),
             "duplicate index name"
         );
+    }
+
+    #[test]
+    fn dml_refreshes_stats_and_rebuilds_indexes() {
+        let mut cat = Catalog::new();
+        let id = TableBuilder::new("t", schema())
+            .rows(sample_rows(500))
+            .clustered_on("id")
+            .page_size(1024)
+            .register(&mut cat)
+            .expect("register test table");
+        let ix = cat
+            .create_index("ix_perm", id, "perm")
+            .expect("index over known column");
+
+        let deleted = cat
+            .delete_where(id, |r| r.get(0).as_int().unwrap_or(0) < 100)
+            .expect("delete succeeds");
+        assert_eq!(deleted, 100);
+        let meta = cat.table(id).expect("table exists");
+        assert_eq!(meta.stats.rows, 400, "stats refresh after delete");
+        assert_eq!(meta.stats.pages, meta.storage.page_count());
+        let state = cat.epoch_state(id).expect("table exists");
+        assert_eq!(state.epoch, 1);
+        assert!(state.dirty_pages > 0);
+
+        // The index was rebuilt: entry count matches, and every RID it
+        // holds points at a row with the indexed key.
+        let ixm = cat.index(ix).expect("index exists");
+        assert_eq!(ixm.tree.entry_count(), 400);
+        let table = cat.table(id).expect("table exists");
+        for k in 0..500 {
+            if let Some(rids) = ixm.tree.get(&Datum::Int((k * 7) % 500)) {
+                for rid in rids {
+                    let row = table
+                        .storage
+                        .read_row(*rid)
+                        .expect("rid valid post-rebuild");
+                    assert_eq!(row.get(1), &Datum::Int((k * 7) % 500));
+                }
+            }
+        }
+
+        cat.insert_row(
+            id,
+            Row::new(vec![Datum::Int(42), Datum::Int(7), Datum::Str("CA".into())]),
+        )
+        .expect("insert succeeds");
+        assert_eq!(cat.table(id).expect("table exists").stats.rows, 401);
+        assert_eq!(cat.index(ix).expect("index exists").tree.entry_count(), 401);
+        assert_eq!(cat.epoch_state(id).expect("table exists").epoch, 2);
+    }
+
+    #[test]
+    fn dml_refused_while_storage_is_shared() {
+        let mut cat = Catalog::new();
+        let id = TableBuilder::new("t", schema())
+            .rows(sample_rows(20))
+            .register(&mut cat)
+            .expect("register test table");
+        let hold = Arc::clone(&cat.table(id).expect("table exists").storage);
+        assert!(cat
+            .insert_row(
+                id,
+                Row::new(vec![Datum::Int(1), Datum::Int(1), Datum::Str("CA".into())]),
+            )
+            .is_err());
+        drop(hold);
+        assert!(cat
+            .insert_row(
+                id,
+                Row::new(vec![Datum::Int(1), Datum::Int(1), Datum::Str("CA".into())]),
+            )
+            .is_ok());
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use catalog::{Catalog, IndexMeta, TableBuilder, TableMeta, TableStats};
 pub use disk::DiskModel;
 pub use fault::{FaultKind, FaultPlan, FAULT_RATE_ENV, FAULT_SEED_ENV};
 pub use page::{crc32, Page, DEFAULT_PAGE_SIZE};
-pub use table::TableStorage;
+pub use table::{EpochState, TableStorage};
 pub use view::{PageCursor, RowLayout, RowView};

@@ -44,6 +44,28 @@ pub struct TableStorage {
     /// (index builds, oracle counts) sees the true data; only the
     /// *checked* read path — what query execution uses — sees damage.
     injected: HashMap<u32, Page>,
+    /// Modification epoch: 0 at bulk load, bumped by every DML statement
+    /// ([`TableStorage::insert_row`] / [`TableStorage::delete_where`]).
+    /// Execution feedback is stamped with the epoch it was measured at,
+    /// so the optimizer can tell fresh measurements from stale ones.
+    epoch: u64,
+    /// Cumulative count of pages rewritten by DML since bulk load. The
+    /// staleness policy compares a measurement's stamp against this to
+    /// estimate what fraction of the table drifted underneath it.
+    dirty_pages: u64,
+}
+
+/// A table's modification state at a point in time, as seen by the
+/// feedback staleness policy: which epoch it is at, how many pages DML
+/// has rewritten since load, and how many pages it currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochState {
+    /// Current modification epoch (0 = untouched since bulk load).
+    pub epoch: u64,
+    /// Cumulative pages rewritten by DML since bulk load.
+    pub dirty_pages: u64,
+    /// Current page count.
+    pub pages: u32,
 }
 
 impl TableStorage {
@@ -138,6 +160,8 @@ impl TableStorage {
             table_id: TableId(0),
             fault_plan: None,
             injected: HashMap::new(),
+            epoch: 0,
+            dirty_pages: 0,
         })
     }
 
@@ -214,17 +238,195 @@ impl TableStorage {
     pub fn attach_fault_plan(&mut self, table: TableId, plan: Option<FaultPlan>) {
         self.table_id = table;
         self.fault_plan = plan;
+        self.rematerialize_faults();
+    }
+
+    /// Rebuilds the injected-damage map from the current fault plan over
+    /// the current page set. DML rewrites pages, so the damaged copies
+    /// must be re-derived — the plan is a pure function of
+    /// `(seed, table, page)`, so the same sites fault after a rewrite.
+    fn rematerialize_faults(&mut self) {
         self.injected.clear();
-        let Some(plan) = plan else { return };
+        let Some(plan) = self.fault_plan else { return };
         for pid in 0..self.pages.len() as u32 {
-            if let Some(kind) = plan.fault_for(table, PageId(pid)) {
+            if let Some(kind) = plan.fault_for(self.table_id, PageId(pid)) {
                 if kind.corrupts() {
                     let mut damaged = self.pages[pid as usize].clone();
-                    damaged.inject_fault(kind, plan.entropy_for(table, PageId(pid)));
+                    damaged.inject_fault(kind, plan.entropy_for(self.table_id, PageId(pid)));
                     self.injected.insert(pid, damaged);
                 }
             }
         }
+    }
+
+    /// Current modification epoch (0 = untouched since bulk load).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative count of pages rewritten by DML since bulk load.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty_pages
+    }
+
+    /// The table's modification state, for feedback staleness decisions.
+    pub fn epoch_state(&self) -> EpochState {
+        EpochState {
+            epoch: self.epoch,
+            dirty_pages: self.dirty_pages,
+            pages: self.pages.len() as u32,
+        }
+    }
+
+    /// Packs `rows` into freshly sealed pages using the table's page
+    /// size and fill factor, returning the pages and (for clustered
+    /// tables) the first clustering key of each page.
+    fn pack_rows(&self, rows: &[Row]) -> Result<(Vec<Page>, Vec<Datum>)> {
+        let page_size = self.page_size();
+        let budget = (page_size as f64 * self.fill_factor) as usize;
+        let mut pages = Vec::new();
+        let mut keys = Vec::new();
+        let mut current = Page::new(page_size);
+        for row in rows {
+            let used = page_size - current.free_space();
+            let needs = crate::codec::encoded_size(row) + 2;
+            if current.slot_count() > 0
+                && (used + needs > budget || !current.fits(crate::codec::encoded_size(row)))
+            {
+                current.seal();
+                pages.push(current);
+                current = Page::new(page_size);
+            }
+            if current.slot_count() == 0 {
+                if let Some(col) = self.clustering_column {
+                    keys.push(row.get(col).clone());
+                }
+            }
+            current.insert(&self.schema, row)?;
+        }
+        if current.slot_count() > 0 {
+            current.seal();
+            pages.push(current);
+        }
+        Ok((pages, keys))
+    }
+
+    /// Inserts one row, preserving the physical invariants bulk load
+    /// established: clustered tables keep the row sorted into the page
+    /// bracketing its key (splitting the page when it overflows), heaps
+    /// append to the tail. Every rewritten page is re-sealed with a
+    /// fresh CRC, the sparse index is respliced, injected fault copies
+    /// are re-derived, and the modification epoch advances.
+    pub fn insert_row(&mut self, row: Row) -> Result<()> {
+        // Validate the row against the schema up front (and learn its
+        // encoded size) so a malformed row cannot half-apply.
+        let mut scratch = Vec::new();
+        crate::codec::encode_row(&self.schema, &row, &mut scratch)?;
+        if !Page::new(self.page_size()).fits(scratch.len()) {
+            return Err(Error::RowTooLarge {
+                row_bytes: scratch.len() + 2,
+                page_capacity: Page::new(self.page_size()).free_space(),
+            });
+        }
+        if let Some(col) = self.clustering_column {
+            if let Some(first) = self.sparse_index.first() {
+                if first.cmp_same_type(row.get(col)).is_none() {
+                    return Err(Error::SchemaMismatch(
+                        "insert key type differs from clustering key".into(),
+                    ));
+                }
+            }
+        }
+
+        if self.pages.is_empty() {
+            let (pages, keys) = self.pack_rows(std::slice::from_ref(&row))?;
+            self.dirty_pages += pages.len() as u64;
+            self.pages = pages;
+            self.sparse_index = keys;
+            self.row_count += 1;
+            self.epoch += 1;
+            self.rematerialize_faults();
+            return Ok(());
+        }
+
+        let cmp = |a: &Datum, b: &Datum| a.cmp_same_type(b).unwrap_or(std::cmp::Ordering::Equal);
+        // The page this row belongs on: for clustered tables the last
+        // page whose first key is ≤ the new key (mirroring
+        // `locate_range`), for heaps the tail page.
+        let target = match self.clustering_column {
+            Some(col) => self
+                .sparse_index
+                .partition_point(|k| cmp(k, row.get(col)) != std::cmp::Ordering::Greater)
+                .saturating_sub(1),
+            None => self.pages.len() - 1,
+        };
+
+        let mut rows = self.pages[target].read_all(&self.schema)?;
+        let pos = match self.clustering_column {
+            Some(col) => rows
+                .partition_point(|r| cmp(r.get(col), row.get(col)) != std::cmp::Ordering::Greater),
+            None => rows.len(),
+        };
+        rows.insert(pos, row);
+
+        let (new_pages, new_keys) = self.pack_rows(&rows)?;
+        self.dirty_pages += new_pages.len() as u64;
+        self.pages.splice(target..=target, new_pages);
+        if self.clustering_column.is_some() {
+            self.sparse_index.splice(target..=target, new_keys);
+        }
+        self.row_count += 1;
+        self.epoch += 1;
+        self.rematerialize_faults();
+        Ok(())
+    }
+
+    /// Deletes every row matching `pred`, rewriting (and re-sealing)
+    /// only the pages that held a match and dropping pages left empty.
+    /// Returns the number of rows deleted; the epoch advances only if
+    /// at least one row was deleted.
+    pub fn delete_where<F>(&mut self, mut pred: F) -> Result<u64>
+    where
+        F: FnMut(&Row) -> bool,
+    {
+        let mut new_pages = Vec::with_capacity(self.pages.len());
+        let mut new_keys = Vec::new();
+        let mut deleted = 0u64;
+        let mut touched = 0u64;
+        for page in &self.pages {
+            let rows = page.read_all(&self.schema)?;
+            let before = rows.len();
+            let kept: Vec<Row> = rows.into_iter().filter(|r| !pred(r)).collect();
+            if kept.len() == before {
+                if let Some(col) = self.clustering_column {
+                    if let Some(first) = kept.first() {
+                        new_keys.push(first.get(col).clone());
+                    }
+                }
+                new_pages.push(page.clone());
+                continue;
+            }
+            deleted += (before - kept.len()) as u64;
+            touched += 1;
+            if kept.is_empty() {
+                continue; // page drops out entirely
+            }
+            let (packed, keys) = self.pack_rows(&kept)?;
+            new_pages.extend(packed);
+            new_keys.extend(keys);
+        }
+        if deleted == 0 {
+            return Ok(0);
+        }
+        self.pages = new_pages;
+        if self.clustering_column.is_some() {
+            self.sparse_index = new_keys;
+        }
+        self.row_count -= deleted;
+        self.dirty_pages += touched;
+        self.epoch += 1;
+        self.rematerialize_faults();
+        Ok(deleted)
     }
 
     /// The fault plan this table was registered under, if any.
@@ -618,6 +820,204 @@ mod tests {
         for p in 0..t.page_count() {
             assert!(t.checked_page(PageId(p), 0, false).is_ok());
         }
+    }
+
+    #[test]
+    fn insert_preserves_clustered_order_and_bumps_epoch() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(500, 30), Some(0), 1024, 1.0)
+            .expect("bulk load test table");
+        assert_eq!(t.epoch(), 0);
+        assert_eq!(t.dirty_pages(), 0);
+        // Insert keys that land in the middle, at the front, and past
+        // the end of the key space.
+        for (i, k) in [250, -5, 10_000, 123, 123].iter().enumerate() {
+            t.insert_row(Row::new(vec![Datum::Int(*k), Datum::Str("new".into())]))
+                .expect("insert fits");
+            assert_eq!(t.epoch(), i as u64 + 1, "each insert bumps the epoch");
+        }
+        assert!(t.dirty_pages() >= 5, "each insert rewrites >= 1 page");
+        assert_eq!(t.row_count(), 505);
+        // Physical order must still be globally sorted, and every page
+        // must carry a valid seal.
+        let mut seen = Vec::new();
+        for p in 0..t.page_count() {
+            assert!(t.page(PageId(p)).expect("page").checksum_ok());
+            for r in t.rows_on_page(PageId(p)).expect("page id within table") {
+                seen.push(r.get(0).as_int().expect("int column"));
+            }
+        }
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted, "clustered order survives inserts");
+        assert_eq!(seen.len(), 505);
+        // The sparse index still brackets seeks correctly.
+        let (lo, hi) = t
+            .locate_range(Some(&Datum::Int(123)), Some(&Datum::Int(123)))
+            .expect("range over ints");
+        let mut found = 0;
+        for p in lo..hi {
+            found += t
+                .rows_on_page(PageId(p))
+                .expect("page id within table")
+                .iter()
+                .filter(|r| r.get(0) == &Datum::Int(123))
+                .count();
+        }
+        assert_eq!(found, 3, "original key 123 plus two inserted duplicates");
+    }
+
+    #[test]
+    fn insert_splits_full_page() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(200, 30), Some(0), 512, 1.0)
+            .expect("bulk load test table");
+        let before = t.page_count();
+        // Pages were loaded at fill factor 1.0, so inserting into one
+        // must overflow it into a split somewhere along the way.
+        for k in 0..20 {
+            t.insert_row(Row::new(vec![
+                Datum::Int(k * 10),
+                Datum::Str("x".repeat(30)),
+            ]))
+            .expect("insert fits");
+        }
+        assert!(t.page_count() > before, "splits must add pages");
+        assert_eq!(t.row_count(), 220);
+    }
+
+    #[test]
+    fn insert_into_heap_appends() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(50, 10), None, 512, 1.0)
+            .expect("bulk load test table");
+        t.insert_row(Row::new(vec![Datum::Int(-999), Datum::Str("tail".into())]))
+            .expect("insert fits");
+        let last = t
+            .rows_on_page(PageId(t.page_count() - 1))
+            .expect("last page");
+        assert_eq!(
+            last.last().expect("nonempty page").get(0),
+            &Datum::Int(-999),
+            "heap insert appends at the physical tail"
+        );
+    }
+
+    #[test]
+    fn insert_into_empty_table() {
+        let mut t =
+            TableStorage::load_default(schema(), &[], Some(0)).expect("empty load succeeds");
+        t.insert_row(Row::new(vec![Datum::Int(7), Datum::Str("only".into())]))
+            .expect("insert fits");
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.page_count(), 1);
+        let (lo, hi) = t
+            .locate_range(Some(&Datum::Int(7)), Some(&Datum::Int(7)))
+            .expect("range over ints");
+        assert_eq!((lo, hi), (0, 1));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_key_type() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(10, 4), Some(0), 1024, 1.0)
+            .expect("bulk load test table");
+        let bad = Row::new(vec![
+            Datum::Str("not-an-int".into()),
+            Datum::Str("p".into()),
+        ]);
+        assert!(t.insert_row(bad).is_err());
+        assert_eq!(t.epoch(), 0, "failed insert must not bump the epoch");
+    }
+
+    #[test]
+    fn delete_where_rewrites_matching_pages_only() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(500, 30), Some(0), 1024, 1.0)
+            .expect("bulk load test table");
+        let pages_before = t.page_count();
+        let deleted = t
+            .delete_where(|r| {
+                let k = r.get(0).as_int().unwrap_or(0);
+                (100..200).contains(&k)
+            })
+            .expect("delete succeeds");
+        assert_eq!(deleted, 100);
+        assert_eq!(t.row_count(), 400);
+        assert_eq!(t.epoch(), 1);
+        assert!(t.dirty_pages() > 0);
+        assert!(
+            t.dirty_pages() < u64::from(pages_before),
+            "untouched pages stay"
+        );
+        for p in 0..t.page_count() {
+            assert!(t.page(PageId(p)).expect("page").checksum_ok());
+            for r in t.rows_on_page(PageId(p)).expect("page id within table") {
+                let k = r.get(0).as_int().expect("int column");
+                assert!(!(100..200).contains(&k), "deleted key {k} survived");
+            }
+        }
+        // Seeks still work over the respliced sparse index.
+        let (lo, hi) = t
+            .locate_range(Some(&Datum::Int(300)), Some(&Datum::Int(310)))
+            .expect("range over ints");
+        let mut found = 0;
+        for p in lo..hi {
+            found += t
+                .rows_on_page(PageId(p))
+                .expect("page id within table")
+                .iter()
+                .filter(|r| (300..=310).contains(&r.get(0).as_int().expect("int column")))
+                .count();
+        }
+        assert_eq!(found, 11);
+    }
+
+    #[test]
+    fn delete_everything_empties_the_table() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(100, 10), Some(0), 512, 1.0)
+            .expect("bulk load test table");
+        assert_eq!(t.delete_where(|_| true).expect("delete succeeds"), 100);
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.page_count(), 0);
+        assert_eq!(
+            t.locate_range(Some(&Datum::Int(5)), None)
+                .expect("range on empty table"),
+            (0, 0)
+        );
+    }
+
+    #[test]
+    fn delete_matching_nothing_keeps_epoch() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(100, 10), Some(0), 512, 1.0)
+            .expect("bulk load test table");
+        assert_eq!(t.delete_where(|_| false).expect("delete succeeds"), 0);
+        assert_eq!(t.epoch(), 0);
+        assert_eq!(t.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn dml_rematerializes_fault_damage() {
+        let mut t = TableStorage::bulk_load(schema(), &rows(2000, 30), Some(0), 1024, 1.0)
+            .expect("bulk load test table");
+        let plan = FaultPlan::new(0xD31, 0.5).expect("valid plan");
+        t.attach_fault_plan(TableId(2), Some(plan));
+        let before = t.injected_fault_count();
+        assert!(before > 0);
+        t.delete_where(|r| r.get(0).as_int().unwrap_or(0) % 2 == 0)
+            .expect("delete succeeds");
+        // The damage set is re-derived over the rewritten (smaller)
+        // page set: every injected copy matches a live page, and the
+        // checked read path still reports the damage.
+        let live = t.page_count();
+        let mut caught = 0;
+        for p in 0..live {
+            // Oracle stays pristine.
+            assert!(t.page(PageId(p)).expect("pristine page").checksum_ok());
+            if matches!(
+                t.checked_page(PageId(p), 0, true),
+                Err(Error::ChecksumMismatch { .. })
+            ) {
+                caught += 1;
+            }
+        }
+        assert_eq!(caught, t.injected_fault_count());
+        assert!(caught > 0, "rate-0.5 plan must damage some live page");
     }
 
     #[test]
