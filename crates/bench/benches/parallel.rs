@@ -1,18 +1,31 @@
 //! Wall-clock throughput of the parallel workload driver: the same
 //! monitored query batch executed at 1/2/4/8 workers over one shared
-//! read-only storage snapshot. Emits `BENCH_parallel_driver.json`
-//! (queries/sec per worker count) for the CI trend line.
+//! read-only storage snapshot, repeated for several rounds so the
+//! steady state (persistent pool warm, plan cache populated, scratch
+//! contexts grown) dominates. Emits `BENCH_parallel_driver.json` with
+//! per-job-count throughput, speedup, worker contention counters, and
+//! plan-cache effectiveness for the CI trend line.
 //!
-//! Run with `cargo bench --bench parallel`.
+//! Run with `cargo bench --bench parallel`. Knobs:
+//!
+//! * `PF_BENCH_QUICK=1` — small workload / fewer rounds, for CI smoke.
+//! * `PF_BENCH_ENFORCE=1` — exit non-zero if jobs=8 throughput falls
+//!   below jobs=1 (the negative-scaling regression gate). Off by
+//!   default because single-core hosts cannot exhibit real speedup;
+//!   the JSON's `hardware_threads` field records what the host offered.
 
-use pagefeed::{Database, MonitorConfig, ParallelRunner, Query, WorkloadSummary};
+use pagefeed::{Database, MonitorConfig, ParallelRunner, Query, RunStats, WorkloadSummary};
 use pf_workloads::single_table_workload;
 use pf_workloads::synthetic::{build, SyntheticConfig};
 use std::time::Instant;
 
+fn quick() -> bool {
+    matches!(std::env::var("PF_BENCH_QUICK").as_deref(), Ok("1"))
+}
+
 fn db() -> Database {
     build(&SyntheticConfig {
-        rows: 40_000,
+        rows: if quick() { 10_000 } else { 40_000 },
         with_t1: false,
         seed: 2_024,
     })
@@ -20,19 +33,25 @@ fn db() -> Database {
 }
 
 fn workload(db: &Database) -> Vec<Query> {
-    single_table_workload(db, "T", &["c2", "c3", "c4", "c5"], 16, (0.01, 0.10), 7).unwrap()
+    // n is per predicate column: 4 columns × n = total queries.
+    let n = if quick() { 4 } else { 16 };
+    single_table_workload(db, "T", &["c2", "c3", "c4", "c5"], n, (0.01, 0.10), 7).unwrap()
 }
 
 struct Sample {
     jobs: usize,
     queries_per_sec: f64,
     speedup_vs_serial: f64,
+    utilization: f64,
+    queue_wait_ms: f64,
+    contention: Option<RunStats>,
 }
 
 fn main() {
     let db = db();
     let queries = workload(&db);
     let cfg = MonitorConfig::default();
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Warm up page decode paths / allocator before timing anything.
     ParallelRunner::new(1)
@@ -44,7 +63,9 @@ fn main() {
     for jobs in [1usize, 2, 4, 8] {
         let runner = ParallelRunner::new(jobs);
         // Best of several rounds: throughput, not latency percentiles.
-        let rounds = 5;
+        // The pool persists across rounds, so round 2+ measures the
+        // steady state the driver actually runs in.
+        let rounds = if quick() { 3 } else { 5 };
         let mut best = f64::INFINITY;
         let mut reference: Option<WorkloadSummary> = None;
         for _ in 0..rounds {
@@ -52,7 +73,8 @@ fn main() {
             let outcomes = runner.run_queries(&db, &queries, &cfg).unwrap();
             let elapsed = start.elapsed().as_secs_f64();
             best = best.min(elapsed);
-            let summary = WorkloadSummary::from_outcomes(&outcomes);
+            let summary =
+                WorkloadSummary::from_owned(outcomes).with_contention(runner.last_run_stats());
             if let Some(r) = &reference {
                 assert_eq!(
                     r.total_stats, summary.total_stats,
@@ -61,34 +83,71 @@ fn main() {
             }
             reference = Some(summary);
         }
+        let contention = reference.and_then(|r| r.contention);
+        let (utilization, queue_wait_ms) = contention.as_ref().map_or((0.0, 0.0), |c| {
+            (c.utilization(), c.queue_wait_ns() as f64 / 1e6)
+        });
         let qps = queries.len() as f64 / best;
         if jobs == 1 {
             baseline_qps = qps;
         }
         let speedup = qps / baseline_qps;
         println!(
-            "jobs={jobs:<2} {:>8.1} queries/sec   {:>5.2}x vs serial",
-            qps, speedup
+            "jobs={jobs:<2} {qps:>8.1} queries/sec   {speedup:>5.2}x vs serial   {:>5.1}% busy   {queue_wait_ms:>7.2} ms queue wait",
+            utilization * 100.0,
         );
         samples.push(Sample {
             jobs,
             queries_per_sec: qps,
             speedup_vs_serial: speedup,
+            utilization,
+            queue_wait_ms,
+            contention,
         });
     }
+
+    let cache = db.plan_cache_stats();
+    println!(
+        "plan cache: {} hits / {} misses ({:.0}% hit rate), {} invalidations",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.invalidations,
+    );
 
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
+            let workers: Vec<String> = s
+                .contention
+                .iter()
+                .flat_map(|c| &c.workers)
+                .map(|w| {
+                    format!(
+                        "{{\"worker\": {}, \"tasks\": {}, \"batches\": {}, \"busy_ns\": {}, \"queue_wait_ns\": {}}}",
+                        w.worker, w.tasks, w.batches, w.busy_ns, w.queue_wait_ns
+                    )
+                })
+                .collect();
             format!(
-                "    {{\"jobs\": {}, \"queries_per_sec\": {:.2}, \"speedup_vs_serial\": {:.3}}}",
-                s.jobs, s.queries_per_sec, s.speedup_vs_serial
+                "    {{\"jobs\": {}, \"queries_per_sec\": {:.2}, \"speedup_vs_serial\": {:.3}, \"utilization\": {:.3}, \"queue_wait_ms\": {:.3}, \"workers\": [{}]}}",
+                s.jobs,
+                s.queries_per_sec,
+                s.speedup_vs_serial,
+                s.utilization,
+                s.queue_wait_ms,
+                workers.join(", ")
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"parallel_driver\",\n  \"queries\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"parallel_driver\",\n  \"queries\": {},\n  \"hardware_threads\": {},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}, \"invalidations\": {}}},\n  \"results\": [\n{}\n  ]\n}}\n",
         queries.len(),
+        hardware_threads,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate(),
+        cache.invalidations,
         rows.join(",\n")
     );
     // cargo runs benches with CWD = the package dir; put the artifact at
@@ -98,4 +157,20 @@ fn main() {
         .join("BENCH_parallel_driver.json");
     std::fs::write(&out, &json).unwrap();
     println!("wrote {}", out.display());
+
+    if matches!(std::env::var("PF_BENCH_ENFORCE").as_deref(), Ok("1")) {
+        let qps_at = |jobs: usize| {
+            samples
+                .iter()
+                .find(|s| s.jobs == jobs)
+                .map(|s| s.queries_per_sec)
+                .unwrap_or(0.0)
+        };
+        let (one, eight) = (qps_at(1), qps_at(8));
+        if eight < one {
+            eprintln!("FAIL: negative scaling — jobs=8 {eight:.1} q/s < jobs=1 {one:.1} q/s");
+            std::process::exit(1);
+        }
+        println!("scaling gate passed: jobs=8 {eight:.1} q/s >= jobs=1 {one:.1} q/s");
+    }
 }

@@ -166,7 +166,9 @@ impl Shell {
         let Some(db) = &mut self.db else {
             return NO_DB.to_string();
         };
-        match db.run(&query, &self.monitor) {
+        // Morsel-parallel when the scan is eligible and jobs > 1;
+        // bit-identical to db.run either way.
+        match self.runner.run_query(db, &query, &self.monitor) {
             Ok(out) => {
                 let mut s = format!(
                     "count: {}\nplan:  {}\ntime:  {:.1} ms (simulated, cold cache)",
@@ -466,8 +468,9 @@ impl Shell {
         match runner.run_queries(db, &queries, &cfg) {
             Ok(outcomes) => {
                 let wall = start.elapsed().as_secs_f64();
-                let s = WorkloadSummary::from_outcomes(&outcomes);
-                format!(
+                let s =
+                    WorkloadSummary::from_owned(outcomes).with_contention(runner.last_run_stats());
+                let mut out = format!(
                     "{} queries on {} workers: {:.1} q/s wall\nsimulated: {:.1} ms total, {} logical / {} physical reads",
                     s.queries,
                     runner.jobs(),
@@ -475,7 +478,26 @@ impl Shell {
                     s.total_elapsed_ms,
                     s.total_stats.logical_reads,
                     s.total_stats.physical_reads(),
-                )
+                );
+                if let Some(c) = &s.contention {
+                    let _ = write!(
+                        out,
+                        "\nworkers: {:.0}% busy, {:.2} ms queue wait total",
+                        c.utilization() * 100.0,
+                        c.queue_wait_ns() as f64 / 1e6,
+                    );
+                }
+                let pc = db.plan_cache_stats();
+                if pc.enabled {
+                    let _ = write!(
+                        out,
+                        "\nplan cache: {} hits / {} misses ({:.0}% hit rate)",
+                        pc.hits,
+                        pc.misses,
+                        pc.hit_rate() * 100.0,
+                    );
+                }
+                out
             }
             Err(e) => format!("bench failed: {e}"),
         }

@@ -1,17 +1,24 @@
 //! The [`Database`] facade.
 
 use crate::feedback_store::FeedbackStore;
-use crate::planner::{LoweredPlan, MonitorConfig, PlanChoice, Planner};
+use crate::plan_cache::{PlanCache, PlanCacheStats};
+use crate::planner::{LoweredPlan, MonitorConfig, OptimizedQuery, PlanChoice, Planner};
 use crate::query::Query;
 use pf_common::{Error, IndexId, PageId, Result, Row, Schema, TableId};
+use pf_exec::monitor::ScanMonitorPartial;
+use pf_exec::scan::SeqScan;
 use pf_exec::{drain, Conjunction, ExecContext};
 use pf_feedback::FeedbackReport;
 use pf_optimizer::{
-    CostModel, DbStats, EpochStamp, HintSet, Optimizer, StalenessPolicy, TableEpochState,
+    CostModel, DbStats, EpochStamp, HintSet, Optimizer, SingleTablePlan, StalenessPolicy,
+    TableEpochState,
 };
 use pf_storage::{Catalog, DiskModel, FaultPlan, IoStats, TableBuilder};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// How many times a transient fault (an injected read stall) is retried
 /// before the error surfaces. Stall budgets are at most 2 attempts per
@@ -46,6 +53,23 @@ impl QueryOutcome {
     }
 }
 
+/// The shared description of a scan that will execute as page-range
+/// morsels: the winning plan, its resolved predicate, and the full page
+/// range. Plain data (no monitor handles), so it can be captured by
+/// reference from every worker thread.
+#[derive(Debug, Clone)]
+pub struct MorselScan {
+    /// The winning sequential-scan plan.
+    pub plan: SingleTablePlan,
+    /// The resolved predicate all morsels filter with.
+    pub pred: Conjunction,
+    /// `[first, last)` pages the whole scan covers.
+    pub page_range: (u32, u32),
+    /// Whether the scan's first page access pays a random (positioning)
+    /// I/O — true for clustered range scans; morsel 0 inherits it.
+    pub first_random: bool,
+}
+
 /// An embedded analytical database with page-count execution feedback.
 ///
 /// Owns the catalog, per-column statistics, the persistent hint set (the
@@ -58,6 +82,9 @@ pub struct Database {
     pub(crate) dpc_cache: Option<crate::histogram_cache::DpcHistogramCache>,
     /// Durable feedback persistence (None = in-memory hints only).
     feedback_store: Option<FeedbackStore>,
+    /// Memoized optimizer decisions, invalidated on anything that can
+    /// change a plan (`PF_PLAN_CACHE=off` disables).
+    plan_cache: PlanCache,
     /// How stamped hints are aged as DML drifts their tables.
     pub staleness: StalenessPolicy,
     /// Disk-model constants used for costing *and* execution accounting.
@@ -81,6 +108,7 @@ impl Database {
             hints: HintSet::new(),
             dpc_cache: None,
             feedback_store: None,
+            plan_cache: PlanCache::from_env(),
             staleness: StalenessPolicy::default(),
             disk: DiskModel::default(),
             pool_pages: 65_536,
@@ -110,6 +138,7 @@ impl Database {
         }
         let id = b.register(&mut self.catalog)?;
         self.stats = None; // statistics are stale
+        self.plan_cache.invalidate();
         Ok(id)
     }
 
@@ -118,18 +147,21 @@ impl Database {
     pub fn create_table_with(&mut self, builder: TableBuilder) -> Result<TableId> {
         let id = builder.register(&mut self.catalog)?;
         self.stats = None;
+        self.plan_cache.invalidate();
         Ok(id)
     }
 
     /// Builds a nonclustered index on `column` of `table`.
     pub fn create_index(&mut self, name: &str, table: &str, column: &str) -> Result<IndexId> {
         let id = self.catalog.table_by_name(table)?.id;
+        self.plan_cache.invalidate();
         self.catalog.create_index(name, id, column)
     }
 
     /// Builds (or rebuilds) per-column statistics with a full scan.
     pub fn analyze(&mut self) -> Result<()> {
         self.stats = Some(DbStats::build(&self.catalog)?);
+        self.plan_cache.invalidate();
         Ok(())
     }
 
@@ -162,7 +194,11 @@ impl Database {
     }
 
     /// The persistent hint set (injected cardinalities / page counts).
+    ///
+    /// Handing out mutable access conservatively invalidates the plan
+    /// cache: any hint edit can flip an optimizer decision.
     pub fn hints_mut(&mut self) -> &mut HintSet {
+        self.plan_cache.invalidate();
         &mut self.hints
     }
 
@@ -188,6 +224,7 @@ impl Database {
         let states = self.table_epoch_states();
         self.hints.apply_staleness(self.staleness, &states);
         self.feedback_store = Some(store);
+        self.plan_cache.invalidate();
         Ok(recovered)
     }
 
@@ -218,6 +255,7 @@ impl Database {
             store.append(report, &stamps)?;
         }
         self.hints.absorb_report_stamped(report, &stamps);
+        self.plan_cache.invalidate();
         Ok(())
     }
 
@@ -288,6 +326,7 @@ impl Database {
         self.stats = None; // cardinality statistics are stale
         let states = self.table_epoch_states();
         self.hints.apply_staleness(self.staleness, &states);
+        self.plan_cache.invalidate();
         Ok(())
     }
 
@@ -313,13 +352,51 @@ impl Database {
 
     /// Optimizes and lowers a query without running it. Consults the
     /// DPC-histogram cache (if enabled) for expressions lacking exact
-    /// feedback.
+    /// feedback, and otherwise serves repeated query shapes from the
+    /// plan cache (optimizer decision memoized; monitors still built
+    /// fresh per call from `cfg.seed`).
     pub fn lower(&self, query: &Query, cfg: &MonitorConfig) -> Result<LoweredPlan> {
         if self.dpc_cache.is_some() {
+            // Histogram-cache overlays are per-query hint sets; their
+            // decisions are not cacheable under a single key.
             let hints = self.effective_hints(query)?;
             return self.lower_with(query, cfg, &hints);
         }
-        self.planner()?.lower_query(query, cfg)
+        let planner = self.planner()?;
+        let optimized = self.optimized(query, cfg, &planner)?;
+        planner.lower_optimized(&optimized, cfg)
+    }
+
+    /// The optimizer decision for `query`, served from the plan cache
+    /// when possible.
+    fn optimized(
+        &self,
+        query: &Query,
+        cfg: &MonitorConfig,
+        planner: &Planner<'_>,
+    ) -> Result<Arc<OptimizedQuery>> {
+        if !self.plan_cache.is_enabled() {
+            return Ok(Arc::new(planner.optimize_query(query)?));
+        }
+        let key = PlanCache::key_for(query, cfg);
+        if let Some(cached) = self.plan_cache.get(&key) {
+            return Ok(cached);
+        }
+        let fresh = Arc::new(planner.optimize_query(query)?);
+        self.plan_cache.insert(key, Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Plan-cache effectiveness counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Replaces the plan cache with one that is explicitly on or off —
+    /// test hook and CLI escape hatch (the `PF_PLAN_CACHE` knob decides
+    /// the default at construction).
+    pub fn set_plan_cache_enabled(&mut self, enabled: bool) {
+        self.plan_cache = PlanCache::new(enabled);
     }
 
     /// Optimizes and lowers a query against an explicit hint set instead
@@ -347,10 +424,21 @@ impl Database {
     /// [`Database::execute_with_retry`] (or [`Database::run`], which uses
     /// it) when a fault plan may be active.
     pub fn execute(&self, plan: LoweredPlan) -> Result<QueryOutcome> {
-        self.execute_attempt(plan, 0)
+        let mut ctx = self.make_context();
+        self.execute_attempt(plan, 0, &mut ctx)
     }
 
-    fn execute_attempt(&self, plan: LoweredPlan, attempt: u32) -> Result<QueryOutcome> {
+    /// A fresh execution context sized and costed for this database.
+    pub fn make_context(&self) -> ExecContext {
+        ExecContext::with_model(self.pool_pages, self.disk)
+    }
+
+    fn execute_attempt(
+        &self,
+        plan: LoweredPlan,
+        attempt: u32,
+        ctx: &mut ExecContext,
+    ) -> Result<QueryOutcome> {
         let LoweredPlan {
             mut op,
             harness,
@@ -358,10 +446,9 @@ impl Database {
             description,
             explain: _,
         } = plan;
-        let mut ctx = ExecContext::with_model(self.pool_pages, self.disk);
         ctx.cold_start();
         ctx.fault_attempt = attempt;
-        let rows = drain(op.as_mut(), &mut ctx)?;
+        let rows = drain(op.as_mut(), ctx)?;
         let count = rows.len() as u64;
         Ok(QueryOutcome {
             count,
@@ -383,9 +470,22 @@ impl Database {
         &self,
         lower: impl Fn() -> Result<LoweredPlan>,
     ) -> Result<QueryOutcome> {
+        let mut ctx = self.make_context();
+        self.execute_with_retry_in(lower, &mut ctx)
+    }
+
+    /// [`Database::execute_with_retry`] against a caller-provided
+    /// context: `ctx` is cold-started per attempt, so results are
+    /// byte-identical to a fresh context while its buffer-pool and
+    /// residency-map allocations are reused across queries.
+    pub fn execute_with_retry_in(
+        &self,
+        lower: impl Fn() -> Result<LoweredPlan>,
+        ctx: &mut ExecContext,
+    ) -> Result<QueryOutcome> {
         let mut attempt = 0;
         loop {
-            match self.execute_attempt(lower()?, attempt) {
+            match self.execute_attempt(lower()?, attempt, ctx) {
                 Err(e) if e.is_transient() && attempt < MAX_TRANSIENT_RETRIES => attempt += 1,
                 other => return other,
             }
@@ -396,6 +496,110 @@ impl Database {
     /// transient faults via [`Database::execute_with_retry`].
     pub fn run(&self, query: &Query, cfg: &MonitorConfig) -> Result<QueryOutcome> {
         self.execute_with_retry(|| self.lower(query, cfg))
+    }
+
+    /// [`Database::run`] with a reusable context (see
+    /// [`Database::execute_with_retry_in`]) — the parallel driver's
+    /// per-worker hot path.
+    pub fn run_in(
+        &self,
+        query: &Query,
+        cfg: &MonitorConfig,
+        ctx: &mut ExecContext,
+    ) -> Result<QueryOutcome> {
+        self.execute_with_retry_in(|| self.lower(query, cfg), ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Intra-query morsel parallelism.
+    // ------------------------------------------------------------------
+
+    /// Decides whether `query` under `cfg` can execute as page-range
+    /// morsels, returning the shared scan description if so.
+    ///
+    /// Eligible: a single-table count whose winning plan is a sequential
+    /// scan (`FullScan` / `ClusteredRange`) of ≥ 2 pages, with no fault
+    /// plan or DPC-histogram overlay active, and monitoring either off
+    /// or in exact mode with no governor — exactly the configurations
+    /// where per-morsel monitors consume no RNG and partials merge
+    /// byte-identically to a serial scan.
+    pub fn morsel_scan(&self, query: &Query, cfg: &MonitorConfig) -> Result<Option<MorselScan>> {
+        if self.dpc_cache.is_some() || self.fault_plan().is_some() {
+            return Ok(None);
+        }
+        if cfg.enabled
+            && (cfg.sampling_fraction < 1.0
+                || cfg.memory_budget.is_some()
+                || cfg.deadline_ms.is_some())
+        {
+            return Ok(None);
+        }
+        let planner = self.planner()?;
+        let optimized = self.optimized(query, cfg, &planner)?;
+        let OptimizedQuery::Single { plan, pred } = &*optimized else {
+            return Ok(None);
+        };
+        let Some((page_range, first_random)) = planner.scan_page_range(plan, pred)? else {
+            return Ok(None);
+        };
+        if page_range.1.saturating_sub(page_range.0) < 2 {
+            return Ok(None);
+        }
+        if let Some(set) = planner.scan_monitor_set(plan, pred, cfg)? {
+            // Defense in depth: the config checks above already exclude
+            // sampled/governed sets, and plain scans never carry
+            // semi-join monitors.
+            if !set.supports_partition() {
+                return Ok(None);
+            }
+        }
+        Ok(Some(MorselScan {
+            plan: plan.clone(),
+            pred: pred.clone(),
+            page_range,
+            first_random,
+        }))
+    }
+
+    /// Runs one morsel of a partitioned scan: a private scan over
+    /// `page_range` with its own freshly built (identically configured)
+    /// monitor set, reusing `ctx`. Returns the morsel's row count, I/O
+    /// counters, and finished monitor partial for the coordinator to
+    /// merge in morsel order.
+    pub fn run_morsel(
+        &self,
+        scan: &MorselScan,
+        cfg: &MonitorConfig,
+        page_range: (u32, u32),
+        first_random: bool,
+        ctx: &mut ExecContext,
+    ) -> Result<(u64, IoStats, Option<ScanMonitorPartial>)> {
+        let meta = self.catalog.table(scan.plan.table)?;
+        let planner = self.planner()?;
+        let set = planner.scan_monitor_set(&scan.plan, &scan.pred, cfg)?;
+        let handle = set.map(|s| Rc::new(RefCell::new(s)));
+        let mut op = SeqScan::with_page_range(
+            Arc::clone(&meta.storage),
+            scan.plan.table,
+            scan.pred.clone(),
+            handle.clone(),
+            page_range,
+            first_random,
+        );
+        ctx.cold_start();
+        ctx.fault_attempt = 0;
+        let rows = drain(&mut op, ctx)?;
+        drop(op); // release the operator's clone of the monitor handle
+        let partial = match handle {
+            Some(h) => {
+                let set = Rc::try_unwrap(h)
+                    .map_err(|_| Error::Internal("morsel monitor handle still shared".into()))?
+                    .into_inner();
+                Some(set.into_partial())
+            }
+            None => None,
+        };
+        Ok((rows.len() as u64, ctx.stats(), partial))
     }
 
     // ------------------------------------------------------------------
@@ -446,11 +650,16 @@ impl Database {
         let inner_meta = self.catalog.table_by_name(inner)?;
         let oc = outer_meta.schema().index_of(outer_col)?;
         let ic = inner_meta.schema().index_of(inner_col)?;
+        // Join keys are compared by 64-bit datum hash — no per-row
+        // string rendering. Both sides of an equijoin are same-typed, so
+        // hash equality is value equality up to 2^-64 collisions, far
+        // below any tolerance the evaluation uses.
+        const KEY_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
         let mut keys = std::collections::HashSet::new();
         for p in 0..outer_meta.stats.pages {
             for row in outer_meta.storage.rows_on_page(PageId(p))? {
                 if outer_pred.eval_short_circuit(&row).0 {
-                    keys.insert(format!("{}", row.get(oc)));
+                    keys.insert(pf_common::hash::hash_datum(row.get(oc), KEY_SEED));
                 }
             }
         }
@@ -460,7 +669,7 @@ impl Database {
                 .storage
                 .rows_on_page(PageId(p))?
                 .iter()
-                .any(|row| keys.contains(&format!("{}", row.get(ic))));
+                .any(|row| keys.contains(&pf_common::hash::hash_datum(row.get(ic), KEY_SEED)));
             n += u64::from(any);
         }
         Ok(n)
@@ -475,6 +684,7 @@ impl Database {
         let mut hints = std::mem::take(&mut self.hints);
         let injected = self.inject_cardinalities_into(query, &mut hints);
         self.hints = hints;
+        self.plan_cache.invalidate();
         injected
     }
 

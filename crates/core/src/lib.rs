@@ -69,18 +69,20 @@ pub mod feedback_loop;
 pub mod feedback_store;
 pub mod histogram_cache;
 pub mod parallel;
+pub mod plan_cache;
 pub mod planner;
 pub mod query;
 pub mod snapshot;
 pub mod sql;
 
-pub use db::{Database, QueryOutcome, MAX_TRANSIENT_RETRIES};
+pub use db::{Database, MorselScan, QueryOutcome, MAX_TRANSIENT_RETRIES};
 pub use dba::{DbaDiagnosis, Discrepancy};
 pub use feedback_loop::FeedbackOutcome;
 pub use feedback_store::{FeedbackStore, StoreStats, StoredReport, FEEDBACK_DIR_ENV};
 pub use histogram_cache::DpcHistogramCache;
-pub use parallel::{ParallelRunner, WorkloadSummary};
+pub use parallel::{ParallelRunner, RunStats, WorkerRunStats, WorkloadSummary};
 pub use pf_storage::{FaultKind, FaultPlan};
-pub use planner::{LoweredPlan, MonitorConfig, MonitorHarness, PlanChoice};
+pub use plan_cache::PlanCacheStats;
+pub use planner::{LoweredPlan, MonitorConfig, MonitorHarness, OptimizedQuery, PlanChoice};
 pub use query::{PredSpec, Query};
 pub use sql::parse_query;

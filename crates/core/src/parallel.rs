@@ -11,10 +11,33 @@
 //! path. Monitors stay `Rc<RefCell<...>>` *within* a worker — each plan
 //! is lowered, executed, and harvested on one thread.
 //!
+//! Two mechanisms keep the steady state cheap:
+//!
+//! * a **persistent worker pool** ([`WorkerPool`]) owned by the runner
+//!   and shared by its clones — threads are spawned once (lazily) and
+//!   parked on a condvar between runs, so `run_queries`/`run_feedback`
+//!   pay a wakeup, not `jobs − 1` thread spawns, per call. The calling
+//!   thread always participates as worker 0, so `jobs = 1` never blocks
+//!   on another thread at all;
+//! * **per-worker scratch** ([`WorkerScratch`]) holding a reusable
+//!   [`pf_exec::ExecContext`]: the buffer pool's residency map and
+//!   stats survive across queries (cold-started per attempt, which is
+//!   byte-identical to a fresh context), so steady-state execution
+//!   allocates almost nothing per query.
+//!
 //! Determinism: per-query monitor seeds are derived from the query
 //! *index* (not the worker), results are returned in query order, and
 //! feedback absorption happens serially after the parallel phase —
-//! running with `jobs = 8` is bit-identical to `jobs = 1`.
+//! running with `jobs = 8` is bit-identical to `jobs = 1`. The same
+//! holds for intra-query morsel parallelism
+//! ([`ParallelRunner::run_query`]): morsels carry their own exact-mode
+//! monitor sets whose [`pf_feedback::GroupedPageCounter`]s are merged
+//! in morsel order, reproducing the serial sketch bit for bit.
+//!
+//! Every `run_*` call records a contention profile ([`RunStats`]:
+//! per-worker wall/busy/queue-wait) retrievable via
+//! [`ParallelRunner::last_run_stats`] — scaling regressions are
+//! measured, not guessed.
 
 use crate::db::{Database, QueryOutcome};
 use crate::feedback_loop::FeedbackOutcome;
@@ -22,11 +45,13 @@ use crate::planner::MonitorConfig;
 use crate::query::Query;
 use pf_common::hash::mix64;
 use pf_common::{Error, Result};
+use pf_exec::ExecContext;
 use pf_feedback::FeedbackReport;
 use pf_storage::IoStats;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Backoff ceiling for runner-level transient-fault retries.
 const MAX_BACKOFF_MS: u64 = 8;
@@ -41,21 +66,368 @@ const _: () = {
     assert_send_sync::<MonitorConfig>();
 };
 
-/// Executes batches of queries across a pool of scoped worker threads
-/// pulling from a work-stealing index queue.
-#[derive(Debug, Clone)]
+/// Per-worker reusable execution state. The context (buffer pool,
+/// residency map, stats) is recreated only when the database's pool
+/// shape changes; otherwise [`pf_exec::ExecContext::cold_start`]
+/// between queries reuses every allocation the pool has grown.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    ctx: Option<ExecContext>,
+}
+
+impl WorkerScratch {
+    /// The reusable context for `db`, rebuilt if the pool capacity no
+    /// longer matches (a different `Database` with a different shape).
+    /// The disk model is refreshed unconditionally — it is `Copy` and
+    /// may differ between databases of identical pool size.
+    pub fn ctx_for(&mut self, db: &Database) -> &mut ExecContext {
+        let stale = match &self.ctx {
+            Some(c) => c.pool.capacity() != db.pool_pages,
+            None => true,
+        };
+        if stale {
+            self.ctx = Some(db.make_context());
+        }
+        let ctx = self.ctx.as_mut().expect("scratch context just ensured");
+        ctx.model = db.disk;
+        ctx
+    }
+}
+
+/// Execution profile of one worker within one runner invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerRunStats {
+    /// Worker index (0 = the calling thread).
+    pub worker: usize,
+    /// Tasks (queries or morsels) this worker executed.
+    pub tasks: u64,
+    /// Cursor batches this worker claimed.
+    pub batches: u64,
+    /// Nanoseconds spent inside task bodies.
+    pub busy_ns: u64,
+    /// Nanoseconds of the worker's participation spent *not* executing
+    /// tasks: wakeup latency, cursor claiming, result publication, and
+    /// tail idling while other workers finish their last batch.
+    pub queue_wait_ns: u64,
+}
+
+/// Contention profile of one `run_*` invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Wall-clock duration of the whole invocation in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-worker profiles, sorted by worker index.
+    pub workers: Vec<WorkerRunStats>,
+}
+
+impl RunStats {
+    /// Total nanoseconds all workers spent executing tasks.
+    pub fn busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Total nanoseconds all workers spent waiting (see
+    /// [`WorkerRunStats::queue_wait_ns`]).
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.queue_wait_ns).sum()
+    }
+
+    /// Total tasks executed.
+    pub fn tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Fraction of summed worker participation spent in task bodies
+    /// (1.0 = perfectly busy; low values indicate contention or
+    /// imbalance). 0.0 when nothing ran.
+    pub fn utilization(&self) -> f64 {
+        let busy = self.busy_ns() as f64;
+        let total = busy + self.queue_wait_ns() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            busy / total
+        }
+    }
+}
+
+/// A type-erased unit of pool work: every participating worker calls
+/// `run` once and drains the job's shared cursor inside it.
+trait PoolJob: Sync {
+    fn run(&self, worker: usize, scratch: &mut WorkerScratch);
+}
+
+/// `&'static` view of a stack-held job.
+///
+/// The coordinator publishes this to the workers, then blocks until
+/// every worker has finished the generation before the referent leaves
+/// scope (see [`WorkerPool::run_job`]), so the erased lifetime never
+/// dangles.
+#[derive(Clone, Copy)]
+struct JobRef(&'static (dyn PoolJob + 'static));
+
+impl std::fmt::Debug for JobRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobRef(..)")
+    }
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    /// The currently published job, if a generation is in flight.
+    job: Option<JobRef>,
+    /// Bumped per published job; workers run each generation once.
+    generation: u64,
+    /// Background workers still inside the current generation.
+    active: usize,
+    /// Set once, at pool drop: workers exit their loop.
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signals workers: new generation published, or shutdown.
+    work_cv: Condvar,
+    /// Signals the coordinator: `active` reached zero.
+    done_cv: Condvar,
+}
+
+/// The persistent thread pool behind a [`ParallelRunner`] and all its
+/// clones. Threads are spawned lazily on first parallel use, parked on
+/// a condvar between runs, and joined on drop.
+#[derive(Debug)]
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// The calling thread participates as worker 0 with this scratch.
+    main_scratch: Mutex<WorkerScratch>,
+    /// Serializes whole runs: one generation in flight per pool.
+    run_lock: Mutex<()>,
+    /// Contention profile of the most recent invocation.
+    last_run: Mutex<Option<RunStats>>,
+}
+
+fn worker_loop(shared: Arc<PoolShared>, worker: usize) {
+    let mut scratch = WorkerScratch::default();
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    if let Some(job) = st.job {
+                        seen_generation = st.generation;
+                        break job;
+                    }
+                    // A generation completed before this (late-spawned)
+                    // worker saw it; don't run it retroactively.
+                    seen_generation = st.generation;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Individual tasks are unwind-guarded inside the job; this outer
+        // guard only protects the pool's accounting from unguarded
+        // panics (e.g. a bug in result publication), so a damaged
+        // generation still completes and reports uncovered indices
+        // instead of deadlocking the coordinator.
+        let _ = catch_unwind(AssertUnwindSafe(|| job.0.run(worker, &mut scratch)));
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl WorkerPool {
+    fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState::default()),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            threads: Mutex::new(Vec::new()),
+            main_scratch: Mutex::new(WorkerScratch::default()),
+            run_lock: Mutex::new(()),
+            last_run: Mutex::new(None),
+        }
+    }
+
+    /// Grows the pool to at least `want` background threads.
+    fn ensure_workers(&self, want: usize) {
+        let mut threads = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+        while threads.len() < want {
+            let shared = Arc::clone(&self.shared);
+            let id = threads.len() + 1; // worker 0 is the caller
+            let handle = std::thread::Builder::new()
+                .name(format!("pf-worker-{id}"))
+                .spawn(move || worker_loop(shared, id))
+                .expect("spawn pool worker thread");
+            threads.push(handle);
+        }
+    }
+
+    /// Publishes `job` to `background` pool threads, participates as
+    /// worker 0, and returns once every participant is done.
+    fn run_job(&self, job: &dyn PoolJob, background: usize) {
+        let _serial = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.ensure_workers(background);
+        // SAFETY: workers dereference the erased reference only between
+        // the publication below and the `active == 0` wait at the end of
+        // this function; this stack frame outlives both, so the referent
+        // cannot dangle.
+        let erased = unsafe {
+            std::mem::transmute::<&(dyn PoolJob + '_), &'static (dyn PoolJob + 'static)>(job)
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.job = Some(JobRef(erased));
+            st.generation = st.generation.wrapping_add(1);
+            st.active = background;
+        }
+        self.shared.work_cv.notify_all();
+        {
+            let mut scratch = self.main_scratch.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = catch_unwind(AssertUnwindSafe(|| job.run(0, &mut scratch)));
+        }
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.active > 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        let threads = std::mem::take(self.threads.get_mut().unwrap_or_else(|e| e.into_inner()));
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One indexed fan-out over the pool: tasks claim small index batches
+/// from a shared cursor, run unwind-guarded, and publish `(index,
+/// result)` pairs plus their worker profile exactly once each.
+struct IndexedJob<'t, T: Send, F: Fn(usize, &mut WorkerScratch) -> Result<T> + Sync> {
+    task: &'t F,
+    n: usize,
+    batch: usize,
+    cursor: AtomicUsize,
+    results: Mutex<Vec<(usize, Result<T>)>>,
+    worker_stats: Mutex<Vec<WorkerRunStats>>,
+}
+
+impl<T: Send, F: Fn(usize, &mut WorkerScratch) -> Result<T> + Sync> PoolJob
+    for IndexedJob<'_, T, F>
+{
+    fn run(&self, worker: usize, scratch: &mut WorkerScratch) {
+        let participation = Instant::now();
+        let mut local = Vec::new();
+        let mut stats = WorkerRunStats {
+            worker,
+            ..Default::default()
+        };
+        loop {
+            let start = self.cursor.fetch_add(self.batch, Ordering::Relaxed);
+            if start >= self.n {
+                break;
+            }
+            stats.batches += 1;
+            for i in start..(start + self.batch).min(self.n) {
+                let t0 = Instant::now();
+                local.push((i, run_guarded(self.task, i, scratch)));
+                stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                stats.tasks += 1;
+            }
+        }
+        if !local.is_empty() {
+            self.results
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .append(&mut local);
+        }
+        stats.queue_wait_ns =
+            (participation.elapsed().as_nanos() as u64).saturating_sub(stats.busy_ns);
+        self.worker_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(stats);
+    }
+}
+
+/// One guarded evaluation of `task(i)`: panics become
+/// [`Error::WorkerPanicked`] (the query is quarantined, the worker
+/// thread survives), and transient fault errors are retried with capped
+/// exponential backoff — a second line of defence on top of the
+/// database's own re-lower-and-retry loop.
+fn run_guarded<T>(
+    task: &(impl Fn(usize, &mut WorkerScratch) -> Result<T> + Sync),
+    i: usize,
+    scratch: &mut WorkerScratch,
+) -> Result<T> {
+    let mut delay_ms = 1u64;
+    let mut tries = 0;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| task(i, &mut *scratch))) {
+            Err(_) => return Err(Error::WorkerPanicked { query_index: i }),
+            Ok(Err(e)) if e.is_transient() && tries < RUNNER_RETRIES => {
+                tries += 1;
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                delay_ms = (delay_ms * 2).min(MAX_BACKOFF_MS);
+            }
+            Ok(r) => return r,
+        }
+    }
+}
+
+/// Executes batches of queries across a persistent pool of worker
+/// threads pulling from a work-stealing index queue. Clones share the
+/// pool (and its scratch); runs on a shared pool are serialized.
+#[derive(Debug)]
 pub struct ParallelRunner {
     jobs: usize,
+    pool: Arc<WorkerPool>,
+}
+
+impl Clone for ParallelRunner {
+    fn clone(&self) -> Self {
+        ParallelRunner {
+            jobs: self.jobs,
+            pool: Arc::clone(&self.pool),
+        }
+    }
 }
 
 impl ParallelRunner {
-    /// A runner with `jobs` worker threads (clamped to ≥ 1).
+    /// A runner with `jobs` worker threads (clamped to ≥ 1). Threads
+    /// are not spawned until first parallel use.
     pub fn new(jobs: usize) -> Self {
-        ParallelRunner { jobs: jobs.max(1) }
+        ParallelRunner {
+            jobs: jobs.max(1),
+            pool: Arc::new(WorkerPool::new()),
+        }
     }
 
     /// Worker count from the `PF_JOBS` environment variable, defaulting
-    /// to all available cores.
+    /// to all available cores. Unparsable values fall back to the core
+    /// count; `0` clamps to 1.
     pub fn from_env() -> Self {
         let jobs = std::env::var("PF_JOBS")
             .ok()
@@ -67,6 +439,16 @@ impl ParallelRunner {
     /// Configured worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Contention profile of the most recent `run_*` invocation on this
+    /// runner (or any clone sharing its pool). `None` before first use.
+    pub fn last_run_stats(&self) -> Option<RunStats> {
+        self.pool
+            .last_run
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// The monitor config for query `index`: the seed is derived from the
@@ -88,8 +470,8 @@ impl ParallelRunner {
         queries: &[Query],
         cfg: &MonitorConfig,
     ) -> Result<Vec<QueryOutcome>> {
-        self.run_indexed(queries.len(), |i| {
-            db.run(&queries[i], &Self::cfg_for(cfg, i))
+        self.run_indexed(queries.len(), |i, scratch| {
+            db.run_in(&queries[i], &Self::cfg_for(cfg, i), scratch.ctx_for(db))
         })
     }
 
@@ -106,8 +488,8 @@ impl ParallelRunner {
         queries: &[Query],
         cfg: &MonitorConfig,
     ) -> Vec<Result<QueryOutcome>> {
-        self.run_indexed_quarantined(queries.len(), |i| {
-            db.run(&queries[i], &Self::cfg_for(cfg, i))
+        self.run_indexed_quarantined_scratch(queries.len(), |i, scratch| {
+            db.run_in(&queries[i], &Self::cfg_for(cfg, i), scratch.ctx_for(db))
         })
     }
 
@@ -125,7 +507,7 @@ impl ParallelRunner {
     ) -> Result<Vec<FeedbackOutcome>> {
         let outcomes = {
             let db = &*db;
-            self.run_indexed(queries.len(), |i| {
+            self.run_indexed(queries.len(), |i, _scratch| {
                 db.feedback_cell(&queries[i], &Self::cfg_for(cfg, i))
             })?
         };
@@ -136,18 +518,83 @@ impl ParallelRunner {
         Ok(outcomes)
     }
 
-    /// Evaluates `task(i)` for `i ∈ 0..n` across the worker pool and
-    /// returns results in index order; an error is reported for the
-    /// lowest failing index, independent of scheduling.
+    /// Executes one query, splitting an eligible sequential scan into
+    /// page-range morsels across the pool (see
+    /// [`Database::morsel_scan`] for eligibility). Each morsel scans a
+    /// private sub-range with its own identically configured monitor
+    /// set; the coordinator sums I/O counters component-wise and merges
+    /// the monitor partials in morsel order, so the outcome — count,
+    /// stats, simulated time, sketches, plan description — is
+    /// byte-identical to [`Database::run`]. Falls back to a serial run
+    /// when the query is ineligible or the runner has one job.
+    pub fn run_query(
+        &self,
+        db: &Database,
+        query: &Query,
+        cfg: &MonitorConfig,
+    ) -> Result<QueryOutcome> {
+        if self.jobs <= 1 {
+            return db.run(query, cfg);
+        }
+        let Some(scan) = db.morsel_scan(query, cfg)? else {
+            return db.run(query, cfg);
+        };
+        let (first, last) = scan.page_range;
+        let pages = (last - first) as usize;
+        let morsels = self.jobs.min(pages);
+        let chunk = pages.div_ceil(morsels);
+        // Reference lowering: supplies the outcome metadata and the
+        // primary monitor set the partials merge into.
+        let lowered = db.lower(query, cfg)?;
+        let parts = self.run_indexed(morsels, |i, scratch| {
+            let lo = first + (i * chunk) as u32;
+            let hi = last.min(first + ((i + 1) * chunk) as u32);
+            db.run_morsel(
+                &scan,
+                cfg,
+                (lo, hi),
+                i == 0 && scan.first_random,
+                scratch.ctx_for(db),
+            )
+        })?;
+        let mut stats = IoStats::default();
+        let mut count = 0u64;
+        for (c, s, _) in &parts {
+            count += c;
+            stats.add(s);
+        }
+        if let Some(handle) = lowered.harness.single_scan_handle() {
+            let mut set = handle.borrow_mut();
+            for (_, _, partial) in &parts {
+                if let Some(p) = partial {
+                    set.absorb_partial(p);
+                }
+            }
+        }
+        let report = lowered.harness.harvest();
+        Ok(QueryOutcome {
+            count,
+            stats,
+            elapsed_ms: db.disk.elapsed_ms(&stats),
+            report,
+            description: lowered.description,
+            choice: lowered.choice,
+            fault_retries: 0,
+        })
+    }
+
+    /// Evaluates `task(i, scratch)` for `i ∈ 0..n` across the worker
+    /// pool and returns results in index order; an error is reported for
+    /// the lowest failing index, independent of scheduling.
     fn run_indexed<T, F>(&self, n: usize, task: F) -> Result<Vec<T>>
     where
         T: Send,
-        F: Fn(usize) -> Result<T> + Sync,
+        F: Fn(usize, &mut WorkerScratch) -> Result<T> + Sync,
     {
         let mut out = Vec::with_capacity(n);
         let mut first_err = None;
         for (i, r) in self
-            .run_indexed_quarantined(n, task)
+            .run_indexed_quarantined_scratch(n, task)
             .into_iter()
             .enumerate()
         {
@@ -164,78 +611,74 @@ impl ParallelRunner {
         }
     }
 
-    /// One guarded evaluation of `task(i)`: panics become
-    /// [`Error::WorkerPanicked`] (the query is quarantined, the worker
-    /// thread survives), and transient fault errors are retried with
-    /// capped exponential backoff — a second line of defence on top of
-    /// the database's own re-lower-and-retry loop.
-    fn run_guarded<T>(task: &(impl Fn(usize) -> Result<T> + Sync), i: usize) -> Result<T> {
-        let mut delay_ms = 1u64;
-        let mut tries = 0;
-        loop {
-            match catch_unwind(AssertUnwindSafe(|| task(i))) {
-                Err(_) => return Err(Error::WorkerPanicked { query_index: i }),
-                Ok(Err(e)) if e.is_transient() && tries < RUNNER_RETRIES => {
-                    tries += 1;
-                    std::thread::sleep(Duration::from_millis(delay_ms));
-                    delay_ms = (delay_ms * 2).min(MAX_BACKOFF_MS);
-                }
-                Ok(r) => return r,
-            }
-        }
-    }
-
-    /// Evaluates `task(i)` for `i ∈ 0..n` across the worker pool and
-    /// returns *per-index* results in index order — no index can abort
-    /// another. Workers claim small index batches from a shared atomic
-    /// cursor (work stealing by competition); each task runs guarded
-    /// ([`ParallelRunner::run_guarded`]), so a panicking query yields
-    /// `Err(WorkerPanicked)` in its own slot while the rest of the
-    /// batch completes normally.
+    /// Scratch-free variant of
+    /// [`ParallelRunner::run_indexed_quarantined_scratch`] for tasks
+    /// that manage their own state.
+    #[cfg(test)]
     fn run_indexed_quarantined<T, F>(&self, n: usize, task: F) -> Vec<Result<T>>
     where
         T: Send,
         F: Fn(usize) -> Result<T> + Sync,
     {
+        self.run_indexed_quarantined_scratch(n, |i, _scratch| task(i))
+    }
+
+    /// Evaluates `task(i, scratch)` for `i ∈ 0..n` across the worker
+    /// pool and returns *per-index* results in index order — no index
+    /// can abort another. Workers claim small index batches from a
+    /// shared atomic cursor (work stealing by competition); each task
+    /// runs guarded ([`run_guarded`]), so a panicking query yields
+    /// `Err(WorkerPanicked)` in its own slot while the rest of the
+    /// batch completes normally. Also records the invocation's
+    /// [`RunStats`].
+    fn run_indexed_quarantined_scratch<T, F>(&self, n: usize, task: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(usize, &mut WorkerScratch) -> Result<T> + Sync,
+    {
+        let invocation = Instant::now();
         if self.jobs == 1 || n <= 1 {
-            return (0..n).map(|i| Self::run_guarded(&task, i)).collect();
+            // Inline on the calling thread, still reusing its scratch.
+            let mut scratch = self
+                .pool
+                .main_scratch
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let mut stats = WorkerRunStats::default();
+            let out: Vec<Result<T>> = (0..n)
+                .map(|i| {
+                    let t0 = Instant::now();
+                    let r = run_guarded(&task, i, &mut scratch);
+                    stats.busy_ns += t0.elapsed().as_nanos() as u64;
+                    stats.tasks += 1;
+                    r
+                })
+                .collect();
+            stats.batches = u64::from(n > 0);
+            drop(scratch);
+            self.store_run_stats(invocation, vec![stats]);
+            return out;
         }
         // Batches amortize queue contention; small enough to keep the
         // tail balanced across workers.
         let batch = (n / (self.jobs * 8)).clamp(1, 64);
-        let workers = self.jobs.min(n);
-        let next = &AtomicUsize::new(0);
-        let task = &task;
-        let per_worker: Vec<(usize, Result<T>)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let start = next.fetch_add(batch, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            for i in start..(start + batch).min(n) {
-                                local.push((i, Self::run_guarded(task, i)));
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| {
-                    // Tasks are unwind-guarded, so a worker can only die
-                    // of something unrecoverable (e.g. stack overflow
-                    // aborting past catch_unwind). Its claimed indices
-                    // are then re-reported below as uncovered, not
-                    // panicked-through.
-                    h.join().unwrap_or_default()
-                })
-                .collect()
-        });
+        let background = (self.jobs - 1).min(n);
+        let job = IndexedJob {
+            task: &task,
+            n,
+            batch,
+            cursor: AtomicUsize::new(0),
+            results: Mutex::new(Vec::with_capacity(n)),
+            worker_stats: Mutex::new(Vec::with_capacity(background + 1)),
+        };
+        self.pool.run_job(&job, background);
+        let per_worker = job.results.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut workers = job
+            .worker_stats
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        workers.sort_by_key(|w| w.worker);
+        self.store_run_stats(invocation, workers);
         let mut slots: Vec<Option<Result<T>>> = std::iter::repeat_with(|| None).take(n).collect();
         for (i, r) in per_worker.into_iter() {
             slots[i] = Some(r);
@@ -245,12 +688,24 @@ impl ParallelRunner {
             .enumerate()
             .map(|(i, r)| {
                 r.unwrap_or_else(|| {
+                    // Tasks are unwind-guarded, so a worker can only die
+                    // of something unrecoverable (e.g. stack overflow
+                    // aborting past catch_unwind); its claimed indices
+                    // surface here as uncovered, not panicked-through.
                     Err(Error::Internal(format!(
                         "worker thread died before reporting query {i}"
                     )))
                 })
             })
             .collect()
+    }
+
+    fn store_run_stats(&self, invocation: Instant, workers: Vec<WorkerRunStats>) {
+        let stats = RunStats {
+            wall_ns: invocation.elapsed().as_nanos() as u64,
+            workers,
+        };
+        *self.pool.last_run.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
     }
 }
 
@@ -272,10 +727,15 @@ pub struct WorkloadSummary {
     pub total_elapsed_ms: f64,
     /// All DPC measurements, in query order.
     pub report: FeedbackReport,
+    /// Contention profile of the run that produced these outcomes
+    /// (attach with [`WorkloadSummary::with_contention`]; `None` for
+    /// summaries built without a runner).
+    pub contention: Option<RunStats>,
 }
 
 impl WorkloadSummary {
-    /// Reduces per-query outcomes into workload totals.
+    /// Reduces per-query outcomes into workload totals, borrowing (and
+    /// cloning) every measurement.
     pub fn from_outcomes(outcomes: &[QueryOutcome]) -> Self {
         let mut summary = WorkloadSummary::default();
         for outcome in outcomes {
@@ -288,6 +748,27 @@ impl WorkloadSummary {
                 .extend(outcome.report.measurements.iter().cloned());
         }
         summary
+    }
+
+    /// Owning reduction: measurements are *moved* out of the outcomes,
+    /// so summarizing a workload allocates nothing per measurement —
+    /// the bench driver's reduction path.
+    pub fn from_owned(outcomes: Vec<QueryOutcome>) -> Self {
+        let mut summary = WorkloadSummary::default();
+        for outcome in outcomes {
+            summary.queries += 1;
+            summary.total_stats.add(&outcome.stats);
+            summary.total_elapsed_ms += outcome.elapsed_ms;
+            let mut measurements = outcome.report.measurements;
+            summary.report.measurements.append(&mut measurements);
+        }
+        summary
+    }
+
+    /// Attaches a runner's contention profile (builder-style).
+    pub fn with_contention(mut self, contention: Option<RunStats>) -> Self {
+        self.contention = contention;
+        self
     }
 }
 
@@ -369,6 +850,12 @@ mod tests {
         let logical: u64 = outcomes.iter().map(|o| o.stats.logical_reads).sum();
         assert_eq!(summary.total_stats.logical_reads, logical);
         assert!(summary.total_elapsed_ms > 0.0);
+        assert!(summary.contention.is_none());
+        // The owning reduction is identical.
+        let owned = WorkloadSummary::from_owned(outcomes);
+        assert_eq!(owned.queries, summary.queries);
+        assert_eq!(owned.total_stats, summary.total_stats);
+        assert_eq!(owned.report, summary.report);
     }
 
     #[test]
@@ -425,9 +912,60 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_reused_across_runs_and_clones() {
+        let db = demo_db();
+        let queries = workload();
+        let cfg = MonitorConfig::off();
+        let runner = ParallelRunner::new(3);
+        let first = runner.run_queries(&db, &queries, &cfg).unwrap();
+        // Second run (via a clone, as the CLI does) reuses the pool and
+        // its scratch and must be bit-identical.
+        let again = runner.clone().run_queries(&db, &queries, &cfg).unwrap();
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.elapsed_ms, b.elapsed_ms);
+        }
+        let stats = runner.last_run_stats().expect("run recorded stats");
+        assert_eq!(stats.tasks() as usize, queries.len());
+        assert!(stats.wall_ns > 0);
+        assert!(stats.busy_ns() > 0);
+        assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+    }
+
+    #[test]
     fn from_env_respects_pf_jobs_shape() {
-        // No env mutation (tests run threaded): just the parsing contract.
+        // No env mutation here (tests run threaded): just the clamping
+        // contract. Parsing itself is covered by the env-mutex test.
         assert_eq!(ParallelRunner::new(0).jobs(), 1);
         assert!(ParallelRunner::from_env().jobs() >= 1);
+    }
+
+    #[test]
+    fn from_env_parses_pf_jobs_values() {
+        // Process-wide guard: PF_JOBS is global state, and this is the
+        // only test that mutates it. Any concurrent *reader*
+        // (from_env_respects_pf_jobs_shape) asserts only jobs ≥ 1,
+        // which every value set here satisfies.
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var("PF_JOBS").ok();
+        std::env::set_var("PF_JOBS", "3");
+        assert_eq!(ParallelRunner::from_env().jobs(), 3);
+        std::env::set_var("PF_JOBS", "not-a-number");
+        assert!(
+            ParallelRunner::from_env().jobs() >= 1,
+            "unparsable PF_JOBS falls back to the core count"
+        );
+        std::env::set_var("PF_JOBS", "0");
+        assert_eq!(
+            ParallelRunner::from_env().jobs(),
+            1,
+            "PF_JOBS=0 clamps to one worker"
+        );
+        match prev {
+            Some(v) => std::env::set_var("PF_JOBS", v),
+            None => std::env::remove_var("PF_JOBS"),
+        }
     }
 }

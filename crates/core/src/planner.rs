@@ -90,6 +90,31 @@ impl MonitorConfig {
     }
 }
 
+/// The optimizer's resolved decision for a query, before lowering.
+///
+/// This is the unit the plan cache stores: names are resolved, the plan
+/// space enumerated and costed, but no monitors exist yet. Re-lowering a
+/// cached value per execution rebuilds monitors from that run's own seed
+/// (so per-query-index seeding stays intact) while skipping resolution
+/// and optimization entirely.
+#[derive(Debug, Clone)]
+pub enum OptimizedQuery {
+    /// A single-table count: the chosen plan plus the resolved predicate.
+    Single {
+        /// The winning access path.
+        plan: SingleTablePlan,
+        /// The resolved conjunction the plan filters with.
+        pred: Conjunction,
+    },
+    /// A two-table join count.
+    Join {
+        /// The winning join plan.
+        plan: JoinPlan,
+        /// The resolved join specification.
+        spec: JoinSpec,
+    },
+}
+
 /// The optimizer's decision that was lowered.
 #[derive(Debug, Clone)]
 pub enum PlanChoice {
@@ -149,6 +174,16 @@ impl MonitorHarness {
     /// Whether any monitor is attached.
     pub fn is_empty(&self) -> bool {
         self.scans.is_empty() && self.fetches.is_empty()
+    }
+
+    /// The lone scan monitor handle, when the harness watches exactly
+    /// one scan and nothing else — the morsel coordinator's merge
+    /// target for per-morsel monitor partials.
+    pub fn single_scan_handle(&self) -> Option<&ScanMonitorHandle> {
+        match (self.scans.as_slice(), self.fetches.is_empty()) {
+            ([(_, handle, _)], true) => Some(handle),
+            _ => None,
+        }
     }
 
     /// Applies the config's resource limits: creates the governor,
@@ -260,12 +295,14 @@ impl<'a> Planner<'a> {
     /// config's monitor resource limits (if any) across the whole plan's
     /// monitors at once — budgets are per query, not per operator.
     pub fn lower_query(&self, query: &Query, cfg: &MonitorConfig) -> Result<LoweredPlan> {
-        let mut lowered = self.lower_query_ungoverned(query, cfg)?;
-        lowered.harness.apply_governor(cfg);
-        Ok(lowered)
+        let optimized = self.optimize_query(query)?;
+        self.lower_optimized(&optimized, cfg)
     }
 
-    fn lower_query_ungoverned(&self, query: &Query, cfg: &MonitorConfig) -> Result<LoweredPlan> {
+    /// Resolves names and runs the optimizer, without lowering — the
+    /// expensive, monitor-free half of [`Planner::lower_query`] that the
+    /// plan cache memoizes.
+    pub fn optimize_query(&self, query: &Query) -> Result<OptimizedQuery> {
         match query {
             Query::Count {
                 table,
@@ -284,7 +321,7 @@ impl<'a> Planner<'a> {
                 let plan =
                     self.optimizer()
                         .optimize_with_projection(meta.id, &pred, needed.as_deref())?;
-                self.lower_single(&plan, &pred, cfg)
+                Ok(OptimizedQuery::Single { plan, pred })
             }
             Query::JoinCount {
                 outer,
@@ -295,9 +332,26 @@ impl<'a> Planner<'a> {
             } => {
                 let spec = self.resolve_join(outer, inner, outer_pred, outer_col, inner_col)?;
                 let plan = self.optimizer().optimize_join(&spec)?;
-                self.lower_join(&plan, &spec, cfg)
+                Ok(OptimizedQuery::Join { plan, spec })
             }
         }
+    }
+
+    /// Lowers an already-optimized query and applies the config's
+    /// monitor resource limits. Monitors are built fresh from `cfg` on
+    /// every call, so lowering the same [`OptimizedQuery`] under
+    /// different seeds yields independent sampling streams.
+    pub fn lower_optimized(
+        &self,
+        optimized: &OptimizedQuery,
+        cfg: &MonitorConfig,
+    ) -> Result<LoweredPlan> {
+        let mut lowered = match optimized {
+            OptimizedQuery::Single { plan, pred } => self.lower_single(plan, pred, cfg)?,
+            OptimizedQuery::Join { plan, spec } => self.lower_join(plan, spec, cfg)?,
+        };
+        lowered.harness.apply_governor(cfg);
+        Ok(lowered)
     }
 
     /// Resolves a join query's names into a [`JoinSpec`].
@@ -710,6 +764,52 @@ impl<'a> Planner<'a> {
             description,
             explain,
         })
+    }
+
+    /// Builds the monitor set a scan lowering of `plan` would attach —
+    /// identical construction to [`Planner::lower_single`]'s scan arms —
+    /// for morsel workers that execute page sub-ranges outside a lowered
+    /// plan. Returns `None` when the config disables monitoring or no
+    /// expression qualifies.
+    pub fn scan_monitor_set(
+        &self,
+        plan: &SingleTablePlan,
+        pred: &Conjunction,
+        cfg: &MonitorConfig,
+    ) -> Result<Option<ScanMonitorSet>> {
+        if !cfg.enabled {
+            return Ok(None);
+        }
+        let meta = self.catalog.table(plan.table)?;
+        let pages = f64::from(meta.stats.pages);
+        let est = CardinalityEstimator::new(
+            self.stats,
+            self.hints,
+            plan.table,
+            &meta.name,
+            meta.stats.rows,
+        );
+        Ok(self.scan_monitors(plan.table, pred, cfg, &est, pages))
+    }
+
+    /// The page range a scan lowering of `plan` would cover, plus
+    /// whether its first access pays a random (positioning) I/O.
+    /// `None` for non-scan access paths.
+    pub fn scan_page_range(
+        &self,
+        plan: &SingleTablePlan,
+        pred: &Conjunction,
+    ) -> Result<Option<((u32, u32), bool)>> {
+        let meta = self.catalog.table(plan.table)?;
+        match &plan.path {
+            AccessPath::FullScan => Ok(Some(((0, meta.storage.page_count()), false))),
+            AccessPath::ClusteredRange { atoms } => {
+                let (lo, hi) = combined_bounds(pred, atoms);
+                let range = meta.storage.locate_range(lo.as_ref(), hi.as_ref())?;
+                Ok(Some((range, true)))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Builds the scan-plan monitor set: one expression per indexed

@@ -19,7 +19,8 @@ use crate::governor::{GovernorHandle, ShedClass};
 use pf_common::rng::Rng;
 use pf_common::DatumAccess;
 use pf_feedback::{
-    BitVectorFilter, DpcMeasurement, FeedbackReport, LinearCounter, Mechanism, Sketch,
+    BitVectorFilter, DpcMeasurement, FeedbackReport, GroupedPageCounter, LinearCounter, Mechanism,
+    Sketch,
 };
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -63,6 +64,13 @@ enum ScanExprKind {
 }
 
 /// One monitored expression on a scan.
+///
+/// Page counting is delegated to a [`GroupedPageCounter`] (the scan-plan
+/// grouped-access property of Section III-B): one flag per current page,
+/// flushed at page boundaries. Keeping the counter as a real sketch —
+/// rather than a bare `u64` — is what lets intra-query morsel workers
+/// each count their disjoint page range and merge exactly via
+/// [`GroupedPageCounter::merge`].
 #[derive(Debug)]
 pub struct ScanExprMonitor {
     /// Canonical expression text for the report.
@@ -71,7 +79,7 @@ pub struct ScanExprMonitor {
     pub estimated: Option<f64>,
     kind: ScanExprKind,
     satisfied_this_page: bool,
-    count: u64,
+    counter: GroupedPageCounter,
     shed: bool,
 }
 
@@ -95,7 +103,7 @@ impl ScanExprMonitor {
                 prefix_len,
             },
             satisfied_this_page: false,
-            count: 0,
+            counter: GroupedPageCounter::new(),
             shed: false,
         }
     }
@@ -107,7 +115,7 @@ impl ScanExprMonitor {
             estimated,
             kind: ScanExprKind::SemiJoin(slot),
             satisfied_this_page: false,
-            count: 0,
+            counter: GroupedPageCounter::new(),
             shed: false,
         }
     }
@@ -377,6 +385,9 @@ impl ScanMonitorSet {
     pub fn finish(&mut self) {
         self.flush_page();
         self.in_page = false;
+        for e in &mut self.exprs {
+            e.counter.finish();
+        }
     }
 
     /// Hash operations performed by semi-join monitoring since the last
@@ -422,10 +433,11 @@ impl ScanMonitorSet {
     pub fn harvest(&mut self, table: &str, report: &mut FeedbackReport) {
         self.finish();
         for e in &self.exprs {
+            let count = e.counter.count();
             let (actual, mechanism) = if e.is_prefix() {
-                (e.count as f64, Mechanism::ExactScan)
+                (count as f64, Mechanism::ExactScan)
             } else {
-                let scaled = e.count as f64 / self.fraction;
+                let scaled = count as f64 / self.fraction;
                 match &e.kind {
                     ScanExprKind::SemiJoin(slot) => {
                         // Correct for hash collisions: a page with no
@@ -451,7 +463,7 @@ impl ScanMonitorSet {
                         let fpp = 1.0 - (1.0 - fill).powf(rpp);
                         // Floor at one page when any hit was observed —
                         // a join that returned rows touched ≥ 1 page.
-                        let floor = if e.count > 0 { 1.0 } else { 0.0 };
+                        let floor = if count > 0 { 1.0 } else { 0.0 };
                         let corrected = if fpp < 1.0 {
                             ((scaled - pages * fpp) / (1.0 - fpp)).clamp(floor, scaled)
                         } else {
@@ -483,15 +495,78 @@ impl ScanMonitorSet {
 
     fn flush_page(&mut self) {
         if self.in_page {
+            // One grouped observation per page: `pages_seen` doubles as
+            // the (strictly increasing) page ordinal, so the counter's
+            // page-transition logic fires exactly once per scanned page.
+            let page = self.pages_seen as u32;
             for e in &mut self.exprs {
-                if e.satisfied_this_page {
-                    e.count += 1;
-                }
+                e.counter.observe_row(page, e.satisfied_this_page);
                 e.satisfied_this_page = false;
             }
         }
         self.page_sampled = false;
     }
+
+    /// Whether this set's observations can be partitioned across
+    /// disjoint page ranges and merged exactly: every expression is an
+    /// atom conjunction (no semi-join filter, whose harvest correction
+    /// mixes in set-level row statistics), nothing has been shed,
+    /// sampling is exact (fraction ≥ 1.0 consumes no randomness, so
+    /// splitting the page stream cannot desynchronise the RNG), and no
+    /// governor is attached (deadline shedding assumes one serial clock).
+    pub fn supports_partition(&self) -> bool {
+        self.fraction >= 1.0
+            && self.governor.is_none()
+            && self
+                .exprs
+                .iter()
+                .all(|e| matches!(e.kind, ScanExprKind::Atoms { .. }) && !e.shed)
+    }
+
+    /// Finishes the set and extracts its per-expression counters for a
+    /// cross-thread merge. The set itself holds `Rc` handles and cannot
+    /// leave its worker; the counters are plain mergeable sketches.
+    pub fn into_partial(mut self) -> ScanMonitorPartial {
+        self.finish();
+        ScanMonitorPartial {
+            counters: self.exprs.iter().map(|e| e.counter.clone()).collect(),
+            pages_seen: self.pages_seen,
+            pages_sampled: self.pages_sampled,
+            rows_seen: self.rows_seen,
+            skipped_pages: self.skipped_pages,
+        }
+    }
+
+    /// Folds one morsel's finished partial into this set via
+    /// [`GroupedPageCounter::merge`]. Exact when morsels scanned disjoint
+    /// page ranges ([`ScanMonitorSet::supports_partition`]); call in
+    /// morsel order so set-level counters accumulate deterministically.
+    pub fn absorb_partial(&mut self, partial: &ScanMonitorPartial) {
+        assert_eq!(
+            self.exprs.len(),
+            partial.counters.len(),
+            "partial was extracted from a differently-shaped monitor set"
+        );
+        for (e, c) in self.exprs.iter_mut().zip(&partial.counters) {
+            e.counter.merge(c);
+        }
+        self.pages_seen += partial.pages_seen;
+        self.pages_sampled += partial.pages_sampled;
+        self.rows_seen += partial.rows_seen;
+        self.skipped_pages += partial.skipped_pages;
+    }
+}
+
+/// A morsel worker's finished scan-monitor state, reduced to plain
+/// mergeable data (`Send`): one [`GroupedPageCounter`] per monitored
+/// expression plus the set-level page/row counters.
+#[derive(Debug, Clone)]
+pub struct ScanMonitorPartial {
+    counters: Vec<GroupedPageCounter>,
+    pages_seen: u64,
+    pages_sampled: u64,
+    rows_seen: u64,
+    skipped_pages: u64,
 }
 
 /// When a [`FetchMonitor`] observes a fetched row's page.

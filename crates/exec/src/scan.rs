@@ -81,6 +81,41 @@ impl SeqScan {
         }
     }
 
+    /// A scan restricted to the page sub-range `[first, last)` — one
+    /// morsel of a partitioned scan. `first_random` declares whether the
+    /// morsel's first page access pays a random (positioning) I/O; only
+    /// the morsel that inherits a clustered seek's initial placement
+    /// should pass `true`, so the summed per-morsel I/O counters equal a
+    /// serial scan of the whole range exactly.
+    pub fn with_page_range(
+        storage: Arc<TableStorage>,
+        table_id: TableId,
+        predicate: Conjunction,
+        monitors: Option<ScanMonitorHandle>,
+        page_range: (u32, u32),
+        first_random: bool,
+    ) -> Self {
+        let last = page_range.1.min(storage.page_count());
+        let first = page_range.0.min(last);
+        SeqScan {
+            storage,
+            table_id,
+            predicate,
+            monitors,
+            page_range: (first, last),
+            first_random,
+            next_page: first,
+            started: false,
+            finished: false,
+            buffer: VecDeque::new(),
+            atom_buf: Vec::new(),
+            qualifying: Vec::new(),
+            deferred_monitoring: false,
+            last_delivered_page: None,
+            pending_observation: None,
+        }
+    }
+
     /// Switches to delivery-time monitoring (see the field docs). Only
     /// valid for predicate-free scans with semi-join monitors: filtered
     /// rows would never be delivered, hence never observed.

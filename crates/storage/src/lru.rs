@@ -30,11 +30,17 @@ pub struct LruSet<K: Eq + Hash + Clone> {
 
 impl<K: Eq + Hash + Clone> LruSet<K> {
     /// Creates an LRU set holding at most `capacity` keys (min 1).
+    ///
+    /// Storage is allocated lazily as keys arrive: a large-capacity set
+    /// that only ever sees a few keys (a 64 Ki-page buffer pool scanning
+    /// a 500-page table) costs a few small allocations, not an eager
+    /// `capacity`-sized map + slab. [`LruSet::clear`] keeps whatever
+    /// grew, so a reused set stops allocating entirely.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         LruSet {
-            map: HashMap::with_capacity(capacity),
-            slab: Vec::with_capacity(capacity),
+            map: HashMap::new(),
+            slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,

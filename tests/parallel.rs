@@ -317,3 +317,197 @@ fn runner_queries_and_summary_match_serial() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Plan cache: hits on repeats, invalidation on state changes
+// ---------------------------------------------------------------------
+
+/// Repeated query shapes hit the plan cache; results are bit-identical
+/// to a cache-disabled database at every worker count.
+#[test]
+fn plan_cache_hits_repeats_and_is_semantically_invisible() {
+    let queries = feedback_workload();
+    let cfg = MonitorConfig::default();
+
+    let mut reference_db = build_db();
+    reference_db.set_plan_cache_enabled(false);
+    let reference: Vec<_> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            reference_db
+                .run(q, &ParallelRunner::cfg_for(&cfg, i))
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        !reference_db.plan_cache_stats().enabled,
+        "reference database must bypass the cache"
+    );
+
+    for jobs in [1, 2, 8] {
+        let db = build_db();
+        assert!(db.plan_cache_stats().enabled, "cache on by default");
+        let runner = ParallelRunner::new(jobs);
+        // Two passes over the same workload: the second is all hits.
+        runner.run_queries(&db, &queries, &cfg).unwrap();
+        let outcomes = runner.run_queries(&db, &queries, &cfg).unwrap();
+        for (s, p) in reference.iter().zip(&outcomes) {
+            assert_eq!(s.count, p.count, "jobs {jobs}");
+            assert_eq!(s.stats, p.stats, "jobs {jobs}");
+            assert_eq!(s.report, p.report, "jobs {jobs}");
+            assert_eq!(s.description, p.description, "jobs {jobs}");
+        }
+        let stats = db.plan_cache_stats();
+        assert!(
+            stats.hits >= queries.len() as u64,
+            "second pass must hit: {stats:?}"
+        );
+        assert!(stats.hit_rate() > 0.0);
+        assert!(stats.entries > 0);
+    }
+}
+
+/// Feedback absorption and DML both clear the cache: cached decisions
+/// must never outlive the statistics they were derived from.
+#[test]
+fn plan_cache_invalidates_on_feedback_and_dml() {
+    let mut db = build_db();
+    let cfg = MonitorConfig::default();
+    let query = Query::count(
+        "t",
+        vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(500))],
+    );
+
+    db.run(&query, &cfg).unwrap();
+    db.run(&query, &cfg).unwrap();
+    let warm = db.plan_cache_stats();
+    assert!(warm.hits >= 1, "repeat must hit: {warm:?}");
+    assert!(warm.entries > 0);
+
+    // Absorbing harvested feedback can flip plan choices → cache drops.
+    let outcome = db.run(&query, &cfg).unwrap();
+    db.absorb_feedback(&outcome.report).unwrap();
+    let after_absorb = db.plan_cache_stats();
+    assert_eq!(after_absorb.entries, 0, "absorb must clear the cache");
+    assert!(after_absorb.invalidations > warm.invalidations);
+
+    // Repopulate, then mutate the table: DML also invalidates.
+    db.run(&query, &cfg).unwrap();
+    assert!(db.plan_cache_stats().entries > 0);
+    db.insert_row(
+        "t",
+        Row::new(vec![
+            Datum::Int(20_000),
+            Datum::Int(20_000),
+            Datum::Int(13),
+            Datum::Str("x".repeat(60)),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(
+        db.plan_cache_stats().entries,
+        0,
+        "insert_row must clear the cache"
+    );
+
+    // DML also invalidates statistics; re-analyze before optimizing.
+    db.analyze().unwrap();
+    db.run(&query, &cfg).unwrap();
+    assert!(db.plan_cache_stats().entries > 0);
+    db.delete_where("t", |row| row.get(0) == &Datum::Int(20_000))
+        .unwrap();
+    assert_eq!(
+        db.plan_cache_stats().entries,
+        0,
+        "delete_where must clear the cache"
+    );
+
+    // The cleared cache still answers correctly (miss → repopulate).
+    db.analyze().unwrap();
+    let fresh = db.run(&query, &cfg).unwrap();
+    assert_eq!(fresh.count, outcome.count);
+}
+
+// ---------------------------------------------------------------------
+// Morsel parallelism: intra-query splits are bit-identical to serial
+// ---------------------------------------------------------------------
+
+/// Every eligible scan shape (full scan with and without predicates,
+/// clustered range) split into morsels produces the same count, I/O
+/// counters, simulated time, sketches, and plan text as `Database::run`,
+/// at every worker count.
+#[test]
+fn morsel_run_query_is_bit_identical_to_serial() {
+    let db = build_db();
+    let cfg = MonitorConfig::default();
+    let shapes = [
+        // Unpredicated full scan (CountArg::Star still walks the heap).
+        Query::count("t", vec![]),
+        // Predicated table scan — wide enough that the optimizer keeps
+        // the full scan rather than an index.
+        Query::count(
+            "t",
+            vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(15_000))],
+        ),
+        // Clustered-range scan on the primary key.
+        Query::count(
+            "t",
+            vec![
+                PredSpec::new("id", CompareOp::Ge, Datum::Int(2_000)),
+                PredSpec::new("id", CompareOp::Lt, Datum::Int(18_000)),
+            ],
+        ),
+    ];
+    for (qi, query) in shapes.iter().enumerate() {
+        let serial = db.run(query, &cfg).unwrap();
+        assert!(
+            db.morsel_scan(query, &cfg).unwrap().is_some(),
+            "shape {qi} must be morsel-eligible"
+        );
+        for jobs in [2, 8] {
+            let runner = ParallelRunner::new(jobs);
+            let morsel = runner.run_query(&db, query, &cfg).unwrap();
+            assert_eq!(serial.count, morsel.count, "shape {qi}, jobs {jobs}");
+            assert_eq!(serial.stats, morsel.stats, "shape {qi}, jobs {jobs}");
+            assert_eq!(serial.report, morsel.report, "shape {qi}, jobs {jobs}");
+            assert_eq!(
+                serial.description, morsel.description,
+                "shape {qi}, jobs {jobs}"
+            );
+            assert!(
+                (serial.elapsed_ms - morsel.elapsed_ms).abs() < 1e-12,
+                "shape {qi}, jobs {jobs}"
+            );
+        }
+    }
+}
+
+/// Ineligible queries (index plans, sampled monitoring, joins) fall back
+/// to the serial path and still match `Database::run` exactly.
+#[test]
+fn morsel_run_query_falls_back_for_ineligible_shapes() {
+    let db = build_db();
+    let runner = ParallelRunner::new(4);
+    // Sampled monitoring consumes RNG per page → not splittable.
+    let sampled = MonitorConfig::sampled(0.5);
+    let narrow = Query::count(
+        "t",
+        vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(200))],
+    );
+    assert!(db.morsel_scan(&narrow, &sampled).unwrap().is_none());
+    let s = db.run(&narrow, &sampled).unwrap();
+    let p = runner.run_query(&db, &narrow, &sampled).unwrap();
+    assert_eq!(s.count, p.count);
+    assert_eq!(s.stats, p.stats);
+    assert_eq!(s.report, p.report);
+
+    // Join shapes never split.
+    let join = Query::join_count("t", "t", vec![], "corr", "scat");
+    let cfg = MonitorConfig::default();
+    assert!(db.morsel_scan(&join, &cfg).unwrap().is_none());
+    let s = db.run(&join, &cfg).unwrap();
+    let p = runner.run_query(&db, &join, &cfg).unwrap();
+    assert_eq!(s.count, p.count);
+    assert_eq!(s.stats, p.stats);
+}
