@@ -1,0 +1,32 @@
+use pagefeed::{Database, MonitorConfig, ParallelRunner, PredSpec, Query};
+use pf_common::{Column, DataType, Datum, Row, Schema};
+use pf_exec::CompareOp;
+
+fn demo_db() -> Database {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("v", DataType::Int),
+    ]);
+    let rows: Vec<Row> = (0..2000i64)
+        .map(|i| Row::new(vec![Datum::Int(i), Datum::Int(i % 97)]))
+        .collect();
+    db.create_table("t", schema, rows, Some("id")).unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+#[test]
+fn shrinking_batch_after_large_batch() {
+    let db = demo_db();
+    let cfg = MonitorConfig::off();
+    let q = |hi: i64| Query::count("t", vec![PredSpec::new("v", CompareOp::Lt, Datum::Int(hi))]);
+    let runner = ParallelRunner::new(8);
+    let big: Vec<Query> = (0..64).map(|i| q(i % 50)).collect();
+    runner.run_queries(&db, &big, &cfg).unwrap();
+    for r in 0..50 {
+        let small: Vec<Query> = (0..2).map(|i| q(i + 1)).collect();
+        runner.run_queries(&db, &small, &cfg).unwrap();
+        eprintln!("round {r} ok");
+    }
+}
