@@ -14,7 +14,11 @@
 //!   default because single-core hosts cannot exhibit real speedup;
 //!   the JSON's `hardware_threads` field records what the host offered.
 
-use pagefeed::{Database, MonitorConfig, ParallelRunner, Query, RunStats, WorkloadSummary};
+use pagefeed::{
+    Database, MonitorConfig, ParallelRunner, PredSpec, Query, RunStats, WorkloadSummary,
+};
+use pf_common::Datum;
+use pf_exec::CompareOp;
 use pf_workloads::single_table_workload;
 use pf_workloads::synthetic::{build, SyntheticConfig};
 use std::time::Instant;
@@ -115,6 +119,65 @@ fn main() {
         cache.invalidations,
     );
 
+    // -----------------------------------------------------------------
+    // Intra-query morsel scaling: single queries repeatedly executed
+    // through `run_query`, which splits the monitored scan into
+    // page-range morsels and the hash join into build/probe morsels.
+    // Each case asserts bit-identity against its jobs=1 outcome before
+    // timing counts for anything.
+    // -----------------------------------------------------------------
+    let nrows = if quick() { 10_000i64 } else { 40_000 };
+    let cases: Vec<(&str, Query, MonitorConfig)> = vec![
+        (
+            "monitored_scan",
+            Query::count(
+                "T",
+                vec![PredSpec::new(
+                    "c2",
+                    CompareOp::Lt,
+                    Datum::Int(nrows * 3 / 4),
+                )],
+            ),
+            MonitorConfig::sampled(0.5),
+        ),
+        (
+            // Scattered inner join column keeps the optimizer on a hash
+            // join; its build and probe phases split into morsels.
+            "hash_join",
+            Query::join_count("T", "T", vec![], "c2", "c5"),
+            MonitorConfig::default(),
+        ),
+    ];
+    let reps = if quick() { 3 } else { 8 };
+    let mut intra: Vec<(String, usize, f64, f64)> = Vec::new();
+    for (name, query, mcfg) in &cases {
+        let serial = db.run(query, mcfg).unwrap();
+        let mut base_eps = 0.0;
+        for jobs in [1usize, 2, 4, 8] {
+            let runner = ParallelRunner::new(jobs);
+            // Warm the pool, and check the morsel result is the serial
+            // result before trusting any timing from this case.
+            let outcome = runner.run_query(&db, query, mcfg).unwrap();
+            assert_eq!(serial.count, outcome.count, "{name} jobs={jobs}");
+            assert_eq!(serial.stats, outcome.stats, "{name} jobs={jobs}");
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = Instant::now();
+                for _ in 0..reps {
+                    runner.run_query(&db, query, mcfg).unwrap();
+                }
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            let eps = reps as f64 / best;
+            if jobs == 1 {
+                base_eps = eps;
+            }
+            let speedup = eps / base_eps;
+            println!("{name:<16} jobs={jobs:<2} {eps:>8.1} execs/sec   {speedup:>5.2}x vs serial");
+            intra.push((name.to_string(), jobs, eps, speedup));
+        }
+    }
+
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
@@ -140,15 +203,24 @@ fn main() {
             )
         })
         .collect();
+    let intra_rows: Vec<String> = intra
+        .iter()
+        .map(|(name, jobs, eps, speedup)| {
+            format!(
+                "    {{\"case\": \"{name}\", \"jobs\": {jobs}, \"execs_per_sec\": {eps:.2}, \"speedup_vs_serial\": {speedup:.3}}}"
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"parallel_driver\",\n  \"queries\": {},\n  \"hardware_threads\": {},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}, \"invalidations\": {}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"parallel_driver\",\n  \"queries\": {},\n  \"hardware_threads\": {},\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}, \"invalidations\": {}}},\n  \"results\": [\n{}\n  ],\n  \"intra_query\": [\n{}\n  ]\n}}\n",
         queries.len(),
         hardware_threads,
         cache.hits,
         cache.misses,
         cache.hit_rate(),
         cache.invalidations,
-        rows.join(",\n")
+        rows.join(",\n"),
+        intra_rows.join(",\n")
     );
     // cargo runs benches with CWD = the package dir; put the artifact at
     // the workspace root where CI collects BENCH_*.json files.
@@ -172,5 +244,24 @@ fn main() {
             std::process::exit(1);
         }
         println!("scaling gate passed: jobs=8 {eight:.1} q/s >= jobs=1 {one:.1} q/s");
+        for (name, _, _) in &cases {
+            let eps_at = |jobs: usize| {
+                intra
+                    .iter()
+                    .find(|(n, j, _, _)| n == name && *j == jobs)
+                    .map(|(_, _, eps, _)| *eps)
+                    .unwrap_or(0.0)
+            };
+            let (one, eight) = (eps_at(1), eps_at(8));
+            if eight < one {
+                eprintln!(
+                    "FAIL: negative morsel scaling — {name} jobs=8 {eight:.1} execs/s < jobs=1 {one:.1} execs/s"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "morsel gate passed: {name} jobs=8 {eight:.1} execs/s >= jobs=1 {one:.1} execs/s"
+            );
+        }
     }
 }

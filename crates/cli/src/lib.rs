@@ -1,6 +1,8 @@
 //! The shell engine behind `pagefeed-cli` — separated from the binary so
 //! every command is unit-testable.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use pagefeed::{parse_query, Database, MonitorConfig, ParallelRunner, Query, WorkloadSummary};
 use pf_common::Error;
 use pf_workloads::{realworld, synthetic, tpch};

@@ -10,6 +10,8 @@
 //!
 //! See `.help` for the full command list.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use pf_cli::Shell;
 use std::io::{BufRead, Write};
 

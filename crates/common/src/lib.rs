@@ -13,6 +13,8 @@
 //! * [`rng`] — a tiny deterministic PRNG (SplitMix64 / Xoshiro256**) so
 //!   every experiment in the paper reproduction is exactly replayable.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod error;
 pub mod hash;
 pub mod ids;

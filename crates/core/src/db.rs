@@ -4,14 +4,16 @@ use crate::feedback_store::FeedbackStore;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::planner::{LoweredPlan, MonitorConfig, OptimizedQuery, PlanChoice, Planner};
 use crate::query::Query;
-use pf_common::{Error, IndexId, PageId, Result, Row, Schema, TableId};
-use pf_exec::monitor::ScanMonitorPartial;
+use pf_common::hash::hash_datum;
+use pf_common::{Datum, Error, IndexId, PageId, Result, Rid, Row, Schema, TableId};
+use pf_exec::index::{Fetch, IndexSeek, RidList, SeekRange};
+use pf_exec::monitor::{FetchTemplate, MonitorTemplate, ScanMonitorPartial, SemiJoinRecipe};
 use pf_exec::scan::SeqScan;
-use pf_exec::{drain, Conjunction, ExecContext};
-use pf_feedback::FeedbackReport;
+use pf_exec::{drain, run_count, Conjunction, ExecContext, RidSource};
+use pf_feedback::{BitVectorFilter, FeedbackReport, LinearCounter};
 use pf_optimizer::{
-    CostModel, DbStats, EpochStamp, HintSet, Optimizer, SingleTablePlan, StalenessPolicy,
-    TableEpochState,
+    AccessPath, CostModel, DbStats, EpochStamp, HintSet, JoinMethod, JoinPlan, JoinSpec, Optimizer,
+    SingleTablePlan, StalenessPolicy, TableEpochState,
 };
 use pf_storage::{Catalog, DiskModel, FaultPlan, IoStats, TableBuilder};
 use std::cell::RefCell;
@@ -68,6 +70,84 @@ pub struct MorselScan {
     /// Whether the scan's first page access pays a random (positioning)
     /// I/O — true for clustered range scans; morsel 0 inherits it.
     pub first_random: bool,
+}
+
+/// An index-driven single-table plan whose RID fetch list executes as
+/// contiguous-run morsels.
+#[derive(Debug, Clone)]
+pub struct MorselFetch {
+    /// The winning index-driven plan (`IndexSeek` / `IndexIntersection`).
+    pub plan: SingleTablePlan,
+    /// The full resolved predicate (seekable atoms plus residual).
+    pub pred: Conjunction,
+}
+
+/// A hash join whose build side runs as outer-scan morsels and whose
+/// probe side runs as inner page-range morsels.
+#[derive(Debug, Clone)]
+pub struct MorselHashJoin {
+    /// The winning join plan.
+    pub plan: JoinPlan,
+    /// The resolved join specification.
+    pub spec: JoinSpec,
+    /// The build-side scan, morsel-partitionable.
+    pub outer_scan: MorselScan,
+    /// `[first, last)` pages of the probe-side full scan.
+    pub inner_range: (u32, u32),
+    /// Semi-join filter sizing `(numbits, seed)` when the planner would
+    /// attach one — mirrors the serial lowering's `BitVectorConfig`, so
+    /// per-morsel filter fragments OR-merge into the serial filter.
+    pub filter: Option<(usize, u64)>,
+}
+
+/// An index-nested-loops join: outer-scan morsels collect join keys, the
+/// coordinator replays the inner index seeks, and the resulting RID run
+/// fetches in morsels.
+#[derive(Debug, Clone)]
+pub struct MorselInlJoin {
+    /// The winning join plan.
+    pub plan: JoinPlan,
+    /// The resolved join specification.
+    pub spec: JoinSpec,
+    /// The outer (driving) scan, morsel-partitionable.
+    pub outer_scan: MorselScan,
+}
+
+/// Every query shape the parallel driver can execute as morsels. Shapes
+/// not represented here (merge joins, index-only scans, DPC-cache
+/// overlays, governor deadlines) fall back to a serial run.
+#[derive(Debug, Clone)]
+pub enum MorselPlan {
+    /// A sequential scan split into page-range morsels.
+    Scan(MorselScan),
+    /// An index-driven fetch split into RID-run morsels.
+    Fetch(MorselFetch),
+    /// A hash join with morsel build and probe phases.
+    HashJoin(MorselHashJoin),
+    /// An index-nested-loops join with morsel outer and fetch phases.
+    InlJoin(MorselInlJoin),
+}
+
+/// What one build-side join morsel returns: the passing rows' join keys
+/// in row order, the morsel's I/O counters, its scan-monitor partial,
+/// and its semi-join bit-vector fragment.
+pub type BuildMorselOutput = (
+    Vec<Datum>,
+    IoStats,
+    Option<ScanMonitorPartial>,
+    Option<BitVectorFilter>,
+);
+
+/// Seed for routing build keys to probe-side multiplicity partitions —
+/// distinct from every monitor seed so partition routing never correlates
+/// with sketch hashing.
+const PARTITION_SEED: u64 = 0xC0FF_EE00_D15C_0B01;
+
+/// Which multiplicity partition a join key routes to. A pure function of
+/// the key, so build-side partitioning and probe-side lookups agree
+/// without coordination.
+pub fn hash_partition_of(key: &Datum, parts: usize) -> usize {
+    (hash_datum(key, PARTITION_SEED) % parts.max(1) as u64) as usize
 }
 
 /// An embedded analytical database with page-count execution feedback.
@@ -514,70 +594,268 @@ impl Database {
     // Intra-query morsel parallelism.
     // ------------------------------------------------------------------
 
-    /// Decides whether `query` under `cfg` can execute as page-range
-    /// morsels, returning the shared scan description if so.
-    ///
-    /// Eligible: a single-table count whose winning plan is a sequential
-    /// scan (`FullScan` / `ClusteredRange`) of ≥ 2 pages, with no fault
-    /// plan or DPC-histogram overlay active, and monitoring either off
-    /// or in exact mode with no governor — exactly the configurations
-    /// where per-morsel monitors consume no RNG and partials merge
-    /// byte-identically to a serial scan.
-    pub fn morsel_scan(&self, query: &Query, cfg: &MonitorConfig) -> Result<Option<MorselScan>> {
-        if self.dpc_cache.is_some() || self.fault_plan().is_some() {
-            return Ok(None);
+    /// Whether intra-query morsel parallelism is enabled at all — the
+    /// `PF_MORSEL` environment knob. Unset or any value other than
+    /// `off`/`0`/`false` enables it.
+    pub fn morsels_enabled() -> bool {
+        match std::env::var("PF_MORSEL") {
+            Ok(v) => !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "off" | "0" | "false"
+            ),
+            Err(_) => true,
         }
-        if cfg.enabled
-            && (cfg.sampling_fraction < 1.0
-                || cfg.memory_budget.is_some()
-                || cfg.deadline_ms.is_some())
-        {
+    }
+
+    /// Decides whether `query` under `cfg` can execute as plain
+    /// page-range scan morsels, returning the shared scan description if
+    /// so. Retained (delegating to [`Database::morsel_plan`]) for
+    /// callers that only care about the scan shape.
+    pub fn morsel_scan(&self, query: &Query, cfg: &MonitorConfig) -> Result<Option<MorselScan>> {
+        Ok(match self.morsel_plan(query, cfg)? {
+            Some(MorselPlan::Scan(scan)) => Some(scan),
+            _ => None,
+        })
+    }
+
+    /// Classifies `query` under `cfg` into a morsel-executable shape, or
+    /// `None` when only the serial path preserves bit-identity.
+    ///
+    /// Global gates: `PF_MORSEL=off`, a DPC-histogram overlay (per-query
+    /// hint sets are neither cacheable nor splittable), or a governor
+    /// deadline (mid-run shedding assumes one monotone clock) force a
+    /// serial run. Sampled and budgeted monitors are fine: page sampling
+    /// is a pure function of `(seed, page)` and budget shedding is
+    /// decided once at lowering, so both replicate per morsel.
+    /// Sequential scans parallelize even under a fault plan (stalls
+    /// retry morsel-locally; corruption is a pure function of the page);
+    /// index-fetch and join shapes additionally require a fault-free
+    /// catalog, and shapes whose distinct-page accounting is reconciled
+    /// at merge time require a buffer pool that cannot evict
+    /// (`pages ≤ pool_pages`).
+    pub fn morsel_plan(&self, query: &Query, cfg: &MonitorConfig) -> Result<Option<MorselPlan>> {
+        if !Self::morsels_enabled() || self.dpc_cache.is_some() || cfg.deadline_ms.is_some() {
             return Ok(None);
         }
         let planner = self.planner()?;
         let optimized = self.optimized(query, cfg, &planner)?;
-        let OptimizedQuery::Single { plan, pred } = &*optimized else {
-            return Ok(None);
-        };
-        let Some((page_range, first_random)) = planner.scan_page_range(plan, pred)? else {
-            return Ok(None);
-        };
-        if page_range.1.saturating_sub(page_range.0) < 2 {
-            return Ok(None);
-        }
-        if let Some(set) = planner.scan_monitor_set(plan, pred, cfg)? {
-            // Defense in depth: the config checks above already exclude
-            // sampled/governed sets, and plain scans never carry
-            // semi-join monitors.
-            if !set.supports_partition() {
-                return Ok(None);
+        match &*optimized {
+            OptimizedQuery::Single { plan, pred } => {
+                if let Some((page_range, first_random)) = planner.scan_page_range(plan, pred)? {
+                    if page_range.1.saturating_sub(page_range.0) < 2 {
+                        return Ok(None);
+                    }
+                    return Ok(Some(MorselPlan::Scan(MorselScan {
+                        plan: plan.clone(),
+                        pred: pred.clone(),
+                        page_range,
+                        first_random,
+                    })));
+                }
+                if self.fault_plan().is_some() {
+                    return Ok(None);
+                }
+                match plan.path {
+                    AccessPath::IndexSeek { .. } | AccessPath::IndexIntersection { .. } => {}
+                    _ => return Ok(None),
+                }
+                let meta = self.catalog.table(plan.table)?;
+                if meta.stats.pages as usize > self.pool_pages {
+                    // Merge-time residency reconciliation assumes no
+                    // eviction: every re-fetch of a page must hit.
+                    return Ok(None);
+                }
+                Ok(Some(MorselPlan::Fetch(MorselFetch {
+                    plan: plan.clone(),
+                    pred: pred.clone(),
+                })))
+            }
+            OptimizedQuery::Join { plan, spec } => {
+                if self.fault_plan().is_some() {
+                    return Ok(None);
+                }
+                let Some((page_range, first_random)) =
+                    planner.scan_page_range(&plan.outer_plan, &spec.outer_pred)?
+                else {
+                    return Ok(None);
+                };
+                let outer_scan = MorselScan {
+                    plan: plan.outer_plan.clone(),
+                    pred: spec.outer_pred.clone(),
+                    page_range,
+                    first_random,
+                };
+                let outer_pages = self.catalog.table(spec.outer)?.stats.pages as usize;
+                let inner_pages = self.catalog.table(spec.inner)?.stats.pages as usize;
+                if outer_pages + inner_pages > self.pool_pages {
+                    // Cross-phase residency reconciliation (a self-join's
+                    // probe hits the build scan's pages; fetch runs hit
+                    // earlier runs' pages) assumes the serial pool never
+                    // evicted during the whole join.
+                    return Ok(None);
+                }
+                match plan.method {
+                    JoinMethod::Hash => {
+                        if inner_pages < 2 {
+                            return Ok(None);
+                        }
+                        let filter = planner.join_filter_config(plan, spec, cfg)?;
+                        Ok(Some(MorselPlan::HashJoin(MorselHashJoin {
+                            plan: plan.clone(),
+                            spec: spec.clone(),
+                            outer_scan,
+                            inner_range: (0, inner_pages as u32),
+                            filter,
+                        })))
+                    }
+                    JoinMethod::IndexNestedLoops => {
+                        if spec.inner == spec.outer {
+                            // A self-join's inner fetches interleave with
+                            // the outer scan in serial execution: a fetch
+                            // can warm a page *ahead* of the scan cursor,
+                            // turning a later sequential miss into a hit.
+                            // That accounting is inherently order-
+                            // dependent, so INL self-joins stay serial.
+                            return Ok(None);
+                        }
+                        Ok(Some(MorselPlan::InlJoin(MorselInlJoin {
+                            plan: plan.clone(),
+                            spec: spec.clone(),
+                            outer_scan,
+                        })))
+                    }
+                    JoinMethod::Merge => Ok(None),
+                }
             }
         }
-        Ok(Some(MorselScan {
-            plan: plan.clone(),
-            pred: pred.clone(),
-            page_range,
-            first_random,
-        }))
     }
 
     /// Runs one morsel of a partitioned scan: a private scan over
-    /// `page_range` with its own freshly built (identically configured)
-    /// monitor set, reusing `ctx`. Returns the morsel's row count, I/O
-    /// counters, and finished monitor partial for the coordinator to
-    /// merge in morsel order.
+    /// `page_range` whose monitor set is rebuilt from the reference
+    /// `template` (extracted post-governor, so budget shedding
+    /// replicates), reusing `ctx`. Transient injected stalls retry
+    /// morsel-locally — a cold restart of just this page range. Returns
+    /// the morsel's row count, I/O counters, finished monitor partial,
+    /// and the attempt index that succeeded: the coordinator's
+    /// `fault_retries` is the max over morsels, which equals the serial
+    /// whole-query retry count (a stall site's budget is a pure function
+    /// of the site).
     pub fn run_morsel(
         &self,
         scan: &MorselScan,
-        cfg: &MonitorConfig,
+        template: Option<&MonitorTemplate>,
         page_range: (u32, u32),
         first_random: bool,
         ctx: &mut ExecContext,
-    ) -> Result<(u64, IoStats, Option<ScanMonitorPartial>)> {
+    ) -> Result<(u64, IoStats, Option<ScanMonitorPartial>, u32)> {
         let meta = self.catalog.table(scan.plan.table)?;
-        let planner = self.planner()?;
-        let set = planner.scan_monitor_set(&scan.plan, &scan.pred, cfg)?;
-        let handle = set.map(|s| Rc::new(RefCell::new(s)));
+        let mut attempt = 0;
+        loop {
+            let handle = template.map(|t| Rc::new(RefCell::new(t.instantiate(&scan.pred))));
+            let mut op = SeqScan::with_page_range(
+                Arc::clone(&meta.storage),
+                scan.plan.table,
+                scan.pred.clone(),
+                handle.clone(),
+                page_range,
+                first_random,
+            );
+            ctx.cold_start();
+            ctx.fault_attempt = attempt;
+            match drain(&mut op, ctx) {
+                Ok(rows) => {
+                    drop(op); // release the operator's clone of the monitor handle
+                    let partial = match handle {
+                        Some(h) => Some(Self::unwrap_scan_handle(h)?.into_partial()),
+                        None => None,
+                    };
+                    return Ok((rows.len() as u64, ctx.stats(), partial, attempt));
+                }
+                Err(e) if e.is_transient() && attempt < MAX_TRANSIENT_RETRIES => attempt += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Recovers sole ownership of a worker-local scan-monitor handle
+    /// after its operator is dropped.
+    fn unwrap_scan_handle(
+        h: Rc<RefCell<pf_exec::monitor::ScanMonitorSet>>,
+    ) -> Result<pf_exec::monitor::ScanMonitorSet> {
+        Ok(Rc::try_unwrap(h)
+            .map_err(|_| Error::Internal("morsel monitor handle still shared".into()))?
+            .into_inner())
+    }
+
+    /// Runs one contiguous run of an index-driven plan's RID fetch list:
+    /// a private [`Fetch`] over `rids` with worker-local monitors rebuilt
+    /// from `templates`, reusing `ctx`. Returns the run's fetched-row
+    /// count, I/O counters, and finished per-monitor page counters for
+    /// the coordinator to merge in run order (only fault-free shapes
+    /// reach this path, so no retry loop is needed). The caller owns
+    /// residency reconciliation: a page this run misses may be resident
+    /// in the serial stream, so the summed `rand_physical_reads` must be
+    /// corrected by the cross-run overlap.
+    pub fn run_fetch_morsel(
+        &self,
+        table: TableId,
+        rids: &[Rid],
+        residual: &Conjunction,
+        templates: Option<&[FetchTemplate]>,
+        ctx: &mut ExecContext,
+    ) -> Result<(u64, IoStats, Vec<LinearCounter>)> {
+        let meta = self.catalog.table(table)?;
+        let handle = templates.map(|ts| {
+            Rc::new(RefCell::new(
+                ts.iter()
+                    .map(FetchTemplate::instantiate)
+                    .collect::<Vec<_>>(),
+            ))
+        });
+        let mut op = Fetch::new(
+            Box::new(RidList::new(rids.to_vec())),
+            Arc::clone(&meta.storage),
+            table,
+            residual.clone(),
+            handle.clone(),
+        );
+        ctx.cold_start();
+        ctx.fault_attempt = 0;
+        let count = run_count(&mut op, ctx)?;
+        drop(op);
+        let counters = match handle {
+            Some(h) => Rc::try_unwrap(h)
+                .map_err(|_| Error::Internal("fetch morsel monitor handle still shared".into()))?
+                .into_inner()
+                .into_iter()
+                .map(|m| m.counter)
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok((count, ctx.stats(), counters))
+    }
+
+    /// Runs one build-side morsel of a parallel hash or INL join: scans
+    /// `page_range` of the outer table, collecting each passing row's
+    /// join key in row order. `filter` rebuilds the planner's semi-join
+    /// bit-vector sizing so per-insert hash charges replicate;
+    /// `charge_build_hash` mirrors the serial hash join's one hash op
+    /// per build row (INL joins charge nothing per outer row).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_join_build_morsel(
+        &self,
+        scan: &MorselScan,
+        template: Option<&MonitorTemplate>,
+        filter: Option<(usize, u64)>,
+        key_col: usize,
+        charge_build_hash: bool,
+        page_range: (u32, u32),
+        first_random: bool,
+        ctx: &mut ExecContext,
+    ) -> Result<BuildMorselOutput> {
+        use pf_exec::Operator;
+        let meta = self.catalog.table(scan.plan.table)?;
+        let handle = template.map(|t| Rc::new(RefCell::new(t.instantiate(&scan.pred))));
         let mut op = SeqScan::with_page_range(
             Arc::clone(&meta.storage),
             scan.plan.table,
@@ -588,18 +866,97 @@ impl Database {
         );
         ctx.cold_start();
         ctx.fault_attempt = 0;
-        let rows = drain(&mut op, ctx)?;
-        drop(op); // release the operator's clone of the monitor handle
-        let partial = match handle {
-            Some(h) => {
-                let set = Rc::try_unwrap(h)
-                    .map_err(|_| Error::Internal("morsel monitor handle still shared".into()))?
-                    .into_inner();
-                Some(set.into_partial())
+        let mut keys = Vec::new();
+        let mut bv = filter.map(|(numbits, seed)| BitVectorFilter::new(numbits, seed));
+        while let Some(row) = op.next(ctx)? {
+            if charge_build_hash {
+                ctx.pool.charge_hashes(1);
             }
+            let key = row.get(key_col).clone();
+            if let Some(f) = bv.as_mut() {
+                f.insert(&key);
+                ctx.pool.charge_hashes(1);
+            }
+            keys.push(key);
+        }
+        drop(op);
+        let partial = match handle {
+            Some(h) => Some(Self::unwrap_scan_handle(h)?.into_partial()),
             None => None,
         };
-        Ok((rows.len() as u64, ctx.stats(), partial))
+        Ok((keys, ctx.stats(), partial, bv))
+    }
+
+    /// Runs one probe-side morsel of a parallel hash join: a full-scan
+    /// page range of the inner table, counting matches against the
+    /// partitioned build-side multiplicity maps (each map holds
+    /// `key → build-row count` for keys routed to it by
+    /// [`hash_partition_of`]). `recipe` plus the merged build filter
+    /// rebuild the worker-local semi-join monitor set the serial probe
+    /// scan would carry.
+    pub fn run_probe_morsel(
+        &self,
+        inner: TableId,
+        recipe: Option<(&SemiJoinRecipe, &BitVectorFilter)>,
+        partitions: &[HashMap<Datum, u64>],
+        probe_col: usize,
+        page_range: (u32, u32),
+        ctx: &mut ExecContext,
+    ) -> Result<(u64, IoStats, Option<ScanMonitorPartial>)> {
+        use pf_exec::Operator;
+        let meta = self.catalog.table(inner)?;
+        let handle = recipe.map(|(r, f)| Rc::new(RefCell::new(r.instantiate(f.clone()))));
+        let mut op = SeqScan::with_page_range(
+            Arc::clone(&meta.storage),
+            inner,
+            Conjunction::always_true(),
+            handle.clone(),
+            page_range,
+            false,
+        );
+        ctx.cold_start();
+        ctx.fault_attempt = 0;
+        let mut count = 0u64;
+        while let Some(row) = op.next(ctx)? {
+            ctx.pool.charge_hashes(1);
+            let key = row.get(probe_col);
+            let part = hash_partition_of(key, partitions.len());
+            if let Some(n) = partitions[part].get(key) {
+                count += n;
+            }
+        }
+        drop(op);
+        let partial = match handle {
+            Some(h) => Some(Self::unwrap_scan_handle(h)?.into_partial()),
+            None => None,
+        };
+        Ok((count, ctx.stats(), partial))
+    }
+
+    /// Replays the serial INL join's inner index seeks — one per outer
+    /// key, in outer-row order — charging exactly the serial per-posting
+    /// index-node reads, and returns the concatenated RID run the fetch
+    /// morsels will cover.
+    pub fn inl_rid_run(
+        &self,
+        inner: TableId,
+        inner_col: usize,
+        keys: &[Datum],
+        ctx: &mut ExecContext,
+    ) -> Result<Vec<Rid>> {
+        let ix = self
+            .catalog
+            .index_on_column(inner, inner_col)
+            .ok_or_else(|| Error::Internal("INL morsel plan without an inner index".into()))?;
+        let mut rids = Vec::new();
+        for key in keys {
+            let mut seek =
+                IndexSeek::new(Arc::clone(&ix.tree), ix.height, SeekRange::eq(key.clone()));
+            while let Some(rid) = seek.next_rid(ctx)? {
+                rids.push(rid);
+            }
+        }
+        Ok(rids)
     }
 
     // ------------------------------------------------------------------

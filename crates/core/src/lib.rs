@@ -75,7 +75,10 @@ pub mod query;
 pub mod snapshot;
 pub mod sql;
 
-pub use db::{Database, MorselScan, QueryOutcome, MAX_TRANSIENT_RETRIES};
+pub use db::{
+    Database, MorselFetch, MorselHashJoin, MorselInlJoin, MorselPlan, MorselScan, QueryOutcome,
+    MAX_TRANSIENT_RETRIES,
+};
 pub use dba::{DbaDiagnosis, Discrepancy};
 pub use feedback_loop::FeedbackOutcome;
 pub use feedback_store::{FeedbackStore, StoreStats, StoredReport, FEEDBACK_DIR_ENV};

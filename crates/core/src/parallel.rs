@@ -30,24 +30,33 @@
 //! feedback absorption happens serially after the parallel phase —
 //! running with `jobs = 8` is bit-identical to `jobs = 1`. The same
 //! holds for intra-query morsel parallelism
-//! ([`ParallelRunner::run_query`]): morsels carry their own exact-mode
-//! monitor sets whose [`pf_feedback::GroupedPageCounter`]s are merged
-//! in morsel order, reproducing the serial sketch bit for bit.
+//! ([`ParallelRunner::run_query`]), which covers monitored (sampled,
+//! budgeted) sequential scans, index-fetch plans, and hash / INL joins:
+//! morsels carry worker-local monitor sets rebuilt from post-governor
+//! templates, and their partials ([`pf_feedback::GroupedPageCounter`]s,
+//! [`pf_feedback::LinearCounter`]s, [`pf_feedback::BitVectorFilter`]
+//! fragments) are merged in morsel order, reproducing the serial sketch
+//! bit for bit.
 //!
 //! Every `run_*` call records a contention profile ([`RunStats`]:
 //! per-worker wall/busy/queue-wait) retrievable via
 //! [`ParallelRunner::last_run_stats`] — scaling regressions are
 //! measured, not guessed.
 
-use crate::db::{Database, QueryOutcome};
+use crate::db::{
+    hash_partition_of, Database, MorselFetch, MorselHashJoin, MorselInlJoin, MorselPlan,
+    MorselScan, QueryOutcome,
+};
 use crate::feedback_loop::FeedbackOutcome;
-use crate::planner::MonitorConfig;
+use crate::planner::{LoweredPlan, MonitorConfig};
 use crate::query::Query;
 use pf_common::hash::mix64;
-use pf_common::{Error, Result};
-use pf_exec::ExecContext;
-use pf_feedback::FeedbackReport;
-use pf_storage::IoStats;
+use pf_common::{Datum, Error, Result};
+use pf_exec::monitor::FetchTemplate;
+use pf_exec::{Conjunction, ExecContext};
+use pf_feedback::{BitVectorFilter, FeedbackReport};
+use pf_storage::{split_run_extra_misses, IoStats};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -278,6 +287,12 @@ impl WorkerPool {
     fn run_job(&self, job: &dyn PoolJob, background: usize) {
         let _serial = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
         self.ensure_workers(background);
+        // `notify_all` wakes every spawned worker and each one runs the
+        // generation exactly once (extras find the cursor drained and
+        // finish immediately), so the drain count must be the spawned
+        // total: counting only this run's request would let stragglers
+        // underflow `active` and wedge the coordinator forever.
+        let participants = self.threads.lock().unwrap_or_else(|e| e.into_inner()).len();
         // SAFETY: workers dereference the erased reference only between
         // the publication below and the `active == 0` wait at the end of
         // this function; this stack frame outlives both, so the referent
@@ -289,7 +304,7 @@ impl WorkerPool {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             st.job = Some(JobRef(erased));
             st.generation = st.generation.wrapping_add(1);
-            st.active = background;
+            st.active = participants;
         }
         self.shared.work_cv.notify_all();
         {
@@ -518,15 +533,16 @@ impl ParallelRunner {
         Ok(outcomes)
     }
 
-    /// Executes one query, splitting an eligible sequential scan into
-    /// page-range morsels across the pool (see
-    /// [`Database::morsel_scan`] for eligibility). Each morsel scans a
-    /// private sub-range with its own identically configured monitor
-    /// set; the coordinator sums I/O counters component-wise and merges
-    /// the monitor partials in morsel order, so the outcome — count,
-    /// stats, simulated time, sketches, plan description — is
-    /// byte-identical to [`Database::run`]. Falls back to a serial run
-    /// when the query is ineligible or the runner has one job.
+    /// Executes one query, splitting eligible shapes into morsels across
+    /// the pool (see [`Database::morsel_plan`]): page-range morsels for
+    /// sequential scans — sampled and budgeted monitors included — and
+    /// for both sides of a hash join, RID-run morsels for index-fetch
+    /// plans and INL inner fetches. Every driver merges per-morsel I/O
+    /// counters and monitor partials deterministically in morsel order,
+    /// so the outcome — count, stats, simulated time, sketches, plan
+    /// description — is byte-identical to [`Database::run`] for any job
+    /// count. Falls back to a serial run when the query is ineligible or
+    /// the runner has one job.
     pub fn run_query(
         &self,
         db: &Database,
@@ -536,51 +552,382 @@ impl ParallelRunner {
         if self.jobs <= 1 {
             return db.run(query, cfg);
         }
-        let Some(scan) = db.morsel_scan(query, cfg)? else {
-            return db.run(query, cfg);
-        };
-        let (first, last) = scan.page_range;
-        let pages = (last - first) as usize;
-        let morsels = self.jobs.min(pages);
-        let chunk = pages.div_ceil(morsels);
+        match db.morsel_plan(query, cfg)? {
+            Some(MorselPlan::Scan(scan)) => self.run_scan_morsels(db, query, cfg, &scan),
+            Some(MorselPlan::Fetch(fetch)) => self.run_fetch_morsels(db, query, cfg, &fetch),
+            Some(MorselPlan::HashJoin(join)) => self.run_hash_join_morsels(db, query, cfg, &join),
+            Some(MorselPlan::InlJoin(join)) => self.run_inl_join_morsels(db, query, cfg, &join),
+            None => db.run(query, cfg),
+        }
+    }
+
+    /// Splits `[first, last)` into at most `jobs` contiguous non-empty
+    /// page chunks.
+    fn page_chunks(&self, (first, last): (u32, u32)) -> Vec<(u32, u32)> {
+        let pages = last.saturating_sub(first) as usize;
+        let morsels = self.jobs.min(pages.max(1));
+        let chunk = pages.div_ceil(morsels).max(1);
+        (0..morsels)
+            .map(|i| {
+                let lo = last.min(first.saturating_add((i * chunk) as u32));
+                let hi = last.min(first.saturating_add(((i + 1) * chunk) as u32));
+                (lo, hi)
+            })
+            .filter(|(lo, hi)| lo < hi)
+            .collect()
+    }
+
+    /// Splits `0..n` into at most `jobs` contiguous non-empty index runs.
+    fn index_runs(&self, n: usize) -> Vec<(usize, usize)> {
+        let runs = self.jobs.min(n.max(1));
+        let chunk = n.div_ceil(runs).max(1);
+        (0..runs)
+            .map(|i| ((i * chunk).min(n), ((i + 1) * chunk).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect()
+    }
+
+    /// Assembles the outcome from the reference lowering's metadata, the
+    /// merged counters, and the harvested (partial-absorbed) monitors.
+    fn finish_outcome(
+        db: &Database,
+        lowered: LoweredPlan,
+        count: u64,
+        stats: IoStats,
+        fault_retries: u32,
+    ) -> QueryOutcome {
+        QueryOutcome {
+            count,
+            elapsed_ms: db.disk.elapsed_ms(&stats),
+            stats,
+            report: lowered.harness.harvest(),
+            description: lowered.description,
+            choice: lowered.choice,
+            fault_retries,
+        }
+    }
+
+    /// Page-range morsels over a sequential scan. Each morsel scans a
+    /// private sub-range with a monitor set rebuilt from the reference
+    /// set's post-governor template (so page sampling — a pure function
+    /// of `(seed, page)` — and budget shedding replicate); the
+    /// coordinator sums I/O counters component-wise, merges monitor
+    /// partials in morsel order, and reports the *maximum* per-morsel
+    /// fault-retry count, matching the serial whole-query retry loop.
+    fn run_scan_morsels(
+        &self,
+        db: &Database,
+        query: &Query,
+        cfg: &MonitorConfig,
+        scan: &MorselScan,
+    ) -> Result<QueryOutcome> {
         // Reference lowering: supplies the outcome metadata and the
         // primary monitor set the partials merge into.
         let lowered = db.lower(query, cfg)?;
-        let parts = self.run_indexed(morsels, |i, scratch| {
-            let lo = first + (i * chunk) as u32;
-            let hi = last.min(first + ((i + 1) * chunk) as u32);
+        let template = lowered
+            .harness
+            .single_scan_handle()
+            .and_then(|h| h.borrow().template());
+        let chunks = self.page_chunks(scan.page_range);
+        let parts = self.run_indexed(chunks.len(), |i, scratch| {
             db.run_morsel(
-                &scan,
-                cfg,
-                (lo, hi),
+                scan,
+                template.as_ref(),
+                chunks[i],
                 i == 0 && scan.first_random,
                 scratch.ctx_for(db),
             )
         })?;
         let mut stats = IoStats::default();
         let mut count = 0u64;
-        for (c, s, _) in &parts {
+        let mut retries = 0u32;
+        for (c, s, _, attempt) in &parts {
             count += c;
             stats.add(s);
+            retries = retries.max(*attempt);
         }
         if let Some(handle) = lowered.harness.single_scan_handle() {
             let mut set = handle.borrow_mut();
-            for (_, _, partial) in &parts {
+            for (_, _, partial, _) in &parts {
                 if let Some(p) = partial {
                     set.absorb_partial(p);
                 }
             }
         }
-        let report = lowered.harness.harvest();
-        Ok(QueryOutcome {
-            count,
-            stats,
-            elapsed_ms: db.disk.elapsed_ms(&stats),
-            report,
-            description: lowered.description,
-            choice: lowered.choice,
-            fault_retries: 0,
-        })
+        Ok(Self::finish_outcome(db, lowered, count, stats, retries))
+    }
+
+    /// RID-run morsels over an index-driven plan. The coordinator
+    /// replays the plan's RID enumeration (charging index-node reads and
+    /// intersection hashes exactly as the serial plan does), splits the
+    /// RID list into contiguous runs, and fetches each run with
+    /// worker-local monitors rebuilt from the reference fetch templates.
+    /// Distinct-page accounting is reconciled at merge time: pages
+    /// resident across run boundaries in the serial stream are
+    /// subtracted from the summed random-read counter
+    /// ([`split_run_extra_misses`]).
+    fn run_fetch_morsels(
+        &self,
+        db: &Database,
+        query: &Query,
+        cfg: &MonitorConfig,
+        fetch: &MorselFetch,
+    ) -> Result<QueryOutcome> {
+        let lowered = db.lower(query, cfg)?;
+        let mut cctx = db.make_context();
+        cctx.cold_start();
+        let planner = db.planner()?;
+        let Some((rids, residual)) = planner.fetch_rid_run(&fetch.plan, &fetch.pred, &mut cctx)?
+        else {
+            return db.run(query, cfg);
+        };
+        if rids.len() < 2 {
+            return db.run(query, cfg);
+        }
+        let templates: Option<Vec<FetchTemplate>> = lowered
+            .harness
+            .fetch_handle()
+            .map(|h| h.borrow().iter().map(|m| m.template()).collect());
+        let runs = self.index_runs(rids.len());
+        let parts = self.run_indexed(runs.len(), |i, scratch| {
+            let (lo, hi) = runs[i];
+            db.run_fetch_morsel(
+                fetch.plan.table,
+                &rids[lo..hi],
+                &residual,
+                templates.as_deref(),
+                scratch.ctx_for(db),
+            )
+        })?;
+        let mut stats = cctx.stats();
+        let mut count = 0u64;
+        for (c, s, _) in &parts {
+            count += c;
+            stats.add(s);
+        }
+        stats.rand_physical_reads -= split_run_extra_misses(
+            runs.iter()
+                .map(|&(lo, hi)| rids[lo..hi].iter().map(|rid| rid.page.0)),
+        );
+        Self::merge_fetch_counters(&lowered, &parts)?;
+        Ok(Self::finish_outcome(db, lowered, count, stats, 0))
+    }
+
+    /// Folds per-run fetch-monitor counters into the reference fetch
+    /// monitors, in run order.
+    fn merge_fetch_counters(
+        lowered: &LoweredPlan,
+        parts: &[(u64, IoStats, Vec<pf_feedback::LinearCounter>)],
+    ) -> Result<()> {
+        let Some(handle) = lowered.harness.fetch_handle() else {
+            return Ok(());
+        };
+        let mut monitors = handle.borrow_mut();
+        for (_, _, counters) in parts {
+            for (monitor, counter) in monitors.iter_mut().zip(counters) {
+                monitor.counter.merge(counter)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Morsel-parallel hash join. Build-side page-range morsels collect
+    /// join keys (and per-morsel bit-vector filter fragments) in row
+    /// order; the fragments OR-merge into the filter a serial build
+    /// would have produced, and the key stream hash-partitions into
+    /// per-partition multiplicity maps. Probe-side page-range morsels
+    /// then count matches against the maps — reproducing the serial
+    /// bucket-length sums — while carrying semi-join monitor sets
+    /// rebuilt from the reference recipe around the merged filter.
+    fn run_hash_join_morsels(
+        &self,
+        db: &Database,
+        query: &Query,
+        cfg: &MonitorConfig,
+        join: &MorselHashJoin,
+    ) -> Result<QueryOutcome> {
+        let lowered = db.lower(query, cfg)?;
+        let outer_template = lowered
+            .harness
+            .outer_scan_handle()
+            .and_then(|h| h.borrow().template());
+        let recipe = lowered
+            .harness
+            .semi_join_handle()
+            .and_then(|h| h.borrow().semi_join_recipe());
+        // Build phase: scan morsels over the (filtered) outer side.
+        let build_chunks = self.page_chunks(join.outer_scan.page_range);
+        let builds = self.run_indexed(build_chunks.len(), |i, scratch| {
+            db.run_join_build_morsel(
+                &join.outer_scan,
+                outer_template.as_ref(),
+                join.filter,
+                join.spec.outer_join_col,
+                true,
+                build_chunks[i],
+                i == 0 && join.outer_scan.first_random,
+                scratch.ctx_for(db),
+            )
+        })?;
+        let mut stats = IoStats::default();
+        let mut keys: Vec<Datum> = Vec::new();
+        let mut filter: Option<BitVectorFilter> = None;
+        let mut build_partials = Vec::new();
+        for (ks, s, partial, fragment) in builds {
+            stats.add(&s);
+            keys.extend(ks);
+            if let Some(fragment) = fragment {
+                match filter.as_mut() {
+                    Some(acc) => acc.merge(&fragment)?,
+                    None => filter = Some(fragment),
+                }
+            }
+            build_partials.push(partial);
+        }
+        if let Some(handle) = lowered.harness.outer_scan_handle() {
+            let mut set = handle.borrow_mut();
+            for p in build_partials.iter().flatten() {
+                set.absorb_partial(p);
+            }
+        }
+        // Partition phase: route the ordered key stream into
+        // per-partition multiplicity maps (pure CPU, uncharged — the
+        // serial build's bucket inserts are uncharged too).
+        let parts_n = self.jobs;
+        let keys_ref = &keys;
+        let partitions: Vec<HashMap<Datum, u64>> = self.run_indexed(parts_n, |p, _scratch| {
+            let mut map: HashMap<Datum, u64> = HashMap::new();
+            for key in keys_ref
+                .iter()
+                .filter(|k| hash_partition_of(k, parts_n) == p)
+            {
+                *map.entry(key.clone()).or_insert(0) += 1;
+            }
+            Ok(map)
+        })?;
+        // Probe phase: scan morsels over the inner side.
+        let probe_chunks = self.page_chunks(join.inner_range);
+        let recipe_filter = recipe.as_ref().zip(filter.as_ref());
+        let probes = self.run_indexed(probe_chunks.len(), |i, scratch| {
+            db.run_probe_morsel(
+                join.spec.inner,
+                recipe_filter,
+                &partitions,
+                join.spec.inner_join_col,
+                probe_chunks[i],
+                scratch.ctx_for(db),
+            )
+        })?;
+        let mut count = 0u64;
+        let mut probe_partials = Vec::new();
+        for (c, s, partial) in probes {
+            count += c;
+            stats.add(&s);
+            probe_partials.push(partial);
+        }
+        if join.spec.inner == join.spec.outer {
+            // Self-join: the serial probe scan re-reads pages the build
+            // scan just left resident, so those pages hit. Each probe
+            // morsel charged them as misses (fresh scratch pools), and
+            // because the build phase fully precedes the probe phase —
+            // and eligibility caps total pages at pool capacity, so the
+            // serial pool never evicted — the overlap with the outer
+            // scan's page range is exactly the set of converted reads.
+            let (a, b) = join.outer_scan.page_range;
+            let (lo, hi) = join.inner_range;
+            stats.seq_physical_reads -= u64::from(hi.min(b).saturating_sub(lo.max(a)));
+        }
+        if let Some(handle) = lowered.harness.semi_join_handle() {
+            let mut set = handle.borrow_mut();
+            if let Some(f) = filter {
+                // The serial SE→RE callback: install the completed
+                // build-side filter before harvesting.
+                set.set_semi_join_filter(f);
+            }
+            for p in probe_partials.iter().flatten() {
+                set.absorb_partial(p);
+            }
+        }
+        Ok(Self::finish_outcome(db, lowered, count, stats, 0))
+    }
+
+    /// Morsel-parallel index-nested-loops join. Outer scan morsels
+    /// collect join keys in row order (no per-row charges — the serial
+    /// INL outer has none); the coordinator replays the inner index
+    /// seeks in that order (charging the serial per-posting index-node
+    /// reads); and the concatenated RID run fetches in contiguous-run
+    /// morsels with the same residency reconciliation as index-fetch
+    /// plans.
+    fn run_inl_join_morsels(
+        &self,
+        db: &Database,
+        query: &Query,
+        cfg: &MonitorConfig,
+        join: &MorselInlJoin,
+    ) -> Result<QueryOutcome> {
+        let lowered = db.lower(query, cfg)?;
+        let outer_template = lowered
+            .harness
+            .outer_scan_handle()
+            .and_then(|h| h.borrow().template());
+        let build_chunks = self.page_chunks(join.outer_scan.page_range);
+        let builds = self.run_indexed(build_chunks.len(), |i, scratch| {
+            db.run_join_build_morsel(
+                &join.outer_scan,
+                outer_template.as_ref(),
+                None,
+                join.spec.outer_join_col,
+                false,
+                build_chunks[i],
+                i == 0 && join.outer_scan.first_random,
+                scratch.ctx_for(db),
+            )
+        })?;
+        let mut stats = IoStats::default();
+        let mut keys: Vec<Datum> = Vec::new();
+        let mut build_partials = Vec::new();
+        for (ks, s, partial, _) in builds {
+            stats.add(&s);
+            keys.extend(ks);
+            build_partials.push(partial);
+        }
+        if let Some(handle) = lowered.harness.outer_scan_handle() {
+            let mut set = handle.borrow_mut();
+            for p in build_partials.iter().flatten() {
+                set.absorb_partial(p);
+            }
+        }
+        let mut cctx = db.make_context();
+        cctx.cold_start();
+        let rids = db.inl_rid_run(join.spec.inner, join.spec.inner_join_col, &keys, &mut cctx)?;
+        stats.add(&cctx.stats());
+        let templates: Option<Vec<FetchTemplate>> = lowered
+            .harness
+            .fetch_handle()
+            .map(|h| h.borrow().iter().map(|m| m.template()).collect());
+        let residual = Conjunction::always_true();
+        let runs = self.index_runs(rids.len());
+        let parts = self.run_indexed(runs.len(), |i, scratch| {
+            let (lo, hi) = runs[i];
+            db.run_fetch_morsel(
+                join.spec.inner,
+                &rids[lo..hi],
+                &residual,
+                templates.as_deref(),
+                scratch.ctx_for(db),
+            )
+        })?;
+        let mut count = 0u64;
+        for (c, s, _) in &parts {
+            count += c;
+            stats.add(s);
+        }
+        stats.rand_physical_reads -= split_run_extra_misses(
+            runs.iter()
+                .map(|&(lo, hi)| rids[lo..hi].iter().map(|rid| rid.page.0)),
+        );
+        Self::merge_fetch_counters(&lowered, &parts)?;
+        Ok(Self::finish_outcome(db, lowered, count, stats, 0))
     }
 
     /// Evaluates `task(i, scratch)` for `i ∈ 0..n` across the worker

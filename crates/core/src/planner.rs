@@ -186,6 +186,32 @@ impl MonitorHarness {
         }
     }
 
+    /// The first plain (non-semi-join) scan handle: the outer side's
+    /// monitor set under a join lowering, or the scan set of a
+    /// single-table scan plan. Morsel coordinators extract the
+    /// [`pf_exec::monitor::MonitorTemplate`] from it and absorb worker
+    /// partials back into it.
+    pub fn outer_scan_handle(&self) -> Option<&ScanMonitorHandle> {
+        self.scans
+            .iter()
+            .find(|(_, _, sj_bytes)| *sj_bytes == 0)
+            .map(|(_, handle, _)| handle)
+    }
+
+    /// The semi-join scan handle (the probe-side monitor set of a
+    /// Hash/Merge join), when one is attached.
+    pub fn semi_join_handle(&self) -> Option<&ScanMonitorHandle> {
+        self.scans
+            .iter()
+            .find(|(_, _, sj_bytes)| *sj_bytes > 0)
+            .map(|(_, handle, _)| handle)
+    }
+
+    /// The first fetch-monitor handle (index plans and INL joins).
+    pub fn fetch_handle(&self) -> Option<&pf_exec::monitor::FetchMonitorHandle> {
+        self.fetches.first().map(|(_, handle)| handle)
+    }
+
     /// Applies the config's resource limits: creates the governor,
     /// charges every monitor against the memory budget in descending
     /// [`pf_exec::ShedClass`] priority (declaration order breaks ties, so
@@ -606,42 +632,33 @@ impl<'a> Planner<'a> {
             pf_optimizer::JoinMethod::Hash | pf_optimizer::JoinMethod::Merge => {
                 // Semi-join monitoring only when an index on the inner
                 // join column makes the INL DPC relevant (Section IV).
-                let (probe_monitors, bv_config) = if cfg.enabled && inner_index.is_some() {
-                    let slot = semi_join_slot(spec.inner_join_col);
-                    let set = ScanMonitorSet::new(
-                        vec![ScanExprMonitor::semi_join(
-                            jkey.clone(),
-                            Rc::clone(&slot),
-                            Some(analytic_join_dpc),
-                        )],
-                        cfg.sampling_fraction,
-                        cfg.seed ^ 0xB17,
-                    );
-                    let handle = Rc::new(RefCell::new(set));
-                    // Sizing: page-level counting amplifies the filter's
-                    // false-positive rate by rows-per-page (every row of
-                    // a page probes it), so target fill ≈ 1/(32·rpp):
-                    // per-page FP ≈ 3 %, which the collision correction
-                    // in the monitor then removes with little variance.
-                    let rpp = inner_meta.stats.rows_per_page.max(1.0);
-                    let est_build = plan.outer_plan.est_rows.max(1.0);
-                    let bits = cfg.bitvector_bits.unwrap_or_else(|| {
-                        ((est_build * rpp * 32.0) as usize).clamp(4_096, 1 << 23)
-                    });
-                    harness
-                        .scans
-                        .push((inner_meta.name.clone(), Rc::clone(&handle), bits / 8));
-                    (
-                        Some(handle),
-                        Some(BitVectorConfig {
-                            slot,
-                            numbits: bits,
-                            seed: cfg.seed ^ 0xF117,
-                        }),
-                    )
-                } else {
-                    (None, None)
-                };
+                let (probe_monitors, bv_config) =
+                    if let Some((bits, filter_seed)) = self.join_filter_config(plan, spec, cfg)? {
+                        let slot = semi_join_slot(spec.inner_join_col);
+                        let set = ScanMonitorSet::new(
+                            vec![ScanExprMonitor::semi_join(
+                                jkey.clone(),
+                                Rc::clone(&slot),
+                                Some(analytic_join_dpc),
+                            )],
+                            cfg.sampling_fraction,
+                            cfg.seed ^ 0xB17,
+                        );
+                        let handle = Rc::new(RefCell::new(set));
+                        harness
+                            .scans
+                            .push((inner_meta.name.clone(), Rc::clone(&handle), bits / 8));
+                        (
+                            Some(handle),
+                            Some(BitVectorConfig {
+                                slot,
+                                numbits: bits,
+                                seed: filter_seed,
+                            }),
+                        )
+                    } else {
+                        (None, None)
+                    };
                 let probe = SeqScan::full(
                     Arc::clone(&inner_meta.storage),
                     spec.inner,
@@ -810,6 +827,105 @@ impl<'a> Planner<'a> {
             }
             _ => Ok(None),
         }
+    }
+
+    /// The bit-vector filter parameters `(numbits, seed)` a Hash/Merge
+    /// lowering of `plan` would build, or `None` when the join carries
+    /// no semi-join monitoring (monitoring off, or no index on the
+    /// inner join column makes the INL DPC relevant — Section IV).
+    ///
+    /// Sizing: page-level counting amplifies the filter's
+    /// false-positive rate by rows-per-page (every row of a page probes
+    /// it), so target fill ≈ 1/(32·rpp): per-page FP ≈ 3 %, which the
+    /// collision correction in the monitor then removes with little
+    /// variance.
+    pub fn join_filter_config(
+        &self,
+        plan: &JoinPlan,
+        spec: &JoinSpec,
+        cfg: &MonitorConfig,
+    ) -> Result<Option<(usize, u64)>> {
+        if !cfg.enabled
+            || self
+                .catalog
+                .index_on_column(spec.inner, spec.inner_join_col)
+                .is_none()
+        {
+            return Ok(None);
+        }
+        let inner_meta = self.catalog.table(spec.inner)?;
+        let rpp = inner_meta.stats.rows_per_page.max(1.0);
+        let est_build = plan.outer_plan.est_rows.max(1.0);
+        let bits = cfg
+            .bitvector_bits
+            .unwrap_or_else(|| ((est_build * rpp * 32.0) as usize).clamp(4_096, 1 << 23));
+        Ok(Some((bits, cfg.seed ^ 0xF117)))
+    }
+
+    /// Materializes the RID list an index-driven lowering of `plan`
+    /// would fetch, charging `ctx` exactly what the serial plan's
+    /// RID-source phase charges (index-node reads for a seek; node
+    /// reads plus intersection hashing for an intersection). Returns
+    /// the RIDs in fetch order plus the residual conjunction the fetch
+    /// applies, or `None` for access paths that are not fetch plans.
+    ///
+    /// This is the coordinator half of a parallel index fetch: the RID
+    /// run is split into contiguous slices and each worker replays only
+    /// the per-RID fetch against its own context.
+    pub fn fetch_rid_run(
+        &self,
+        plan: &SingleTablePlan,
+        pred: &Conjunction,
+        ctx: &mut pf_exec::ExecContext,
+    ) -> Result<Option<(Vec<pf_common::Rid>, Conjunction)>> {
+        use pf_exec::RidSource;
+        let to_pairs = |idx: &[usize]| {
+            idx.iter()
+                .map(|&i| (pred.atoms[i].op, pred.atoms[i].value.clone()))
+                .collect::<Vec<_>>()
+        };
+        let residual_of = |covered: &[usize]| {
+            let residual_idx: Vec<usize> =
+                (0..pred.len()).filter(|i| !covered.contains(i)).collect();
+            Conjunction::new(
+                residual_idx
+                    .iter()
+                    .map(|&i| pred.atoms[i].clone())
+                    .collect(),
+            )
+        };
+        let (mut source, residual): (Box<dyn RidSource>, Conjunction) = match &plan.path {
+            AccessPath::IndexSeek { index, atoms } => {
+                let ix = self.catalog.index(*index)?;
+                let range = SeekRange::from_atoms(&to_pairs(atoms))
+                    .ok_or_else(|| Error::NoPlanFound("seek atoms are not seekable".into()))?;
+                (
+                    Box::new(IndexSeek::new(Arc::clone(&ix.tree), ix.height, range)),
+                    residual_of(atoms),
+                )
+            }
+            AccessPath::IndexIntersection { a, b } => {
+                let (ix_a, atoms_a) = (self.catalog.index(a.0)?, &a.1);
+                let (ix_b, atoms_b) = (self.catalog.index(b.0)?, &b.1);
+                let ra = SeekRange::from_atoms(&to_pairs(atoms_a))
+                    .ok_or_else(|| Error::NoPlanFound("atoms not seekable".into()))?;
+                let rb = SeekRange::from_atoms(&to_pairs(atoms_b))
+                    .ok_or_else(|| Error::NoPlanFound("atoms not seekable".into()))?;
+                let inter = IndexIntersection::new(
+                    Box::new(IndexSeek::new(Arc::clone(&ix_a.tree), ix_a.height, ra)),
+                    Box::new(IndexSeek::new(Arc::clone(&ix_b.tree), ix_b.height, rb)),
+                );
+                let mut both: Vec<usize> = atoms_a.iter().chain(atoms_b.iter()).copied().collect();
+                both.sort_unstable();
+                (Box::new(inter), residual_of(&both))
+            }
+            _ => return Ok(None),
+        };
+        let mut rids = Vec::new();
+        while let Some(rid) = source.next_rid(ctx)? {
+            rids.push(rid);
+        }
+        Ok(Some((rids, residual)))
     }
 
     /// Builds the scan-plan monitor set: one expression per indexed

@@ -257,6 +257,34 @@ impl RidSource for IndexIntersection {
     }
 }
 
+/// A pre-materialized RID run that charges nothing: the morsel
+/// coordinator runs the seek side of a fetch plan once (paying index
+/// I/O exactly as the serial plan would), then hands each fetch-morsel
+/// worker its contiguous slice of the RID stream through this source.
+pub struct RidList {
+    rids: Vec<Rid>,
+    pos: usize,
+}
+
+impl RidList {
+    /// Wraps an already-charged RID run.
+    pub fn new(rids: Vec<Rid>) -> Self {
+        RidList { rids, pos: 0 }
+    }
+}
+
+impl RidSource for RidList {
+    fn next_rid(&mut self, _ctx: &mut ExecContext) -> Result<Option<Rid>> {
+        if self.pos < self.rids.len() {
+            let r = self.rids[self.pos];
+            self.pos += 1;
+            Ok(Some(r))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
 /// A covering index-only scan: walks the index leaf level for a key
 /// range and emits `(key)` rows — one per index entry — without ever
 /// touching the base table.

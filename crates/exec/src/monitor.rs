@@ -16,8 +16,8 @@
 
 use crate::expr::Conjunction;
 use crate::governor::{GovernorHandle, ShedClass};
-use pf_common::rng::Rng;
 use pf_common::DatumAccess;
+pub use pf_feedback::page_sampled;
 use pf_feedback::{
     BitVectorFilter, DpcMeasurement, FeedbackReport, GroupedPageCounter, LinearCounter, Mechanism,
     Sketch,
@@ -173,14 +173,16 @@ impl AtomResults<'_> {
 
 /// The set of DPC monitors attached to one scan operator.
 ///
-/// Drives all monitored expressions from a single page-sampling decision
-/// stream, so monitoring cost is paid once per sampled page regardless of
-/// how many expressions are watched.
+/// Drives all monitored expressions from a single per-page sampling
+/// decision ([`page_sampled`], keyed by `(seed, page_id)`), so monitoring
+/// cost is paid once per sampled page regardless of how many expressions
+/// are watched — and so any page sub-range makes exactly the decisions
+/// the whole-table scan would.
 #[derive(Debug)]
 pub struct ScanMonitorSet {
     exprs: Vec<ScanExprMonitor>,
     fraction: f64,
-    rng: Rng,
+    seed: u64,
     page_sampled: bool,
     in_page: bool,
     pages_seen: u64,
@@ -198,7 +200,7 @@ impl ScanMonitorSet {
         ScanMonitorSet {
             exprs,
             fraction: fraction.clamp(f64::MIN_POSITIVE, 1.0),
-            rng: Rng::new(seed),
+            seed,
             page_sampled: false,
             in_page: false,
             pages_seen: 0,
@@ -289,12 +291,15 @@ impl ScanMonitorSet {
 
     /// Starts a new page; returns whether this page is sampled (the scan
     /// must then evaluate all conjuncts per row if
-    /// [`ScanMonitorSet::needs_full_eval`]).
-    pub fn start_page(&mut self) -> bool {
+    /// [`ScanMonitorSet::needs_full_eval`]). `page` is the page's
+    /// physical id within its table: the sampling decision is the pure
+    /// function [`page_sampled`] of `(seed, page)`, so a morsel worker
+    /// announcing the same page makes the same decision as a serial scan.
+    pub fn start_page(&mut self, page: u32) -> bool {
         self.flush_page();
         self.in_page = true;
         self.pages_seen += 1;
-        self.page_sampled = self.fraction >= 1.0 || self.rng.bernoulli(self.fraction);
+        self.page_sampled = page_sampled(self.seed, page, self.fraction);
         if self.page_sampled {
             self.pages_sampled += 1;
         }
@@ -408,10 +413,10 @@ impl ScanMonitorSet {
 
     /// Records a page the scan skipped because its checksum failed. The
     /// scan must still announce the page via
-    /// [`ScanMonitorSet::start_page`] first, so the sampling RNG stream
-    /// stays aligned with a fault-free run; the page contributes no rows,
-    /// so counts are unperturbed — but every harvested measurement is
-    /// marked degraded (the actuals are now lower bounds).
+    /// [`ScanMonitorSet::start_page`] first, so page/sample accounting
+    /// matches a fault-free run; the page contributes no rows, so counts
+    /// are unperturbed — but every harvested measurement is marked
+    /// degraded (the actuals are now lower bounds).
     pub fn note_skipped_page(&mut self) {
         self.skipped_pages += 1;
         // A skipped page cannot satisfy anything: drop any sampled flag
@@ -508,19 +513,42 @@ impl ScanMonitorSet {
     }
 
     /// Whether this set's observations can be partitioned across
-    /// disjoint page ranges and merged exactly: every expression is an
-    /// atom conjunction (no semi-join filter, whose harvest correction
-    /// mixes in set-level row statistics), nothing has been shed,
-    /// sampling is exact (fraction ≥ 1.0 consumes no randomness, so
-    /// splitting the page stream cannot desynchronise the RNG), and no
-    /// governor is attached (deadline shedding assumes one serial clock).
+    /// disjoint page ranges and merged exactly. Page sampling is a pure
+    /// function of `(seed, page_id)` ([`page_sampled`]), shed flags
+    /// replicate into morsel workers through [`MonitorTemplate`], and the
+    /// semi-join harvest correction uses set-level row/page counters that
+    /// [`ScanMonitorSet::absorb_partial`] sums exactly — so the only
+    /// remaining serial dependency is a governor *deadline*, whose
+    /// mid-run shedding assumes a single monotone clock.
     pub fn supports_partition(&self) -> bool {
-        self.fraction >= 1.0
-            && self.governor.is_none()
-            && self
-                .exprs
-                .iter()
-                .all(|e| matches!(e.kind, ScanExprKind::Atoms { .. }) && !e.shed)
+        self.governor
+            .as_ref()
+            .is_none_or(|g| g.borrow().deadline_ms().is_none())
+    }
+
+    /// Extracts a plain-data recipe for rebuilding this set inside a
+    /// morsel worker: per-expression atom indices, estimates, and
+    /// (post-admission) shed flags, plus the sampling fraction and seed.
+    /// Returns `None` when any expression is a semi-join — its slot is an
+    /// `Rc` that cannot cross threads (the join morsel path builds its
+    /// per-worker probe sets directly instead).
+    pub fn template(&self) -> Option<MonitorTemplate> {
+        let mut exprs = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            match &e.kind {
+                ScanExprKind::Atoms { indices, .. } => exprs.push(TemplateExpr {
+                    indices: indices.clone(),
+                    estimated: e.estimated,
+                    shed: e.shed,
+                }),
+                ScanExprKind::SemiJoin(_) => return None,
+            }
+        }
+        Some(MonitorTemplate {
+            exprs,
+            fraction: self.fraction,
+            seed: self.seed,
+        })
     }
 
     /// Finishes the set and extracts its per-expression counters for a
@@ -534,6 +562,42 @@ impl ScanMonitorSet {
             pages_sampled: self.pages_sampled,
             rows_seen: self.rows_seen,
             skipped_pages: self.skipped_pages,
+        }
+    }
+
+    /// Extracts a plain-data recipe for rebuilding this set's semi-join
+    /// monitoring inside a probe-morsel worker. Only sets consisting of
+    /// exactly one semi-join expression qualify (the shape
+    /// `lower_join` builds for hash/INL probes); each worker
+    /// instantiates the recipe around its own clone of the merged
+    /// build-side filter, so the `Rc` slot never crosses a thread.
+    pub fn semi_join_recipe(&self) -> Option<SemiJoinRecipe> {
+        match self.exprs.as_slice() {
+            [e] => match &e.kind {
+                ScanExprKind::SemiJoin(slot) => Some(SemiJoinRecipe {
+                    label: e.label.clone(),
+                    estimated: e.estimated,
+                    shed: e.shed,
+                    fraction: self.fraction,
+                    seed: self.seed,
+                    key_column: slot.borrow().key_column,
+                }),
+                ScanExprKind::Atoms { .. } => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Installs `filter` into the first semi-join expression's slot —
+    /// how the morsel coordinator hands the merged build-side filter to
+    /// the reference set before harvesting (the serial path installs it
+    /// through the join operator instead).
+    pub fn set_semi_join_filter(&mut self, filter: BitVectorFilter) {
+        for e in &self.exprs {
+            if let ScanExprKind::SemiJoin(slot) = &e.kind {
+                slot.borrow_mut().filter = Some(filter);
+                return;
+            }
         }
     }
 
@@ -569,6 +633,97 @@ pub struct ScanMonitorPartial {
     skipped_pages: u64,
 }
 
+/// One atom-conjunction expression of a [`MonitorTemplate`].
+#[derive(Debug, Clone)]
+struct TemplateExpr {
+    indices: Vec<usize>,
+    estimated: Option<f64>,
+    shed: bool,
+}
+
+/// A plain-data (`Send + Sync`) recipe for rebuilding a scan's monitor
+/// set inside a morsel worker, extracted once by the coordinator from
+/// the reference lowering ([`ScanMonitorSet::template`]) — after
+/// memory-budget admission, so shed flags replicate — and shared by
+/// every morsel. Each worker's [`MonitorTemplate::instantiate`] yields a
+/// set with identical labels, estimates, shed flags, and (page-keyed)
+/// sampling decisions.
+#[derive(Debug, Clone)]
+pub struct MonitorTemplate {
+    exprs: Vec<TemplateExpr>,
+    fraction: f64,
+    seed: u64,
+}
+
+// The whole point of the templates is to cross worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MonitorTemplate>();
+    assert_send_sync::<ScanMonitorPartial>();
+    assert_send_sync::<SemiJoinRecipe>();
+    assert_send_sync::<FetchTemplate>();
+};
+
+/// A plain-data (`Send + Sync`) recipe for rebuilding a probe scan's
+/// semi-join monitor set inside a join-morsel worker, extracted by the
+/// coordinator from the reference lowering
+/// ([`ScanMonitorSet::semi_join_recipe`]) after budget admission so the
+/// shed flag replicates. Unlike [`MonitorTemplate`], instantiation takes
+/// the (merged) build-side filter: each worker gets a private slot
+/// holding its own clone, so no `Rc` crosses threads.
+#[derive(Debug, Clone)]
+pub struct SemiJoinRecipe {
+    label: String,
+    estimated: Option<f64>,
+    shed: bool,
+    fraction: f64,
+    seed: u64,
+    key_column: usize,
+}
+
+impl SemiJoinRecipe {
+    /// Rebuilds a worker-local probe monitor set around `filter`.
+    pub fn instantiate(&self, filter: BitVectorFilter) -> ScanMonitorSet {
+        let slot = semi_join_slot(self.key_column);
+        slot.borrow_mut().filter = Some(filter);
+        let mut set = ScanMonitorSet::new(
+            vec![ScanExprMonitor::semi_join(
+                self.label.clone(),
+                slot,
+                self.estimated,
+            )],
+            self.fraction,
+            self.seed,
+        );
+        if self.shed {
+            set.shed_expr(0);
+        }
+        set
+    }
+}
+
+impl MonitorTemplate {
+    /// Rebuilds a worker-local monitor set over `predicate` — the same
+    /// conjunction the reference set was built from, so rebuilt labels
+    /// match the reference byte for byte.
+    pub fn instantiate(&self, predicate: &Conjunction) -> ScanMonitorSet {
+        let mut set = ScanMonitorSet::new(
+            self.exprs
+                .iter()
+                .map(|t| ScanExprMonitor::atoms(predicate, t.indices.clone(), t.estimated))
+                .collect(),
+            self.fraction,
+            self.seed,
+        );
+        for (i, t) in self.exprs.iter().enumerate() {
+            if t.shed {
+                set.shed_expr(i);
+            }
+        }
+        set
+    }
+}
+
 /// When a [`FetchMonitor`] observes a fetched row's page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchObserveWhen {
@@ -593,6 +748,11 @@ pub struct FetchMonitor {
     /// `true` once the governor shed this monitor: it stops observing
     /// and its harvest is marked `budget_shed`.
     pub shed: bool,
+    /// Table size the counter was sized for (kept so the monitor can be
+    /// re-instantiated bit-identically in a morsel worker).
+    table_pages: u32,
+    /// Counter seed (ditto).
+    seed: u64,
     governor: Option<GovernorHandle>,
 }
 
@@ -611,7 +771,24 @@ impl FetchMonitor {
             when,
             counter: LinearCounter::for_table(table_pages, seed),
             shed: false,
+            table_pages,
+            seed,
             governor: None,
+        }
+    }
+
+    /// Extracts a plain-data recipe for rebuilding this monitor inside a
+    /// fetch-morsel worker. Extracted after budget admission so the shed
+    /// flag replicates; rebuilt counters share size and seed, so
+    /// per-morsel [`LinearCounter::merge`] is exact.
+    pub fn template(&self) -> FetchTemplate {
+        FetchTemplate {
+            label: self.label.clone(),
+            when: self.when,
+            table_pages: self.table_pages,
+            estimated: self.estimated,
+            seed: self.seed,
+            shed: self.shed,
         }
     }
 
@@ -661,6 +838,34 @@ impl FetchMonitor {
             skipped_pages: self.counter.skipped_pages(),
             budget_shed: self.shed,
         });
+    }
+}
+
+/// A plain-data (`Send + Sync`) recipe for rebuilding a
+/// [`FetchMonitor`] inside a fetch-morsel worker
+/// ([`FetchMonitor::template`]).
+#[derive(Debug, Clone)]
+pub struct FetchTemplate {
+    label: String,
+    when: FetchObserveWhen,
+    table_pages: u32,
+    estimated: Option<f64>,
+    seed: u64,
+    shed: bool,
+}
+
+impl FetchTemplate {
+    /// Rebuilds a worker-local fetch monitor.
+    pub fn instantiate(&self) -> FetchMonitor {
+        let mut m = FetchMonitor::new(
+            self.label.clone(),
+            self.when,
+            self.table_pages,
+            self.estimated,
+            self.seed,
+        );
+        m.shed = self.shed;
+        m
     }
 }
 
@@ -714,8 +919,8 @@ mod tests {
             1,
         );
         // 3 pages: match, no-match, match.
-        for page in 0..3 {
-            set.start_page();
+        for page in 0..3u32 {
+            set.start_page(page);
             let hit = page != 1;
             set.observe_row(
                 &[Some(hit), None],
@@ -734,8 +939,8 @@ mod tests {
         let c = conj(&s);
         let mut set = ScanMonitorSet::new(vec![ScanExprMonitor::atoms(&c, vec![1], None)], 1.0, 1);
         assert!(set.needs_full_eval());
-        for page in 0..4 {
-            let sampled = set.start_page();
+        for page in 0..4u32 {
+            let sampled = set.start_page(page);
             assert!(sampled, "f=1 samples everything");
             set.observe_row(
                 &[Some(true), Some(page % 2 == 0)],
@@ -765,9 +970,9 @@ mod tests {
             2,
         );
         // Page 0: key 5 present (hit). Page 1: only key 6 (likely miss).
-        set.start_page();
+        set.start_page(0);
         set.observe_row(&[], &Row::new(vec![Datum::Int(5), Datum::Int(0)]));
-        set.start_page();
+        set.start_page(1);
         set.observe_row(&[], &Row::new(vec![Datum::Int(6), Datum::Int(0)]));
         let mut rep = FeedbackReport::new();
         set.harvest("r2", &mut rep);
@@ -808,27 +1013,27 @@ mod tests {
         };
         // Full-eval shape: (true, false) per row on every page.
         let (mut a, mut b) = (mk(), mk());
-        for _ in 0..3 {
-            a.start_page();
+        for p in 0..3u32 {
+            a.start_page(p);
             a.observe_row(&[Some(true), Some(false)], &row);
-            b.start_page();
+            b.start_page(p);
             b.observe_full_row(&[true, false], &row);
         }
         assert_eq!(harvest(&mut a), harvest(&mut b));
         // Short-circuit shape: conjunct 0 passed, conjunct 1 failed.
         let (mut a, mut b) = (mk(), mk());
-        for _ in 0..3 {
-            a.start_page();
+        for p in 0..3u32 {
+            a.start_page(p);
             a.observe_row(&[Some(true), Some(false)], &row);
-            b.start_page();
+            b.start_page(p);
             b.observe_prefix_row(2, false, &row);
         }
         assert_eq!(harvest(&mut a), harvest(&mut b));
         // Short-circuit failing at conjunct 0: rest unknown.
         let (mut a, mut b) = (mk(), mk());
-        a.start_page();
+        a.start_page(0);
         a.observe_row(&[Some(false), None], &row);
-        b.start_page();
+        b.start_page(0);
         b.observe_prefix_row(1, false, &row);
         assert_eq!(harvest(&mut a), harvest(&mut b));
     }
@@ -839,12 +1044,12 @@ mod tests {
         let c = conj(&s);
         let mut set = ScanMonitorSet::new(vec![ScanExprMonitor::atoms(&c, vec![0], None)], 1.0, 1);
         let row = Row::new(vec![Datum::Int(0), Datum::Int(0)]);
-        set.start_page();
+        set.start_page(0);
         set.observe_row(&[Some(true), None], &row);
         // Next page turns out corrupt: announced, then skipped.
-        set.start_page();
+        set.start_page(1);
         set.note_skipped_page();
-        set.start_page();
+        set.start_page(2);
         set.observe_row(&[Some(true), None], &row);
         let mut rep = FeedbackReport::new();
         set.harvest("t", &mut rep);
@@ -893,13 +1098,13 @@ mod tests {
             1,
         );
         assert!(set.needs_full_eval());
-        set.start_page();
+        set.start_page(0);
         set.observe_row(&[Some(true), Some(true)], &row);
         // Shed the non-prefix expression mid-run.
         set.shed_expr(1);
         assert_eq!(set.shed_count(), 1);
         assert!(!set.needs_full_eval(), "shed expr stops forcing full eval");
-        set.start_page();
+        set.start_page(1);
         set.observe_row(&[Some(true), Some(true)], &row);
         let mut rep = FeedbackReport::new();
         set.harvest("t", &mut rep);
@@ -930,7 +1135,7 @@ mod tests {
         set.set_governor(Rc::clone(&gov));
         set.check_deadline(4.0);
         assert_eq!(set.shed_count(), 0, "before the deadline nothing sheds");
-        set.start_page();
+        set.start_page(0);
         set.observe_row(&[Some(true), Some(true)], &row);
         set.check_deadline(5.5);
         assert_eq!(set.shed_count(), 2);
@@ -998,8 +1203,8 @@ mod tests {
             1e-9,
             5,
         );
-        for _ in 0..50 {
-            let sampled = set.start_page();
+        for p in 0..50u32 {
+            let sampled = set.start_page(p);
             let results = if sampled {
                 [Some(true), Some(true)]
             } else {
@@ -1012,5 +1217,132 @@ mod tests {
         assert_eq!(rep.measurements[0].actual, 50.0, "prefix exact");
         // Sampled expr saw no sampled pages: 0 count (scaled 0).
         assert_eq!(rep.measurements[1].actual, 0.0);
+    }
+
+    /// The sampling decision depends only on `(seed, page)` — never on
+    /// how many pages were announced before it — so any page sub-range
+    /// reproduces the serial decisions. Also sanity-checks the rate.
+    #[test]
+    fn page_sampling_is_order_free_and_roughly_calibrated() {
+        let (seed, fraction) = (0xFEED, 0.25);
+        let serial: Vec<bool> = (0..4_000)
+            .map(|p| page_sampled(seed, p, fraction))
+            .collect();
+        // Reversed, interleaved, or chunked evaluation: same decisions.
+        for p in (0..4_000u32).rev() {
+            assert_eq!(page_sampled(seed, p, fraction), serial[p as usize]);
+        }
+        let hits = serial.iter().filter(|&&s| s).count();
+        assert!((800..1200).contains(&hits), "got {hits} of 4000 at f=0.25");
+        // Different seeds draw different page sets.
+        let other: Vec<bool> = (0..4_000)
+            .map(|p| page_sampled(seed ^ 1, p, fraction))
+            .collect();
+        assert_ne!(serial, other);
+        // f ≥ 1 samples everything, unconditionally.
+        assert!((0..100).all(|p| page_sampled(seed, p, 1.0)));
+    }
+
+    /// A set split across two page-range "morsels" (each announcing its
+    /// own global page ids) merges to exactly the serial set — including
+    /// with sampling on.
+    #[test]
+    fn sampled_partials_merge_to_serial() {
+        let s = schema();
+        let c = conj(&s);
+        let row = Row::new(vec![Datum::Int(0), Datum::Int(0)]);
+        let mk = || {
+            ScanMonitorSet::new(
+                vec![
+                    ScanExprMonitor::atoms(&c, vec![0], None),
+                    ScanExprMonitor::atoms(&c, vec![1], None),
+                ],
+                0.5,
+                42,
+            )
+        };
+        let feed = |set: &mut ScanMonitorSet, pages: std::ops::Range<u32>| {
+            for p in pages {
+                set.start_page(p);
+                set.observe_row(&[Some(true), Some(p % 3 == 0)], &row);
+            }
+        };
+        let mut serial = mk();
+        feed(&mut serial, 0..40);
+        let mut reference = mk();
+        let (mut lo, mut hi) = (mk(), mk());
+        feed(&mut lo, 0..23);
+        feed(&mut hi, 23..40);
+        reference.absorb_partial(&lo.into_partial());
+        reference.absorb_partial(&hi.into_partial());
+        let harvest = |set: &mut ScanMonitorSet| {
+            let mut rep = FeedbackReport::new();
+            set.harvest("t", &mut rep);
+            rep
+        };
+        assert_eq!(serial.pages_sampled(), reference.pages_sampled());
+        assert_eq!(harvest(&mut serial), harvest(&mut reference));
+    }
+
+    /// Template round-trip: instantiated sets reproduce labels,
+    /// estimates, shed flags, and sampling decisions; semi-join sets
+    /// refuse to template.
+    #[test]
+    fn template_reproduces_reference_set() {
+        let s = schema();
+        let c = conj(&s);
+        let mut set = ScanMonitorSet::new(
+            vec![
+                ScanExprMonitor::atoms(&c, vec![0], Some(7.0)),
+                ScanExprMonitor::atoms(&c, vec![1], None),
+            ],
+            0.5,
+            99,
+        );
+        set.shed_expr(1);
+        let template = set.template().expect("atom-only set must template");
+        let mut rebuilt = template.instantiate(&c);
+        assert_eq!(rebuilt.shed_count(), 1);
+        let row = Row::new(vec![Datum::Int(0), Datum::Int(0)]);
+        for p in 0..20u32 {
+            assert_eq!(set.start_page(p), rebuilt.start_page(p), "page {p}");
+            set.observe_row(&[Some(true), Some(true)], &row);
+            rebuilt.observe_row(&[Some(true), Some(true)], &row);
+        }
+        let harvest = |set: &mut ScanMonitorSet| {
+            let mut rep = FeedbackReport::new();
+            set.harvest("t", &mut rep);
+            rep
+        };
+        assert_eq!(harvest(&mut set), harvest(&mut rebuilt));
+
+        let sj = ScanMonitorSet::new(
+            vec![ScanExprMonitor::semi_join("j", semi_join_slot(0), None)],
+            1.0,
+            1,
+        );
+        assert!(sj.template().is_none(), "semi-join slots cannot template");
+    }
+
+    /// The partition gate: only a governor deadline forces serial.
+    #[test]
+    fn partition_support_blocks_only_deadlines() {
+        use crate::governor::governor_handle;
+        let s = schema();
+        let c = conj(&s);
+        let mk = |fraction| {
+            ScanMonitorSet::new(vec![ScanExprMonitor::atoms(&c, vec![1], None)], fraction, 1)
+        };
+        assert!(mk(1.0).supports_partition());
+        assert!(mk(0.25).supports_partition(), "sampling now partitions");
+        let mut shed = mk(1.0);
+        shed.shed_expr(0);
+        assert!(shed.supports_partition(), "shed flags replicate");
+        let mut budget = mk(1.0);
+        budget.set_governor(governor_handle(Some(1024), None));
+        assert!(budget.supports_partition(), "memory budgets partition");
+        let mut deadline = mk(1.0);
+        deadline.set_governor(governor_handle(None, Some(5.0)));
+        assert!(!deadline.supports_partition(), "deadlines stay serial");
     }
 }

@@ -194,9 +194,9 @@ impl SeqScan {
                 if let Some(m) = &self.monitors {
                     let mut m = m.borrow_mut();
                     if !self.deferred_monitoring {
-                        // Announce the page first so the sampling RNG
-                        // stream stays aligned with a fault-free run.
-                        m.start_page();
+                        // Announce the page first so page/sample
+                        // accounting matches a fault-free run.
+                        m.start_page(pid.0);
                     }
                     m.note_skipped_page();
                 }
@@ -218,7 +218,7 @@ impl SeqScan {
                 // simulated clock is deterministic, so shedding lands on
                 // the same page in every run.
                 m.check_deadline(elapsed);
-                let sampled = m.start_page();
+                let sampled = m.start_page(pid.0);
                 (sampled, sampled && m.needs_full_eval())
             }
             _ => (false, false),
@@ -296,7 +296,7 @@ impl SeqScan {
             let mut m = m.borrow_mut();
             if self.last_delivered_page != Some(pid) {
                 m.check_deadline(ctx.elapsed_ms());
-                m.start_page();
+                m.start_page(pid);
                 self.last_delivered_page = Some(pid);
             }
             // Deferred scans are predicate-free (asserted at

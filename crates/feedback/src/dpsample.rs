@@ -15,13 +15,32 @@
 //! Chernoff bounds, needs one counter of memory, and bounds the
 //! short-circuit-off overhead to the sampled fraction.
 
+use pf_common::hash::mix64;
 use pf_common::rng::Rng;
 use pf_common::{Error, Result};
+
+/// The pure page-sampling decision: a function of `(seed, page)` only.
+/// The draw mirrors the `Rng::next_f64`/`bernoulli` construction (53
+/// high bits of a mixed word → uniform in `[0, 1)`), so its statistical
+/// behaviour matches the sequential stream it replaces — but because
+/// each page's decision is independent of every other page's, the page
+/// stream can be split at any boundary and each sub-range re-derives
+/// exactly the decisions a serial pass would have made. This is what
+/// lets sampled monitors run as page-range morsels and merge exactly.
+#[inline]
+pub fn page_sampled(seed: u64, page: u32, fraction: f64) -> bool {
+    if fraction >= 1.0 {
+        return true;
+    }
+    let h = mix64(seed ^ mix64(u64::from(page) + 1));
+    ((h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < fraction
+}
 
 /// Bernoulli page-sampling DPC estimator for one monitored expression.
 #[derive(Debug, Clone)]
 pub struct DpSampler {
     fraction: f64,
+    seed: u64,
     rng: Rng,
     current_sampled: bool,
     current_satisfied: bool,
@@ -44,6 +63,7 @@ impl DpSampler {
         }
         Ok(DpSampler {
             fraction,
+            seed,
             rng: Rng::new(seed),
             current_sampled: false,
             current_satisfied: false,
@@ -64,6 +84,24 @@ impl DpSampler {
         self.in_page = true;
         self.pages_seen += 1;
         self.current_sampled = self.fraction >= 1.0 || self.rng.bernoulli(self.fraction);
+        if self.current_sampled {
+            self.pages_sampled += 1;
+        }
+        self.current_sampled
+    }
+
+    /// Page-keyed variant of [`DpSampler::start_page`]: the sampling
+    /// decision is the pure function [`page_sampled`] of
+    /// `(seed, page)` rather than the next draw of the sequential RNG
+    /// stream, so workers covering disjoint page ranges of the same
+    /// table make exactly the decisions one serial pass would — the
+    /// merged partials ([`DpSampler::merge`], in morsel order) then
+    /// reproduce the serial sampler bit for bit.
+    pub fn start_page_at(&mut self, page: u32) -> bool {
+        self.flush();
+        self.in_page = true;
+        self.pages_seen += 1;
+        self.current_sampled = page_sampled(self.seed, page, self.fraction);
         if self.current_sampled {
             self.pages_sampled += 1;
         }

@@ -41,7 +41,7 @@ pub mod sketch;
 
 pub use bitvector::BitVectorFilter;
 pub use clustering_ratio::{clustering_ratio, ClusteringObservation};
-pub use dpsample::DpSampler;
+pub use dpsample::{page_sampled, DpSampler};
 pub use fm_sketch::FmSketch;
 pub use grouped_counter::GroupedPageCounter;
 pub use linear_counter::LinearCounter;

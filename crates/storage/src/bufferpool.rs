@@ -77,6 +77,34 @@ impl IoStats {
     }
 }
 
+/// The page-residency overlap between contiguous runs of a split fetch
+/// stream: how many misses the runs pay *in total* that a single serial
+/// stream (one pool, no run boundaries) would have served as hits.
+///
+/// Each run executes against its own cold pool, so a page is a miss on
+/// its first appearance in *every* run that touches it; serially the
+/// page misses only on its global first appearance. The difference —
+/// pages first-seen-in-a-run that an earlier run already saw — is what a
+/// parallel fetch driver must subtract from its summed
+/// [`IoStats::rand_physical_reads`] to reproduce the serial counter.
+/// Exact only when the serial pool never evicts (table pages ≤ pool
+/// capacity), which callers must gate on.
+pub fn split_run_extra_misses<I: IntoIterator<Item = u32>>(
+    runs: impl IntoIterator<Item = I>,
+) -> u64 {
+    let mut seen = std::collections::HashSet::new();
+    let mut extra = 0u64;
+    for run in runs {
+        let mut run_seen = std::collections::HashSet::new();
+        for page in run {
+            if run_seen.insert(page) && !seen.insert(page) {
+                extra += 1;
+            }
+        }
+    }
+    extra
+}
+
 /// An LRU buffer pool over `(table, page)` keys.
 ///
 /// The pool tracks residency only — page *bytes* live in
@@ -264,6 +292,27 @@ mod tests {
             "page stayed warm"
         );
         assert_eq!(bp.stats().rand_physical_reads, 0);
+    }
+
+    #[test]
+    fn split_run_overlap_reconciles_to_serial_misses() {
+        // Serial stream: 0 1 2 | 1 3 | 0 2 4 (runs split at '|').
+        // Serial distinct pages = {0,1,2,3,4} = 5 misses.
+        // Per-run distinct = 3 + 2 + 3 = 8 misses.
+        let runs = [vec![0u32, 1, 2], vec![1, 3], vec![0, 2, 4]];
+        let extra = split_run_extra_misses(runs.clone());
+        assert_eq!(extra, 3);
+        let per_run: u64 = runs
+            .iter()
+            .map(|r| {
+                let mut s = std::collections::HashSet::new();
+                r.iter().filter(|p| s.insert(**p)).count() as u64
+            })
+            .sum();
+        assert_eq!(per_run - extra, 5);
+        // Duplicates within one run never count as overlap.
+        assert_eq!(split_run_extra_misses([vec![7u32, 7, 7]]), 0);
+        assert_eq!(split_run_extra_misses(Vec::<Vec<u32>>::new()), 0);
     }
 
     #[test]

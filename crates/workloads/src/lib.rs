@@ -23,6 +23,8 @@
 //! selections (Figs 6–7), joins (Fig 8), and multi-predicate queries
 //! (Fig 9).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod perm;
 pub mod queries;
 pub mod realworld;

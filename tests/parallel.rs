@@ -4,10 +4,13 @@
 
 use proptest::prelude::*;
 
-use pagefeed::{Database, MonitorConfig, ParallelRunner, PredSpec, Query, WorkloadSummary};
+use pagefeed::{
+    Database, FaultPlan, MonitorConfig, MorselPlan, ParallelRunner, PredSpec, Query,
+    WorkloadSummary,
+};
 use pf_common::{Column, DataType, Datum, Row, Schema};
 use pf_exec::CompareOp;
-use pf_feedback::{DpSampler, FmSketch, GroupedPageCounter, LinearCounter};
+use pf_feedback::{BitVectorFilter, DpSampler, FmSketch, GroupedPageCounter, LinearCounter};
 
 // ---------------------------------------------------------------------
 // Mergeable sketches: chunked == serial, bit for bit
@@ -151,6 +154,43 @@ proptest! {
         prop_assert_eq!(a1.pages_seen(), a2.pages_seen() + b2.pages_seen());
         prop_assert_eq!(a1.pages_sampled(), a2.pages_sampled() + b2.pages_sampled());
     }
+
+    /// Per-morsel bit-vector filter fragments OR-merged in morsel order
+    /// reproduce the filter one serial build would have produced: same
+    /// insertion count, fill ratio, and membership answers.
+    #[test]
+    fn bitvector_filter_merge_is_bit_identical(
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<i64>().prop_map(|k| k % 500), 0..40),
+            1..8,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let numbits = 4_096;
+        let mut serial = BitVectorFilter::new(numbits, seed);
+        for k in chunks.iter().flatten() {
+            serial.insert(&Datum::Int(*k));
+        }
+
+        let mut merged = BitVectorFilter::new(numbits, seed);
+        for chunk in &chunks {
+            let mut frag = BitVectorFilter::new(numbits, seed);
+            for k in chunk {
+                frag.insert(&Datum::Int(*k));
+            }
+            merged.merge(&frag).unwrap();
+        }
+
+        prop_assert_eq!(merged.insertions(), serial.insertions());
+        let (m, s) = (merged.fill_ratio(), serial.fill_ratio());
+        prop_assert!((m - s).abs() < 1e-15, "fill {} vs {}", m, s);
+        for k in -500i64..500 {
+            prop_assert_eq!(
+                merged.may_contain(&Datum::Int(k)),
+                serial.may_contain(&Datum::Int(k))
+            );
+        }
+    }
 }
 
 #[test]
@@ -181,27 +221,41 @@ fn merges_reject_mismatched_configurations() {
 // ---------------------------------------------------------------------
 
 fn build_db() -> Database {
+    build_db_with_copy(false)
+}
+
+/// `with_copy` adds `t1`, an identical second table, so join tests can
+/// exercise shapes whose morsel eligibility depends on the inner and
+/// outer tables being distinct (INL self-joins fall back to serial).
+fn build_db_with_copy(with_copy: bool) -> Database {
     let mut db = Database::new();
-    let schema = Schema::new(vec![
-        Column::new("id", DataType::Int),
-        Column::new("corr", DataType::Int),
-        Column::new("scat", DataType::Int),
-        Column::new("pad", DataType::Str),
-    ]);
+    let schema = || {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("corr", DataType::Int),
+            Column::new("scat", DataType::Int),
+            Column::new("pad", DataType::Str),
+        ])
+    };
     let n = 20_000i64;
-    let rows: Vec<Row> = (0..n)
-        .map(|i| {
-            Row::new(vec![
-                Datum::Int(i),
-                Datum::Int(i),
-                Datum::Int((i * 7919) % n),
-                Datum::Str("x".repeat(60)),
-            ])
-        })
-        .collect();
-    db.create_table("t", schema, rows, Some("id")).unwrap();
+    let rows = || {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Datum::Int(i),
+                    Datum::Int(i),
+                    Datum::Int((i * 7919) % n),
+                    Datum::Str("x".repeat(60)),
+                ])
+            })
+            .collect::<Vec<Row>>()
+    };
+    db.create_table("t", schema(), rows(), Some("id")).unwrap();
     db.create_index("ix_corr", "t", "corr").unwrap();
     db.create_index("ix_scat", "t", "scat").unwrap();
+    if with_copy {
+        db.create_table("t1", schema(), rows(), Some("id")).unwrap();
+    }
     db.analyze().unwrap();
     db
 }
@@ -483,31 +537,267 @@ fn morsel_run_query_is_bit_identical_to_serial() {
     }
 }
 
-/// Ineligible queries (index plans, sampled monitoring, joins) fall back
-/// to the serial path and still match `Database::run` exactly.
-#[test]
-fn morsel_run_query_falls_back_for_ineligible_shapes() {
-    let db = build_db();
-    let runner = ParallelRunner::new(4);
-    // Sampled monitoring consumes RNG per page → not splittable.
-    let sampled = MonitorConfig::sampled(0.5);
-    let narrow = Query::count(
+/// Asserts that morsel execution at 2 and 8 workers reproduces the
+/// serial outcome byte for byte: count, I/O counters, sketches, plan
+/// text, fault retries, and simulated time.
+fn assert_jobs_invariant(db: &Database, query: &Query, cfg: &MonitorConfig, what: &str) {
+    let serial = db.run(query, cfg).unwrap();
+    for jobs in [2, 8] {
+        let runner = ParallelRunner::new(jobs);
+        let morsel = runner.run_query(db, query, cfg).unwrap();
+        assert_eq!(serial.count, morsel.count, "{what}, jobs {jobs}");
+        assert_eq!(serial.stats, morsel.stats, "{what}, jobs {jobs}");
+        assert_eq!(serial.report, morsel.report, "{what}, jobs {jobs}");
+        assert_eq!(
+            serial.description, morsel.description,
+            "{what}, jobs {jobs}"
+        );
+        assert_eq!(
+            serial.fault_retries, morsel.fault_retries,
+            "{what}, jobs {jobs}"
+        );
+        assert!(
+            (serial.elapsed_ms - morsel.elapsed_ms).abs() < 1e-12,
+            "{what}, jobs {jobs}: {} vs {}",
+            serial.elapsed_ms,
+            morsel.elapsed_ms
+        );
+    }
+}
+
+fn wide_scan() -> Query {
+    Query::count(
         "t",
-        vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(200))],
+        vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(15_000))],
+    )
+}
+
+/// Sampled and budget-governed monitors now split into morsels: the
+/// page-keyed Bernoulli draw and the replicated shed flags are pure
+/// functions of `(seed, page)`, so per-morsel partials merge into the
+/// serial sketches exactly.
+#[test]
+fn morsel_sampled_and_budgeted_scans_match_serial() {
+    let db = build_db();
+    let sampled = MonitorConfig::sampled(0.5);
+    assert!(
+        db.morsel_plan(&wide_scan(), &sampled).unwrap().is_some(),
+        "sampled scans are morsel-eligible"
     );
-    assert!(db.morsel_scan(&narrow, &sampled).unwrap().is_none());
-    let s = db.run(&narrow, &sampled).unwrap();
-    let p = runner.run_query(&db, &narrow, &sampled).unwrap();
+    assert_jobs_invariant(&db, &wide_scan(), &sampled, "sampled scan");
+
+    let budgeted = MonitorConfig {
+        memory_budget: Some(512),
+        ..MonitorConfig::default()
+    };
+    assert_jobs_invariant(&db, &wide_scan(), &budgeted, "budgeted scan");
+}
+
+/// Index-driven plans split their RID fetch list into contiguous-run
+/// morsels; per-run residency double-counting is reconciled at merge
+/// time, so the distinct-page accounting matches serial.
+/// A narrow seekable predicate plus a wide residual: the residual keeps
+/// the plan off the (serial-only) index-only path, and the paper's
+/// feedback loop is what flips the access path from scan to index fetch
+/// — Cardenas overestimates DPC on the clustered column until measured.
+fn fetch_query() -> Query {
+    Query::count(
+        "t",
+        vec![
+            PredSpec::new("corr", CompareOp::Lt, Datum::Int(200)),
+            PredSpec::new("scat", CompareOp::Lt, Datum::Int(15_000)),
+        ],
+    )
+}
+
+#[test]
+fn morsel_index_fetch_matches_serial() {
+    let mut db = build_db();
+    let cfg = MonitorConfig::default();
+    let narrow = fetch_query();
+    let out = db.run(&narrow, &cfg).unwrap();
+    db.absorb_feedback(&out.report).unwrap();
+    assert!(
+        matches!(
+            db.morsel_plan(&narrow, &cfg).unwrap(),
+            Some(MorselPlan::Fetch(_))
+        ),
+        "measured DPC must flip the narrow predicate to an index fetch"
+    );
+    assert_jobs_invariant(&db, &narrow, &cfg, "index fetch");
+    assert_jobs_invariant(&db, &narrow, &MonitorConfig::sampled(0.5), "sampled fetch");
+}
+
+/// Hash joins run morsel build and probe phases: build keys and filter
+/// fragments concatenate/OR-merge in morsel order, probe morsels look up
+/// a shared partitioned multiplicity map.
+#[test]
+fn morsel_hash_join_matches_serial() {
+    let db = build_db();
+    let cfg = MonitorConfig::default();
+    // Scattered inner join column → high DPC estimate → hash join.
+    let join = Query::join_count("t", "t", vec![], "corr", "scat");
+    let plan = db.morsel_plan(&join, &cfg).unwrap();
+    assert!(
+        matches!(plan, Some(MorselPlan::HashJoin(_))),
+        "scattered inner column must pick a hash join, got {plan:?}"
+    );
+    assert_jobs_invariant(&db, &join, &cfg, "hash join");
+    // Semi-join monitors and bit-vector sketches merge exactly too.
+    assert_jobs_invariant(
+        &db,
+        &join,
+        &MonitorConfig::sampled(0.5),
+        "sampled hash join",
+    );
+}
+
+/// Index-nested-loops joins split the outer scan into morsels, replay
+/// the inner index seeks on the coordinator, and fetch the joined RIDs
+/// in runs — still bit-identical to serial.
+#[test]
+fn morsel_inl_join_matches_serial() {
+    // A distinct outer table keeps the inner fetches order-independent;
+    // INL *self*-joins interleave inner fetches with the outer scan's
+    // own residency and fall back to serial (asserted below).
+    let mut db = build_db_with_copy(true);
+    let join = Query::join_count(
+        "t1",
+        "t",
+        vec![PredSpec::new("id", CompareOp::Lt, Datum::Int(400))],
+        "id",
+        "corr",
+    );
+    // The clustered inner column needs measured DPC feedback before the
+    // optimizer dares to flip Hash → INL (the paper's core loop).
+    let out = db.run(&join, &MonitorConfig::default()).unwrap();
+    db.absorb_feedback(&out.report).unwrap();
+    let cfg = MonitorConfig::default();
+    let plan = db.morsel_plan(&join, &cfg).unwrap();
+    assert!(
+        matches!(plan, Some(MorselPlan::InlJoin(_))),
+        "clustered inner column with feedback must pick INL, got {plan:?}"
+    );
+    assert_jobs_invariant(&db, &join, &cfg, "inl join");
+
+    let self_join = Query::join_count(
+        "t",
+        "t",
+        vec![PredSpec::new("id", CompareOp::Lt, Datum::Int(400))],
+        "id",
+        "corr",
+    );
+    let out = db.run(&self_join, &cfg).unwrap();
+    db.absorb_feedback(&out.report).unwrap();
+    assert!(
+        db.morsel_plan(&self_join, &cfg).unwrap().is_none(),
+        "INL self-joins must fall back to serial"
+    );
+    let s = db.run(&self_join, &cfg).unwrap();
+    let p = ParallelRunner::new(4)
+        .run_query(&db, &self_join, &cfg)
+        .unwrap();
+    assert_eq!(s.count, p.count);
+    assert_eq!(s.stats, p.stats);
+    assert_eq!(s.report, p.report);
+}
+
+/// Scans stay morsel-eligible under an injected fault plan: stall
+/// budgets and corruption sites are pure functions of
+/// `(seed, table, page)`, so per-morsel retries and page skips reproduce
+/// the serial outcome. Fetch and join shapes refuse to split instead.
+#[test]
+fn morsel_scan_under_fault_plan_matches_serial() {
+    let mut db = build_db();
+    let cfg = MonitorConfig::default();
+    // Flip the narrow query to an index fetch while still fault-free,
+    // then inject faults: the fetch shape must refuse to split.
+    let narrow = fetch_query();
+    let out = db.run(&narrow, &cfg).unwrap();
+    db.absorb_feedback(&out.report).unwrap();
+    assert!(
+        matches!(
+            db.morsel_plan(&narrow, &cfg).unwrap(),
+            Some(MorselPlan::Fetch(_))
+        ),
+        "fetch shape established before injecting faults"
+    );
+    db.set_fault_plan(Some(FaultPlan::new(42, 0.01).unwrap()))
+        .unwrap();
+    assert!(
+        db.morsel_plan(&narrow, &cfg).unwrap().is_none(),
+        "fetch shapes fall back under a fault plan"
+    );
+    let s = db.run(&narrow, &cfg).unwrap();
+    let p = ParallelRunner::new(4)
+        .run_query(&db, &narrow, &cfg)
+        .unwrap();
     assert_eq!(s.count, p.count);
     assert_eq!(s.stats, p.stats);
     assert_eq!(s.report, p.report);
 
-    // Join shapes never split.
-    let join = Query::join_count("t", "t", vec![], "corr", "scat");
-    let cfg = MonitorConfig::default();
-    assert!(db.morsel_scan(&join, &cfg).unwrap().is_none());
-    let s = db.run(&join, &cfg).unwrap();
-    let p = runner.run_query(&db, &join, &cfg).unwrap();
+    assert!(
+        matches!(
+            db.morsel_plan(&wide_scan(), &cfg).unwrap(),
+            Some(MorselPlan::Scan(_))
+        ),
+        "faulted scans still split"
+    );
+    assert_jobs_invariant(&db, &wide_scan(), &cfg, "faulted scan");
+}
+
+/// Shapes outside the morsel matrix fall back to the serial path and
+/// still match `Database::run` exactly: governor deadlines shed monitors
+/// on whole-query simulated time, and DPC-histogram overlays consult
+/// serial whole-run state.
+#[test]
+fn morsel_run_query_falls_back_for_ineligible_shapes() {
+    let mut db = build_db();
+    let runner = ParallelRunner::new(4);
+
+    let deadline = MonitorConfig {
+        deadline_ms: Some(1e6),
+        ..MonitorConfig::default()
+    };
+    assert!(db.morsel_plan(&wide_scan(), &deadline).unwrap().is_none());
+    let s = db.run(&wide_scan(), &deadline).unwrap();
+    let p = runner.run_query(&db, &wide_scan(), &deadline).unwrap();
     assert_eq!(s.count, p.count);
     assert_eq!(s.stats, p.stats);
+    assert_eq!(s.report, p.report);
+
+    db.enable_dpc_histograms(32);
+    let cfg = MonitorConfig::default();
+    assert!(db.morsel_plan(&wide_scan(), &cfg).unwrap().is_none());
+    let s = db.run(&wide_scan(), &cfg).unwrap();
+    let p = runner.run_query(&db, &wide_scan(), &cfg).unwrap();
+    assert_eq!(s.count, p.count);
+    assert_eq!(s.stats, p.stats);
+}
+
+// ---------------------------------------------------------------------
+// Worker-pool robustness
+// ---------------------------------------------------------------------
+
+/// A large batch followed by many small batches must not wedge the
+/// persistent worker pool (regression test for the generation-counting
+/// handshake: late sleepers from the big batch must not consume wakeups
+/// meant for the small ones).
+#[test]
+fn shrinking_batch_after_large_batch() {
+    let db = build_db();
+    let cfg = MonitorConfig::off();
+    let q = |hi: i64| {
+        Query::count(
+            "t",
+            vec![PredSpec::new("scat", CompareOp::Lt, Datum::Int(hi))],
+        )
+    };
+    let runner = ParallelRunner::new(8);
+    let big: Vec<Query> = (0..64).map(|i| q(i % 50)).collect();
+    runner.run_queries(&db, &big, &cfg).unwrap();
+    for _ in 0..50 {
+        let small: Vec<Query> = (0..2).map(|i| q(i + 1)).collect();
+        runner.run_queries(&db, &small, &cfg).unwrap();
+    }
 }
