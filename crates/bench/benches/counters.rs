@@ -35,13 +35,23 @@ fn bench_linear_counter(c: &mut Criterion) {
 fn bench_grouped_counter(c: &mut Criterion) {
     let mut g = c.benchmark_group("grouped_counter");
     let n = 100_000usize;
-    let rows: Vec<(u32, bool)> = (0..n).map(|i| ((i / 50) as u32, i % 7 == 0)).collect();
+    let rows_per_page = 50u64;
+    // One batched observation per 50-row page, matching the operator's
+    // page-at-a-time pipeline.
+    let pages: Vec<(u32, u64)> = (0..n as u64 / rows_per_page)
+        .map(|p| {
+            let satisfying = (0..rows_per_page)
+                .filter(|r| (p * rows_per_page + r).is_multiple_of(7))
+                .count() as u64;
+            (p as u32, satisfying)
+        })
+        .collect();
     g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("observe_row", |b| {
+    g.bench_function("observe_page", |b| {
         b.iter(|| {
             let mut gc = GroupedPageCounter::new();
-            for &(p, s) in &rows {
-                gc.observe_row(black_box(p), black_box(s));
+            for &(p, s) in &pages {
+                gc.observe_page(black_box(p), black_box(s), rows_per_page);
             }
             gc.finish();
             black_box(gc.count())

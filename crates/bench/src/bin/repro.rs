@@ -26,6 +26,8 @@
 //! before re-optimizing. Kill a run mid-figure, rerun it, and the
 //! re-optimized plans come out byte-identical to an uninterrupted run.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use pagefeed::ParallelRunner;
 use pf_bench::util::synthetic_rows;
 use pf_bench::*;

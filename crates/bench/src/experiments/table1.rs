@@ -24,33 +24,35 @@ pub struct DbShape {
 pub fn run_table1(synthetic_rows: usize) -> Result<Vec<DbShape>> {
     section("Table I: Databases Used In Experiments (1:200 scale)");
     let mut shapes = Vec::new();
-    let mut record = |name: &'static str, db: &Database, table: &str, paper_rpp: f64| {
-        let t = db.catalog().table_by_name(table).unwrap();
-        shapes.push(DbShape {
-            name,
-            rows: t.stats.rows,
-            pages: t.stats.pages,
-            rows_per_page: t.stats.rows_per_page,
-            paper_rows_per_page: paper_rpp,
-        });
-    };
+    let mut record =
+        |name: &'static str, db: &Database, table: &str, paper_rpp: f64| -> Result<()> {
+            let t = db.catalog().table_by_name(table)?;
+            shapes.push(DbShape {
+                name,
+                rows: t.stats.rows,
+                pages: t.stats.pages,
+                rows_per_page: t.stats.rows_per_page,
+                paper_rows_per_page: paper_rpp,
+            });
+            Ok(())
+        };
 
     let br = realworld::book_retailer(11)?;
-    record("Book Retailer", &br, "book_retailer", 27.0);
+    record("Book Retailer", &br, "book_retailer", 27.0)?;
     let yp = realworld::yellow_pages(12)?;
-    record("Yellow Pages", &yp, "yellow_pages", 39.0);
+    record("Yellow Pages", &yp, "yellow_pages", 39.0)?;
     let li = tpch::build_lineitem(13)?;
-    record("TPC-H (Z=1) lineitem", &li, "lineitem", 54.0);
+    record("TPC-H (Z=1) lineitem", &li, "lineitem", 54.0)?;
     let vo = realworld::voter(14)?;
-    record("Voter data", &vo, "voter", 46.0);
+    record("Voter data", &vo, "voter", 46.0)?;
     let pr = realworld::products(15)?;
-    record("Products", &pr, "products", 9.0);
+    record("Products", &pr, "products", 9.0)?;
     let sy = synthetic::build(&synthetic::SyntheticConfig {
         rows: synthetic_rows,
         with_t1: false,
         seed: 16,
     })?;
-    record("Synthetic", &sy, "T", 80.0);
+    record("Synthetic", &sy, "T", 80.0)?;
 
     println!(
         "{:<22} {:>10} {:>8} {:>10} {:>12}",

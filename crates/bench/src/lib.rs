@@ -10,6 +10,8 @@
 //! (who wins, crossovers) are preserved. Set `PF_ROWS` to override the
 //! synthetic table size.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod experiments;
 pub mod util;
 

@@ -226,6 +226,142 @@ impl fmt::Display for Conjunction {
     }
 }
 
+/// A comparison literal pre-decoded to the column's fixed-width wire
+/// type.
+#[derive(Debug, Clone, Copy)]
+enum KernelValue {
+    Int(i64),
+    Float(f64),
+    Date(i32),
+}
+
+/// One atom of a [`PageKernel`]: compare the fixed-prefix field at
+/// `offset` bytes into each row payload against `value`.
+#[derive(Debug, Clone)]
+struct KernelAtom {
+    offset: usize,
+    op: CompareOp,
+    value: KernelValue,
+}
+
+/// A conjunction compiled for page-at-a-time evaluation.
+///
+/// Every atom's column must live in the row layout's fixed-width prefix,
+/// so its bytes sit at a schema-constant offset from the row start and
+/// can be read straight out of the page buffer — no `RowView`
+/// construction (and no per-row validation walk) for rows that are only
+/// observed, never delivered. Comparison semantics are exactly those of
+/// [`AtomicPredicate::eval`]: `i64`/`i32` ordering for `Int`/`Date`,
+/// IEEE `total_cmp` for `Float` (matching `DatumRef::cmp_datum`).
+#[derive(Debug, Clone)]
+pub struct PageKernel {
+    atoms: Vec<KernelAtom>,
+    span: usize,
+}
+
+impl Conjunction {
+    /// Compiles this conjunction against `layout` for page-at-a-time
+    /// evaluation, or `None` if any atom's column falls outside the
+    /// fixed-width prefix (e.g. `Str` columns, or columns after the
+    /// first `Str`) — the scan then falls back to row-at-a-time views.
+    pub fn compile_page_kernel(&self, layout: &pf_storage::RowLayout) -> Option<PageKernel> {
+        let mut atoms = Vec::with_capacity(self.atoms.len());
+        let mut span = 0usize;
+        for a in &self.atoms {
+            let (offset, _ty) = layout.fixed_col(a.column)?;
+            let (value, width) = match &a.value {
+                Datum::Int(v) => (KernelValue::Int(*v), 8),
+                Datum::Float(v) => (KernelValue::Float(*v), 8),
+                Datum::Date(v) => (KernelValue::Date(*v), 4),
+                Datum::Str(_) => return None,
+            };
+            span = span.max(offset + width);
+            atoms.push(KernelAtom {
+                offset,
+                op: a.op,
+                value,
+            });
+        }
+        Some(PageKernel { atoms, span })
+    }
+}
+
+impl PageKernel {
+    /// Bytes the kernel reads from each row's payload start — the bound
+    /// the page must guarantee per slot (see `Page::slot_offsets`).
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// Evaluates atom `idx` over a page: `bytes` is the raw page image,
+    /// `offs[s]` each slot's payload offset, `active` a bitmap of slots
+    /// worth evaluating, `out` the result bitmap (one bit per slot, same
+    /// word count as `active`).
+    ///
+    /// Whole words of `active` that are zero are skipped and their `out`
+    /// words left zero — the word-granular analogue of short-circuiting.
+    /// Within a nonzero word every slot is evaluated; bits of `out` for
+    /// inactive slots may therefore be set, and callers must mask with
+    /// the prefix bitmap (AND) before interpreting them.
+    pub fn eval_atom(
+        &self,
+        idx: usize,
+        bytes: &[u8],
+        offs: &[u32],
+        active: &[u64],
+        out: &mut [u64],
+    ) {
+        let atom = &self.atoms[idx];
+        match atom.value {
+            KernelValue::Int(lit) => {
+                eval_fixed::<8>(bytes, offs, atom.offset, active, out, |raw| {
+                    atom.op.matches(i64::from_le_bytes(raw).cmp(&lit))
+                })
+            }
+            KernelValue::Float(lit) => {
+                eval_fixed::<8>(bytes, offs, atom.offset, active, out, |raw| {
+                    atom.op
+                        .matches(f64::from_bits(u64::from_le_bytes(raw)).total_cmp(&lit))
+                });
+            }
+            KernelValue::Date(lit) => {
+                eval_fixed::<4>(bytes, offs, atom.offset, active, out, |raw| {
+                    atom.op.matches(i32::from_le_bytes(raw).cmp(&lit))
+                })
+            }
+        }
+    }
+}
+
+/// Shared fixed-width comparison loop: reads `W` bytes at `col_off` into
+/// each active slot's payload and ORs `pred`'s verdicts into `out`.
+#[inline]
+fn eval_fixed<const W: usize>(
+    bytes: &[u8],
+    offs: &[u32],
+    col_off: usize,
+    active: &[u64],
+    out: &mut [u64],
+    pred: impl Fn([u8; W]) -> bool,
+) {
+    for (w, out_word) in out.iter_mut().enumerate() {
+        if active[w] == 0 {
+            continue;
+        }
+        let base = w * 64;
+        let end = (base + 64).min(offs.len());
+        let mut word = 0u64;
+        for (bit, &off) in offs[base..end].iter().enumerate() {
+            let start = off as usize + col_off;
+            let raw: [u8; W] = bytes[start..start + W]
+                .try_into()
+                .expect("slot_offsets bounds-checked the kernel span");
+            word |= u64::from(pred(raw)) << bit;
+        }
+        *out_word = word;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

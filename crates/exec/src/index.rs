@@ -379,6 +379,17 @@ pub struct Fetch {
     /// Pages discovered corrupt during this fetch stream: later RIDs on
     /// the same page are skipped without re-verifying (or re-counting).
     corrupt_pages: std::collections::HashSet<u32>,
+    /// Pending same-page run of `AllFetched` observations on the batched
+    /// path: `(page, rows)`, flushed when the stream moves to another
+    /// page or ends. Fetch streams are clustered (index order groups
+    /// RIDs by page), so one [`LinearCounter::observe_page`] call
+    /// replaces a run of per-row observes bit-identically.
+    pending_obs: Option<(u32, u64)>,
+    /// Whether observations may be batched per page run — resolved on
+    /// first fetch. Any governor *deadline* forces the row-at-a-time
+    /// cadence: each fetched row is a deadline checkpoint, and shed
+    /// timing must be reproducible.
+    batch_obs: Option<bool>,
 }
 
 impl Fetch {
@@ -397,6 +408,19 @@ impl Fetch {
             residual,
             monitors,
             corrupt_pages: std::collections::HashSet::new(),
+            pending_obs: None,
+            batch_obs: None,
+        }
+    }
+
+    /// Flushes a pending `(page, rows)` run into every live `AllFetched`
+    /// monitor, charging the hash ops the per-row path would have.
+    fn flush_pending(ms: &FetchMonitorHandle, ctx: &mut ExecContext, page: u32, rows: u64) {
+        for m in ms.borrow_mut().iter_mut() {
+            if !m.shed && m.when == FetchObserveWhen::AllFetched {
+                m.counter.observe_page(page, rows);
+                ctx.pool.charge_hashes(rows);
+            }
         }
     }
 }
@@ -436,14 +460,31 @@ impl Operator for Fetch {
             ctx.pool.charge_rows(1);
 
             if let Some(ms) = &self.monitors {
-                // Each fetched row is a deadline checkpoint: the clock
-                // is simulated, so shedding is deterministic.
-                let elapsed = ctx.elapsed_ms();
-                for m in ms.borrow_mut().iter_mut() {
-                    m.check_deadline(elapsed);
-                    if !m.shed && m.when == FetchObserveWhen::AllFetched {
-                        m.counter.observe(rid.page.0);
-                        ctx.pool.charge_hashes(1);
+                let batch = *self
+                    .batch_obs
+                    .get_or_insert_with(|| ms.borrow().iter().all(|m| !m.has_deadline()));
+                if batch {
+                    // No deadline anywhere: per-row checkpoints are
+                    // no-ops, so same-page runs coalesce into one
+                    // bulk observation per page, flushed on page change.
+                    match &mut self.pending_obs {
+                        Some((p, n)) if *p == rid.page.0 => *n += 1,
+                        pending => {
+                            if let Some((page, rows)) = pending.replace((rid.page.0, 1)) {
+                                Self::flush_pending(ms, ctx, page, rows);
+                            }
+                        }
+                    }
+                } else {
+                    // Each fetched row is a deadline checkpoint: the
+                    // clock is simulated, so shedding is deterministic.
+                    let elapsed = ctx.elapsed_ms();
+                    for m in ms.borrow_mut().iter_mut() {
+                        m.check_deadline(elapsed);
+                        if !m.shed && m.when == FetchObserveWhen::AllFetched {
+                            m.counter.observe(rid.page.0);
+                            ctx.pool.charge_hashes(1);
+                        }
                     }
                 }
             }
@@ -460,6 +501,13 @@ impl Operator for Fetch {
                     }
                 }
                 return Ok(Some(view.materialize()));
+            }
+        }
+        // End of the RID stream: flush the trailing page run (taking it
+        // keeps repeated end-of-stream calls idempotent).
+        if let Some((page, rows)) = self.pending_obs.take() {
+            if let Some(ms) = &self.monitors {
+                Self::flush_pending(ms, ctx, page, rows);
             }
         }
         Ok(None)

@@ -43,7 +43,7 @@ pub mod scan;
 pub mod sort;
 
 pub use context::ExecContext;
-pub use expr::{AtomicPredicate, CompareOp, Conjunction};
+pub use expr::{AtomicPredicate, CompareOp, Conjunction, PageKernel};
 pub use governor::{governor_handle, GovernorHandle, MonitorGovernor, ShedClass};
 pub use monitor::{FetchMonitor, FetchObserveWhen, ScanExprMonitor, ScanMonitorSet, SemiJoinSlot};
 pub use op::{drain, run_count, Operator, RidSource};

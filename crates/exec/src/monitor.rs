@@ -188,6 +188,7 @@ pub struct ScanMonitorSet {
     pages_seen: u64,
     pages_sampled: u64,
     rows_seen: u64,
+    rows_this_page: u64,
     hash_ops: u64,
     skipped_pages: u64,
     governor: Option<GovernorHandle>,
@@ -206,6 +207,7 @@ impl ScanMonitorSet {
             pages_seen: 0,
             pages_sampled: 0,
             rows_seen: 0,
+            rows_this_page: 0,
             hash_ops: 0,
             skipped_pages: 0,
             governor: None,
@@ -340,9 +342,116 @@ impl ScanMonitorSet {
         self.observe_impl(AtomResults::Prefix { evaluated, pass }, row);
     }
 
+    /// Observes the current page in one call — the batched equivalent of
+    /// one `observe_*_row` per row, fed from the scan's predicate-kernel
+    /// bitmaps instead of per-row truth buffers.
+    ///
+    /// `stripes` holds one bitmap per conjunct: atom `i`'s per-slot truth
+    /// occupies `stripes[i*words..(i+1)*words]`, bit `s` of the stripe
+    /// covering slot `s`. On pages evaluated with short-circuiting, a
+    /// stripe need only be correct for slots on which every earlier
+    /// conjunct held (the short-circuit prefix); that is exactly the set
+    /// of rows on which the serial path could observe atom `i`, so prefix
+    /// expressions see identical truth. Non-prefix expressions are only
+    /// consulted on sampled pages, where the scan evaluates every atom on
+    /// every slot (`needs_full_eval`), making all stripes exact.
+    ///
+    /// Semi-join expressions need per-row key hashes, which a bitmap
+    /// cannot carry — callers follow up with
+    /// [`ScanMonitorSet::observe_semi_join_row`] while
+    /// [`ScanMonitorSet::wants_semi_join_rows`] holds.
+    pub fn observe_page_atoms(&mut self, stripes: &[u64], words: usize, n_rows: u64) {
+        self.rows_seen += n_rows;
+        self.rows_this_page += n_rows;
+        if n_rows == 0 {
+            return;
+        }
+        let sampled = self.page_sampled;
+        for e in &mut self.exprs {
+            if e.satisfied_this_page || e.shed {
+                continue;
+            }
+            let ScanExprKind::Atoms {
+                indices,
+                prefix_len,
+            } = &e.kind
+            else {
+                continue;
+            };
+            if prefix_len.is_none() && !sampled {
+                continue;
+            }
+            // The expression is satisfied iff some slot passes all of its
+            // atoms: AND the indexed stripes word by word and look for a
+            // surviving bit. An empty index list is vacuously true on any
+            // non-empty page, as in the per-row path.
+            let satisfied = match indices.split_first() {
+                None => true,
+                Some((&first, rest)) => (0..words).any(|w| {
+                    let mut acc = stripes[first * words + w];
+                    for &i in rest {
+                        if acc == 0 {
+                            break;
+                        }
+                        acc &= stripes[i * words + w];
+                    }
+                    acc != 0
+                }),
+            };
+            if satisfied {
+                e.satisfied_this_page = true;
+            }
+        }
+    }
+
+    /// Whether the current page still needs per-row key observations for
+    /// semi-join expressions (only sampled pages do, and only until every
+    /// live semi-join expression has been satisfied).
+    pub fn wants_semi_join_rows(&self) -> bool {
+        self.page_sampled
+            && self.exprs.iter().any(|e| {
+                !e.shed && !e.satisfied_this_page && matches!(e.kind, ScanExprKind::SemiJoin(_))
+            })
+    }
+
+    /// Observes one row's join key against the still-unsatisfied
+    /// semi-join expressions of the current (sampled) page; the batched
+    /// complement of the semi-join arm of `observe_impl`. Returns whether
+    /// any semi-join expression is still unsatisfied — `false` lets the
+    /// caller stop iterating the page's rows early, which is safe because
+    /// the per-row path also stops charging hash ops for an expression
+    /// once it is satisfied.
+    pub fn observe_semi_join_row<R: DatumAccess + ?Sized>(&mut self, row: &R) -> bool {
+        if !self.page_sampled {
+            return false;
+        }
+        let mut unsatisfied = false;
+        for e in &mut self.exprs {
+            if e.satisfied_this_page || e.shed {
+                continue;
+            }
+            let ScanExprKind::SemiJoin(slot) = &e.kind else {
+                continue;
+            };
+            let cell = slot.borrow();
+            self.hash_ops += 1;
+            let hit = match &cell.filter {
+                Some(f) => f.may_contain_ref(row.datum_ref(cell.key_column)),
+                None => true,
+            };
+            if hit {
+                e.satisfied_this_page = true;
+            } else {
+                unsatisfied = true;
+            }
+        }
+        unsatisfied
+    }
+
     fn observe_impl<R: DatumAccess + ?Sized>(&mut self, atom_results: AtomResults<'_>, row: &R) {
         let sampled = self.page_sampled;
         self.rows_seen += 1;
+        self.rows_this_page += 1;
         for e in &mut self.exprs {
             if e.satisfied_this_page || e.shed {
                 continue;
@@ -504,10 +613,13 @@ impl ScanMonitorSet {
             // the (strictly increasing) page ordinal, so the counter's
             // page-transition logic fires exactly once per scanned page.
             let page = self.pages_seen as u32;
+            let rows = self.rows_this_page;
             for e in &mut self.exprs {
-                e.counter.observe_row(page, e.satisfied_this_page);
+                e.counter
+                    .observe_page(page, u64::from(e.satisfied_this_page), rows);
                 e.satisfied_this_page = false;
             }
+            self.rows_this_page = 0;
         }
         self.page_sampled = false;
     }
@@ -817,6 +929,17 @@ impl FetchMonitor {
             self.shed = true;
             g.note_shed(1);
         }
+    }
+
+    /// Whether a governor deadline is attached. With a deadline, every
+    /// fetched row is a potential shed point, so observations must stay
+    /// row-at-a-time for shed timing to be reproducible; without one the
+    /// Fetch operator may batch same-page runs into
+    /// [`LinearCounter::observe_page`].
+    pub fn has_deadline(&self) -> bool {
+        self.governor
+            .as_ref()
+            .is_some_and(|g| g.borrow().deadline_ms().is_some())
     }
 
     /// Records a page whose rows could not be fetched (checksum failure):

@@ -7,13 +7,25 @@
 //! exact counting for prefix expressions plus `DPSample` for the rest.
 
 use crate::context::ExecContext;
-use crate::expr::Conjunction;
+use crate::expr::{Conjunction, PageKernel};
 use crate::monitor::ScanMonitorHandle;
 use crate::op::Operator;
 use pf_common::{Datum, PageId, Result, Row, Schema, SlotId, TableId};
+use pf_feedback::bitmap;
 use pf_storage::{AccessPattern, TableStorage};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Whether page-at-a-time predicate kernels are enabled. The
+/// `PF_SCAN_KERNELS` escape hatch (`off` or `0`) forces the row-at-a-time
+/// reference path — used by the identity tests and for triage; results
+/// are bit-identical either way.
+fn kernels_enabled() -> bool {
+    !matches!(
+        std::env::var("PF_SCAN_KERNELS").as_deref(),
+        Ok("off") | Ok("0")
+    )
+}
 
 /// A sequential scan over a contiguous page range of one table, with the
 /// query predicate pushed into the storage engine.
@@ -30,14 +42,29 @@ pub struct SeqScan {
     next_page: u32,
     started: bool,
     finished: bool,
-    buffer: VecDeque<(Row, u32)>,
-    /// Per-conjunct truth of the current row on fully-evaluated pages.
+    /// Materialized qualifying rows of the current page, each tagged
+    /// with its `(page, slot)` provenance so deferred observation can
+    /// re-derive a view without cloning the row.
+    buffer: VecDeque<(Row, u32, u16)>,
+    /// Per-conjunct truth of the current row on fully-evaluated pages
+    /// (row-at-a-time fallback path only).
     atom_buf: Vec<bool>,
     /// Reusable per-page bitmap of qualifying slots: predicates are
-    /// evaluated over borrowed page views in one batched pass, and only
-    /// the slots marked here are materialized into `buffer` (rows the
-    /// parent will actually receive).
+    /// evaluated over the page in one batched pass, and only the slots
+    /// marked here are materialized into `buffer` (rows the parent will
+    /// actually receive).
     qualifying: Vec<u64>,
+    /// Reusable per-atom truth stripes for the kernel path: atom `i`'s
+    /// per-slot results occupy words `i*words..(i+1)*words`.
+    atom_bits: Vec<u64>,
+    /// Reusable all-slots mask of the current page (first `n_rows` bits).
+    page_mask: Vec<u64>,
+    /// Reusable slot-directory offsets of the current page.
+    slot_offs: Vec<u32>,
+    /// Compiled page-at-a-time kernel; `None` when any predicate column
+    /// is outside the fixed-width prefix or kernels are disabled, in
+    /// which case every page takes the row-at-a-time path.
+    kernel: Option<PageKernel>,
     /// When set, monitors observe each row as it is *delivered* to the
     /// parent (not when its page is loaded). Required for partial
     /// bit-vector filters under a streaming merge join (Section IV): the
@@ -49,11 +76,49 @@ pub struct SeqScan {
     /// Deferred mode observes each row one delivery *late*: a streaming
     /// merge join advances its outer side (growing the partial filter)
     /// only after receiving a probe row, so the filter is complete for
-    /// that row's key exactly when the *next* row is requested.
-    pending_observation: Option<(Row, u32)>,
+    /// that row's key exactly when the *next* row is requested. Held as
+    /// `(page, slot)` — the view is re-derived at observation time.
+    pending_observation: Option<(u32, u16)>,
 }
 
 impl SeqScan {
+    /// Shared constructor: `page_range` is already clamped by callers.
+    fn build(
+        storage: Arc<TableStorage>,
+        table_id: TableId,
+        predicate: Conjunction,
+        monitors: Option<ScanMonitorHandle>,
+        page_range: (u32, u32),
+        first_random: bool,
+    ) -> Self {
+        let kernel = if kernels_enabled() {
+            predicate.compile_page_kernel(storage.layout())
+        } else {
+            None
+        };
+        SeqScan {
+            next_page: page_range.0,
+            storage,
+            table_id,
+            predicate,
+            monitors,
+            page_range,
+            first_random,
+            started: false,
+            finished: false,
+            buffer: VecDeque::new(),
+            atom_buf: Vec::new(),
+            qualifying: Vec::new(),
+            atom_bits: Vec::new(),
+            page_mask: Vec::new(),
+            slot_offs: Vec::new(),
+            kernel,
+            deferred_monitoring: false,
+            last_delivered_page: None,
+            pending_observation: None,
+        }
+    }
+
     /// A full-table scan.
     pub fn full(
         storage: Arc<TableStorage>,
@@ -62,23 +127,7 @@ impl SeqScan {
         monitors: Option<ScanMonitorHandle>,
     ) -> Self {
         let pages = storage.page_count();
-        SeqScan {
-            storage,
-            table_id,
-            predicate,
-            monitors,
-            page_range: (0, pages),
-            first_random: false,
-            next_page: 0,
-            started: false,
-            finished: false,
-            buffer: VecDeque::new(),
-            atom_buf: Vec::new(),
-            qualifying: Vec::new(),
-            deferred_monitoring: false,
-            last_delivered_page: None,
-            pending_observation: None,
-        }
+        Self::build(storage, table_id, predicate, monitors, (0, pages), false)
     }
 
     /// A scan restricted to the page sub-range `[first, last)` — one
@@ -97,23 +146,14 @@ impl SeqScan {
     ) -> Self {
         let last = page_range.1.min(storage.page_count());
         let first = page_range.0.min(last);
-        SeqScan {
+        Self::build(
             storage,
             table_id,
             predicate,
             monitors,
-            page_range: (first, last),
+            (first, last),
             first_random,
-            next_page: first,
-            started: false,
-            finished: false,
-            buffer: VecDeque::new(),
-            atom_buf: Vec::new(),
-            qualifying: Vec::new(),
-            deferred_monitoring: false,
-            last_delivered_page: None,
-            pending_observation: None,
-        }
+        )
     }
 
     /// Switches to delivery-time monitoring (see the field docs). Only
@@ -146,23 +186,14 @@ impl SeqScan {
         monitors: Option<ScanMonitorHandle>,
     ) -> Result<Self> {
         let (first, last) = storage.locate_range(lo, hi)?;
-        Ok(SeqScan {
-            next_page: first,
-            page_range: (first, last),
-            first_random: true,
+        Ok(Self::build(
             storage,
             table_id,
             predicate,
             monitors,
-            started: false,
-            finished: false,
-            buffer: VecDeque::new(),
-            atom_buf: Vec::new(),
-            qualifying: Vec::new(),
-            deferred_monitoring: false,
-            last_delivered_page: None,
-            pending_observation: None,
-        })
+            (first, last),
+            true,
+        ))
     }
 
     /// Pages this scan will touch.
@@ -224,49 +255,129 @@ impl SeqScan {
             _ => (false, false),
         };
 
-        // Pass 1 (zero-copy): evaluate the whole page over borrowed
-        // views — no row is decoded into owned values here. Predicate
-        // truth and monitor observations come straight from page bytes;
-        // qualifying slots are marked in the reusable bitmap.
+        // Pass 1: evaluate the whole page into the qualifying bitmap —
+        // no row is decoded into owned values here.
+        //
+        // Preferred (kernel) path: comparison atoms read their operands
+        // straight out of the page buffer's fixed-prefix region, one
+        // truth stripe per atom, with no `RowView` construction (and no
+        // per-row validation walk) for rows that are only observed,
+        // never delivered. Monitors then receive one batched per-page
+        // observation instead of N per-row calls. Falls back to the
+        // row-at-a-time reference path when the predicate has
+        // non-fixed-prefix columns, kernels are disabled, or a slot
+        // directory fails the kernel's bounds pre-check. Both paths are
+        // bit-identical in counts, I/O charges, and sketch contents.
         let natoms = self.predicate.len();
+        let n_rows = usize::from(page.slot_count());
+        let words = n_rows.div_ceil(64);
         self.qualifying.clear();
-        self.qualifying
-            .resize(usize::from(page.slot_count()).div_ceil(64), 0);
-        for (slot, view) in page.cursor(layout).enumerate() {
-            let view = view?;
-            let pass = if full_eval {
-                // Short-circuiting OFF for this sampled page: evaluate
-                // every conjunct, charging the surplus as monitoring
-                // overhead.
-                let pass = self.predicate.eval_all(&view, &mut self.atom_buf);
-                let sc_evals = match self.atom_buf.iter().position(|r| !*r) {
-                    Some(i) => i + 1,
-                    None => natoms,
-                };
-                ctx.pool.charge_pred_evals(sc_evals as u64);
-                ctx.pool.charge_extra_pred_evals((natoms - sc_evals) as u64);
-                if let Some(m) = &self.monitors {
-                    m.borrow_mut().observe_full_row(&self.atom_buf, &view);
-                    ctx.pool.charge_monitor_ops(1);
+        self.qualifying.resize(words, 0);
+
+        let mut used_kernel = false;
+        if let Some(kernel) = &self.kernel {
+            if page.slot_offsets(kernel.span(), &mut self.slot_offs) {
+                used_kernel = true;
+                self.page_mask.clear();
+                self.page_mask.resize(words, 0);
+                bitmap::fill_ones(&mut self.page_mask, n_rows);
+                self.qualifying.copy_from_slice(&self.page_mask);
+                self.atom_bits.clear();
+                self.atom_bits.resize(natoms * words, 0);
+                let bytes = page.bytes();
+
+                // Cascade: entering atom `i`, `qualifying` is the
+                // short-circuit prefix (rows passing atoms 0..i), so the
+                // per-atom popcount sums to exactly the evaluations the
+                // row-at-a-time path charges. On fully-evaluated pages
+                // every atom is evaluated on every slot instead, and the
+                // surplus is charged as monitoring overhead — the same
+                // `natoms·n_rows − short_circuit_evals` a per-row
+                // `eval_all` accumulates.
+                let mut sc_evals = 0u64;
+                for i in 0..natoms {
+                    sc_evals += bitmap::popcount(&self.qualifying);
+                    let stripe = i * words..(i + 1) * words;
+                    let active = if full_eval {
+                        &self.page_mask
+                    } else {
+                        &self.qualifying
+                    };
+                    kernel.eval_atom(
+                        i,
+                        bytes,
+                        &self.slot_offs,
+                        active,
+                        &mut self.atom_bits[stripe.clone()],
+                    );
+                    bitmap::and_into(&mut self.qualifying, &self.atom_bits[stripe]);
                 }
-                pass
-            } else {
-                let (pass, evaluated) = self.predicate.eval_short_circuit(&view);
-                ctx.pool.charge_pred_evals(evaluated as u64);
-                if self.monitors.is_some() && !self.deferred_monitoring {
-                    if let Some(m) = &self.monitors {
-                        // Truths known from short-circuit evaluation:
-                        // conjuncts before the stopping point are true,
-                        // the stopping conjunct is true iff the row
-                        // passed, later conjuncts were never evaluated.
-                        m.borrow_mut().observe_prefix_row(evaluated, pass, &view);
-                        ctx.pool.charge_monitor_ops(1);
+                ctx.pool.charge_pred_evals(sc_evals);
+                if full_eval {
+                    ctx.pool
+                        .charge_extra_pred_evals((natoms as u64) * (n_rows as u64) - sc_evals);
+                }
+
+                if let Some(m) = &self.monitors {
+                    if !self.deferred_monitoring {
+                        let mut m = m.borrow_mut();
+                        m.observe_page_atoms(&self.atom_bits, words, n_rows as u64);
+                        ctx.pool.charge_monitor_ops(n_rows as u64);
+                        // Semi-join expressions hash per-row keys, which
+                        // bitmaps cannot carry: walk views only on
+                        // sampled pages with live semi-join monitors,
+                        // stopping as soon as all are satisfied.
+                        if m.wants_semi_join_rows() {
+                            for view in page.cursor(layout) {
+                                let view = view?;
+                                if !m.observe_semi_join_row(&view) {
+                                    break;
+                                }
+                            }
+                        }
                     }
                 }
-                pass
-            };
-            if pass {
-                self.qualifying[slot / 64] |= 1 << (slot % 64);
+            }
+        }
+
+        if !used_kernel {
+            for (slot, view) in page.cursor(layout).enumerate() {
+                let view = view?;
+                let pass = if full_eval {
+                    // Short-circuiting OFF for this sampled page:
+                    // evaluate every conjunct, charging the surplus as
+                    // monitoring overhead.
+                    let pass = self.predicate.eval_all(&view, &mut self.atom_buf);
+                    let sc_evals = match self.atom_buf.iter().position(|r| !*r) {
+                        Some(i) => i + 1,
+                        None => natoms,
+                    };
+                    ctx.pool.charge_pred_evals(sc_evals as u64);
+                    ctx.pool.charge_extra_pred_evals((natoms - sc_evals) as u64);
+                    if let Some(m) = &self.monitors {
+                        m.borrow_mut().observe_full_row(&self.atom_buf, &view);
+                        ctx.pool.charge_monitor_ops(1);
+                    }
+                    pass
+                } else {
+                    let (pass, evaluated) = self.predicate.eval_short_circuit(&view);
+                    ctx.pool.charge_pred_evals(evaluated as u64);
+                    if self.monitors.is_some() && !self.deferred_monitoring {
+                        if let Some(m) = &self.monitors {
+                            // Truths known from short-circuit evaluation:
+                            // conjuncts before the stopping point are
+                            // true, the stopping conjunct is true iff the
+                            // row passed, later conjuncts were never
+                            // evaluated.
+                            m.borrow_mut().observe_prefix_row(evaluated, pass, &view);
+                            ctx.pool.charge_monitor_ops(1);
+                        }
+                    }
+                    pass
+                };
+                if pass {
+                    self.qualifying[slot / 64] |= 1 << (slot % 64);
+                }
             }
         }
 
@@ -278,7 +389,7 @@ impl SeqScan {
                 let slot = word * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let row = page.view(layout, SlotId(slot as u16))?.materialize();
-                self.buffer.push_back((row, pid.0));
+                self.buffer.push_back((row, pid.0, slot as u16));
             }
         }
 
@@ -291,21 +402,34 @@ impl SeqScan {
 }
 
 impl SeqScan {
-    fn observe_deferred(&mut self, row: &Row, pid: u32, ctx: &mut ExecContext) {
-        if let Some(m) = &self.monitors {
-            let mut m = m.borrow_mut();
-            if self.last_delivered_page != Some(pid) {
-                m.check_deadline(ctx.elapsed_ms());
-                m.start_page(pid);
-                self.last_delivered_page = Some(pid);
-            }
-            // Deferred scans are predicate-free (asserted at
-            // construction): no conjunct was evaluated, which is exactly
-            // an empty short-circuit prefix that passed.
-            m.observe_prefix_row(0, true, row);
-            ctx.pool.charge_monitor_ops(1);
-            ctx.pool.charge_hashes(m.take_hash_ops());
+    fn observe_deferred(&mut self, pid: u32, slot: u16, ctx: &mut ExecContext) -> Result<()> {
+        let Some(m) = self.monitors.clone() else {
+            return Ok(());
+        };
+        // Re-derive a borrowed view of the delivered row instead of
+        // holding an owned clone per in-flight observation. The page was
+        // checksum-verified when its rows were loaded and delivered rows
+        // only come from intact pages, so this lookup (no re-verify, no
+        // new I/O: the buffer-pool residency was charged at load) cannot
+        // observe different bytes — and `DatumRef` hashing is defined to
+        // agree with owned-`Datum` hashing, so sketch contents are
+        // unchanged.
+        let storage = Arc::clone(&self.storage);
+        let page = storage.checked_page(PageId(pid), ctx.fault_attempt, false)?;
+        let view = page.view(storage.layout(), SlotId(slot))?;
+        let mut m = m.borrow_mut();
+        if self.last_delivered_page != Some(pid) {
+            m.check_deadline(ctx.elapsed_ms());
+            m.start_page(pid);
+            self.last_delivered_page = Some(pid);
         }
+        // Deferred scans are predicate-free (asserted at construction):
+        // no conjunct was evaluated, which is exactly an empty
+        // short-circuit prefix that passed.
+        m.observe_prefix_row(0, true, &view);
+        ctx.pool.charge_monitor_ops(1);
+        ctx.pool.charge_hashes(m.take_hash_ops());
+        Ok(())
     }
 }
 
@@ -316,21 +440,22 @@ impl Operator for SeqScan {
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
         loop {
-            if let Some((row, pid)) = self.buffer.pop_front() {
+            if let Some((row, pid, slot)) = self.buffer.pop_front() {
                 if self.deferred_monitoring && self.monitors.is_some() {
                     // Observe the *previous* delivery now (the consumer
                     // has processed it, so a partial semi-join filter is
-                    // complete for its key), and queue this one.
-                    if let Some((prev, prev_pid)) = self.pending_observation.take() {
-                        self.observe_deferred(&prev, prev_pid, ctx);
+                    // complete for its key), and queue this one by
+                    // provenance — no owned clone.
+                    if let Some((prev_pid, prev_slot)) = self.pending_observation.take() {
+                        self.observe_deferred(prev_pid, prev_slot, ctx)?;
                     }
-                    self.pending_observation = Some((row.clone(), pid));
+                    self.pending_observation = Some((pid, slot));
                 }
                 return Ok(Some(row));
             }
             if self.finished {
-                if let Some((prev, prev_pid)) = self.pending_observation.take() {
-                    self.observe_deferred(&prev, prev_pid, ctx);
+                if let Some((prev_pid, prev_slot)) = self.pending_observation.take() {
+                    self.observe_deferred(prev_pid, prev_slot, ctx)?;
                     if let Some(m) = &self.monitors {
                         m.borrow_mut().finish();
                     }

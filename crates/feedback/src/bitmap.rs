@@ -1,0 +1,94 @@
+//! Word-level bulk operations on bitmaps.
+//!
+//! The page-at-a-time monitor pipeline represents per-page predicate
+//! truth as one `u64` word per 64 slots, and the probabilistic sketches
+//! ([`crate::LinearCounter`], [`crate::BitVectorFilter`]) already store
+//! their state as packed words. Centralising the popcount / OR / AND
+//! primitives here keeps the executor's qualifying-bitmap algebra and
+//! the sketches' merge paths on one implementation, so "bulk ≡ serial"
+//! arguments only have to be made once.
+//!
+//! All helpers treat bits past the logical length as don't-care: the
+//! caller is responsible for masking tail bits where they matter (see
+//! [`fill_ones`]).
+
+/// Number of 64-bit words needed to hold `bits` bits.
+#[must_use]
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Total number of set bits across `words`.
+#[must_use]
+pub fn popcount(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Whether any bit is set.
+#[must_use]
+pub fn any(words: &[u64]) -> bool {
+    words.iter().any(|&w| w != 0)
+}
+
+/// `dst &= src`, word by word. Panics if the lengths differ.
+pub fn and_into(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "bitmap length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+/// `dst |= src`, word by word. Panics if the lengths differ.
+pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "bitmap length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// Sets exactly the first `n` bits of `dst` and clears the rest.
+/// Panics if `dst` is too short to hold `n` bits.
+pub fn fill_ones(dst: &mut [u64], n: usize) {
+    assert!(dst.len() * 64 >= n, "bitmap too short for {n} bits");
+    let full = n / 64;
+    for (i, w) in dst.iter_mut().enumerate() {
+        *w = match i.cmp(&full) {
+            core::cmp::Ordering::Less => !0,
+            core::cmp::Ordering::Equal => (1u64 << (n % 64)) - 1,
+            core::cmp::Ordering::Greater => 0,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_ones_masks_tail() {
+        let mut v = vec![0u64; 3];
+        fill_ones(&mut v, 70);
+        assert_eq!(v, vec![!0, (1 << 6) - 1, 0]);
+        fill_ones(&mut v, 128);
+        assert_eq!(v, vec![!0, !0, 0]);
+        fill_ones(&mut v, 0);
+        assert_eq!(v, vec![0, 0, 0]);
+        assert_eq!(popcount(&v), 0);
+    }
+
+    #[test]
+    fn word_ops_match_bitwise_defs() {
+        let mut a = vec![0b1010u64, !0];
+        let b = vec![0b0110u64, 0xFF];
+        and_into(&mut a, &b);
+        assert_eq!(a, vec![0b0010, 0xFF]);
+        or_into(&mut a, &b);
+        assert_eq!(a, vec![0b0110, 0xFF]);
+        assert_eq!(popcount(&a), 2 + 8);
+        assert!(any(&a));
+        assert!(!any(&[0, 0]));
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+    }
+}

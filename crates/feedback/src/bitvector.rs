@@ -90,9 +90,7 @@ impl BitVectorFilter {
                 self.numbits, other.numbits, self.seed, other.seed
             )));
         }
-        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
-            *w |= o;
-        }
+        crate::bitmap::or_into(&mut self.bits, &other.bits);
         self.insertions += other.insertions;
         self.degraded |= other.degraded;
         self.skipped_pages += other.skipped_pages;
@@ -125,8 +123,7 @@ impl BitVectorFilter {
     /// Fraction of bits set — the collision (false-positive) probability
     /// for a random absent key.
     pub fn fill_ratio(&self) -> f64 {
-        let set: u64 = self.bits.iter().map(|w| u64::from(w.count_ones())).sum();
-        set as f64 / self.numbits as f64
+        crate::bitmap::popcount(&self.bits) as f64 / self.numbits as f64
     }
 
     /// Size in bits.

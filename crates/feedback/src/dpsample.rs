@@ -117,6 +117,17 @@ impl DpSampler {
         }
     }
 
+    /// Observes the current page's rows in bulk: `satisfying` of them
+    /// satisfy the monitored expression. Bit-identical to calling
+    /// [`DpSampler::observe_row`] once per row. Ignored on unsampled
+    /// pages (Fig 4, step 5).
+    #[inline]
+    pub fn observe_rows(&mut self, satisfying: u64) {
+        if self.current_sampled && satisfying > 0 {
+            self.current_satisfied = true;
+        }
+    }
+
     /// Ends the scan; must be called before [`DpSampler::estimate`]
     /// (idempotent).
     pub fn finish(&mut self) {

@@ -59,6 +59,24 @@ impl FmSketch {
         self.observations += 1;
     }
 
+    /// Observes a run of `rows` rows from the same page: bit-identical
+    /// to `rows` calls to [`FmSketch::observe`] (the bitmap update is
+    /// idempotent per page), at the cost of one hash. `rows == 0` is a
+    /// no-op.
+    #[inline]
+    pub fn observe_page(&mut self, page: u32, rows: u64) {
+        if rows == 0 {
+            return;
+        }
+        let h = hash_page(page, self.seed);
+        let m = self.bitmaps.len() as u64;
+        let idx = (h & (m - 1)) as usize;
+        let rest = h >> self.bitmaps.len().trailing_zeros();
+        let rho = rest.trailing_ones().min(63);
+        self.bitmaps[idx] |= 1 << rho;
+        self.observations += rows;
+    }
+
     /// Unions `other` into `self` (bitwise OR of the PCSA bitmaps), so
     /// per-worker sketches over a partitioned PID stream combine into the
     /// sketch a serial run would have produced. Both sketches must share
@@ -73,9 +91,7 @@ impl FmSketch {
                 other.seed
             )));
         }
-        for (b, o) in self.bitmaps.iter_mut().zip(&other.bitmaps) {
-            *b |= o;
-        }
+        crate::bitmap::or_into(&mut self.bitmaps, &other.bitmaps);
         self.observations += other.observations;
         Ok(())
     }

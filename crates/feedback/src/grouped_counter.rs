@@ -5,7 +5,8 @@
 //! contiguously, and once the scan moves past a page it never returns.
 //! Distinct counting therefore degenerates to plain counting: keep one
 //! flag per *current* page ("did any row satisfy p?") and a counter.
-//! No bitmap, no hashing — a single comparison per row.
+//! No bitmap, no hashing — and with the page-at-a-time pipeline, a
+//! single call per page carrying the page's satisfying-row count.
 
 /// Exact `DPC(T, p)` counter for operators with grouped page access.
 #[derive(Debug, Clone, Default)]
@@ -24,24 +25,34 @@ impl GroupedPageCounter {
         Self::default()
     }
 
-    /// Observes one scanned row: the page it lives on and whether it
-    /// satisfies the monitored predicate.
+    /// Observes one scanned page: how many of its `total` rows satisfy
+    /// the monitored predicate (`satisfying`). This is the batched
+    /// equivalent of `total` per-row observations — grouped page access
+    /// means the per-row stream carried no information beyond "was at
+    /// least one row on this page satisfying", which `satisfying > 0`
+    /// answers directly.
     ///
-    /// Rows must arrive page-grouped (the scan-plan property); this is
-    /// checked only in debug builds, where regressing to an interleaved
-    /// order panics.
+    /// Pages must arrive grouped (the scan-plan property): a page id is
+    /// never revisited after the stream has moved past it. Calling again
+    /// with the same page id accumulates into the open page, so callers
+    /// that learn a page's truth incrementally remain correct. A page
+    /// with `total == 0` rows is still registered in `pages_seen`.
+    ///
+    /// `total` is not needed for the exact count itself (only whether
+    /// `satisfying` is nonzero matters); it is part of the signature so
+    /// every sketch's batch entry point carries the same page summary.
     #[inline]
-    pub fn observe_row(&mut self, page: u32, satisfies: bool) {
+    pub fn observe_page(&mut self, page: u32, satisfying: u64, _total: u64) {
         match self.current_page {
             Some(p) if p == page => {
-                if satisfies && !self.current_satisfied {
+                if satisfying > 0 {
                     self.current_satisfied = true;
                 }
             }
             _ => {
                 self.flush_page();
                 self.current_page = Some(page);
-                self.current_satisfied = satisfies;
+                self.current_satisfied = satisfying > 0;
                 self.pages_seen += 1;
             }
         }
@@ -116,11 +127,24 @@ impl crate::sketch::Sketch for GroupedPageCounter {
 mod tests {
     use super::*;
 
-    /// Drives the counter with `(page, satisfies)` pairs and finishes.
+    /// Drives the counter with `(page, satisfies)` pairs — grouping
+    /// consecutive rows of a page into one batched observation, exactly
+    /// as the scan's per-page pipeline does — and finishes.
     fn run(rows: &[(u32, bool)]) -> GroupedPageCounter {
         let mut c = GroupedPageCounter::new();
-        for &(p, s) in rows {
-            c.observe_row(p, s);
+        let mut it = rows.iter().peekable();
+        while let Some(&(page, s)) = it.next() {
+            let mut satisfying = u64::from(s);
+            let mut total = 1u64;
+            while let Some(&&(p, s)) = it.peek() {
+                if p != page {
+                    break;
+                }
+                satisfying += u64::from(s);
+                total += 1;
+                it.next();
+            }
+            c.observe_page(page, satisfying, total);
         }
         c.finish();
         c
@@ -168,16 +192,27 @@ mod tests {
     #[test]
     fn finish_is_idempotent() {
         let mut c = GroupedPageCounter::new();
-        c.observe_row(0, true);
+        c.observe_page(0, 1, 1);
         c.finish();
         c.finish();
         assert_eq!(c.count(), 1);
     }
 
     #[test]
+    fn same_page_observations_accumulate() {
+        let mut c = GroupedPageCounter::new();
+        c.observe_page(3, 0, 10);
+        c.observe_page(3, 2, 5);
+        c.observe_page(4, 0, 0);
+        c.finish();
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.pages_seen(), 2, "empty pages still register");
+    }
+
+    #[test]
     fn degraded_survives_merge() {
         let mut a = GroupedPageCounter::new();
-        a.observe_row(0, true);
+        a.observe_page(0, 1, 1);
         let mut b = GroupedPageCounter::new();
         b.note_skipped_page();
         a.merge(&b);

@@ -25,10 +25,15 @@
 //!   of Section V-A.
 //!
 //! Everything here is deliberately independent of the executor: monitors
-//! consume streams of `(page, satisfies)` observations, so they can be
-//! unit- and property-tested against brute-force ground truth without a
-//! storage engine in the loop.
+//! consume streams of `(page, satisfies)` observations — or, on the
+//! batched path, one per-page summary via each sketch's `observe_page` /
+//! `observe_rows` entry point ([`bitmap`] holds the shared word-level
+//! primitives) — so they can be unit- and property-tested against
+//! brute-force ground truth without a storage engine in the loop.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod bitmap;
 pub mod bitvector;
 pub mod clustering_ratio;
 pub mod distinct_estimators;

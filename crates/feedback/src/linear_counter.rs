@@ -70,6 +70,25 @@ impl LinearCounter {
         self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
     }
 
+    /// Observes a run of `rows` consecutive rows fetched from the same
+    /// page: bit-identical to calling [`LinearCounter::observe`] `rows`
+    /// times, at the cost of at most one hash. `rows == 0` is a no-op
+    /// (the page was never actually touched by a row).
+    #[inline]
+    pub fn observe_page(&mut self, page: u32, rows: u64) {
+        if rows == 0 {
+            return;
+        }
+        self.observations += rows;
+        if self.last_page == Some(page) {
+            return;
+        }
+        self.last_page = Some(page);
+        let h = hash_page(page, self.seed);
+        let bit = h % self.numbits;
+        self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
     /// Unions `other` into `self` (bitwise OR of the bitmaps), so
     /// per-worker counters over a partitioned PID stream combine into the
     /// counter a serial run over the whole stream would have produced.
@@ -81,9 +100,7 @@ impl LinearCounter {
                 self.numbits, other.numbits, self.seed, other.seed
             )));
         }
-        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
-            *w |= o;
-        }
+        crate::bitmap::or_into(&mut self.bits, &other.bits);
         self.observations += other.observations;
         self.last_page = None;
         self.degraded |= other.degraded;
@@ -116,7 +133,7 @@ impl LinearCounter {
 
     /// Number of bits set.
     pub fn bits_set(&self) -> u64 {
-        self.bits.iter().map(|w| u64::from(w.count_ones())).sum()
+        crate::bitmap::popcount(&self.bits)
     }
 
     /// Bitmap size in bits.

@@ -1,0 +1,233 @@
+//! Batched page observation is bit-identical to sequential per-row
+//! observation, for every sketch type.
+//!
+//! The page-at-a-time monitor pipeline replaces N per-row sketch updates
+//! with one `observe_page(page, ..)` call per page. These properties pin
+//! the contract that makes the batched operator path safe: for arbitrary
+//! page-run streams (including A,B,A interleavings that exercise the
+//! `last_page` dedup) the batched sketch ends in *exactly* the state the
+//! per-row sketch does — compared via `Debug` formatting, which exposes
+//! every field, not just the estimate. Merge-order properties additionally
+//! check that batched per-worker partials over a morsel-split stream fold
+//! back into the serial sketch.
+
+use pf_feedback::{DpSampler, FmSketch, GroupedPageCounter, LinearCounter};
+use proptest::prelude::*;
+
+/// A stream of (page id, rows on that page) runs. Page ids are drawn from
+/// a small domain so repeats and A,B,A interleavings are common; row
+/// counts include 0 (a page the scan opened but delivered no rows from).
+fn runs_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..48, 0u32..12), 0..60)
+}
+
+proptest! {
+    /// `LinearCounter::observe_page(p, n)` ≡ n calls to `observe(p)`,
+    /// including the `last_page` dedup across interleaved runs.
+    #[test]
+    fn linear_counter_batch_matches_serial(runs in runs_strategy()) {
+        let mut batched = LinearCounter::new(1 << 10, 7);
+        let mut serial = LinearCounter::new(1 << 10, 7);
+        for &(page, rows) in &runs {
+            batched.observe_page(page, u64::from(rows));
+            for _ in 0..rows {
+                serial.observe(page);
+            }
+        }
+        prop_assert_eq!(format!("{batched:?}"), format!("{serial:?}"));
+    }
+
+    /// `FmSketch::observe_page(p, n)` ≡ n calls to `observe(p)`.
+    #[test]
+    fn fm_sketch_batch_matches_serial(runs in runs_strategy()) {
+        let mut batched = FmSketch::new(64, 11);
+        let mut serial = FmSketch::new(64, 11);
+        for &(page, rows) in &runs {
+            batched.observe_page(page, u64::from(rows));
+            for _ in 0..rows {
+                serial.observe(page);
+            }
+        }
+        prop_assert_eq!(format!("{batched:?}"), format!("{serial:?}"));
+    }
+
+    /// `DpSampler::observe_rows(k)` on a page with k satisfying rows ≡
+    /// per-row `observe_row` calls, across sampled and unsampled pages.
+    #[test]
+    fn dpsampler_batch_matches_serial(
+        pages in prop::collection::vec((0u32..64, prop::collection::vec(any::<bool>(), 0..8)), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let mut batched = DpSampler::new(0.5, seed).unwrap();
+        let mut serial = DpSampler::new(0.5, seed).unwrap();
+        for (page, rows) in &pages {
+            batched.start_page_at(*page);
+            serial.start_page_at(*page);
+            let satisfying = rows.iter().filter(|s| **s).count() as u64;
+            batched.observe_rows(satisfying);
+            for &sat in rows {
+                serial.observe_row(sat);
+            }
+            prop_assert_eq!(format!("{batched:?}"), format!("{serial:?}"));
+        }
+        batched.finish();
+        serial.finish();
+        prop_assert_eq!(format!("{batched:?}"), format!("{serial:?}"));
+    }
+
+    /// `GroupedPageCounter::observe_page` with one whole-page call ≡ the
+    /// same page delivered as a sequence of single-row calls (how a
+    /// fallback row-at-a-time scan would feed it).
+    #[test]
+    fn grouped_counter_batch_matches_rowwise(
+        pages in prop::collection::vec((0u32..64, prop::collection::vec(any::<bool>(), 0..8)), 0..40),
+    ) {
+        let mut batched = GroupedPageCounter::new();
+        let mut rowwise = GroupedPageCounter::new();
+        for (page, rows) in &pages {
+            let satisfying = rows.iter().filter(|s| **s).count() as u64;
+            batched.observe_page(*page, satisfying, rows.len() as u64);
+            if rows.is_empty() {
+                // A page opened with no rows delivered: a row-at-a-time
+                // caller still announces it once.
+                rowwise.observe_page(*page, 0, 0);
+            }
+            for &sat in rows {
+                rowwise.observe_page(*page, u64::from(sat), 1);
+            }
+        }
+        batched.finish();
+        rowwise.finish();
+        prop_assert_eq!(format!("{batched:?}"), format!("{rowwise:?}"));
+    }
+
+    /// Morsel order: batched per-worker `LinearCounter`s over an
+    /// arbitrary split of the run stream merge into the serial batched
+    /// counter's bitmap (observations and bits; `last_page` is a
+    /// worker-local dedup and is taken from the left partial by `merge`).
+    #[test]
+    fn linear_counter_split_merge_matches_serial(
+        runs in runs_strategy(),
+        split_at in any::<u64>(),
+    ) {
+        let split = (split_at as usize) % (runs.len() + 1);
+        let mut serial = LinearCounter::new(1 << 10, 7);
+        for &(page, rows) in &runs {
+            serial.observe_page(page, u64::from(rows));
+        }
+
+        let mut left = LinearCounter::new(1 << 10, 7);
+        for &(page, rows) in &runs[..split] {
+            left.observe_page(page, u64::from(rows));
+        }
+        let mut right = LinearCounter::new(1 << 10, 7);
+        for &(page, rows) in &runs[split..] {
+            right.observe_page(page, u64::from(rows));
+        }
+        left.merge(&right).unwrap();
+
+        prop_assert_eq!(left.observations(), serial.observations());
+        prop_assert_eq!(left.bits_set(), serial.bits_set());
+        let (le, se) = (left.estimate(), serial.estimate());
+        prop_assert!((le - se).abs() < 1e-12, "estimates {} vs {}", le, se);
+    }
+
+    /// Morsel order: batched per-worker `FmSketch`es merge into the
+    /// serial batched sketch.
+    #[test]
+    fn fm_sketch_split_merge_matches_serial(
+        runs in runs_strategy(),
+        split_at in any::<u64>(),
+    ) {
+        let split = (split_at as usize) % (runs.len() + 1);
+        let mut serial = FmSketch::new(64, 11);
+        for &(page, rows) in &runs {
+            serial.observe_page(page, u64::from(rows));
+        }
+
+        let mut left = FmSketch::new(64, 11);
+        for &(page, rows) in &runs[..split] {
+            left.observe_page(page, u64::from(rows));
+        }
+        let mut right = FmSketch::new(64, 11);
+        for &(page, rows) in &runs[split..] {
+            right.observe_page(page, u64::from(rows));
+        }
+        left.merge(&right).unwrap();
+
+        prop_assert_eq!(left.observations(), serial.observations());
+        let (le, se) = (left.estimate(), serial.estimate());
+        prop_assert!((le - se).abs() < 1e-12, "estimates {} vs {}", le, se);
+    }
+
+    /// Morsel order: batched per-worker `DpSampler`s using the page-keyed
+    /// sampling decision over a split page stream merge into the serial
+    /// batched sampler's count.
+    #[test]
+    fn dpsampler_split_merge_matches_serial(
+        pages in prop::collection::vec((0u32..64, prop::collection::vec(any::<bool>(), 0..8)), 0..40),
+        split_at in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let split = (split_at as usize) % (pages.len() + 1);
+        let feed = |s: &mut DpSampler, part: &[(u32, Vec<bool>)]| {
+            for (page, rows) in part {
+                if s.start_page_at(*page) {
+                    s.observe_rows(rows.iter().filter(|v| **v).count() as u64);
+                }
+            }
+        };
+
+        let mut serial = DpSampler::new(0.5, seed).unwrap();
+        feed(&mut serial, &pages);
+        serial.finish();
+
+        let mut left = DpSampler::new(0.5, seed).unwrap();
+        feed(&mut left, &pages[..split]);
+        let mut right = DpSampler::new(0.5, seed).unwrap();
+        feed(&mut right, &pages[split..]);
+        left.merge(&right).unwrap();
+        left.finish();
+
+        prop_assert_eq!(left.raw_count(), serial.raw_count());
+        prop_assert_eq!(left.pages_seen(), serial.pages_seen());
+        prop_assert_eq!(left.pages_sampled(), serial.pages_sampled());
+        let (le, se) = (left.estimate(), serial.estimate());
+        prop_assert!((le - se).abs() < 1e-9, "estimates {} vs {}", le, se);
+    }
+
+    /// Morsel order: batched per-worker `GroupedPageCounter`s over a
+    /// page-aligned split (workers own disjoint page ranges, as morsels
+    /// do) merge into the serial batched count.
+    #[test]
+    fn grouped_counter_split_merge_matches_serial(
+        pages in prop::collection::vec(prop::collection::vec(any::<bool>(), 0..8), 0..40),
+        split_at in any::<u64>(),
+    ) {
+        let split = (split_at as usize) % (pages.len() + 1);
+        let observe = |gc: &mut GroupedPageCounter, p: usize, rows: &[bool]| {
+            let satisfying = rows.iter().filter(|s| **s).count() as u64;
+            gc.observe_page(p as u32, satisfying, rows.len() as u64);
+        };
+
+        let mut serial = GroupedPageCounter::new();
+        for (p, rows) in pages.iter().enumerate() {
+            observe(&mut serial, p, rows);
+        }
+        serial.finish();
+
+        let mut left = GroupedPageCounter::new();
+        for (p, rows) in pages.iter().enumerate().take(split) {
+            observe(&mut left, p, rows);
+        }
+        let mut right = GroupedPageCounter::new();
+        for (p, rows) in pages.iter().enumerate().skip(split) {
+            observe(&mut right, p, rows);
+        }
+        left.merge(&right);
+        left.finish();
+
+        prop_assert_eq!(left.count(), serial.count());
+        prop_assert_eq!(left.pages_seen(), serial.pages_seen());
+    }
+}

@@ -90,25 +90,24 @@ proptest! {
     ) {
         let split = (split_at as usize) % (pages.len() + 1);
 
+        let observe = |gc: &mut GroupedPageCounter, p: usize, rows: &[bool]| {
+            let satisfying = rows.iter().filter(|s| **s).count() as u64;
+            gc.observe_page(p as u32, satisfying, rows.len() as u64);
+        };
+
         let mut serial = GroupedPageCounter::new();
         for (p, rows) in pages.iter().enumerate() {
-            for &sat in rows {
-                serial.observe_row(p as u32, sat);
-            }
+            observe(&mut serial, p, rows);
         }
         serial.finish();
 
         let mut left = GroupedPageCounter::new();
         for (p, rows) in pages.iter().enumerate().take(split) {
-            for &sat in rows {
-                left.observe_row(p as u32, sat);
-            }
+            observe(&mut left, p, rows);
         }
         let mut right = GroupedPageCounter::new();
         for (p, rows) in pages.iter().enumerate().skip(split) {
-            for &sat in rows {
-                right.observe_row(p as u32, sat);
-            }
+            observe(&mut right, p, rows);
         }
         left.merge(&right);
         left.finish();

@@ -320,11 +320,11 @@ proptest! {
         let mut counter = GroupedPageCounter::new();
         let mut truth = 0u64;
         for (i, (_, rows)) in pages.iter().enumerate() {
-            // Distinct page ids in stream order (grouped access).
+            // Distinct page ids in stream order (grouped access), one
+            // batched observation per page.
             let pid = i as u32;
-            for &s in rows {
-                counter.observe_row(pid, s);
-            }
+            let satisfying = rows.iter().filter(|s| **s).count() as u64;
+            counter.observe_page(pid, satisfying, rows.len() as u64);
             truth += u64::from(rows.iter().any(|s| *s));
         }
         counter.finish();
