@@ -18,6 +18,10 @@
 //! fraction `P` of pages is damaged at load, chosen purely by
 //! `(seed, table, page)`. The run must still complete — corrupt pages
 //! are skipped and the affected estimates labelled degraded.
+//! `--fault-error-rate E` (or `PF_FAULT_ERROR_RATE`) additionally makes
+//! a fraction `E` of storage operations *return typed errors* (failed
+//! reads, writes, fsyncs, renames) on their first attempt; retries make
+//! the run transparent, so output stays byte-identical to a clean run.
 //!
 //! `--feedback-dir D` (or `PF_FEEDBACK_DIR`) makes the feedback-loop
 //! figures (6, 7, 8, 11) persist every harvested measurement to a
@@ -34,8 +38,8 @@ use pf_bench::*;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--jobs N] [--fault-seed N] [--fault-rate P] [--feedback-dir D] \
-         [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
+        "usage: repro [--jobs N] [--fault-seed N] [--fault-rate P] [--fault-error-rate E] \
+         [--feedback-dir D] [table1|fig6|fig7|fig8|fig9|fig10|fig11|ablation-*|all|quick]"
     );
     std::process::exit(2);
 }
@@ -67,6 +71,7 @@ fn main() {
     let mut jobs = ParallelRunner::from_env().jobs();
     let mut fault_seed: Option<u64> = None;
     let mut fault_rate: Option<f64> = None;
+    let mut fault_error_rate: Option<f64> = None;
     let mut feedback_dir: Option<String> = None;
     let mut cmd: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -82,6 +87,12 @@ fn main() {
         if a.starts_with("--fault-seed") {
             if let Some(n) = flag_value(a, "--fault-seed", &mut args) {
                 fault_seed = Some(n);
+                continue;
+            }
+        }
+        if a.starts_with("--fault-error-rate") {
+            if let Some(p) = flag_value(a, "--fault-error-rate", &mut args) {
+                fault_error_rate = Some(p);
                 continue;
             }
         }
@@ -117,6 +128,13 @@ fn main() {
             usage();
         }
         std::env::set_var(pf_storage::FAULT_RATE_ENV, rate.to_string());
+    }
+    if let Some(rate) = fault_error_rate {
+        if !(0.0..=1.0).contains(&rate) {
+            eprintln!("--fault-error-rate expects a probability in [0, 1], got {rate}");
+            usage();
+        }
+        std::env::set_var(pf_storage::FAULT_ERROR_RATE_ENV, rate.to_string());
     }
     if let Some(dir) = feedback_dir {
         std::env::set_var(pagefeed::FEEDBACK_DIR_ENV, dir);

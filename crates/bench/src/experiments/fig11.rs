@@ -109,5 +109,6 @@ pub fn run_fig11(per_column: usize, jobs: usize) -> Result<Vec<RealWorldPoint>> 
         println!("mean speedup {dbname}: {:.1}%", mean(&s) * 100.0);
     }
     crate::util::report_degraded(&all_outcomes);
+    crate::util::report_resilience(&runner);
     Ok(points)
 }

@@ -74,5 +74,6 @@ pub fn run_fig6(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<Speed
         println!("mean speedup {col}: {:.1}%", mean(&s) * 100.0);
     }
     crate::util::report_degraded(&outcomes);
+    crate::util::report_resilience(&runner);
     Ok(points)
 }

@@ -57,5 +57,6 @@ pub fn run_fig7(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<Overh
         max(&os) * 100.0
     );
     crate::util::report_degraded(&outcomes);
+    crate::util::report_resilience(&runner);
     Ok(points)
 }

@@ -104,5 +104,6 @@ pub fn run_fig8(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<JoinP
     let os: Vec<f64> = points.iter().map(|p| p.overhead).collect();
     println!("max bit-vector overhead: {:.2}%", max(&os) * 100.0);
     crate::util::report_degraded(&outcomes);
+    crate::util::report_resilience(&runner);
     Ok(points)
 }

@@ -83,6 +83,21 @@ pub fn report_degraded(outcomes: &[pagefeed::FeedbackOutcome]) {
     }
 }
 
+/// Prints the watchdog and cancellation counters of `runner`'s last
+/// invocation — silent when nothing stalled, was rescued, or was
+/// aborted, so fault-free experiment output stays byte-identical.
+pub fn report_resilience(runner: &pagefeed::ParallelRunner) {
+    let Some(rs) = runner.last_run_stats() else {
+        return;
+    };
+    if rs.stalls_detected > 0 || rs.morsels_rescued > 0 || rs.queries_cancelled > 0 {
+        println!(
+            "resilience: {} stall(s) detected, {} morsel(s) rescued, {} query(ies) cancelled",
+            rs.stalls_detected, rs.morsels_rescued, rs.queries_cancelled
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +108,12 @@ mod tests {
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert_eq!(std_dev(&[1.0, 3.0]), 1.0);
         assert_eq!(max(&[1.0, -2.0, 0.5]), 1.0);
+    }
+
+    #[test]
+    fn report_resilience_is_silent_without_a_run() {
+        // Smoke: a fresh runner has no last-run stats and must not
+        // panic or print.
+        report_resilience(&pagefeed::ParallelRunner::new(1));
     }
 }

@@ -21,16 +21,24 @@ pub struct Shell {
     db: Option<Database>,
     monitor: MonitorConfig,
     runner: ParallelRunner,
+    /// Per-query deadline in simulated ms (`PF_DEADLINE_MS` or
+    /// `.deadline`); `None` disables it.
+    deadline_ms: Option<u64>,
+    /// Queries this session aborted via cancellation or deadline.
+    queries_cancelled: u64,
 }
 
 impl Shell {
-    /// A fresh shell with no database loaded, exact monitoring, and the
-    /// worker count from `PF_JOBS` (default: all cores).
+    /// A fresh shell with no database loaded, exact monitoring, the
+    /// worker count from `PF_JOBS` (default: all cores), and the
+    /// per-query deadline from `PF_DEADLINE_MS` (default: none).
     pub fn new() -> Self {
         Shell {
             db: None,
             monitor: MonitorConfig::default(),
             runner: ParallelRunner::from_env(),
+            deadline_ms: pagefeed::deadline_from_env(),
+            queries_cancelled: 0,
         }
     }
 
@@ -64,6 +72,7 @@ impl Shell {
             "feedback" => self.feedback(arg),
             "hints" => self.hints(),
             "jobs" => self.set_jobs(arg),
+            "deadline" => self.set_deadline(arg),
             "faults" => self.set_faults(arg),
             "bench" => self.bench(arg),
             other => format!("unknown command .{other} — try .help"),
@@ -165,12 +174,19 @@ impl Shell {
             Ok(q) => q,
             Err(e) => return e,
         };
-        let Some(db) = &mut self.db else {
+        let Some(db) = &self.db else {
             return NO_DB.to_string();
         };
-        // Morsel-parallel when the scan is eligible and jobs > 1;
-        // bit-identical to db.run either way.
-        match self.runner.run_query(db, &query, &self.monitor) {
+        // A live deadline forces the serial interruptible path: the
+        // abort point is a pure function of the simulated clock.
+        let result = if let Some(deadline) = self.deadline_ms {
+            db.run_query_with_deadline(&query, &self.monitor, deadline)
+        } else {
+            // Morsel-parallel when the scan is eligible and jobs > 1;
+            // bit-identical to db.run either way.
+            self.runner.run_query(db, &query, &self.monitor)
+        };
+        match result {
             Ok(out) => {
                 let mut s = format!(
                     "count: {}\nplan:  {}\ntime:  {:.1} ms (simulated, cold cache)",
@@ -188,7 +204,31 @@ impl Shell {
                 }
                 s
             }
+            Err(e) if e.is_abort() => {
+                self.queries_cancelled += 1;
+                format!("aborted: {e}")
+            }
             Err(e) => format!("execution failed: {e}"),
+        }
+    }
+
+    fn set_deadline(&mut self, arg: &str) -> String {
+        if arg.is_empty() {
+            return match self.deadline_ms {
+                Some(ms) => format!("per-query deadline: {ms} ms (simulated)"),
+                None => "no per-query deadline".to_string(),
+            };
+        }
+        if arg == "off" {
+            self.deadline_ms = None;
+            return "per-query deadline off".to_string();
+        }
+        match arg.parse::<u64>() {
+            Ok(ms) => {
+                self.deadline_ms = Some(ms);
+                format!("per-query deadline: {ms} ms (simulated)")
+            }
+            Err(_) => "usage: .deadline [<ms>|off]".to_string(),
         }
     }
 
@@ -408,7 +448,7 @@ impl Shell {
             return NO_DB.to_string();
         };
         if arg.is_empty() {
-            return match db.fault_plan() {
+            let mut s = match db.fault_plan() {
                 None => "fault injection off".to_string(),
                 Some(plan) => {
                     let damaged: usize = db
@@ -417,13 +457,37 @@ impl Shell {
                         .iter()
                         .map(|t| t.storage.injected_fault_count())
                         .sum();
-                    format!(
+                    let mut s = format!(
                         "fault injection on: seed {} rate {} — {damaged} damaged pages",
                         plan.seed(),
                         plan.rate()
-                    )
+                    );
+                    if plan.error_rate() > 0.0 {
+                        let _ = write!(s, ", error returns at {}", plan.error_rate());
+                    }
+                    s
                 }
             };
+            let _ = write!(
+                s,
+                "\nwatchdog: stall budget {} ms",
+                self.runner.stall_budget_ms()
+            );
+            if let Some(rs) = self.runner.last_run_stats() {
+                let _ = write!(
+                    s,
+                    "; last run: {} stall(s) detected, {} morsel(s) rescued, {} query(ies) cancelled",
+                    rs.stalls_detected, rs.morsels_rescued, rs.queries_cancelled
+                );
+            }
+            if self.queries_cancelled > 0 {
+                let _ = write!(
+                    s,
+                    "\n{} query(ies) aborted by cancellation/deadline this session",
+                    self.queries_cancelled
+                );
+            }
+            return s;
         }
         if arg == "off" {
             return match db.set_fault_plan(None) {
@@ -432,15 +496,19 @@ impl Shell {
             };
         }
         let mut parts = arg.split_whitespace();
-        let (seed, rate) = match (
+        let (seed, rate, error_rate) = match (
             parts.next().and_then(|s| s.parse::<u64>().ok()),
             parts.next().and_then(|s| s.parse::<f64>().ok()),
+            parts.next().map(str::parse::<f64>),
             parts.next(),
         ) {
-            (Some(seed), Some(rate), None) => (seed, rate),
-            _ => return "usage: .faults [<seed> <rate>|off]".to_string(),
+            (Some(seed), Some(rate), None, None) => (seed, rate, 0.0),
+            (Some(seed), Some(rate), Some(Ok(e)), None) => (seed, rate, e),
+            _ => return "usage: .faults [<seed> <rate> [<error-rate>]|off]".to_string(),
         };
-        let plan = match pagefeed::FaultPlan::new(seed, rate) {
+        let plan = match pagefeed::FaultPlan::new(seed, rate)
+            .and_then(|p| p.with_error_returns(error_rate))
+        {
             Ok(p) => p,
             Err(e) => return format!("bad fault plan: {e}"),
         };
@@ -498,6 +566,16 @@ impl Shell {
                         pc.misses,
                         pc.hit_rate() * 100.0,
                     );
+                }
+                if let Some(rs) = runner.last_run_stats() {
+                    if rs.stalls_detected > 0 || rs.morsels_rescued > 0 || rs.queries_cancelled > 0
+                    {
+                        let _ = write!(
+                            out,
+                            "\nresilience: {} stall(s) detected, {} morsel(s) rescued, {} query(ies) cancelled",
+                            rs.stalls_detected, rs.morsels_rescued, rs.queries_cancelled
+                        );
+                    }
                 }
                 out
             }
@@ -577,7 +655,10 @@ commands:
   .feedback evict     age hints against current table epochs; drop dead measurements
   .hints              show feedback-cache status
   .jobs [N]           show / set worker threads for .bench (default: PF_JOBS or all cores)
-  .faults [S R|off]   show / set deterministic fault injection (seed S, page rate R)
+  .deadline [MS|off]  show / set the per-query deadline in simulated ms (default: PF_DEADLINE_MS)
+  .faults [S R [E]|off] show / set deterministic fault injection (seed S, page rate R,
+                      optional error-return rate E); no args also reports watchdog and
+                      cancellation counters
   .bench <n> <sql>    run the query n times across the worker pool, report throughput
   .quit               exit
 anything else is parsed as SQL:
@@ -706,6 +787,38 @@ mod tests {
         let q = out(sh.eval("SELECT COUNT(pad) FROM products WHERE supplier < 100"));
         assert!(q.contains("count: 2000"), "{q}");
         assert!(!q.contains("degraded"), "{q}");
+    }
+
+    #[test]
+    fn faults_status_reports_watchdog_and_error_returns() {
+        let mut sh = Shell::new();
+        sh.eval(".load products");
+        let status = out(sh.eval(".faults"));
+        assert!(status.contains("watchdog: stall budget"), "{status}");
+        let on = out(sh.eval(".faults 7 0.01 0.5"));
+        assert!(on.contains("error returns at 0.5"), "{on}");
+        assert!(out(sh.eval(".faults 7 0.01 2.0")).contains("bad fault plan"));
+        assert!(out(sh.eval(".faults 7 0.01 0.5 9")).contains("usage"));
+        out(sh.eval(".faults off"));
+    }
+
+    #[test]
+    fn deadline_command_aborts_and_counts() {
+        let mut sh = Shell::new();
+        assert!(out(sh.eval(".deadline")).contains("no per-query deadline"));
+        assert!(out(sh.eval(".deadline banana")).contains("usage"));
+        assert!(out(sh.eval(".deadline 0")).contains("0 ms"));
+        sh.eval(".load products");
+        let aborted = out(sh.eval("SELECT COUNT(pad) FROM products WHERE supplier < 100"));
+        assert!(aborted.contains("deadline"), "{aborted}");
+        let status = out(sh.eval(".faults"));
+        assert!(
+            status.contains("1 query(ies) aborted by cancellation/deadline"),
+            "{status}"
+        );
+        assert!(out(sh.eval(".deadline off")).contains("off"));
+        let ok = out(sh.eval("SELECT COUNT(pad) FROM products WHERE supplier < 100"));
+        assert!(ok.contains("count: 2000"), "{ok}");
     }
 
     #[test]

@@ -77,6 +77,24 @@ pub enum Error {
         /// Index of the query in the submitted workload.
         query_index: usize,
     },
+    /// The query was cooperatively cancelled via its
+    /// `CancelToken` before completing. Nothing the query touched is
+    /// kept: no feedback is absorbed, no plan is cached.
+    Cancelled,
+    /// The query's simulated-clock deadline elapsed before it finished.
+    /// Like [`Error::Cancelled`], the abort is hygienic: no partial
+    /// sketches escape as hints.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in simulated milliseconds.
+        deadline_ms: u64,
+    },
+    /// A durable write failed (ENOSPC, short write, failed fsync, or a
+    /// failed atomic rename). The frame being written is *not*
+    /// acknowledged; previously acknowledged frames stay readable.
+    StorageFull {
+        /// Which durable operation failed.
+        what: String,
+    },
     /// An internal invariant was violated — a bug, surfaced as an error
     /// instead of a panic so a workload run can quarantine it.
     Internal(String),
@@ -84,9 +102,18 @@ pub enum Error {
 
 impl Error {
     /// Whether the failure is transient and the operation may be retried
-    /// (currently only injected read stalls).
+    /// (currently only injected read stalls). Cancellation, deadline
+    /// expiry, and storage-full are deliberate, terminal outcomes —
+    /// retry layers must not resurrect them.
     pub fn is_transient(&self) -> bool {
         matches!(self, Error::ReadStalled { .. })
+    }
+
+    /// Whether the query was aborted on purpose (cancel or deadline), as
+    /// opposed to failing. Aborted queries are guaranteed hygienic: they
+    /// absorb zero feedback and leave the plan cache untouched.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, Error::Cancelled | Error::DeadlineExceeded { .. })
     }
 }
 
@@ -129,6 +156,16 @@ impl fmt::Display for Error {
                     f,
                     "worker thread panicked while running query {query_index}"
                 )
+            }
+            Error::Cancelled => write!(f, "query cancelled: no feedback absorbed"),
+            Error::DeadlineExceeded { deadline_ms } => {
+                write!(
+                    f,
+                    "deadline of {deadline_ms} ms exceeded: query aborted, no feedback absorbed"
+                )
+            }
+            Error::StorageFull { what } => {
+                write!(f, "storage full: {what}; frame not acknowledged")
             }
             Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
@@ -185,6 +222,30 @@ mod tests {
             Error::WorkerPanicked { query_index: 4 }.to_string(),
             "worker thread panicked while running query 4"
         );
+    }
+
+    #[test]
+    fn abort_variants_format_and_classify() {
+        let c = Error::Cancelled;
+        assert_eq!(c.to_string(), "query cancelled: no feedback absorbed");
+        assert!(c.is_abort());
+        assert!(!c.is_transient());
+        let d = Error::DeadlineExceeded { deadline_ms: 40 };
+        assert_eq!(
+            d.to_string(),
+            "deadline of 40 ms exceeded: query aborted, no feedback absorbed"
+        );
+        assert!(d.is_abort());
+        assert!(!d.is_transient());
+        let s = Error::StorageFull {
+            what: "WAL append hit ENOSPC".into(),
+        };
+        assert_eq!(
+            s.to_string(),
+            "storage full: WAL append hit ENOSPC; frame not acknowledged"
+        );
+        assert!(!s.is_abort());
+        assert!(!s.is_transient());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use pf_common::{Datum, Error, IndexId, PageId, Result, Rid, Row, Schema, TableId
 use pf_exec::index::{Fetch, IndexSeek, RidList, SeekRange};
 use pf_exec::monitor::{FetchTemplate, MonitorTemplate, ScanMonitorPartial, SemiJoinRecipe};
 use pf_exec::scan::SeqScan;
-use pf_exec::{drain, run_count, Conjunction, ExecContext, RidSource};
+use pf_exec::{drain, run_count, CancelToken, Conjunction, ExecContext, RidSource};
 use pf_feedback::{BitVectorFilter, FeedbackReport, LinearCounter};
 use pf_optimizer::{
     AccessPath, CostModel, DbStats, EpochStamp, HintSet, JoinMethod, JoinPlan, JoinSpec, Optimizer,
@@ -26,6 +26,18 @@ use std::sync::Arc;
 /// before the error surfaces. Stall budgets are at most 2 attempts per
 /// site, so this always clears an injected stall.
 pub const MAX_TRANSIENT_RETRIES: u32 = 3;
+
+/// Environment knob naming a default per-query deadline in simulated
+/// milliseconds (see [`Database::run_query_with_deadline`]). Unset or
+/// unparsable means no deadline.
+pub const DEADLINE_ENV: &str = "PF_DEADLINE_MS";
+
+/// The [`DEADLINE_ENV`] value, if one is set and parses.
+pub fn deadline_from_env() -> Option<u64> {
+    std::env::var(DEADLINE_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
 
 /// Everything one run of a query produced.
 #[derive(Debug)]
@@ -588,6 +600,79 @@ impl Database {
         ctx: &mut ExecContext,
     ) -> Result<QueryOutcome> {
         self.execute_with_retry_in(|| self.lower(query, cfg), ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Interruptible execution: cooperative cancellation and deadlines.
+    // ------------------------------------------------------------------
+
+    /// Runs `query` under a caller-held [`CancelToken`]: operators poll
+    /// the token at page granularity and an armed or tripped token
+    /// aborts the query with [`Error::Cancelled`]. An aborted run is
+    /// hygienic — it returns no [`QueryOutcome`], so no feedback can be
+    /// absorbed, and the plan cache is only *read*, never populated, so
+    /// database state is byte-identical to the query never having run.
+    pub fn run_query_cancellable(
+        &self,
+        query: &Query,
+        cfg: &MonitorConfig,
+        cancel: CancelToken,
+    ) -> Result<QueryOutcome> {
+        self.run_interruptible(query, cfg, cancel, None)
+    }
+
+    /// Runs `query` with a deadline on the *simulated* clock: once the
+    /// context's charged elapsed time passes `deadline_ms`, the next
+    /// page boundary aborts with [`Error::DeadlineExceeded`]. Because
+    /// the clock is simulated, the abort point is a pure function of
+    /// the query and the database — deterministic across machines,
+    /// worker counts, and repeat runs. The same hygiene as
+    /// [`Database::run_query_cancellable`] applies: no feedback, no
+    /// plan-cache writes.
+    pub fn run_query_with_deadline(
+        &self,
+        query: &Query,
+        cfg: &MonitorConfig,
+        deadline_ms: u64,
+    ) -> Result<QueryOutcome> {
+        self.run_interruptible(query, cfg, CancelToken::new(), Some(deadline_ms))
+    }
+
+    /// Shared engine for the interruptible entry points. Cancellation
+    /// and deadline errors are non-transient, so the retry loop (which
+    /// only absorbs injected read stalls) surfaces them immediately.
+    fn run_interruptible(
+        &self,
+        query: &Query,
+        cfg: &MonitorConfig,
+        cancel: CancelToken,
+        deadline_ms: Option<u64>,
+    ) -> Result<QueryOutcome> {
+        let mut ctx = self.make_context();
+        ctx.cancel = cancel;
+        ctx.deadline_ms = deadline_ms;
+        self.execute_with_retry_in(|| self.lower_without_cache_insert(query, cfg), &mut ctx)
+    }
+
+    /// [`Database::lower`] for interruptible runs: a cached optimizer
+    /// decision may be *read* (hits are harmless) but a miss optimizes
+    /// without populating the cache, so a run that later aborts leaves
+    /// the cache exactly as it found it.
+    fn lower_without_cache_insert(
+        &self,
+        query: &Query,
+        cfg: &MonitorConfig,
+    ) -> Result<LoweredPlan> {
+        if self.dpc_cache.is_some() {
+            let hints = self.effective_hints(query)?;
+            return self.lower_with(query, cfg, &hints);
+        }
+        let planner = self.planner()?;
+        let optimized = match self.plan_cache.get(&PlanCache::key_for(query, cfg)) {
+            Some(cached) => cached,
+            None => Arc::new(planner.optimize_query(query)?),
+        };
+        planner.lower_optimized(&optimized, cfg)
     }
 
     // ------------------------------------------------------------------
@@ -1222,6 +1307,61 @@ mod tests {
         db.create_table("t", schema, vec![Row::new(vec![Datum::Int(1)])], None)
             .unwrap();
         assert!(db.run(&q("a", 1), &MonitorConfig::off()).is_err());
+    }
+
+    #[test]
+    fn cancelled_query_leaves_no_trace() {
+        let db = demo_db();
+        let query = q("corr", 400);
+        let cfg = MonitorConfig::default();
+        let before = db.plan_cache_stats();
+        assert_eq!(before.entries, 0);
+        let err = db
+            .run_query_cancellable(&query, &cfg, CancelToken::cancel_after(0))
+            .unwrap_err();
+        assert_eq!(err, Error::Cancelled);
+        let after = db.plan_cache_stats();
+        assert_eq!(
+            after.entries, 0,
+            "an aborted run must not populate the plan cache"
+        );
+        // An unarmed token lets the identical call complete normally.
+        let ok = db
+            .run_query_cancellable(&query, &cfg, CancelToken::new())
+            .unwrap();
+        assert_eq!(ok.count, 400);
+        assert!(!ok.report.measurements.is_empty());
+    }
+
+    #[test]
+    fn externally_tripped_token_aborts_mid_run() {
+        let db = demo_db();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = db
+            .run_query_cancellable(&q("corr", 400), &MonitorConfig::off(), token)
+            .unwrap_err();
+        assert_eq!(err, Error::Cancelled);
+    }
+
+    #[test]
+    fn deadline_aborts_on_the_simulated_clock_and_is_deterministic() {
+        let db = demo_db();
+        let query = q("id", 19_999); // near-full scan: plenty of pages
+        let cfg = MonitorConfig::off();
+        let err = db.run_query_with_deadline(&query, &cfg, 0).unwrap_err();
+        assert_eq!(err, Error::DeadlineExceeded { deadline_ms: 0 });
+        let again = db.run_query_with_deadline(&query, &cfg, 0).unwrap_err();
+        assert_eq!(
+            err, again,
+            "the abort point is a pure function of the query"
+        );
+        // A generous deadline completes bit-identically to a plain run.
+        let plain = db.run(&query, &cfg).unwrap();
+        let under = db.run_query_with_deadline(&query, &cfg, 1_000_000).unwrap();
+        assert_eq!(under.count, plain.count);
+        assert_eq!(under.stats, plain.stats);
+        assert_eq!(under.elapsed_ms, plain.elapsed_ms);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use pf_common::{Error, PageId, Result, TableId};
 use pf_feedback::{DpcMeasurement, FeedbackReport, Mechanism};
 use pf_optimizer::{EpochStamp, HintSet, StalenessDecision, StalenessPolicy, TableEpochState};
-use pf_storage::{crc32, FaultPlan};
+use pf_storage::{crc32, ErrorFault, FaultPlan};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -55,6 +55,10 @@ const MAX_STR: usize = 1 << 20;
 /// The pseudo-table the WAL occupies in a [`FaultPlan`]'s address
 /// space; appends are "pages" of this table, keyed by sequence number.
 const WAL_FAULT_TABLE: TableId = TableId(u32::MAX);
+/// The pseudo-table snapshot compactions occupy (disjoint from the WAL
+/// site space); each compaction is keyed by the store's next sequence
+/// number at the time.
+const SNAP_FAULT_TABLE: TableId = TableId(u32::MAX - 1);
 
 fn io_err(e: std::io::Error) -> Error {
     Error::InvalidArgument(format!("feedback store I/O: {e}"))
@@ -388,7 +392,9 @@ impl FeedbackStore {
     }
 
     /// Installs (or clears) a fault plan used to inject torn writes
-    /// into WAL appends — the crash-recovery tests' power switch.
+    /// into WAL appends and — when the plan has error returns enabled —
+    /// ENOSPC, failed fsync, and failed rename into appends and
+    /// compactions: the crash-recovery tests' power switch.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.fault_plan = plan;
     }
@@ -450,10 +456,41 @@ impl FeedbackStore {
                 self.wal.write_all(&bytes[..keep]).map_err(io_err)?;
                 self.wal.sync_data().map_err(io_err)?;
                 self.torn = true;
-                return Err(Error::InvalidArgument(format!(
-                    "torn write injected at seq {seq} ({keep} of {} bytes)",
-                    bytes.len()
-                )));
+                return Err(Error::StorageFull {
+                    what: format!(
+                        "torn write injected at seq {seq} ({keep} of {} bytes)",
+                        bytes.len()
+                    ),
+                });
+            }
+            match plan.error_fault_for(WAL_FAULT_TABLE, site) {
+                Some(ErrorFault::WriteNoSpace) => {
+                    // ENOSPC mid-frame: the write syscall fails after a
+                    // strict prefix lands. The frame is not
+                    // acknowledged; recovery truncates the tail.
+                    let keep = (plan.entropy_for(WAL_FAULT_TABLE, site) as usize) % bytes.len();
+                    self.wal.write_all(&bytes[..keep]).map_err(io_err)?;
+                    self.wal.sync_data().map_err(io_err)?;
+                    self.torn = true;
+                    return Err(Error::StorageFull {
+                        what: format!(
+                            "WAL append hit ENOSPC at seq {seq} ({keep} of {} bytes)",
+                            bytes.len()
+                        ),
+                    });
+                }
+                Some(ErrorFault::FsyncFailed) => {
+                    // The frame reached the file but fsync failed: it
+                    // may or may not be durable, so it must not be
+                    // acknowledged. Reopening resolves the ambiguity
+                    // deterministically (the complete frame replays).
+                    self.wal.write_all(&bytes).map_err(io_err)?;
+                    self.torn = true;
+                    return Err(Error::StorageFull {
+                        what: format!("WAL fsync failed at seq {seq}"),
+                    });
+                }
+                _ => {}
             }
         }
         self.wal.write_all(&bytes).map_err(io_err)?;
@@ -476,13 +513,36 @@ impl FeedbackStore {
         }
         let tmp_path = self.dir.join("feedback.snap.tmp");
         let snap_path = self.dir.join(SNAP_FILE);
+        // Error-return injection for this compaction. Every injected
+        // crash point leaves the previous snapshot and the full WAL
+        // intact (recovery ignores the stray temp file), so nothing
+        // acknowledged is ever lost.
+        let injected = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.error_fault_for(SNAP_FAULT_TABLE, PageId(self.next_seq as u32)));
         {
             let mut tmp = File::create(&tmp_path).map_err(io_err)?;
             tmp.write_all(SNAP_MAGIC).map_err(io_err)?;
-            for rec in &self.records {
+            for (i, rec) in self.records.iter().enumerate() {
+                if injected == Some(ErrorFault::WriteNoSpace) && i == self.records.len() / 2 {
+                    return Err(Error::StorageFull {
+                        what: format!("snapshot write hit ENOSPC after {i} record(s)"),
+                    });
+                }
                 tmp.write_all(&frame(&encode_record(rec))).map_err(io_err)?;
             }
+            if injected == Some(ErrorFault::FsyncFailed) {
+                return Err(Error::StorageFull {
+                    what: "snapshot fsync failed".into(),
+                });
+            }
             tmp.sync_data().map_err(io_err)?;
+        }
+        if injected == Some(ErrorFault::RenameFailed) {
+            return Err(Error::StorageFull {
+                what: "snapshot rename failed".into(),
+            });
         }
         std::fs::rename(&tmp_path, &snap_path).map_err(io_err)?;
         self.wal.set_len(0).map_err(io_err)?;
@@ -758,6 +818,137 @@ mod tests {
         assert_eq!(store.len(), 3, "only the in-flight record is lost");
         assert_eq!(store.stats().next_seq, 3);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A rate-1.0 error-return plan (no byte damage) whose draw at
+    /// `site` of `table` is the wanted kind.
+    fn error_plan_hitting(table: TableId, site: u32, wanted: ErrorFault) -> FaultPlan {
+        (0..256u64)
+            .map(|seed| {
+                FaultPlan::new(seed, 0.0)
+                    .and_then(|p| p.with_error_returns(1.0))
+                    .expect("valid plan")
+            })
+            .find(|p| p.error_fault_for(table, PageId(site)) == Some(wanted))
+            .expect("some seed draws the wanted error kind")
+    }
+
+    #[test]
+    fn enospc_append_is_typed_and_never_acknowledges_the_partial_frame() {
+        let dir = fresh("enospc");
+        let mut store = FeedbackStore::open(&dir).expect("open fresh");
+        for tag in 0..3 {
+            let (report, stamps) = sample_report(tag);
+            store.append(&report, &stamps).expect("append");
+        }
+        store.set_fault_plan(Some(error_plan_hitting(
+            WAL_FAULT_TABLE,
+            3,
+            ErrorFault::WriteNoSpace,
+        )));
+        let (report, stamps) = sample_report(3);
+        let err = store.append(&report, &stamps).expect_err("ENOSPC");
+        assert!(
+            matches!(err, Error::StorageFull { .. }),
+            "typed storage-full error, got {err:?}"
+        );
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(store.len(), 3, "partial frame never absorbed");
+        // Poisoned like a crashed process until reopened.
+        assert!(store.append(&report, &stamps).is_err());
+        drop(store);
+
+        let store = FeedbackStore::open(&dir).expect("recover");
+        assert_eq!(store.len(), 3, "only the unacknowledged frame is lost");
+        assert_eq!(store.stats().next_seq, 3);
+        let wal_once = std::fs::read(dir.join(WAL_FILE)).expect("wal");
+        drop(store);
+        let store = FeedbackStore::open(&dir).expect("recover again");
+        assert_eq!(store.len(), 3);
+        let wal_twice = std::fs::read(dir.join(WAL_FILE)).expect("wal");
+        assert_eq!(wal_once, wal_twice, "recovery is byte-deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_fsync_refuses_to_acknowledge_but_recovery_is_deterministic() {
+        let dir = fresh("fsync");
+        let mut store = FeedbackStore::open(&dir).expect("open fresh");
+        for tag in 0..2 {
+            let (report, stamps) = sample_report(tag);
+            store.append(&report, &stamps).expect("append");
+        }
+        store.set_fault_plan(Some(error_plan_hitting(
+            WAL_FAULT_TABLE,
+            2,
+            ErrorFault::FsyncFailed,
+        )));
+        let (report, stamps) = sample_report(2);
+        let err = store.append(&report, &stamps).expect_err("fsync fails");
+        assert!(matches!(err, Error::StorageFull { .. }), "{err:?}");
+        assert!(err.to_string().contains("fsync"), "{err}");
+        assert_eq!(store.len(), 2, "unsynced frame not acknowledged");
+        drop(store);
+
+        // The frame reached the file; recovery resolves the ambiguity
+        // the same way every time: the complete frame replays.
+        let store = FeedbackStore::open(&dir).expect("recover");
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.stats().next_seq, 3);
+        let wal_once = std::fs::read(dir.join(WAL_FILE)).expect("wal");
+        drop(store);
+        let store = FeedbackStore::open(&dir).expect("recover again");
+        assert_eq!(store.len(), 3);
+        assert_eq!(
+            wal_once,
+            std::fs::read(dir.join(WAL_FILE)).expect("wal"),
+            "recovery is byte-deterministic"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_crash_points_never_lose_acknowledged_frames() {
+        for kind in [
+            ErrorFault::WriteNoSpace,
+            ErrorFault::FsyncFailed,
+            ErrorFault::RenameFailed,
+        ] {
+            let dir = fresh(&format!("compact-{kind}"));
+            let mut store = FeedbackStore::open(&dir).expect("open fresh");
+            let mut expected = Vec::new();
+            for tag in 0..3 {
+                let (report, stamps) = sample_report(tag);
+                let seq = store.append(&report, &stamps).expect("append");
+                expected.push(StoredReport {
+                    seq,
+                    report,
+                    stamps,
+                });
+            }
+            store.set_fault_plan(Some(error_plan_hitting(SNAP_FAULT_TABLE, 3, kind)));
+            let err = store.compact().expect_err("injected compaction failure");
+            assert!(matches!(err, Error::StorageFull { .. }), "{kind}: {err:?}");
+            // The failed compaction is not a crash: the store stays
+            // usable, and nothing durable moved.
+            assert_eq!(store.records(), expected.as_slice());
+            drop(store);
+
+            let store = FeedbackStore::open(&dir).expect("recover (tmp file ignored)");
+            assert_eq!(store.records(), expected.as_slice(), "{kind}");
+            assert_eq!(store.stats().next_seq, 3);
+            drop(store);
+
+            // Healing the plan lets the same compaction land.
+            let mut store = FeedbackStore::open(&dir).expect("reopen");
+            store.set_fault_plan(None);
+            store.compact().expect("compact after heal");
+            assert_eq!(store.stats().wal_bytes, 0);
+            drop(store);
+            let store = FeedbackStore::open(&dir).expect("post-compact reopen");
+            assert_eq!(store.records(), expected.as_slice(), "{kind}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

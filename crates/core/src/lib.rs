@@ -76,15 +76,19 @@ pub mod snapshot;
 pub mod sql;
 
 pub use db::{
-    Database, MorselFetch, MorselHashJoin, MorselInlJoin, MorselPlan, MorselScan, QueryOutcome,
-    MAX_TRANSIENT_RETRIES,
+    deadline_from_env, Database, MorselFetch, MorselHashJoin, MorselInlJoin, MorselPlan,
+    MorselScan, QueryOutcome, DEADLINE_ENV, MAX_TRANSIENT_RETRIES,
 };
 pub use dba::{DbaDiagnosis, Discrepancy};
 pub use feedback_loop::FeedbackOutcome;
 pub use feedback_store::{FeedbackStore, StoreStats, StoredReport, FEEDBACK_DIR_ENV};
 pub use histogram_cache::DpcHistogramCache;
-pub use parallel::{ParallelRunner, RunStats, WorkerRunStats, WorkloadSummary};
-pub use pf_storage::{FaultKind, FaultPlan};
+pub use parallel::{
+    chaos_seed_from_env, ChaosReport, ParallelRunner, RunStats, WorkerRunStats, WorkloadSummary,
+    CHAOS_SEED_ENV, STALL_BUDGET_ENV,
+};
+pub use pf_exec::CancelToken;
+pub use pf_storage::{ErrorFault, FaultKind, FaultPlan, FAULT_ERROR_RATE_ENV};
 pub use plan_cache::PlanCacheStats;
 pub use planner::{LoweredPlan, MonitorConfig, MonitorHarness, OptimizedQuery, PlanChoice};
 pub use query::{PredSpec, Query};

@@ -56,9 +56,9 @@ use pf_exec::monitor::FetchTemplate;
 use pf_exec::{Conjunction, ExecContext};
 use pf_feedback::{BitVectorFilter, FeedbackReport};
 use pf_storage::{split_run_extra_misses, IoStats};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -66,6 +66,24 @@ use std::time::{Duration, Instant};
 const MAX_BACKOFF_MS: u64 = 8;
 /// Runner-level retries on top of the database's own per-query retries.
 const RUNNER_RETRIES: u32 = 2;
+/// Environment variable overriding the stall-watchdog budget in wall
+/// milliseconds (`0` disables the watchdog).
+pub const STALL_BUDGET_ENV: &str = "PF_STALL_BUDGET_MS";
+/// Default stall-watchdog budget: generous enough that a healthy worker
+/// never trips it, small enough that a wedged one is rescued promptly.
+const DEFAULT_STALL_BUDGET_MS: u64 = 2_000;
+/// Environment variable seeding the scheduler-fuzz chaos harness.
+pub const CHAOS_SEED_ENV: &str = "PF_CHAOS_SEED";
+
+/// The chaos-harness base seed from [`CHAOS_SEED_ENV`] (default 1).
+/// The fuzz suites sweep several consecutive seeds starting here, so a
+/// CI matrix over `PF_CHAOS_SEED` explores disjoint schedule classes.
+pub fn chaos_seed_from_env() -> u64 {
+    std::env::var(CHAOS_SEED_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 // Compile-time proof that the read path is shareable across workers.
 const _: () = {
@@ -99,6 +117,9 @@ impl WorkerScratch {
         }
         let ctx = self.ctx.as_mut().expect("scratch context just ensured");
         ctx.model = db.disk;
+        // A recycled context must never carry a previous query's armed
+        // cancel token or deadline into the next one.
+        ctx.clear_interrupts();
         ctx
     }
 }
@@ -125,6 +146,16 @@ pub struct WorkerRunStats {
 pub struct RunStats {
     /// Wall-clock duration of the whole invocation in nanoseconds.
     pub wall_ns: u64,
+    /// Workers the stall watchdog caught wedged past the budget.
+    pub stalls_detected: u64,
+    /// Tasks (queries or morsels) the coordinator re-executed on behalf
+    /// of wedged workers. Re-execution is idempotent — tasks are pure
+    /// functions of their index — so rescued results are bit-identical
+    /// to what the wedged worker would eventually have produced.
+    pub morsels_rescued: u64,
+    /// Tasks that ended in [`Error::Cancelled`] /
+    /// [`Error::DeadlineExceeded`] (deliberate aborts, not failures).
+    pub queries_cancelled: u64,
     /// Per-worker profiles, sorted by worker index.
     pub workers: Vec<WorkerRunStats>,
 }
@@ -164,6 +195,12 @@ impl RunStats {
 /// `run` once and drains the job's shared cursor inside it.
 trait PoolJob: Sync {
     fn run(&self, worker: usize, scratch: &mut WorkerScratch);
+
+    /// Re-executes every task whose result has not been published yet
+    /// (the stall watchdog's recovery path) and returns how many were
+    /// rescued. Must be idempotent against a wedged worker waking up
+    /// later and publishing duplicates.
+    fn rescue(&self, scratch: &mut WorkerScratch) -> u64;
 }
 
 /// `&'static` view of a stack-held job.
@@ -215,6 +252,8 @@ struct WorkerPool {
     run_lock: Mutex<()>,
     /// Contention profile of the most recent invocation.
     last_run: Mutex<Option<RunStats>>,
+    /// Stall-watchdog budget in wall milliseconds; 0 disables it.
+    stall_budget_ms: AtomicU64,
 }
 
 fn worker_loop(shared: Arc<PoolShared>, worker: usize) {
@@ -255,6 +294,10 @@ fn worker_loop(shared: Arc<PoolShared>, worker: usize) {
 
 impl WorkerPool {
     fn new() -> Self {
+        let budget = std::env::var(STALL_BUDGET_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_STALL_BUDGET_MS);
         WorkerPool {
             shared: Arc::new(PoolShared {
                 state: Mutex::new(PoolState::default()),
@@ -265,6 +308,7 @@ impl WorkerPool {
             main_scratch: Mutex::new(WorkerScratch::default()),
             run_lock: Mutex::new(()),
             last_run: Mutex::new(None),
+            stall_budget_ms: AtomicU64::new(budget),
         }
     }
 
@@ -284,7 +328,20 @@ impl WorkerPool {
 
     /// Publishes `job` to `background` pool threads, participates as
     /// worker 0, and returns once every participant is done.
-    fn run_job(&self, job: &dyn PoolJob, background: usize) {
+    ///
+    /// While waiting, a **stall watchdog** runs: if the remaining
+    /// workers make no progress for the pool's stall budget (a worker
+    /// wedged on an injected read-stall, a pathological sleep, or plain
+    /// scheduler starvation), the coordinator re-executes every
+    /// still-unpublished task itself via [`PoolJob::rescue`]. Rescue is
+    /// idempotent — tasks are pure functions of their index — so a
+    /// wedged worker waking up later and publishing a duplicate result
+    /// changes nothing. The coordinator still waits for `active == 0`
+    /// before tearing the generation down (the erased job reference
+    /// must not dangle), so rescue shortens result latency without ever
+    /// abandoning a thread. Returns `(stalls_detected,
+    /// morsels_rescued)`.
+    fn run_job(&self, job: &dyn PoolJob, background: usize) -> (u64, u64) {
         let _serial = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
         self.ensure_workers(background);
         // `notify_all` wakes every spawned worker and each one runs the
@@ -311,15 +368,41 @@ impl WorkerPool {
             let mut scratch = self.main_scratch.lock().unwrap_or_else(|e| e.into_inner());
             let _ = catch_unwind(AssertUnwindSafe(|| job.run(0, &mut scratch)));
         }
+        let budget_ms = self.stall_budget_ms.load(Ordering::Relaxed);
+        let mut stalls = 0u64;
+        let mut rescued = 0u64;
         let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         while st.active > 0 {
-            st = self
+            if budget_ms == 0 {
+                // Watchdog disabled: plain wait.
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            let (guard, timeout) = self
                 .shared
                 .done_cv
-                .wait(st)
+                .wait_timeout(st, Duration::from_millis(budget_ms))
                 .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timeout.timed_out() && st.active > 0 && stalls == 0 {
+                // Every still-active worker is past the budget. Rescue
+                // once: after it, every task's result is published, so
+                // later timeouts only mean we are (safely) waiting for
+                // the wedged threads to come home.
+                stalls = st.active as u64;
+                drop(st);
+                let mut scratch = self.main_scratch.lock().unwrap_or_else(|e| e.into_inner());
+                rescued = job.rescue(&mut scratch);
+                drop(scratch);
+                st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            }
         }
         st.job = None;
+        (stalls, rescued)
     }
 }
 
@@ -385,6 +468,34 @@ impl<T: Send, F: Fn(usize, &mut WorkerScratch) -> Result<T> + Sync> PoolJob
             .unwrap_or_else(|e| e.into_inner())
             .push(stats);
     }
+
+    fn rescue(&self, scratch: &mut WorkerScratch) -> u64 {
+        // Indices already published are done; everything else is either
+        // wedged inside a stalled worker's local buffer or unclaimed.
+        // Re-run all of them here. A stalled worker that later revives
+        // publishes duplicates of some of these — harmless, because the
+        // task is deterministic in its index and slot assembly is
+        // value-identical under duplicates.
+        let published: HashSet<usize> = self
+            .results
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(i, _)| *i)
+            .collect();
+        let mut rescued = Vec::new();
+        for i in (0..self.n).filter(|i| !published.contains(i)) {
+            rescued.push((i, run_guarded(self.task, i, scratch)));
+        }
+        let n = rescued.len() as u64;
+        if !rescued.is_empty() {
+            self.results
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .append(&mut rescued);
+        }
+        n
+    }
 }
 
 /// One guarded evaluation of `task(i)`: panics become
@@ -410,6 +521,34 @@ fn run_guarded<T>(
             Ok(r) => return r,
         }
     }
+}
+
+/// Outcome of one seeded scheduler-fuzz sweep
+/// (see [`ParallelRunner::scheduler_fuzz`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// The seed that drove the sweep.
+    pub seed: u64,
+    /// Fan-out rounds executed.
+    pub rounds: u64,
+    /// Total task slots verified across all rounds.
+    pub tasks: u64,
+    /// Tasks that panicked and were quarantined with their own index.
+    pub panics: u64,
+    /// Tasks that stalled (slept) before completing.
+    pub stalls: u64,
+    /// Fold of every slot's outcome in index order: equal digests mean
+    /// bit-identical results, across runs and across worker counts.
+    pub digest: u64,
+}
+
+/// How many of `results` are deliberate aborts (cancellation or
+/// deadline expiry) rather than successes or failures.
+fn count_aborts<T>(results: &[Result<T>]) -> u64 {
+    results
+        .iter()
+        .filter(|r| r.as_ref().err().is_some_and(Error::is_abort))
+        .count() as u64
 }
 
 /// Executes batches of queries across a persistent pool of worker
@@ -464,6 +603,20 @@ impl ParallelRunner {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// The pool's stall-watchdog budget in wall milliseconds (0 =
+    /// disabled). Seeded from [`STALL_BUDGET_ENV`] at pool creation.
+    pub fn stall_budget_ms(&self) -> u64 {
+        self.pool.stall_budget_ms.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the stall-watchdog budget for this pool (and every
+    /// clone sharing it). `0` disables the watchdog.
+    pub fn set_stall_budget_ms(&self, budget_ms: u64) {
+        self.pool
+            .stall_budget_ms
+            .store(budget_ms, Ordering::Relaxed);
     }
 
     /// The monitor config for query `index`: the seed is derived from the
@@ -970,6 +1123,102 @@ impl ParallelRunner {
         self.run_indexed_quarantined_scratch(n, |i, _scratch| task(i))
     }
 
+    /// Deterministic scheduler-fuzz harness over the worker pool.
+    ///
+    /// Drives a seeded sweep of fan-out rounds whose sizes are chosen to
+    /// cover the pool's whole batch-size range `{1..64}` — including a
+    /// maximum-batch round followed by a *shrinking* round with fewer
+    /// tasks than workers, the interleaving class behind the historical
+    /// `active`-underflow wedge — with a seeded mix of well-behaved,
+    /// panicking, and stalling (sleeping) tasks. Every slot's outcome is
+    /// verified against the pure function of `(seed, round, index)` that
+    /// produced it: no lost job, no slot panicked-through, no wedge (the
+    /// sweep returning at all proves the coordinator never deadlocked).
+    /// The returned digest folds every outcome in index order, so two
+    /// sweeps with the same seed — at *any* worker count — must return
+    /// bit-identical reports.
+    ///
+    /// The default panic hook is silenced for the duration (injected
+    /// panics are the point, not noise).
+    pub fn scheduler_fuzz(&self, seed: u64) -> Result<ChaosReport> {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = self.scheduler_fuzz_inner(seed);
+        std::panic::set_hook(prev_hook);
+        result
+    }
+
+    fn scheduler_fuzz_inner(&self, seed: u64) -> Result<ChaosReport> {
+        // Round sizes are a function of the seed ONLY — never of the
+        // worker count — so a sweep's report is jobs-invariant. The
+        // pool picks batch = (n / (jobs·8)).clamp(1, 64); with `unit` =
+        // 64, an 8-job runner sees batch = n/64 exactly, so sweeping
+        // seeds at 8 jobs covers the full batch range {1..64}, while
+        // other job counts exercise proportionally clamped batches of
+        // the same task stream.
+        let unit = 64;
+        let mut sizes: Vec<usize> = (0..3u64)
+            .map(|r| unit * (1 + (mix64(seed ^ r) % 64) as usize))
+            .collect();
+        sizes.push(unit * 64); // the largest batch the pool ever uses
+        sizes.push(2); // shrink hard: stale workers now outnumber work
+        let mut report = ChaosReport {
+            seed,
+            rounds: 0,
+            tasks: 0,
+            panics: 0,
+            stalls: 0,
+            digest: mix64(seed),
+        };
+        for (round, &n) in sizes.iter().enumerate() {
+            let round_seed = mix64(seed ^ ((round as u64) << 32));
+            let results = self.run_indexed_quarantined_scratch(n, |i, _scratch| {
+                let h = mix64(round_seed ^ (i as u64 + 1));
+                match h % 19 {
+                    0 => panic!("chaos-injected panic"),
+                    1 => {
+                        // An injected stall: long enough to perturb
+                        // batch completion order, short enough that the
+                        // sweep stays fast.
+                        std::thread::sleep(Duration::from_millis((h >> 8) & 1));
+                        Ok(h)
+                    }
+                    _ => Ok(h),
+                }
+            });
+            if results.len() != n {
+                return Err(Error::Internal(format!(
+                    "chaos round {round}: {} of {n} slots reported",
+                    results.len()
+                )));
+            }
+            report.rounds += 1;
+            for (i, r) in results.into_iter().enumerate() {
+                report.tasks += 1;
+                let h = mix64(round_seed ^ (i as u64 + 1));
+                let tag = match (h % 19, r) {
+                    (0, Err(Error::WorkerPanicked { query_index })) if query_index == i => {
+                        report.panics += 1;
+                        mix64(h ^ 0x9A51C)
+                    }
+                    (k, Ok(v)) if k != 0 && v == h => {
+                        if k == 1 {
+                            report.stalls += 1;
+                        }
+                        v
+                    }
+                    (_, outcome) => {
+                        return Err(Error::Internal(format!(
+                            "chaos round {round} slot {i}: unexpected outcome {outcome:?}"
+                        )));
+                    }
+                };
+                report.digest = mix64(report.digest ^ tag);
+            }
+        }
+        Ok(report)
+    }
+
     /// Evaluates `task(i, scratch)` for `i ∈ 0..n` across the worker
     /// pool and returns *per-index* results in index order — no index
     /// can abort another. Workers claim small index batches from a
@@ -1003,7 +1252,7 @@ impl ParallelRunner {
                 .collect();
             stats.batches = u64::from(n > 0);
             drop(scratch);
-            self.store_run_stats(invocation, vec![stats]);
+            self.store_run_stats(invocation, vec![stats], (0, 0), count_aborts(&out));
             return out;
         }
         // Batches amortize queue contention; small enough to keep the
@@ -1018,19 +1267,18 @@ impl ParallelRunner {
             results: Mutex::new(Vec::with_capacity(n)),
             worker_stats: Mutex::new(Vec::with_capacity(background + 1)),
         };
-        self.pool.run_job(&job, background);
+        let watchdog = self.pool.run_job(&job, background);
         let per_worker = job.results.into_inner().unwrap_or_else(|e| e.into_inner());
         let mut workers = job
             .worker_stats
             .into_inner()
             .unwrap_or_else(|e| e.into_inner());
         workers.sort_by_key(|w| w.worker);
-        self.store_run_stats(invocation, workers);
         let mut slots: Vec<Option<Result<T>>> = std::iter::repeat_with(|| None).take(n).collect();
         for (i, r) in per_worker.into_iter() {
             slots[i] = Some(r);
         }
-        slots
+        let out: Vec<Result<T>> = slots
             .into_iter()
             .enumerate()
             .map(|(i, r)| {
@@ -1044,12 +1292,23 @@ impl ParallelRunner {
                     )))
                 })
             })
-            .collect()
+            .collect();
+        self.store_run_stats(invocation, workers, watchdog, count_aborts(&out));
+        out
     }
 
-    fn store_run_stats(&self, invocation: Instant, workers: Vec<WorkerRunStats>) {
+    fn store_run_stats(
+        &self,
+        invocation: Instant,
+        workers: Vec<WorkerRunStats>,
+        (stalls_detected, morsels_rescued): (u64, u64),
+        queries_cancelled: u64,
+    ) {
         let stats = RunStats {
             wall_ns: invocation.elapsed().as_nanos() as u64,
+            stalls_detected,
+            morsels_rescued,
+            queries_cancelled,
             workers,
         };
         *self.pool.last_run.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
@@ -1278,6 +1537,61 @@ mod tests {
         assert!(stats.wall_ns > 0);
         assert!(stats.busy_ns() > 0);
         assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn watchdog_rescues_indices_held_by_stalled_workers() {
+        let runner = ParallelRunner::new(4);
+        runner.set_stall_budget_ms(40);
+        // A task wedges only when it runs on a background pool thread
+        // (they are named "pf-worker-N"); on the coordinator it is
+        // quick. Every background worker that claims an index therefore
+        // stalls past the budget, while the coordinator drains the rest
+        // and — once the watchdog fires — re-executes the held indices
+        // itself. The baseline 10 ms sleep keeps the coordinator busy
+        // long enough that the workers reliably join the generation.
+        let results = runner.run_indexed_quarantined(16, |i| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("pf-worker"));
+            std::thread::sleep(Duration::from_millis(if on_worker { 400 } else { 10 }));
+            Ok(i * 3)
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("no task fails"), i * 3);
+        }
+        let stats = runner.last_run_stats().expect("run recorded stats");
+        assert!(
+            stats.stalls_detected >= 1,
+            "watchdog must notice the wedged workers: {stats:?}"
+        );
+        assert!(
+            stats.morsels_rescued >= 1,
+            "held indices must be re-executed on the coordinator: {stats:?}"
+        );
+        // A follow-up healthy run must not inherit stall accounting.
+        runner.set_stall_budget_ms(2_000);
+        let again = runner.run_indexed_quarantined(8, Ok);
+        assert!(again.iter().all(Result::is_ok));
+        let healthy = runner.last_run_stats().expect("second run recorded stats");
+        assert_eq!(healthy.stalls_detected, 0);
+        assert_eq!(healthy.morsels_rescued, 0);
+    }
+
+    #[test]
+    fn scheduler_fuzz_is_seed_deterministic_and_jobs_invariant() {
+        let a = ParallelRunner::new(4).scheduler_fuzz(7).unwrap();
+        let b = ParallelRunner::new(4).scheduler_fuzz(7).unwrap();
+        assert_eq!(a, b, "same seed, same jobs: bit-identical report");
+        let serial = ParallelRunner::new(1).scheduler_fuzz(7).unwrap();
+        assert_eq!(a, serial, "the report is a function of the seed only");
+        assert!(a.tasks > 0 && a.rounds >= 5);
+        assert!(a.panics > 0, "the panic lane must actually fire: {a:?}");
+        let other = ParallelRunner::new(4).scheduler_fuzz(8).unwrap();
+        assert_ne!(
+            a.digest, other.digest,
+            "different seeds explore differently"
+        );
     }
 
     #[test]

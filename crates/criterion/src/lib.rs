@@ -9,6 +9,9 @@
 //! plus element throughput on stdout. There is no statistical machinery —
 //! each benchmark is a single calibrated timing loop.
 
+// Harness code must surface typed failures, not panic on them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

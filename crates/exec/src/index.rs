@@ -432,6 +432,9 @@ impl Operator for Fetch {
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
         while let Some(rid) = self.source.next_rid(ctx)? {
+            // Cancellation/deadline checkpoint before each fetched RID:
+            // an aborted fetch never touches the page or its monitors.
+            ctx.check_interrupt()?;
             if self.corrupt_pages.contains(&rid.page.0) {
                 continue;
             }

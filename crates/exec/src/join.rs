@@ -81,6 +81,9 @@ impl HashJoin {
             .as_ref()
             .map(|c| BitVectorFilter::new(c.numbits, c.seed));
         while let Some(row) = self.build.next(ctx)? {
+            // RE-side checkpoint: the build input may be a RID list or
+            // another join, so the SE-side page checks don't cover it.
+            ctx.check_interrupt()?;
             ctx.pool.charge_hashes(1);
             if let Some(f) = filter.as_mut() {
                 f.insert(row.get(self.build_key));
@@ -123,6 +126,7 @@ impl Operator for HashJoin {
             let Some(probe_row) = self.probe.next(ctx)? else {
                 return Ok(None);
             };
+            ctx.check_interrupt()?;
             ctx.pool.charge_hashes(1);
             if let Some(matches) = self.table.get(probe_row.get(self.probe_key)) {
                 for b in matches {
@@ -196,6 +200,9 @@ impl Operator for InlJoin {
             let Some(outer_row) = self.outer.next(ctx)? else {
                 return Ok(None);
             };
+            // One checkpoint per outer row: each drives a fresh index
+            // seek + fetch, so this is the INL page-ish granularity.
+            ctx.check_interrupt()?;
             let key = outer_row.get(self.outer_key).clone();
             // One index lookup per outer row.
             let seek = IndexSeek::new(

@@ -42,7 +42,7 @@ pub mod op;
 pub mod scan;
 pub mod sort;
 
-pub use context::ExecContext;
+pub use context::{CancelToken, ExecContext};
 pub use expr::{AtomicPredicate, CompareOp, Conjunction, PageKernel};
 pub use governor::{governor_handle, GovernorHandle, MonitorGovernor, ShedClass};
 pub use monitor::{FetchMonitor, FetchObserveWhen, ScanExprMonitor, ScanMonitorSet, SemiJoinSlot};

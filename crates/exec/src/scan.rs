@@ -205,6 +205,10 @@ impl SeqScan {
         if self.next_page >= self.page_range.1 {
             return Ok(false);
         }
+        // Page-boundary cancellation/deadline checkpoint: one per page
+        // actually visited, so `CancelToken::cancel_after(k)` aborts
+        // exactly before the (k+1)-th page is read.
+        ctx.check_interrupt()?;
         let pid = PageId(self.next_page);
         self.next_page += 1;
         let pattern = if self.first_random && !self.started {

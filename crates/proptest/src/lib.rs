@@ -11,6 +11,9 @@
 //! expect. Generation is deterministic per test name (no global RNG), and
 //! the case count honors `PROPTEST_CASES`.
 
+// Harness code must surface typed failures, not panic on them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod rng {
     /// SplitMix64 — small, fast, and deterministic across platforms.
     pub struct TestRng {

@@ -36,6 +36,10 @@ use std::fmt;
 pub const FAULT_SEED_ENV: &str = "PF_FAULT_SEED";
 /// Environment variable holding the per-page fault rate (f64 in [0, 1]).
 pub const FAULT_RATE_ENV: &str = "PF_FAULT_RATE";
+/// Environment variable holding the per-site *error-return* rate
+/// (f64 in [0, 1]): how often a durable operation fails outright
+/// (ENOSPC, fsync, rename, read error) instead of corrupting bytes.
+pub const FAULT_ERROR_RATE_ENV: &str = "PF_FAULT_ERROR_RATE";
 
 /// One injected failure mode for a page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +74,38 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// An injected *error return*: the operation fails outright with a
+/// typed `Err` instead of silently corrupting bytes. These model the
+/// failure modes the byte-level [`FaultKind`]s cannot: a full disk, a
+/// lying fsync, a rename that never lands, a read syscall erroring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorFault {
+    /// ENOSPC mid-write: only a prefix of the frame reaches the file
+    /// before the append fails.
+    WriteNoSpace,
+    /// The data was written but `fsync` reports failure — the bytes
+    /// must be treated as never durable.
+    FsyncFailed,
+    /// An atomic publish rename fails; the temp file is left behind and
+    /// the previous snapshot stays authoritative.
+    RenameFailed,
+    /// A page read returns `Err` once (a failing syscall, not bad
+    /// bytes); the retry path re-reads it successfully.
+    ReadError,
+}
+
+impl fmt::Display for ErrorFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorFault::WriteNoSpace => "write-nospace",
+            ErrorFault::FsyncFailed => "fsync-failed",
+            ErrorFault::RenameFailed => "rename-failed",
+            ErrorFault::ReadError => "read-error",
+        };
+        f.write_str(name)
+    }
+}
+
 /// A seeded, deterministic plan of which pages fault and how.
 ///
 /// The plan is pure: [`FaultPlan::fault_for`] is a function of
@@ -81,6 +117,7 @@ impl fmt::Display for FaultKind {
 pub struct FaultPlan {
     seed: u64,
     rate: f64,
+    error_rate: f64,
 }
 
 impl FaultPlan {
@@ -91,21 +128,52 @@ impl FaultPlan {
                 "fault rate must be in [0, 1], got {rate}"
             )));
         }
-        Ok(FaultPlan { seed, rate })
+        Ok(FaultPlan {
+            seed,
+            rate,
+            error_rate: 0.0,
+        })
     }
 
-    /// Reads `PF_FAULT_SEED` / `PF_FAULT_RATE`; `None` when the rate is
-    /// unset, unparsable, or zero (faults disabled).
+    /// The same plan with error-return injection enabled at
+    /// `error_rate`: roughly that fraction of durable-operation sites
+    /// (WAL appends, fsyncs, renames, page reads) fail with a typed
+    /// `Err`. The byte-damage set of the plan is unchanged — the
+    /// error-return draw uses a disjoint hash stream, so enabling it
+    /// never moves which pages are corrupted.
+    pub fn with_error_returns(mut self, error_rate: f64) -> pf_common::Result<Self> {
+        if !(0.0..=1.0).contains(&error_rate) {
+            return Err(pf_common::Error::InvalidArgument(format!(
+                "error-return rate must be in [0, 1], got {error_rate}"
+            )));
+        }
+        self.error_rate = error_rate;
+        Ok(self)
+    }
+
+    /// Reads `PF_FAULT_SEED` / `PF_FAULT_RATE` / `PF_FAULT_ERROR_RATE`;
+    /// `None` when both rates are unset, unparsable, or zero (faults
+    /// disabled).
     pub fn from_env() -> Option<Self> {
-        let rate: f64 = std::env::var(FAULT_RATE_ENV).ok()?.trim().parse().ok()?;
-        if rate <= 0.0 {
+        let parse_rate = |var: &str| -> f64 {
+            std::env::var(var)
+                .ok()
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .unwrap_or(0.0)
+                .clamp(0.0, 1.0)
+        };
+        let rate = parse_rate(FAULT_RATE_ENV);
+        let error_rate = parse_rate(FAULT_ERROR_RATE_ENV);
+        if rate <= 0.0 && error_rate <= 0.0 {
             return None;
         }
         let seed = std::env::var(FAULT_SEED_ENV)
             .ok()
             .and_then(|s| s.trim().parse().ok())
             .unwrap_or(0xFA17);
-        FaultPlan::new(seed, rate.min(1.0)).ok()
+        FaultPlan::new(seed, rate)
+            .and_then(|p| p.with_error_returns(error_rate))
+            .ok()
     }
 
     /// The plan's seed.
@@ -153,6 +221,33 @@ impl FaultPlan {
     pub fn entropy_for(&self, table: TableId, page: PageId) -> u64 {
         mix64(self.site_hash(table, page) ^ 0x5EED_F417)
     }
+
+    /// The plan's error-return rate (0 unless enabled via
+    /// [`FaultPlan::with_error_returns`] / `PF_FAULT_ERROR_RATE`).
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// The error-return fault (if any) this plan assigns to a durable
+    /// operation site. Drawn from a hash stream disjoint from
+    /// [`FaultPlan::fault_for`], so the two injection families compose
+    /// without perturbing each other's site sets.
+    pub fn error_fault_for(&self, table: TableId, page: PageId) -> Option<ErrorFault> {
+        if self.error_rate <= 0.0 {
+            return None;
+        }
+        let h = mix64(self.site_hash(table, page) ^ 0xE44_0B17_BADD_1C0D);
+        let draw = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw >= self.error_rate {
+            return None;
+        }
+        Some(match h & 3 {
+            0 => ErrorFault::WriteNoSpace,
+            1 => ErrorFault::FsyncFailed,
+            2 => ErrorFault::RenameFailed,
+            _ => ErrorFault::ReadError,
+        })
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -161,7 +256,11 @@ impl fmt::Display for FaultPlan {
             f,
             "FaultPlan {{ seed: {:#x}, rate: {} }}",
             self.seed, self.rate
-        )
+        )?;
+        if self.error_rate > 0.0 {
+            write!(f, " + error returns at {}", self.error_rate)?;
+        }
+        Ok(())
     }
 }
 
@@ -237,5 +336,48 @@ mod tests {
     fn invalid_rate_rejected() {
         assert!(FaultPlan::new(0, -0.1).is_err());
         assert!(FaultPlan::new(0, 1.5).is_err());
+        let plan = FaultPlan::new(0, 0.0).expect("valid plan");
+        assert!(plan.with_error_returns(-0.1).is_err());
+        assert!(plan.with_error_returns(2.0).is_err());
+    }
+
+    #[test]
+    fn error_returns_off_by_default() {
+        let plan = FaultPlan::new(7, 1.0).expect("valid plan");
+        assert_eq!(plan.error_rate(), 0.0);
+        for p in 0..1_000 {
+            assert_eq!(plan.error_fault_for(TableId(0), PageId(p)), None);
+        }
+    }
+
+    #[test]
+    fn error_returns_do_not_move_the_damage_set() {
+        let base = FaultPlan::new(42, 0.05).expect("valid plan");
+        let chaotic = base.with_error_returns(0.5).expect("valid plan");
+        for p in 0..5_000 {
+            assert_eq!(
+                base.fault_for(TableId(1), PageId(p)),
+                chaotic.fault_for(TableId(1), PageId(p)),
+                "byte-damage draw must ignore the error-return rate"
+            );
+        }
+    }
+
+    #[test]
+    fn error_faults_are_deterministic_and_cover_all_kinds() {
+        let plan = FaultPlan::new(11, 0.0)
+            .and_then(|p| p.with_error_returns(1.0))
+            .expect("valid plan");
+        let kinds: std::collections::HashSet<_> = (0..1_000)
+            .filter_map(|p| plan.error_fault_for(TableId(2), PageId(p)))
+            .collect();
+        assert_eq!(kinds.len(), 4, "all four error kinds drawn: {kinds:?}");
+        let a: Vec<_> = (0..1_000)
+            .map(|p| plan.error_fault_for(TableId(2), PageId(p)))
+            .collect();
+        let b: Vec<_> = (0..1_000)
+            .map(|p| plan.error_fault_for(TableId(2), PageId(p)))
+            .collect();
+        assert_eq!(a, b);
     }
 }

@@ -43,7 +43,9 @@ pub mod view;
 pub use bufferpool::{split_run_extra_misses, AccessPattern, BufferPool, IoStats};
 pub use catalog::{Catalog, IndexMeta, TableBuilder, TableMeta, TableStats};
 pub use disk::DiskModel;
-pub use fault::{FaultKind, FaultPlan, FAULT_RATE_ENV, FAULT_SEED_ENV};
+pub use fault::{
+    ErrorFault, FaultKind, FaultPlan, FAULT_ERROR_RATE_ENV, FAULT_RATE_ENV, FAULT_SEED_ENV,
+};
 pub use page::{crc32, Page, DEFAULT_PAGE_SIZE};
 pub use table::{EpochState, TableStorage};
 pub use view::{PageCursor, RowLayout, RowView};

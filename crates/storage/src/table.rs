@@ -462,6 +462,18 @@ impl TableStorage {
                         page: pid,
                     });
                 }
+                // Error-return injection: the read syscall itself fails
+                // once (no byte damage). Transient by construction —
+                // the retry path's next attempt re-reads it fine.
+                if attempt == 0
+                    && plan.error_fault_for(self.table_id, pid)
+                        == Some(crate::ErrorFault::ReadError)
+                {
+                    return Err(Error::ReadStalled {
+                        table: self.table_id,
+                        page: pid,
+                    });
+                }
             }
         }
         let page = self.injected.get(&pid.0).unwrap_or(&self.pages[idx]);

@@ -1,1 +1,3 @@
 //! Workspace-level umbrella for examples and integration tests.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]

@@ -5,10 +5,10 @@
 use proptest::prelude::*;
 
 use pagefeed::{
-    Database, FaultPlan, MonitorConfig, MorselPlan, ParallelRunner, PredSpec, Query,
+    CancelToken, Database, FaultPlan, MonitorConfig, MorselPlan, ParallelRunner, PredSpec, Query,
     WorkloadSummary,
 };
-use pf_common::{Column, DataType, Datum, Row, Schema};
+use pf_common::{Column, DataType, Datum, Error, Row, Schema};
 use pf_exec::CompareOp;
 use pf_feedback::{BitVectorFilter, DpSampler, FmSketch, GroupedPageCounter, LinearCounter};
 
@@ -799,4 +799,246 @@ fn shrinking_batch_after_large_batch() {
         let small: Vec<Query> = (0..2).map(|i| q(i + 1)).collect();
         runner.run_queries(&db, &small, &cfg).unwrap();
     }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler fuzz: seeded interleaving sweeps over the worker pool
+// ---------------------------------------------------------------------
+
+/// Eight seeds of the scheduler fuzzer (shrinking/growing batches,
+/// panicking jobs, injected stalls) run without a panic escaping, a
+/// wedge, or a lost job — and each seed's report is bit-identical on a
+/// repeat run over the same (aged) pool. This is the PR 6 wedge class
+/// (stale workers from a drained generation racing fresh wakeups)
+/// swept adversarially instead of by a single hand-picked schedule.
+#[test]
+fn scheduler_fuzz_eight_seeds_no_wedge_no_loss() {
+    let runner = ParallelRunner::new(4);
+    // `PF_CHAOS_SEED` (CI matrix) shifts the whole sweep, so each
+    // matrix leg explores a disjoint class of schedules.
+    let base = pagefeed::chaos_seed_from_env();
+    for seed in base..base + 8 {
+        let a = runner.scheduler_fuzz(seed).unwrap();
+        let b = runner.scheduler_fuzz(seed).unwrap();
+        assert_eq!(a, b, "seed {seed}: same seed, same pool → same report");
+        assert!(a.tasks > 0 && a.rounds >= 5, "seed {seed}: {a:?}");
+        assert!(a.panics > 0, "seed {seed}: the panic lane must fire");
+        assert!(a.stalls > 0, "seed {seed}: the stall lane must fire");
+    }
+}
+
+/// The fuzz report is a pure function of the seed — round sizes and
+/// per-task behavior never depend on the worker count — so runs at 1,
+/// 2, and 8 jobs must agree bit for bit. (At 8 jobs the batch size is
+/// exactly `n/64`, so the seed sweep covers the batch range {1..64}.)
+#[test]
+fn scheduler_fuzz_digest_is_jobs_invariant() {
+    for seed in [1u64, 2] {
+        let r1 = ParallelRunner::new(1).scheduler_fuzz(seed).unwrap();
+        let r2 = ParallelRunner::new(2).scheduler_fuzz(seed).unwrap();
+        let r8 = ParallelRunner::new(8).scheduler_fuzz(seed).unwrap();
+        assert_eq!(r1, r2, "seed {seed}");
+        assert_eq!(r1, r8, "seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cancellation hygiene and the stall watchdog
+// ---------------------------------------------------------------------
+
+/// Snapshot of everything a cancelled query must not touch: hint count,
+/// plan-cache entries, and the exact bytes of every feedback-store file.
+fn hygiene_snapshot(
+    db: &Database,
+    dir: &std::path::Path,
+) -> (usize, usize, Vec<(String, Vec<u8>)>) {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("store dir readable")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).expect("file readable"),
+            )
+        })
+        .collect();
+    files.sort();
+    (db.hints().len(), db.plan_cache_stats().entries, files)
+}
+
+/// Cancelling a monitored scan at *every* page boundary leaves the
+/// database byte-identical to the query never having run: no absorbed
+/// feedback, no plan-cache entry, no feedback-store write — and the
+/// boundary index `k` aborts after exactly k pages, so the sweep is
+/// exhaustive, not sampled. Afterwards the same query still runs
+/// jobs-invariantly at 1/2/8 workers.
+#[test]
+fn cancellation_at_every_page_boundary_leaves_no_trace() {
+    let dir = std::env::temp_dir().join(format!("pf-cancel-hygiene-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = build_db();
+    db.attach_feedback_store(&dir).unwrap();
+    let cfg = MonitorConfig::default();
+    let query = wide_scan();
+
+    let reference = db
+        .run_query_cancellable(&query, &cfg, CancelToken::new())
+        .unwrap();
+    let baseline = hygiene_snapshot(&db, &dir);
+
+    let mut boundaries = 0u64;
+    loop {
+        match db.run_query_cancellable(&query, &cfg, CancelToken::cancel_after(boundaries)) {
+            Err(e) => assert_eq!(e, Error::Cancelled, "boundary {boundaries}"),
+            Ok(out) => {
+                // The token outlived the scan: the query ran to the end.
+                assert_eq!(out.count, reference.count);
+                break;
+            }
+        }
+        assert_eq!(
+            hygiene_snapshot(&db, &dir),
+            baseline,
+            "cancellation at page boundary {boundaries} left a trace"
+        );
+        boundaries += 1;
+        assert!(boundaries < 10_000, "scan must terminate");
+    }
+    assert!(
+        boundaries > 10,
+        "the sweep must cover many page boundaries, got {boundaries}"
+    );
+
+    assert_jobs_invariant(&db, &query, &cfg, "post-cancellation scan");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A small (≈25-page) table so the per-case cost of the cancellation
+/// property below stays trivial.
+fn small_db() -> Database {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("corr", DataType::Int),
+        Column::new("pad", DataType::Str),
+    ]);
+    let rows: Vec<Row> = (0..2_000i64)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int(i),
+                Datum::Int(i),
+                Datum::Str("x".repeat(60)),
+            ])
+        })
+        .collect();
+    db.create_table("s", schema, rows, Some("id")).unwrap();
+    db.create_index("ix_s_corr", "s", "corr").unwrap();
+    db.analyze().unwrap();
+    db
+}
+
+proptest! {
+    /// Property form of the hygiene sweep: at an arbitrary cancel point
+    /// (including points past the end of the scan) the run either
+    /// aborts with `Cancelled` and absorbs nothing, or completes with
+    /// the reference count.
+    #[test]
+    fn cancellation_at_any_point_is_hygienic(k in 0u64..64) {
+        let db = small_db();
+        let cfg = MonitorConfig::default();
+        let query = Query::count(
+            "s",
+            vec![PredSpec::new("corr", CompareOp::Lt, Datum::Int(1_500))],
+        );
+        let reference = db
+            .run_query_cancellable(&query, &cfg, CancelToken::new())
+            .unwrap();
+        let hints = db.hints().len();
+        let entries = db.plan_cache_stats().entries;
+        match db.run_query_cancellable(&query, &cfg, CancelToken::cancel_after(k)) {
+            Err(e) => prop_assert_eq!(e, Error::Cancelled),
+            Ok(out) => prop_assert_eq!(out.count, reference.count),
+        }
+        prop_assert_eq!(db.hints().len(), hints);
+        prop_assert_eq!(db.plan_cache_stats().entries, entries);
+    }
+}
+
+/// A deadline on the simulated clock aborts deterministically, and a
+/// deadline generous enough to never fire is execution-invisible.
+#[test]
+fn deadline_runs_are_deterministic_and_hygienic() {
+    let db = build_db();
+    let cfg = MonitorConfig::default();
+    let query = wide_scan();
+    let first = db.run_query_with_deadline(&query, &cfg, 1).unwrap_err();
+    let second = db.run_query_with_deadline(&query, &cfg, 1).unwrap_err();
+    assert_eq!(first, Error::DeadlineExceeded { deadline_ms: 1 });
+    assert_eq!(first, second, "simulated-clock aborts are repeatable");
+    assert_eq!(db.hints().len(), 0, "an aborted run absorbs nothing");
+
+    let plain = db.run(&query, &cfg).unwrap();
+    let generous = db
+        .run_query_with_deadline(&query, &cfg, u64::MAX / 2)
+        .unwrap();
+    assert_eq!(plain.count, generous.count);
+    assert_eq!(plain.stats, generous.stats);
+    assert_eq!(plain.report, generous.report);
+}
+
+/// With the stall budget floored at 1 ms the watchdog re-executes
+/// whatever the workers still hold on almost every generation; rescue
+/// must be idempotent (tasks are pure), so results — including under an
+/// active fault plan with injected stalls at rate 0.01 — stay
+/// bit-identical to the serial run.
+#[test]
+fn aggressive_watchdog_preserves_jobs_invariance_under_faults() {
+    let mut db = build_db();
+    db.set_fault_plan(Some(FaultPlan::new(42, 0.01).unwrap()))
+        .unwrap();
+    let queries = feedback_workload();
+    let cfg = MonitorConfig::default();
+    let serial = ParallelRunner::new(1)
+        .run_queries(&db, &queries, &cfg)
+        .unwrap();
+    let runner = ParallelRunner::new(8);
+    runner.set_stall_budget_ms(1);
+    for round in 0..3 {
+        let out = runner.run_queries(&db, &queries, &cfg).unwrap();
+        for (i, (s, p)) in serial.iter().zip(&out).enumerate() {
+            assert_eq!(s.count, p.count, "round {round}, query {i}");
+            assert_eq!(s.stats, p.stats, "round {round}, query {i}");
+            assert_eq!(s.report, p.report, "round {round}, query {i}");
+        }
+    }
+}
+
+/// Error-return injection (`PF_FAULT_ERROR_RATE`): a buffer-pool read
+/// that fails once surfaces as a transient stall, is retried, and the
+/// surviving attempt is bit-identical to the fault-free run — serially
+/// and across worker counts.
+#[test]
+fn error_return_injection_is_transparent_after_retry() {
+    let mut db = build_db();
+    let cfg = MonitorConfig::default();
+    let fault_free = db.run(&wide_scan(), &cfg).unwrap();
+    assert_eq!(fault_free.fault_retries, 0);
+    db.set_fault_plan(Some(
+        FaultPlan::new(7, 0.0)
+            .unwrap()
+            .with_error_returns(0.5)
+            .unwrap(),
+    ))
+    .unwrap();
+    let under = db.run(&wide_scan(), &cfg).unwrap();
+    assert!(
+        under.fault_retries >= 1,
+        "a 50% error rate must hit at least one scanned page"
+    );
+    assert_eq!(under.count, fault_free.count);
+    assert_eq!(under.stats, fault_free.stats);
+    assert_eq!(under.report, fault_free.report);
+    // Morsel scans retry the error morsel-locally and still merge to
+    // the serial outcome.
+    assert_jobs_invariant(&db, &wide_scan(), &cfg, "error-return scan");
 }
