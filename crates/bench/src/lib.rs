@@ -13,6 +13,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod experiments;
+pub mod soak;
 pub mod util;
 
 pub use experiments::*;

@@ -25,10 +25,7 @@ pub fn max(xs: &[f64]) -> f64 {
 
 /// The synthetic table size, overridable via `PF_ROWS` for quick runs.
 pub fn synthetic_rows() -> usize {
-    std::env::var("PF_ROWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(320_000)
+    pf_common::env_knob("PF_ROWS").unwrap_or(320_000)
 }
 
 /// Prints a header line for an experiment section.

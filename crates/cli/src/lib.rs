@@ -3,7 +3,10 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-use pagefeed::{parse_query, Database, MonitorConfig, ParallelRunner, Query, WorkloadSummary};
+use pagefeed::{
+    parse_query, AdmissionConfig, AdmissionController, AdmitDecision, CircuitBreaker, Database,
+    MonitorConfig, ParallelRunner, Priority, Query, WorkloadSummary,
+};
 use pf_common::Error;
 use pf_workloads::{realworld, synthetic, tpch};
 use std::fmt::Write as _;
@@ -26,6 +29,12 @@ pub struct Shell {
     deadline_ms: Option<u64>,
     /// Queries this session aborted via cancellation or deadline.
     queries_cancelled: u64,
+    /// The admission gate every SQL statement passes through, on the
+    /// session's simulated clock (`PF_ADMIT_*` or `.admit`).
+    admission: AdmissionController,
+    /// Session simulated clock: advances by each query's simulated
+    /// elapsed time, driving admission tokens and breaker probes.
+    sim_now_ms: f64,
 }
 
 impl Shell {
@@ -39,6 +48,8 @@ impl Shell {
             runner: ParallelRunner::from_env(),
             deadline_ms: pagefeed::deadline_from_env(),
             queries_cancelled: 0,
+            admission: AdmissionController::new(AdmissionConfig::from_env()),
+            sim_now_ms: 0.0,
         }
     }
 
@@ -74,6 +85,8 @@ impl Shell {
             "jobs" => self.set_jobs(arg),
             "deadline" => self.set_deadline(arg),
             "faults" => self.set_faults(arg),
+            "admit" => self.admit(arg),
+            "breaker" => self.breaker_cmd(arg),
             "bench" => self.bench(arg),
             other => format!("unknown command .{other} — try .help"),
         };
@@ -174,6 +187,41 @@ impl Shell {
             Ok(q) => q,
             Err(e) => return e,
         };
+        if self.db.is_none() {
+            return NO_DB.to_string();
+        }
+        // Every statement passes the admission gate on the session's
+        // simulated clock. Shell queries are interactive-class; the
+        // shell is serial, so a Queued verdict just means the token
+        // bucket is pacing us — wait it out on the simulated clock.
+        let mut note = String::new();
+        let id = self.admission.stats().submitted;
+        match self
+            .admission
+            .request(id, Priority::Interactive, self.sim_now_ms)
+        {
+            AdmitDecision::Admit => {}
+            AdmitDecision::Queued { .. } => {
+                match self.admission.next_admit_opportunity_ms(self.sim_now_ms) {
+                    Some(at) if !self.admission.drain(at).is_empty() => {
+                        let _ = writeln!(
+                            note,
+                            "note: token bucket paced this query by {:.1} ms (simulated)",
+                            at - self.sim_now_ms
+                        );
+                        self.sim_now_ms = at;
+                    }
+                    _ => {
+                        return "overloaded: admission queue is saturated — see .admit".to_string();
+                    }
+                }
+            }
+            AdmitDecision::Shed { retry_after_ms } => {
+                return format!(
+                    "overloaded: query shed at admission, retry after {retry_after_ms} ms (simulated) — see .admit"
+                );
+            }
+        }
         let Some(db) = &self.db else {
             return NO_DB.to_string();
         };
@@ -186,10 +234,16 @@ impl Shell {
             // bit-identical to db.run either way.
             self.runner.run_query(db, &query, &self.monitor)
         };
+        if let Ok(out) = &result {
+            self.sim_now_ms += out.elapsed_ms;
+        } else if let Some(deadline) = self.deadline_ms {
+            self.sim_now_ms += deadline as f64;
+        }
+        self.admission.on_complete(self.sim_now_ms);
         match result {
             Ok(out) => {
                 let mut s = format!(
-                    "count: {}\nplan:  {}\ntime:  {:.1} ms (simulated, cold cache)",
+                    "{note}count: {}\nplan:  {}\ntime:  {:.1} ms (simulated, cold cache)",
                     out.count, out.description, out.elapsed_ms
                 );
                 if out.degraded() {
@@ -221,7 +275,8 @@ impl Shell {
         }
         if arg == "off" {
             self.deadline_ms = None;
-            return "per-query deadline off".to_string();
+            self.reset_overload_counters();
+            return "per-query deadline off (admission/breaker counters reset)".to_string();
         }
         match arg.parse::<u64>() {
             Ok(ms) => {
@@ -350,19 +405,28 @@ impl Shell {
     }
 
     fn feedback_save(&mut self) -> String {
+        let now_ms = self.sim_now_ms as u64;
         let Some(db) = &mut self.db else {
             return NO_DB.to_string();
         };
-        let Some(store) = db.feedback_store_mut() else {
+        if db.feedback_store().is_none() {
             return NO_STORE.to_string();
-        };
-        match store.compact() {
-            Ok(()) => {
-                let s = store.stats();
+        }
+        // Through the breaker when one is attached: an open breaker
+        // skips the compaction instead of hitting a known-bad store.
+        match db.compact_feedback_at(now_ms) {
+            Ok(true) => {
+                let s = db
+                    .feedback_store()
+                    .map(pagefeed::FeedbackStore::stats)
+                    .unwrap_or_default();
                 format!(
                     "compacted {} report(s) into an atomic snapshot ({} snapshot bytes, {} WAL bytes)",
                     s.records, s.snapshot_bytes, s.wal_bytes
                 )
+            }
+            Ok(false) => {
+                "compaction skipped: feedback circuit breaker is open (see .breaker)".to_string()
             }
             Err(e) => format!("compact failed: {e}"),
         }
@@ -490,10 +554,15 @@ impl Shell {
             return s;
         }
         if arg == "off" {
-            return match db.set_fault_plan(None) {
-                Ok(()) => "fault injection off (injected damage healed)".to_string(),
+            let healed = match db.set_fault_plan(None) {
+                Ok(()) => {
+                    "fault injection off (injected damage healed; admission/breaker counters reset)"
+                        .to_string()
+                }
                 Err(e) => format!("failed: {e}"),
             };
+            self.reset_overload_counters();
+            return healed;
         }
         let mut parts = arg.split_whitespace();
         let (seed, rate, error_rate) = match (
@@ -515,6 +584,136 @@ impl Shell {
         match db.set_fault_plan(Some(plan)) {
             Ok(()) => self.set_faults(""),
             Err(e) => format!("failed: {e}"),
+        }
+    }
+
+    /// Clears the overload-protection counters: admission stats and
+    /// the breaker's trip count/trace (the `.faults off` /
+    /// `.deadline off` hygiene path).
+    fn reset_overload_counters(&mut self) {
+        self.admission.reset_stats();
+        if let Some(db) = &mut self.db {
+            if let Some(b) = db.breaker_mut() {
+                b.reset();
+            }
+        }
+    }
+
+    fn admit(&mut self, arg: &str) -> String {
+        if arg.is_empty() {
+            let cfg = self.admission.config();
+            let s = self.admission.stats();
+            return format!(
+                "admission gate: {} concurrent, queue {} deep, {} tokens/s (burst {})\nsession: {} submitted, {} admitted, {} paced, {} shed; clock at {:.1} ms (simulated)",
+                cfg.max_concurrent,
+                cfg.queue_capacity,
+                cfg.tokens_per_sec,
+                cfg.burst,
+                s.submitted,
+                s.admitted,
+                s.queued,
+                s.shed(),
+                self.sim_now_ms
+            );
+        }
+        if arg == "reset" {
+            self.admission.reset_stats();
+            return "admission counters reset".to_string();
+        }
+        let mut parts = arg.split_whitespace();
+        let parsed = (
+            parts.next().and_then(|s| s.parse::<usize>().ok()),
+            parts.next().and_then(|s| s.parse::<usize>().ok()),
+            parts.next().map(str::parse::<f64>),
+            parts.next().map(str::parse::<f64>),
+            parts.next(),
+        );
+        let cfg = match parsed {
+            (Some(c), Some(q), rate, burst, None) => {
+                let d = AdmissionConfig::default();
+                match (rate, burst) {
+                    (None, None) => Some(AdmissionConfig {
+                        max_concurrent: c,
+                        queue_capacity: q,
+                        ..d
+                    }),
+                    (Some(Ok(r)), None) => Some(AdmissionConfig {
+                        max_concurrent: c,
+                        queue_capacity: q,
+                        tokens_per_sec: r,
+                        ..d
+                    }),
+                    (Some(Ok(r)), Some(Ok(b))) => Some(AdmissionConfig {
+                        max_concurrent: c,
+                        queue_capacity: q,
+                        tokens_per_sec: r,
+                        burst: b,
+                    }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        match cfg {
+            Some(cfg) => {
+                self.admission = AdmissionController::new(cfg);
+                self.admit("")
+            }
+            None => "usage: .admit [<concurrent> <queue> [<tokens/s> [<burst>]]|reset]".to_string(),
+        }
+    }
+
+    fn breaker_cmd(&mut self, arg: &str) -> String {
+        let now_ms = self.sim_now_ms as u64;
+        let Some(db) = &mut self.db else {
+            return NO_DB.to_string();
+        };
+        match arg {
+            "" => match db.breaker() {
+                None => "no feedback circuit breaker attached — try .breaker on".to_string(),
+                Some(b) => {
+                    let mut s = format!(
+                        "breaker {}: {} trip(s), {} consecutive failure(s)",
+                        b.state(),
+                        b.trips(),
+                        b.consecutive_failures()
+                    );
+                    if let Some(at) = b.probe_at_ms() {
+                        if at == u64::MAX {
+                            let _ = write!(s, "; forced open until .breaker reset");
+                        } else {
+                            let _ = write!(s, "; next probe at t={at} ms (simulated)");
+                        }
+                    }
+                    for line in b.trace_lines() {
+                        let _ = write!(s, "\n  {line}");
+                    }
+                    s
+                }
+            },
+            "on" => {
+                db.set_breaker(Some(CircuitBreaker::default()));
+                "feedback circuit breaker attached (closed)".to_string()
+            }
+            "off" => {
+                db.set_breaker(None);
+                "feedback circuit breaker detached".to_string()
+            }
+            "trip" => match db.breaker_mut() {
+                None => "no feedback circuit breaker attached — try .breaker on".to_string(),
+                Some(b) => {
+                    b.force_open(now_ms);
+                    format!("breaker forced open at t={now_ms} ms — durability suspended until .breaker reset")
+                }
+            },
+            "reset" => match db.breaker_mut() {
+                None => "no feedback circuit breaker attached — try .breaker on".to_string(),
+                Some(b) => {
+                    b.reset();
+                    "breaker reset to closed".to_string()
+                }
+            },
+            _ => "usage: .breaker [on|off|trip|reset]".to_string(),
         }
     }
 
@@ -658,7 +857,11 @@ commands:
   .deadline [MS|off]  show / set the per-query deadline in simulated ms (default: PF_DEADLINE_MS)
   .faults [S R [E]|off] show / set deterministic fault injection (seed S, page rate R,
                       optional error-return rate E); no args also reports watchdog and
-                      cancellation counters
+                      cancellation counters; off also resets admission/breaker counters
+  .admit [C Q [R [B]]|reset] show / set the admission gate (C concurrent, queue Q deep,
+                      R tokens/s, burst B — default: PF_ADMIT_*); reset clears counters
+  .breaker [on|off|trip|reset] show / manage the feedback circuit breaker; trip forces
+                      it open (durability suspended), reset closes it again
   .bench <n> <sql>    run the query n times across the worker pool, report throughput
   .quit               exit
 anything else is parsed as SQL:
@@ -857,6 +1060,70 @@ mod tests {
         assert!(re.contains("1 report(s) recovered, 1 live hint(s)"), "{re}");
         let hints = out(sh2.eval(".hints"));
         assert!(hints.starts_with("1 injected hint"), "{hints}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn admit_command_configures_and_sheds() {
+        let mut sh = Shell::new();
+        let st = out(sh.eval(".admit"));
+        assert!(st.contains("admission gate"), "{st}");
+        assert!(out(sh.eval(".admit banana")).contains("usage"));
+        sh.eval(".load products");
+        // A tight gate: one token, effectively no refill, no queue —
+        // the second statement must be shed, not run.
+        assert!(out(sh.eval(".admit 1 0 0.000001 1")).contains("queue 0 deep"));
+        let ok = out(sh.eval("SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(ok.contains("count: 2000"), "{ok}");
+        let shed = out(sh.eval("SELECT COUNT(*) FROM products WHERE category < 20"));
+        assert!(shed.contains("overloaded"), "{shed}");
+        assert!(shed.contains("retry after"), "{shed}");
+        let st = out(sh.eval(".admit"));
+        assert!(st.contains("2 submitted, 1 admitted"), "{st}");
+        assert!(st.contains("1 shed"), "{st}");
+        assert!(out(sh.eval(".admit reset")).contains("reset"));
+        assert!(out(sh.eval(".admit")).contains("0 submitted"));
+        // .deadline off also clears the overload counters.
+        sh.eval(".admit 1 0 0.000001 1");
+        sh.eval("SELECT COUNT(*) FROM products WHERE category < 20");
+        sh.eval("SELECT COUNT(*) FROM products WHERE category < 20");
+        assert!(out(sh.eval(".deadline off")).contains("counters reset"));
+        assert!(out(sh.eval(".admit")).contains("0 submitted"));
+    }
+
+    #[test]
+    fn breaker_command_manages_durability() {
+        let dir = std::env::temp_dir().join(format!("pf-cli-breaker-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dirs = dir.to_string_lossy().to_string();
+
+        let mut sh = Shell::new();
+        assert!(out(sh.eval(".breaker")).contains("no database loaded"));
+        sh.eval(".load products");
+        assert!(out(sh.eval(".breaker")).contains("no feedback circuit breaker"));
+        assert!(out(sh.eval(".breaker trip")).contains("no feedback circuit breaker"));
+        assert!(out(sh.eval(".breaker on")).contains("attached"));
+        assert!(out(sh.eval(".breaker")).contains("breaker closed: 0 trip(s)"));
+
+        sh.eval(&format!(".feedback load {dirs}"));
+        out(sh.eval(".feedback SELECT COUNT(pad) FROM products WHERE supplier < 100"));
+        assert!(out(sh.eval(".breaker trip")).contains("forced open"));
+        let skipped = out(sh.eval(".feedback save"));
+        assert!(skipped.contains("skipped"), "{skipped}");
+        assert!(
+            out(sh.eval(".breaker")).contains("forced open until"),
+            "trace shown"
+        );
+
+        // .faults off resets the breaker; compaction flows again.
+        let healed = out(sh.eval(".faults off"));
+        assert!(healed.contains("counters reset"), "{healed}");
+        assert!(out(sh.eval(".breaker")).contains("breaker closed: 0 trip(s)"));
+        let saved = out(sh.eval(".feedback save"));
+        assert!(saved.contains("compacted"), "{saved}");
+
+        assert!(out(sh.eval(".breaker banana")).contains("usage"));
+        assert!(out(sh.eval(".breaker off")).contains("detached"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -95,6 +95,15 @@ pub enum Error {
         /// Which durable operation failed.
         what: String,
     },
+    /// The system shed this query at admission: the concurrency gate,
+    /// token bucket, admission queue, or memory budget was exhausted.
+    /// The query never started — nothing to clean up — and the caller
+    /// should retry after the indicated (simulated) delay.
+    Overloaded {
+        /// Earliest simulated-clock delay after which a retry could be
+        /// admitted, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// An internal invariant was violated — a bug, surfaced as an error
     /// instead of a panic so a workload run can quarantine it.
     Internal(String),
@@ -114,6 +123,14 @@ impl Error {
     /// absorb zero feedback and leave the plan cache untouched.
     pub fn is_abort(&self) -> bool {
         matches!(self, Error::Cancelled | Error::DeadlineExceeded { .. })
+    }
+
+    /// Whether the query was shed at admission under overload. Shed
+    /// queries never started, so they are trivially hygienic; they are
+    /// neither transient (immediate retry would be shed again) nor
+    /// aborts (nothing was in flight to abort).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Error::Overloaded { .. })
     }
 }
 
@@ -166,6 +183,12 @@ impl fmt::Display for Error {
             }
             Error::StorageFull { what } => {
                 write!(f, "storage full: {what}; frame not acknowledged")
+            }
+            Error::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "overloaded: query shed at admission, retry after {retry_after_ms} ms"
+                )
             }
             Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
@@ -246,6 +269,19 @@ mod tests {
         );
         assert!(!s.is_abort());
         assert!(!s.is_transient());
+    }
+
+    #[test]
+    fn overloaded_formats_and_classifies() {
+        let o = Error::Overloaded { retry_after_ms: 17 };
+        assert_eq!(
+            o.to_string(),
+            "overloaded: query shed at admission, retry after 17 ms"
+        );
+        assert!(o.is_shed());
+        assert!(!o.is_abort());
+        assert!(!o.is_transient());
+        assert!(!Error::Cancelled.is_shed());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod env;
 pub mod error;
 pub mod hash;
 pub mod ids;
@@ -22,6 +23,7 @@ pub mod rng;
 pub mod schema;
 pub mod value;
 
+pub use env::{env_knob, env_switch};
 pub use error::{Error, Result};
 pub use ids::{ColumnId, IndexId, PageId, Rid, SlotId, TableId};
 pub use schema::{Column, Row, Schema};

@@ -1,0 +1,394 @@
+//! Circuit breaker for the durable feedback path.
+//!
+//! A persistently failing feedback WAL (disk full, dying device) must
+//! not turn every query into a retry storm: durability is an
+//! *enhancement* of the feedback loop, not a prerequisite for query
+//! execution. [`CircuitBreaker`] wraps [`crate::FeedbackStore`]
+//! append/compact (see [`crate::Database::absorb_feedback_at`]):
+//!
+//! * **Closed** — operations pass through. Each consecutive typed
+//!   storage error ([`pf_common::Error::StorageFull`], injected by PR
+//!   8's `FaultPlan::with_error_returns` stream in tests) counts toward
+//!   the trip threshold; any success resets the count.
+//! * **Open** — operations are skipped entirely (queries keep running,
+//!   feedback stays in memory, durability is suspended) until the
+//!   cooldown elapses on the **simulated clock**.
+//! * **HalfOpen** — after the cooldown, exactly one probe operation is
+//!   let through. Success closes the breaker; failure re-opens it and
+//!   schedules the next probe one cooldown later.
+//!
+//! Every decision is a pure function of `(prior state, now_ms, call
+//! result)` with `now_ms` taken from the simulated clock, so a breaker
+//! trace — the full transition list — is byte-identical across repeat
+//! runs, machines, and worker counts. The admitted-workload driver
+//! copies the trace into its report and the soak harness digests it.
+
+use std::fmt;
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Operations pass through; consecutive failures are counted.
+    Closed,
+    /// Operations are skipped until the cooldown elapses.
+    Open,
+    /// The cooldown elapsed; the next operation is the probe.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// One recorded state transition, at a simulated-clock instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// Simulated milliseconds at which the transition happened.
+    pub at_ms: u64,
+    /// The state entered.
+    pub to: BreakerState,
+}
+
+impl fmt::Display for BreakerTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={} {}", self.at_ms, self.to)
+    }
+}
+
+/// A deterministic closed → open → half-open circuit breaker on the
+/// simulated clock. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    trip_threshold: u32,
+    cooldown_ms: u64,
+    consecutive_failures: u32,
+    /// Valid while `state == Open`: the instant the next probe unlocks.
+    probe_at_ms: u64,
+    trips: u64,
+    transitions: Vec<BreakerTransition>,
+}
+
+/// Default consecutive-failure count that trips the breaker.
+pub const DEFAULT_TRIP_THRESHOLD: u32 = 3;
+/// Default cooldown before a half-open probe, in simulated ms.
+pub const DEFAULT_COOLDOWN_MS: u64 = 250;
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRIP_THRESHOLD, DEFAULT_COOLDOWN_MS)
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `trip_threshold` consecutive
+    /// failures and probing every `cooldown_ms` simulated milliseconds.
+    /// Both parameters are clamped to at least 1.
+    pub fn new(trip_threshold: u32, cooldown_ms: u64) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            trip_threshold: trip_threshold.max(1),
+            cooldown_ms: cooldown_ms.max(1),
+            consecutive_failures: 0,
+            probe_at_ms: 0,
+            trips: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Whether the guarded operation should be attempted at `now_ms`.
+    ///
+    /// Closed and half-open allow the call. An open breaker whose
+    /// cooldown has elapsed transitions to half-open (recording the
+    /// transition) and allows it — the probe. `allow` never blocks
+    /// forever: for any open breaker there is a finite `now_ms` at
+    /// which it returns `true`.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_ms >= self.probe_at_ms {
+                    self.transition(now_ms, BreakerState::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of an allowed operation at `now_ms`.
+    ///
+    /// In `Closed`, failures accumulate and trip the breaker open at
+    /// the threshold; success resets the streak. In `HalfOpen`, success
+    /// closes the breaker and failure re-opens it (counting another
+    /// trip). Calling this while `Open` (an operation that raced the
+    /// trip) only deepens the failure streak bookkeeping; it never
+    /// un-opens the breaker early.
+    pub fn record(&mut self, now_ms: u64, ok: bool) {
+        match (self.state, ok) {
+            (BreakerState::Closed, true) => self.consecutive_failures = 0,
+            (BreakerState::Closed, false) => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.trip_threshold {
+                    self.trip(now_ms);
+                }
+            }
+            (BreakerState::HalfOpen, true) => {
+                self.consecutive_failures = 0;
+                self.transition(now_ms, BreakerState::Closed);
+            }
+            (BreakerState::HalfOpen, false) => self.trip(now_ms),
+            (BreakerState::Open, ok) => {
+                if !ok {
+                    self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.trips += 1;
+        self.probe_at_ms = now_ms.saturating_add(self.cooldown_ms);
+        self.transition(now_ms, BreakerState::Open);
+    }
+
+    fn transition(&mut self, now_ms: u64, to: BreakerState) {
+        self.state = to;
+        self.transitions
+            .push(BreakerTransition { at_ms: now_ms, to });
+    }
+
+    /// Forces the breaker open at `now_ms` with an effectively infinite
+    /// cooldown — durability stays suspended until [`CircuitBreaker::reset`].
+    /// Used by the identity tests: a run with the breaker forced open
+    /// must be byte-identical to a run with no feedback store attached.
+    pub fn force_open(&mut self, now_ms: u64) {
+        self.trips += 1;
+        self.probe_at_ms = u64::MAX;
+        self.transition(now_ms, BreakerState::Open);
+    }
+
+    /// Returns the breaker to a pristine closed state, clearing the
+    /// failure streak, trip count, and transition trace (the CLI's
+    /// `.faults off` / `.breaker reset` path).
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.probe_at_ms = 0;
+        self.trips = 0;
+        self.transitions.clear();
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker tripped open (including forced opens and
+    /// failed probes).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Consecutive failures observed in the current closed streak.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// The instant the next probe unlocks, while open.
+    pub fn probe_at_ms(&self) -> Option<u64> {
+        matches!(self.state, BreakerState::Open).then_some(self.probe_at_ms)
+    }
+
+    /// The full transition trace, in order.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    /// The transition trace rendered one line per transition — the
+    /// deterministic artifact the soak harness digests.
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.transitions.iter().map(|t| t.to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trips_after_threshold_and_probes_on_schedule() {
+        let mut b = CircuitBreaker::new(3, 100);
+        assert_eq!(b.state(), BreakerState::Closed);
+        for t in 0..3 {
+            assert!(b.allow(t));
+            b.record(t, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.probe_at_ms(), Some(102));
+        // Before the cooldown: skipped.
+        assert!(!b.allow(50));
+        assert!(!b.allow(101));
+        // At the cooldown: the probe is allowed and the breaker half-opens.
+        assert!(b.allow(102));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe succeeds: closed again, streak cleared.
+        b.record(102, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_reschedules() {
+        let mut b = CircuitBreaker::new(1, 10);
+        assert!(b.allow(5));
+        b.record(5, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(15));
+        b.record(15, false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.probe_at_ms(), Some(25));
+        assert!(b.allow(25));
+        b.record(25, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(3, 10);
+        b.record(0, false);
+        b.record(1, false);
+        b.record(2, true);
+        b.record(3, false);
+        b.record(4, false);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+        b.record(5, false);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn force_open_suspends_until_reset() {
+        let mut b = CircuitBreaker::default();
+        b.force_open(7);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(u64::MAX - 1), "no probe while forced open");
+        b.reset();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        assert!(b.transitions().is_empty());
+        assert!(b.allow(0));
+    }
+
+    #[test]
+    fn trace_lines_are_stable() {
+        let mut b = CircuitBreaker::new(1, 10);
+        b.record(3, false);
+        assert!(b.allow(13));
+        b.record(13, true);
+        assert_eq!(
+            b.trace_lines(),
+            vec!["t=3 open", "t=13 half-open", "t=13 closed"]
+        );
+    }
+
+    /// Replays an arbitrary op sequence through the breaker with a
+    /// monotone clock, checking the machine never wedges (from any
+    /// state an eventual probe is allowed), never skips a probe
+    /// (allow() at/after `probe_at_ms` always half-opens), and only
+    /// takes legal transitions.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Advance the clock by this many ms, then attempt an operation
+        /// with this outcome (applied only if allowed).
+        Call { advance_ms: u64, ok: bool },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u64..400, any::<bool>()).prop_map(|(advance_ms, ok)| Op::Call { advance_ms, ok })
+    }
+
+    proptest! {
+        #[test]
+        fn breaker_never_wedges_or_skips_a_probe(
+            threshold in 1u32..6,
+            cooldown in 1u64..300,
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+        ) {
+            let mut b = CircuitBreaker::new(threshold, cooldown);
+            let mut now = 0u64;
+            let mut prev = b.state();
+            for Op::Call { advance_ms, ok } in ops {
+                now += advance_ms;
+                let probe_due = b.probe_at_ms().is_some_and(|p| now >= p);
+                let allowed = b.allow(now);
+                // Never skips a probe: a due probe is always allowed.
+                if probe_due {
+                    prop_assert!(allowed, "due probe at t={now} was refused");
+                    prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+                }
+                // An open breaker before its probe instant refuses.
+                if prev == BreakerState::Open && !probe_due {
+                    prop_assert!(!allowed);
+                }
+                // allow()'s only legal edge is Open -> HalfOpen.
+                let mid = b.state();
+                match (prev, mid) {
+                    (a, b) if a == b => {}
+                    (BreakerState::Open, BreakerState::HalfOpen) => {}
+                    (from, to) => {
+                        prop_assert!(false, "illegal allow() edge {from:?} -> {to:?}")
+                    }
+                }
+                if allowed {
+                    b.record(now, ok);
+                }
+                // record()'s legal edges: Closed -> Open (trip),
+                // HalfOpen -> Open (failed probe), HalfOpen -> Closed
+                // (successful probe). Never Closed -> HalfOpen, never
+                // Open -> anything.
+                let state = b.state();
+                match (mid, state) {
+                    (a, b) if a == b => {}
+                    (BreakerState::Closed, BreakerState::Open) => {}
+                    (BreakerState::HalfOpen, BreakerState::Open) => {}
+                    (BreakerState::HalfOpen, BreakerState::Closed) => {}
+                    (from, to) => {
+                        prop_assert!(false, "illegal record() edge {from:?} -> {to:?}")
+                    }
+                }
+                prev = state;
+            }
+            // Never wedges: wherever we ended up, some finite future
+            // instant admits an operation again.
+            let future = now.saturating_add(cooldown).saturating_add(1);
+            prop_assert!(
+                b.allow(future),
+                "breaker wedged: state {:?} refuses ops even at t={future}",
+                b.state()
+            );
+            // The trace is internally consistent: monotone timestamps,
+            // alternating legal edges, and one `open` per trip.
+            let opens = b
+                .transitions()
+                .iter()
+                .filter(|t| t.to == BreakerState::Open)
+                .count() as u64;
+            prop_assert_eq!(opens, b.trips());
+            let mut last = 0u64;
+            for t in b.transitions() {
+                prop_assert!(t.at_ms >= last);
+                last = t.at_ms;
+            }
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The [`Database`] facade.
 
+use crate::breaker::CircuitBreaker;
 use crate::feedback_store::FeedbackStore;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::planner::{LoweredPlan, MonitorConfig, OptimizedQuery, PlanChoice, Planner};
@@ -34,9 +35,7 @@ pub const DEADLINE_ENV: &str = "PF_DEADLINE_MS";
 
 /// The [`DEADLINE_ENV`] value, if one is set and parses.
 pub fn deadline_from_env() -> Option<u64> {
-    std::env::var(DEADLINE_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
+    pf_common::env_knob(DEADLINE_ENV)
 }
 
 /// Everything one run of a query produced.
@@ -57,6 +56,11 @@ pub struct QueryOutcome {
     /// How many transient-fault retries this outcome absorbed (0 in a
     /// fault-free run).
     pub fault_retries: u32,
+    /// Bytes the run's still-observing monitors held at harvest time
+    /// (see [`MonitorHarness::approx_monitor_bytes`]) — what a memory
+    /// reservation is reconciled against at completion. 0 when
+    /// monitoring was off.
+    pub monitor_bytes: usize,
 }
 
 impl QueryOutcome {
@@ -174,6 +178,9 @@ pub struct Database {
     pub(crate) dpc_cache: Option<crate::histogram_cache::DpcHistogramCache>,
     /// Durable feedback persistence (None = in-memory hints only).
     feedback_store: Option<FeedbackStore>,
+    /// Circuit breaker guarding the durable feedback path (None = store
+    /// errors propagate to the caller, the pre-breaker behaviour).
+    breaker: Option<CircuitBreaker>,
     /// Memoized optimizer decisions, invalidated on anything that can
     /// change a plan (`PF_PLAN_CACHE=off` disables).
     plan_cache: PlanCache,
@@ -200,6 +207,7 @@ impl Database {
             hints: HintSet::new(),
             dpc_cache: None,
             feedback_store: None,
+            breaker: None,
             plan_cache: PlanCache::from_env(),
             staleness: StalenessPolicy::default(),
             disk: DiskModel::default(),
@@ -349,6 +357,97 @@ impl Database {
         self.hints.absorb_report_stamped(report, &stamps);
         self.plan_cache.invalidate();
         Ok(())
+    }
+
+    /// Attaches (or with `None`, detaches) a [`CircuitBreaker`] around
+    /// the durable feedback path. With a breaker attached,
+    /// [`Database::absorb_feedback_at`] contains typed storage failures
+    /// instead of propagating them: queries keep running without
+    /// durability while the breaker is open.
+    pub fn set_breaker(&mut self, breaker: Option<CircuitBreaker>) {
+        self.breaker = breaker;
+    }
+
+    /// The attached feedback circuit breaker, if any.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
+    }
+
+    /// Mutable access to the attached breaker (CLI `.breaker trip` /
+    /// `.breaker reset`).
+    pub fn breaker_mut(&mut self) -> Option<&mut CircuitBreaker> {
+        self.breaker.as_mut()
+    }
+
+    /// [`Database::absorb_feedback`] at a simulated-clock instant, with
+    /// the durable append routed through the attached [`CircuitBreaker`].
+    ///
+    /// The in-memory absorption (hints, plan-cache invalidation) always
+    /// happens — feedback is never lost to the running process. The
+    /// durable append is attempted only when the breaker allows it at
+    /// `now_ms`; any append failure (a typed [`Error::StorageFull`],
+    /// or the torn-store refusal that follows one) is *recorded* on
+    /// the breaker and contained rather than returned, so a dying WAL
+    /// degrades durability instead of failing queries. Without a
+    /// breaker this behaves exactly like [`Database::absorb_feedback`].
+    ///
+    /// Returns whether the report was made durable.
+    pub fn absorb_feedback_at(&mut self, report: &FeedbackReport, now_ms: u64) -> Result<bool> {
+        let stamps = self.epoch_stamps();
+        let mut durable = false;
+        if let Some(store) = &mut self.feedback_store {
+            match &mut self.breaker {
+                None => {
+                    store.append(report, &stamps)?;
+                    durable = true;
+                }
+                Some(breaker) => {
+                    if breaker.allow(now_ms) {
+                        match store.append(report, &stamps) {
+                            Ok(_) => {
+                                breaker.record(now_ms, true);
+                                durable = true;
+                            }
+                            Err(_) => breaker.record(now_ms, false),
+                        }
+                    }
+                }
+            }
+        }
+        self.hints.absorb_report_stamped(report, &stamps);
+        self.plan_cache.invalidate();
+        Ok(durable)
+    }
+
+    /// Compacts the feedback store through the breaker: skipped while
+    /// the breaker refuses at `now_ms`, and a typed storage failure is
+    /// recorded on the breaker and contained. Returns whether a
+    /// compaction ran to completion. No-op without a store.
+    pub fn compact_feedback_at(&mut self, now_ms: u64) -> Result<bool> {
+        let Some(store) = &mut self.feedback_store else {
+            return Ok(false);
+        };
+        match &mut self.breaker {
+            None => {
+                store.compact()?;
+                Ok(true)
+            }
+            Some(breaker) => {
+                if !breaker.allow(now_ms) {
+                    return Ok(false);
+                }
+                match store.compact() {
+                    Ok(()) => {
+                        breaker.record(now_ms, true);
+                        Ok(true)
+                    }
+                    Err(_) => {
+                        breaker.record(now_ms, false);
+                        Ok(false)
+                    }
+                }
+            }
+        }
     }
 
     /// Current modification state of every table, keyed by name — the
@@ -542,6 +641,7 @@ impl Database {
         ctx.fault_attempt = attempt;
         let rows = drain(op.as_mut(), ctx)?;
         let count = rows.len() as u64;
+        let monitor_bytes = harness.approx_monitor_bytes();
         Ok(QueryOutcome {
             count,
             stats: ctx.stats(),
@@ -550,6 +650,7 @@ impl Database {
             description,
             choice,
             fault_retries: attempt,
+            monitor_bytes,
         })
     }
 
@@ -654,6 +755,22 @@ impl Database {
         self.execute_with_retry_in(|| self.lower_without_cache_insert(query, cfg), &mut ctx)
     }
 
+    /// Plan-shape-derived monitor memory estimate for running `query`
+    /// under `cfg`: the byte total the lowered plan's monitors would
+    /// hold ([`crate::MonitorHarness::approx_monitor_bytes`]). This is what a
+    /// query reserves against the global [`crate::MemoryBudget`] at
+    /// admission; the reservation is reconciled against the outcome's
+    /// `monitor_bytes` at completion. Lowering here is hygienic (no
+    /// plan-cache writes), so estimating a query that is later shed
+    /// leaves the database byte-identical to never having seen it.
+    pub fn estimate_monitor_bytes(&self, query: &Query, cfg: &MonitorConfig) -> Result<usize> {
+        if !cfg.enabled {
+            return Ok(0);
+        }
+        let lowered = self.lower_without_cache_insert(query, cfg)?;
+        Ok(lowered.harness.approx_monitor_bytes())
+    }
+
     /// [`Database::lower`] for interruptible runs: a cached optimizer
     /// decision may be *read* (hits are harmless) but a miss optimizes
     /// without populating the cache, so a run that later aborts leaves
@@ -683,13 +800,7 @@ impl Database {
     /// `PF_MORSEL` environment knob. Unset or any value other than
     /// `off`/`0`/`false` enables it.
     pub fn morsels_enabled() -> bool {
-        match std::env::var("PF_MORSEL") {
-            Ok(v) => !matches!(
-                v.trim().to_ascii_lowercase().as_str(),
-                "off" | "0" | "false"
-            ),
-            Err(_) => true,
-        }
+        pf_common::env_switch("PF_MORSEL", true)
     }
 
     /// Decides whether `query` under `cfg` can execute as plain

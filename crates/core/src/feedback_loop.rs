@@ -252,6 +252,7 @@ mod tests {
                 dpc_source: DpcSource::NotApplicable,
             }),
             fault_retries: 0,
+            monitor_bytes: 0,
         }
     }
 

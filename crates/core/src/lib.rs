@@ -59,10 +59,17 @@
 //! * [`sql`] — a small SQL front end for the supported query shapes,
 //! * [`snapshot`] — save/load the whole database to a single file,
 //! * [`feedback_store`] — crash-safe WAL persistence for harvested
-//!   feedback, with epoch stamps for staleness checking after restart.
+//!   feedback, with epoch stamps for staleness checking after restart,
+//! * [`admission`] — system-wide overload protection: deterministic
+//!   admission control, per-query memory reservations with a fixed
+//!   degradation ladder, and the admitted-workload driver,
+//! * [`breaker`] — a circuit breaker isolating feedback durability
+//!   failures so queries keep running when the store misbehaves.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod admission;
+pub mod breaker;
 pub mod db;
 pub mod dba;
 pub mod feedback_loop;
@@ -75,6 +82,13 @@ pub mod query;
 pub mod snapshot;
 pub mod sql;
 
+pub use admission::{
+    degrade_step, run_admitted_workload, AdmissionConfig, AdmissionController, AdmissionStats,
+    AdmitDecision, AdmittedJob, AdmittedRunReport, DegradeStep, JobRecord, MemoryBudget, Priority,
+    ADMIT_BURST_ENV, ADMIT_CONCURRENCY_ENV, ADMIT_QUEUE_ENV, ADMIT_RATE_ENV, BASE_QUERY_BYTES,
+    DEFAULT_MEM_BUDGET_BYTES, MEM_BUDGET_ENV,
+};
+pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 pub use db::{
     deadline_from_env, Database, MorselFetch, MorselHashJoin, MorselInlJoin, MorselPlan,
     MorselScan, QueryOutcome, DEADLINE_ENV, MAX_TRANSIENT_RETRIES,

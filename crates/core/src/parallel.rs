@@ -79,10 +79,7 @@ pub const CHAOS_SEED_ENV: &str = "PF_CHAOS_SEED";
 /// The fuzz suites sweep several consecutive seeds starting here, so a
 /// CI matrix over `PF_CHAOS_SEED` explores disjoint schedule classes.
 pub fn chaos_seed_from_env() -> u64 {
-    std::env::var(CHAOS_SEED_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+    pf_common::env_knob(CHAOS_SEED_ENV).unwrap_or(1)
 }
 
 // Compile-time proof that the read path is shareable across workers.
@@ -156,6 +153,15 @@ pub struct RunStats {
     /// Tasks that ended in [`Error::Cancelled`] /
     /// [`Error::DeadlineExceeded`] (deliberate aborts, not failures).
     pub queries_cancelled: u64,
+    /// Queries shed with [`Error::Overloaded`] — refused at the
+    /// admission gate or by the memory-budget degradation ladder
+    /// (admitted-workload runs only; plain batch runs leave this 0).
+    pub queries_shed: u64,
+    /// Feedback circuit-breaker trips observed during the run
+    /// (admitted-workload runs only). The full transition trace lives
+    /// on the breaker itself; this counter makes overload visible in
+    /// the same place as stalls and cancellations.
+    pub breaker_trips: u64,
     /// Per-worker profiles, sorted by worker index.
     pub workers: Vec<WorkerRunStats>,
 }
@@ -294,10 +300,7 @@ fn worker_loop(shared: Arc<PoolShared>, worker: usize) {
 
 impl WorkerPool {
     fn new() -> Self {
-        let budget = std::env::var(STALL_BUDGET_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(DEFAULT_STALL_BUDGET_MS);
+        let budget = pf_common::env_knob(STALL_BUDGET_ENV).unwrap_or(DEFAULT_STALL_BUDGET_MS);
         WorkerPool {
             shared: Arc::new(PoolShared {
                 state: Mutex::new(PoolState::default()),
@@ -583,9 +586,7 @@ impl ParallelRunner {
     /// to all available cores. Unparsable values fall back to the core
     /// count; `0` clamps to 1.
     pub fn from_env() -> Self {
-        let jobs = std::env::var("PF_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
+        let jobs = pf_common::env_knob("PF_JOBS")
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Self::new(jobs)
     }
@@ -749,6 +750,7 @@ impl ParallelRunner {
         stats: IoStats,
         fault_retries: u32,
     ) -> QueryOutcome {
+        let monitor_bytes = lowered.harness.approx_monitor_bytes();
         QueryOutcome {
             count,
             elapsed_ms: db.disk.elapsed_ms(&stats),
@@ -757,6 +759,7 @@ impl ParallelRunner {
             description: lowered.description,
             choice: lowered.choice,
             fault_retries,
+            monitor_bytes,
         }
     }
 
@@ -1310,6 +1313,7 @@ impl ParallelRunner {
             morsels_rescued,
             queries_cancelled,
             workers,
+            ..RunStats::default()
         };
         *self.pool.last_run.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
     }

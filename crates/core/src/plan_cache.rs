@@ -64,11 +64,7 @@ pub struct PlanCache {
 impl PlanCache {
     /// A cache honouring the `PF_PLAN_CACHE` environment knob.
     pub fn from_env() -> Self {
-        let enabled = !matches!(
-            std::env::var("PF_PLAN_CACHE").as_deref(),
-            Ok("off") | Ok("0") | Ok("false")
-        );
-        Self::new(enabled)
+        Self::new(pf_common::env_switch("PF_PLAN_CACHE", true))
     }
 
     /// A cache that is explicitly on or off (off = every lookup misses

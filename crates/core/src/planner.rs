@@ -176,6 +176,34 @@ impl MonitorHarness {
         self.scans.is_empty() && self.fetches.is_empty()
     }
 
+    /// Total bytes held by every still-observing monitor: the planner's
+    /// per-expression cost model (what `apply_governor` charges) summed
+    /// over scans and fetches, excluding shed monitors. Immediately
+    /// after lowering this is the plan-shape-derived *reservation
+    /// estimate* a query admits against the global [`crate::MemoryBudget`];
+    /// at completion it is the *actual* held figure the reservation is
+    /// reconciled with.
+    pub fn approx_monitor_bytes(&self) -> usize {
+        let scans: usize = self
+            .scans
+            .iter()
+            .map(|(_, handle, sj_bytes)| handle.borrow().resident_bytes(*sj_bytes))
+            .sum();
+        let fetches: usize = self
+            .fetches
+            .iter()
+            .map(|(_, handle)| {
+                handle
+                    .borrow()
+                    .iter()
+                    .filter(|m| !m.shed)
+                    .map(|m| m.approx_bytes())
+                    .sum::<usize>()
+            })
+            .sum();
+        scans + fetches
+    }
+
     /// The lone scan monitor handle, when the harness watches exactly
     /// one scan and nothing else — the morsel coordinator's merge
     /// target for per-morsel monitor partials.

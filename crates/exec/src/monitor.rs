@@ -267,6 +267,19 @@ impl ScanMonitorSet {
         self.exprs.iter().filter(|e| e.shed).count()
     }
 
+    /// Bytes held by expressions that are still observing (shed
+    /// expressions free their observation state) — the reservation
+    /// system's reconciliation hook: what a query *actually* held, as
+    /// opposed to the [`ScanMonitorSet::expr_costs`] admission estimate.
+    pub fn resident_bytes(&self, semi_join_bytes: usize) -> usize {
+        self.exprs
+            .iter()
+            .zip(self.expr_costs(semi_join_bytes))
+            .filter(|(e, _)| !e.shed)
+            .map(|(_, (bytes, _))| bytes)
+            .sum()
+    }
+
     /// Consults the governor's deadline against the simulated clock;
     /// once exceeded, sheds every still-live expression. Called by the
     /// scan at page boundaries, so shedding lands at the same page on

@@ -21,10 +21,7 @@ use std::sync::Arc;
 /// reference path — used by the identity tests and for triage; results
 /// are bit-identical either way.
 fn kernels_enabled() -> bool {
-    !matches!(
-        std::env::var("PF_SCAN_KERNELS").as_deref(),
-        Ok("off") | Ok("0")
-    )
+    pf_common::env_switch("PF_SCAN_KERNELS", true)
 }
 
 /// A sequential scan over a contiguous page range of one table, with the

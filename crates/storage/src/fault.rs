@@ -156,9 +156,7 @@ impl FaultPlan {
     /// disabled).
     pub fn from_env() -> Option<Self> {
         let parse_rate = |var: &str| -> f64 {
-            std::env::var(var)
-                .ok()
-                .and_then(|s| s.trim().parse::<f64>().ok())
+            pf_common::env_knob::<f64>(var)
                 .unwrap_or(0.0)
                 .clamp(0.0, 1.0)
         };
@@ -167,10 +165,7 @@ impl FaultPlan {
         if rate <= 0.0 && error_rate <= 0.0 {
             return None;
         }
-        let seed = std::env::var(FAULT_SEED_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse().ok())
-            .unwrap_or(0xFA17);
+        let seed = pf_common::env_knob(FAULT_SEED_ENV).unwrap_or(0xFA17);
         FaultPlan::new(seed, rate)
             .and_then(|p| p.with_error_returns(error_rate))
             .ok()
