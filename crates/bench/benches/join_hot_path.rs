@@ -1,0 +1,254 @@
+//! Join hot-path microbench: the row-at-a-time reference join
+//! (`PF_JOIN_VECTOR=off`) vs the vectorized pipeline (radix-partitioned
+//! build, page-batched probe, semi-join filter pushdown), over the four
+//! shapes the executor actually runs — build-dominated, probe-dominated,
+//! filtered probe (bit-vector built and pushed into the probe scan), and
+//! the monitored probe (semi-join sketch observation on every page).
+//!
+//! Reports rows/sec for both paths and writes
+//! `BENCH_join_hot_path.json` at the workspace root for the CI bench
+//! trajectory. Under `PF_BENCH_ENFORCE=1` the vectorized path must be at
+//! least as fast as the row-at-a-time path on every shape.
+//!
+//! Run with `cargo bench --bench join_hot_path`; set
+//! `PF_BENCH_BUDGET_MS` (e.g. 25) and `PF_BENCH_QUICK=1` for the CI
+//! smoke configuration.
+
+use criterion::{black_box, Bencher, Criterion};
+use pf_common::{Column, DataType, Datum, Row, Schema, TableId};
+use pf_exec::join::{BitVectorConfig, HashJoin};
+use pf_exec::monitor::{semi_join_slot, ScanExprMonitor, ScanMonitorSet};
+use pf_exec::{run_count, Conjunction, ExecContext, SeqScan};
+use pf_storage::TableStorage;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Pins the `PF_JOIN_VECTOR` toggle for the duration of `f`. The bench
+/// binary is single-threaded, so no lock is needed.
+fn with_vector<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    if on {
+        std::env::remove_var("PF_JOIN_VECTOR");
+    } else {
+        std::env::set_var("PF_JOIN_VECTOR", "off");
+    }
+    let out = f();
+    std::env::remove_var("PF_JOIN_VECTOR");
+    out
+}
+
+/// A join-key table: `k = (i * 7919) % key_mod` scrambles the key order
+/// (every page mixes the whole key domain) and a short string payload
+/// keeps pages realistically sized.
+fn table(rows: i64, key_mod: i64) -> Arc<TableStorage> {
+    let schema = Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("pad", DataType::Str),
+    ]);
+    let data: Vec<Row> = (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Datum::Int((i * 7919) % key_mod),
+                Datum::Str("x".repeat(32)),
+            ])
+        })
+        .collect();
+    Arc::new(TableStorage::load_default(schema, &data, None).unwrap())
+}
+
+fn scan(t: &Arc<TableStorage>, id: u32) -> SeqScan {
+    SeqScan::full(Arc::clone(t), TableId(id), Conjunction::always_true(), None)
+}
+
+/// Plain hash join, counting driver. The vector toggle decides which
+/// build/probe pipeline runs inside.
+fn join_count(build: &Arc<TableStorage>, probe: &Arc<TableStorage>) -> u64 {
+    let mut hj = HashJoin::new(
+        Box::new(scan(build, 0)),
+        Box::new(scan(probe, 1)),
+        0,
+        0,
+        None,
+    );
+    let mut ctx = ExecContext::new(1 << 14);
+    run_count(&mut hj, &mut ctx).unwrap()
+}
+
+/// Hash join with a bit-vector filter and pushdown requested: the
+/// vectorized path installs the completed filter as a probe-scan
+/// pre-filter; the row path evaluates membership in the join.
+fn join_count_filtered(build: &Arc<TableStorage>, probe: &Arc<TableStorage>) -> u64 {
+    let slot = semi_join_slot(0);
+    let mut hj = HashJoin::new(
+        Box::new(scan(build, 0)),
+        Box::new(scan(probe, 1)),
+        0,
+        0,
+        Some(BitVectorConfig {
+            slot,
+            numbits: 1 << 16,
+            seed: 17,
+            pushdown: true,
+        }),
+    );
+    let mut ctx = ExecContext::new(1 << 14);
+    run_count(&mut hj, &mut ctx).unwrap()
+}
+
+/// Hash join whose probe scan carries a semi-join monitor: the sketch
+/// observes every page (DPSample fraction 1.0), the shape Fig 8 runs.
+fn join_count_monitored(build: &Arc<TableStorage>, probe: &Arc<TableStorage>) -> u64 {
+    let slot = semi_join_slot(0);
+    let monitors = Rc::new(RefCell::new(ScanMonitorSet::new(
+        vec![ScanExprMonitor::semi_join("jp", Rc::clone(&slot), None)],
+        1.0,
+        7,
+    )));
+    let probe_scan = SeqScan::full(
+        Arc::clone(probe),
+        TableId(1),
+        Conjunction::always_true(),
+        Some(monitors),
+    );
+    let mut hj = HashJoin::new(
+        Box::new(scan(build, 0)),
+        Box::new(probe_scan),
+        0,
+        0,
+        Some(BitVectorConfig {
+            slot,
+            numbits: 1 << 16,
+            seed: 17,
+            pushdown: false,
+        }),
+    );
+    let mut ctx = ExecContext::new(1 << 14);
+    run_count(&mut hj, &mut ctx).unwrap()
+}
+
+struct Measurement {
+    name: String,
+    rows_per_iter: u64,
+    rows_per_sec: f64,
+}
+
+fn measure(
+    c: &mut Criterion,
+    out: &mut Vec<Measurement>,
+    name: &str,
+    rows_per_iter: u64,
+    vector: bool,
+    mut routine: impl FnMut() -> u64,
+) {
+    let full = format!("{name}/{}", if vector { "vector" } else { "row" });
+    let mut rows_per_sec = 0.0;
+    with_vector(vector, || {
+        c.bench_function(&full, |b: &mut Bencher| {
+            b.iter(|| black_box(routine()));
+            rows_per_sec = rows_per_iter as f64 / b.ns_per_iter() * 1e9;
+        });
+    });
+    out.push(Measurement {
+        name: full,
+        rows_per_iter,
+        rows_per_sec,
+    });
+}
+
+fn main() {
+    let quick = std::env::var("PF_BENCH_QUICK").is_ok();
+    let enforce = std::env::var("PF_BENCH_ENFORCE").is_ok();
+    let nrows: i64 = if quick { 10_000 } else { 100_000 };
+
+    // Build side: nrows/4 rows over nrows/8 distinct keys (multiplicity
+    // 2). Probe side: nrows rows over nrows/4 keys — half the probe key
+    // domain misses the build side, which is what the filter culls.
+    let build = table(nrows / 4, nrows / 8);
+    let probe = table(nrows, nrows / 4);
+    let empty = table(0, 1);
+
+    // Path parity before timing anything.
+    for (label, f) in [
+        ("plain", join_count as fn(&_, &_) -> u64),
+        ("filtered", join_count_filtered),
+        ("monitored", join_count_monitored),
+    ] {
+        let off = with_vector(false, || f(&build, &probe));
+        let on = with_vector(true, || f(&build, &probe));
+        assert_eq!(off, on, "{label}: vector on/off count parity");
+    }
+
+    let mut c = Criterion::default();
+    let mut out: Vec<Measurement> = Vec::new();
+    let build_rows = nrows as u64 / 4;
+    let probe_rows = nrows as u64;
+
+    for vector in [false, true] {
+        // Build-dominated: empty probe side isolates the build phase.
+        measure(&mut c, &mut out, "build", build_rows, vector, || {
+            join_count(&build, &empty)
+        });
+        measure(&mut c, &mut out, "probe", probe_rows, vector, || {
+            join_count(&build, &probe)
+        });
+        measure(
+            &mut c,
+            &mut out,
+            "filtered_probe",
+            probe_rows,
+            vector,
+            || join_count_filtered(&build, &probe),
+        );
+        measure(
+            &mut c,
+            &mut out,
+            "monitored_probe",
+            probe_rows,
+            vector,
+            || join_count_monitored(&build, &probe),
+        );
+    }
+
+    let rate = |n: &str| {
+        out.iter()
+            .find(|m| m.name == n)
+            .map(|m| m.rows_per_sec)
+            .unwrap()
+    };
+    let shapes = ["build", "probe", "filtered_probe", "monitored_probe"];
+    let mut speedups = Vec::new();
+    for s in shapes {
+        let ratio = rate(&format!("{s}/vector")) / rate(&format!("{s}/row"));
+        println!("{s}: vectorized {ratio:.2}x row-at-a-time");
+        if enforce {
+            assert!(
+                ratio >= 1.0,
+                "{s}: vectorized path must not regress below row-at-a-time, got {ratio:.2}x"
+            );
+        }
+        speedups.push(format!("    \"{s}\": {ratio:.3}"));
+    }
+
+    let rows: Vec<String> = out
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\": \"{}\", \"rows_per_iter\": {}, \"rows_per_sec\": {:.0}}}",
+                m.name, m.rows_per_iter, m.rows_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"join_hot_path\",\n  \"build_rows\": {build_rows},\n  \
+         \"probe_rows\": {probe_rows},\n  \"hardware_threads\": {},\n  \
+         \"vector_speedup\": {{\n{}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        speedups.join(",\n"),
+        rows.join(",\n")
+    );
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_join_hot_path.json");
+    std::fs::write(&out_path, &json).unwrap();
+    println!("wrote {}", out_path.display());
+}

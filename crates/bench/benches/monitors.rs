@@ -188,7 +188,8 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"benchmark\": \"monitor_overhead\",\n  \"table_rows\": {total},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"hardware_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         rows.join(",\n")
     );
     let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

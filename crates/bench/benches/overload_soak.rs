@@ -139,7 +139,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"benchmark\": \"overload_soak\",\n  \"queries_per_storm\": {queries},\n  \"over_capacity\": 4.0,\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"overload_soak\",\n  \"queries_per_storm\": {queries},\n  \"over_capacity\": 4.0,\n  \"hardware_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         json_rows.join(",\n")
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

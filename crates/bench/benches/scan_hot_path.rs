@@ -300,8 +300,10 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"benchmark\": \"scan_hot_path\",\n  \"table_rows\": {total},\n  \
+         \"hardware_threads\": {},\n  \
          \"full_scan_speedup\": {full_speedup:.3},\n  \"range_scan_speedup\": {range_speedup:.3},\n  \
          \"index_fetch_speedup\": {fetch_speedup:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         rows.join(",\n")
     );
     let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

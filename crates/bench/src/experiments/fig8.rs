@@ -103,6 +103,31 @@ pub fn run_fig8(rows: usize, per_column: usize, jobs: usize) -> Result<Vec<JoinP
     }
     let os: Vec<f64> = points.iter().map(|p| p.overhead).collect();
     println!("max bit-vector overhead: {:.2}%", max(&os) * 100.0);
+    // Chosen hash-join strategy. Partition count and filter pushdown
+    // are pure functions of the plan (never of runtime knobs), so this
+    // line is byte-identical across `PF_JOIN_VECTOR` settings and job
+    // counts.
+    let mut hash_n = 0usize;
+    let mut push_n = 0usize;
+    let mut parts = std::collections::BTreeSet::new();
+    for out in &outcomes {
+        if let pagefeed::PlanChoice::Join(jp) = &out.before.choice {
+            if jp.method == pf_optimizer::JoinMethod::Hash {
+                hash_n += 1;
+                parts.insert(pf_exec::join_partitions(jp.outer_plan.est_rows));
+                if jp.est_rows < 0.5 * rows as f64 {
+                    push_n += 1;
+                }
+            }
+        }
+    }
+    if hash_n > 0 {
+        let parts: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        println!(
+            "join strategy: {hash_n} hash joins, parts={{{}}}, pushdown on {push_n}",
+            parts.join(",")
+        );
+    }
     crate::util::report_degraded(&outcomes);
     crate::util::report_resilience(&runner);
     Ok(points)

@@ -922,6 +922,21 @@ mod tests {
     }
 
     #[test]
+    fn explain_join_prints_strategy() {
+        let mut sh = Shell::new();
+        sh.eval(".load synthetic");
+        let ex = out(sh.eval(
+            // Half the outer qualifies — far above the Hash-vs-INL
+            // crossover, so the chosen method is always Hash and the
+            // strategy line is present.
+            ".explain SELECT COUNT(T.pad) FROM T1, T WHERE T1.c1 < 40000 AND T1.c2 = T.c2",
+        ));
+        assert!(ex.contains("strategy: parts="), "{ex}");
+        assert!(ex.contains("vector=on"), "{ex}");
+        assert!(ex.contains("pushdown="), "{ex}");
+    }
+
+    #[test]
     fn save_and_open_round_trip() {
         let mut sh = Shell::new();
         sh.eval(".load products");

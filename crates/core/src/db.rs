@@ -5,7 +5,6 @@ use crate::feedback_store::FeedbackStore;
 use crate::plan_cache::{PlanCache, PlanCacheStats};
 use crate::planner::{LoweredPlan, MonitorConfig, OptimizedQuery, PlanChoice, Planner};
 use crate::query::Query;
-use pf_common::hash::hash_datum;
 use pf_common::{Datum, Error, IndexId, PageId, Result, Rid, Row, Schema, TableId};
 use pf_exec::index::{Fetch, IndexSeek, RidList, SeekRange};
 use pf_exec::monitor::{FetchTemplate, MonitorTemplate, ScanMonitorPartial, SemiJoinRecipe};
@@ -114,6 +113,10 @@ pub struct MorselHashJoin {
     /// attach one — mirrors the serial lowering's `BitVectorConfig`, so
     /// per-morsel filter fragments OR-merge into the serial filter.
     pub filter: Option<(usize, u64)>,
+    /// The planner's filter-pushdown decision (see
+    /// [`crate::planner::Planner::join_pushdown`]): probe morsels carry
+    /// the merged build filter as a scan pre-filter.
+    pub pushdown: bool,
 }
 
 /// An index-nested-loops join: outer-scan morsels collect join keys, the
@@ -154,17 +157,10 @@ pub type BuildMorselOutput = (
     Option<BitVectorFilter>,
 );
 
-/// Seed for routing build keys to probe-side multiplicity partitions —
-/// distinct from every monitor seed so partition routing never correlates
+/// Seed for the coordinator's radix-partitioned multiplicity table —
+/// distinct from every monitor seed so table routing never correlates
 /// with sketch hashing.
-const PARTITION_SEED: u64 = 0xC0FF_EE00_D15C_0B01;
-
-/// Which multiplicity partition a join key routes to. A pure function of
-/// the key, so build-side partitioning and probe-side lookups agree
-/// without coordination.
-pub fn hash_partition_of(key: &Datum, parts: usize) -> usize {
-    (hash_datum(key, PARTITION_SEED) % parts.max(1) as u64) as usize
-}
+pub(crate) const PARTITION_SEED: u64 = 0xC0FF_EE00_D15C_0B01;
 
 /// An embedded analytical database with page-count execution feedback.
 ///
@@ -639,8 +635,11 @@ impl Database {
         } = plan;
         ctx.cold_start();
         ctx.fault_attempt = attempt;
-        let rows = drain(op.as_mut(), ctx)?;
-        let count = rows.len() as u64;
+        // Counting driver: operators that can count page-at-a-time
+        // (vectorized joins, scans) skip row materialization entirely.
+        // Materialization was never charged, so I/O statistics are
+        // byte-identical to the old drain-then-count.
+        let count = run_count(op.as_mut(), ctx)?;
         let monitor_bytes = harness.approx_monitor_bytes();
         Ok(QueryOutcome {
             count,
@@ -896,12 +895,14 @@ impl Database {
                             return Ok(None);
                         }
                         let filter = planner.join_filter_config(plan, spec, cfg)?;
+                        let pushdown = filter.is_some() && planner.join_pushdown(plan, spec)?;
                         Ok(Some(MorselPlan::HashJoin(MorselHashJoin {
                             plan: plan.clone(),
                             spec: spec.clone(),
                             outer_scan,
                             inner_range: (0, inner_pages as u32),
                             filter,
+                            pushdown,
                         })))
                     }
                     JoinMethod::IndexNestedLoops => {
@@ -1062,18 +1063,42 @@ impl Database {
         );
         ctx.cold_start();
         ctx.fault_attempt = 0;
-        let mut keys = Vec::new();
+        let mut keys: Vec<Datum> = Vec::new();
         let mut bv = filter.map(|(numbits, seed)| BitVectorFilter::new(numbits, seed));
-        while let Some(row) = op.next(ctx)? {
-            if charge_build_hash {
-                ctx.pool.charge_hashes(1);
+        if pf_exec::join::vector_enabled() {
+            // Page-batched: gather the page's keys off borrowed views,
+            // then bulk-insert the batch into the filter fragment. The
+            // per-row charges (one build hash, one per filter insert)
+            // are identical to the row loop.
+            let keys = &mut keys;
+            let bv = &mut bv;
+            while op.next_page_rows(ctx, &mut |rows, ctx| {
+                let start = keys.len();
+                rows.for_each(|_slot, view| {
+                    if charge_build_hash {
+                        ctx.pool.charge_hashes(1);
+                    }
+                    keys.push(view.get(key_col).to_datum());
+                    Ok(())
+                })?;
+                if let Some(f) = bv.as_mut() {
+                    let n = f.insert_batch(keys[start..].iter().map(pf_common::DatumRef::from));
+                    ctx.pool.charge_hashes(n);
+                }
+                Ok(())
+            })? {}
+        } else {
+            while let Some(row) = op.next(ctx)? {
+                if charge_build_hash {
+                    ctx.pool.charge_hashes(1);
+                }
+                let key = row.get(key_col).clone();
+                if let Some(f) = bv.as_mut() {
+                    f.insert(&key);
+                    ctx.pool.charge_hashes(1);
+                }
+                keys.push(key);
             }
-            let key = row.get(key_col).clone();
-            if let Some(f) = bv.as_mut() {
-                f.insert(&key);
-                ctx.pool.charge_hashes(1);
-            }
-            keys.push(key);
         }
         drop(op);
         let partial = match handle {
@@ -1085,17 +1110,20 @@ impl Database {
 
     /// Runs one probe-side morsel of a parallel hash join: a full-scan
     /// page range of the inner table, counting matches against the
-    /// partitioned build-side multiplicity maps (each map holds
-    /// `key → build-row count` for keys routed to it by
-    /// [`hash_partition_of`]). `recipe` plus the merged build filter
-    /// rebuild the worker-local semi-join monitor set the serial probe
-    /// scan would carry.
+    /// coordinator's radix-partitioned multiplicity table. `recipe` plus
+    /// the merged build filter rebuild the worker-local semi-join
+    /// monitor set the serial probe scan would carry; `pushdown` makes
+    /// the morsel scan carry the merged filter as a page-pass pre-filter
+    /// (the scan then charges the per-row probe hash, so the loop here
+    /// must not).
+    #[allow(clippy::too_many_arguments)]
     pub fn run_probe_morsel(
         &self,
         inner: TableId,
         recipe: Option<(&SemiJoinRecipe, &BitVectorFilter)>,
-        partitions: &[HashMap<Datum, u64>],
+        table: &pf_exec::RadixTable,
         probe_col: usize,
+        pushdown: Option<&BitVectorFilter>,
         page_range: (u32, u32),
         ctx: &mut ExecContext,
     ) -> Result<(u64, IoStats, Option<ScanMonitorPartial>)> {
@@ -1113,12 +1141,26 @@ impl Database {
         ctx.cold_start();
         ctx.fault_attempt = 0;
         let mut count = 0u64;
-        while let Some(row) = op.next(ctx)? {
-            ctx.pool.charge_hashes(1);
-            let key = row.get(probe_col);
-            let part = hash_partition_of(key, partitions.len());
-            if let Some(n) = partitions[part].get(key) {
-                count += n;
+        if pf_exec::join::vector_enabled() {
+            let mut prefiltered = false;
+            if let Some(f) = pushdown {
+                op.set_semi_join_prefilter(f.clone(), probe_col);
+                prefiltered = true;
+            }
+            let count = &mut count;
+            while op.next_page_rows(ctx, &mut |rows, ctx| {
+                rows.for_each(|_slot, view| {
+                    if !prefiltered {
+                        ctx.pool.charge_hashes(1);
+                    }
+                    *count += table.matches(view.get(probe_col));
+                    Ok(())
+                })
+            })? {}
+        } else {
+            while let Some(row) = op.next(ctx)? {
+                ctx.pool.charge_hashes(1);
+                count += table.matches(pf_common::DatumRef::from(row.get(probe_col)));
             }
         }
         drop(op);

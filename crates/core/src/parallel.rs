@@ -44,8 +44,7 @@
 //! measured, not guessed.
 
 use crate::db::{
-    hash_partition_of, Database, MorselFetch, MorselHashJoin, MorselInlJoin, MorselPlan,
-    MorselScan, QueryOutcome,
+    Database, MorselFetch, MorselHashJoin, MorselInlJoin, MorselPlan, MorselScan, QueryOutcome,
 };
 use crate::feedback_loop::FeedbackOutcome;
 use crate::planner::{LoweredPlan, MonitorConfig};
@@ -56,7 +55,7 @@ use pf_exec::monitor::FetchTemplate;
 use pf_exec::{Conjunction, ExecContext};
 use pf_feedback::{BitVectorFilter, FeedbackReport};
 use pf_storage::{split_run_extra_misses, IoStats};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -946,30 +945,32 @@ impl ParallelRunner {
                 set.absorb_partial(p);
             }
         }
-        // Partition phase: route the ordered key stream into
-        // per-partition multiplicity maps (pure CPU, uncharged — the
-        // serial build's bucket inserts are uncharged too).
-        let parts_n = self.jobs;
-        let keys_ref = &keys;
-        let partitions: Vec<HashMap<Datum, u64>> = self.run_indexed(parts_n, |p, _scratch| {
-            let mut map: HashMap<Datum, u64> = HashMap::new();
-            for key in keys_ref
-                .iter()
-                .filter(|k| hash_partition_of(k, parts_n) == p)
-            {
-                *map.entry(key.clone()).or_insert(0) += 1;
-            }
-            Ok(map)
-        })?;
+        // Partition phase: a single coordinator pass moves the ordered
+        // key stream into the radix-partitioned multiplicity table all
+        // probe morsels share (pure CPU, uncharged — the serial build's
+        // table inserts are uncharged too, and the per-row hash charges
+        // were already paid by the build morsels). This replaces the old
+        // per-partition sweep that rehashed and cloned every key once
+        // per worker.
+        let mut table = pf_exec::RadixTable::new(
+            pf_exec::join_partitions(keys.len() as f64),
+            crate::db::PARTITION_SEED,
+        );
+        for key in keys {
+            table.insert_owned(key);
+        }
+        let table = &table;
         // Probe phase: scan morsels over the inner side.
         let probe_chunks = self.page_chunks(join.inner_range);
         let recipe_filter = recipe.as_ref().zip(filter.as_ref());
+        let pushdown_filter = if join.pushdown { filter.as_ref() } else { None };
         let probes = self.run_indexed(probe_chunks.len(), |i, scratch| {
             db.run_probe_morsel(
                 join.spec.inner,
                 recipe_filter,
-                &partitions,
+                table,
                 join.spec.inner_join_col,
+                pushdown_filter,
                 probe_chunks[i],
                 scratch.ctx_for(db),
             )

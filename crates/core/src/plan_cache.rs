@@ -126,13 +126,18 @@ impl PlanCache {
         }
         let _ = write!(
             key,
-            "#m{}f{}b{:?}p{}B{:?}d{:?}",
+            "#m{}f{}b{:?}p{}B{:?}d{:?}v{}",
             u8::from(cfg.enabled),
             cfg.sampling_fraction,
             cfg.bitvector_bits,
             u8::from(cfg.monitor_pairs),
             cfg.memory_budget,
             cfg.deadline_ms,
+            // Defensive hygiene: plan *choices* are knob-independent,
+            // but toggling `PF_JOIN_VECTOR` mid-process (identity tests
+            // do) must never resurface an entry recorded under the
+            // other pipeline.
+            u8::from(pf_exec::join::vector_enabled()),
         );
         key
     }

@@ -656,37 +656,41 @@ impl<'a> Planner<'a> {
         let est_matched = plan.est_rows;
         let analytic_join_dpc = cardenas(est_matched, inner_pages);
 
+        let filter_cfg = self.join_filter_config(plan, spec, cfg)?;
+        let pushdown = filter_cfg.is_some() && self.join_pushdown(plan, spec)?;
+        let partitions = pf_exec::join_partitions(plan.outer_plan.est_rows);
+
         let op: Box<dyn Operator> = match plan.method {
             pf_optimizer::JoinMethod::Hash | pf_optimizer::JoinMethod::Merge => {
                 // Semi-join monitoring only when an index on the inner
                 // join column makes the INL DPC relevant (Section IV).
-                let (probe_monitors, bv_config) =
-                    if let Some((bits, filter_seed)) = self.join_filter_config(plan, spec, cfg)? {
-                        let slot = semi_join_slot(spec.inner_join_col);
-                        let set = ScanMonitorSet::new(
-                            vec![ScanExprMonitor::semi_join(
-                                jkey.clone(),
-                                Rc::clone(&slot),
-                                Some(analytic_join_dpc),
-                            )],
-                            cfg.sampling_fraction,
-                            cfg.seed ^ 0xB17,
-                        );
-                        let handle = Rc::new(RefCell::new(set));
-                        harness
-                            .scans
-                            .push((inner_meta.name.clone(), Rc::clone(&handle), bits / 8));
-                        (
-                            Some(handle),
-                            Some(BitVectorConfig {
-                                slot,
-                                numbits: bits,
-                                seed: filter_seed,
-                            }),
-                        )
-                    } else {
-                        (None, None)
-                    };
+                let (probe_monitors, bv_config) = if let Some((bits, filter_seed)) = filter_cfg {
+                    let slot = semi_join_slot(spec.inner_join_col);
+                    let set = ScanMonitorSet::new(
+                        vec![ScanExprMonitor::semi_join(
+                            jkey.clone(),
+                            Rc::clone(&slot),
+                            Some(analytic_join_dpc),
+                        )],
+                        cfg.sampling_fraction,
+                        cfg.seed ^ 0xB17,
+                    );
+                    let handle = Rc::new(RefCell::new(set));
+                    harness
+                        .scans
+                        .push((inner_meta.name.clone(), Rc::clone(&handle), bits / 8));
+                    (
+                        Some(handle),
+                        Some(BitVectorConfig {
+                            slot,
+                            numbits: bits,
+                            seed: filter_seed,
+                            pushdown,
+                        }),
+                    )
+                } else {
+                    (None, None)
+                };
                 let probe = SeqScan::full(
                     Arc::clone(&inner_meta.storage),
                     spec.inner,
@@ -694,13 +698,16 @@ impl<'a> Planner<'a> {
                     probe_monitors,
                 );
                 if plan.method == pf_optimizer::JoinMethod::Hash {
-                    Box::new(HashJoin::new(
-                        lowered_outer.op,
-                        Box::new(probe),
-                        spec.outer_join_col,
-                        spec.inner_join_col,
-                        bv_config,
-                    ))
+                    Box::new(
+                        HashJoin::new(
+                            lowered_outer.op,
+                            Box::new(probe),
+                            spec.outer_join_col,
+                            spec.inner_join_col,
+                            bv_config,
+                        )
+                        .with_partitions(partitions),
+                    )
                 } else {
                     // Merge: sort any side not already in join-key order.
                     let outer_sorted =
@@ -794,6 +801,24 @@ impl<'a> Planner<'a> {
                     (None, _) => String::new(),
                 }
             );
+            if plan.method == pf_optimizer::JoinMethod::Hash {
+                // The chosen join strategy: radix partition count,
+                // whether the vectorized pipeline runs (the only place
+                // the `PF_JOIN_VECTOR` state is ever printed — plan
+                // descriptions and figure output stay knob-independent),
+                // and whether the build filter pushes into the probe
+                // scan.
+                s.push_str(&format!(
+                    "│  strategy: parts={} vector={} pushdown={}\n",
+                    partitions,
+                    if pf_exec::join::vector_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    },
+                    if pushdown { "yes" } else { "no" },
+                ));
+            }
             for line in lowered_outer.explain.lines() {
                 s.push_str("├─ ");
                 s.push_str(line);
@@ -888,6 +913,21 @@ impl<'a> Planner<'a> {
             .bitvector_bits
             .unwrap_or_else(|| ((est_build * rpp * 32.0) as usize).clamp(4_096, 1 << 23));
         Ok(Some((bits, cfg.seed ^ 0xF117)))
+    }
+
+    /// Planner decision: push the completed build-side filter into the
+    /// probe scan as a page-pass pre-filter. Hash joins only — a merge
+    /// lowering may put a `Sort` above the probe, which charges hashes
+    /// on its *input* cardinality, so culling rows below it would change
+    /// I/O statistics. The selectivity threshold skips pushdown when
+    /// most probe rows match anyway; the decision is a pure function of
+    /// the plan (never of runtime knobs), so explain output is stable.
+    pub fn join_pushdown(&self, plan: &JoinPlan, spec: &JoinSpec) -> Result<bool> {
+        if plan.method != pf_optimizer::JoinMethod::Hash {
+            return Ok(false);
+        }
+        let inner_rows = self.catalog.table(spec.inner)?.stats.rows as f64;
+        Ok(plan.est_rows < 0.5 * inner_rows)
     }
 
     /// Materializes the RID list an index-driven lowering of `plan`

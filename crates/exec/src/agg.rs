@@ -36,12 +36,15 @@ impl Operator for CountAgg {
         if self.done {
             return Ok(None);
         }
-        let mut n: i64 = 0;
-        while self.input.next(ctx)?.is_some() {
-            n += 1;
+        // Counting pull: batch-capable inputs (scans, vectorized joins)
+        // deliver per-page counts without materializing a single row;
+        // everything else degrades to the per-row default.
+        let mut n: u64 = 0;
+        while let Some(k) = self.input.next_count(ctx)? {
+            n += k;
         }
         self.done = true;
-        Ok(Some(Row::new(vec![Datum::Int(n)])))
+        Ok(Some(Row::new(vec![Datum::Int(n as i64)])))
     }
 }
 

@@ -17,14 +17,28 @@
 use crate::context::ExecContext;
 use crate::expr::Conjunction;
 use crate::index::{Fetch, IndexSeek, SeekRange};
+use crate::join_table::{join_partitions, RadixTable};
 use crate::monitor::{FetchMonitorHandle, SemiJoinSlot};
 use crate::op::Operator;
-use pf_common::{Datum, Result, Row, Schema, TableId};
+use pf_common::{Datum, DatumRef, Error, Result, Row, Schema, TableId};
 use pf_feedback::BitVectorFilter;
 use pf_storage::btree::BPlusTree;
 use pf_storage::TableStorage;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Whether the vectorized join pipeline (radix-partitioned build,
+/// page-batched probe, semi-join filter pushdown) is enabled. The
+/// `PF_JOIN_VECTOR` escape hatch (`off` or `0`) forces the row-at-a-time
+/// reference path — counts, sketches, reports, and I/O statistics are
+/// bit-identical either way.
+pub fn vector_enabled() -> bool {
+    pf_common::env_switch("PF_JOIN_VECTOR", true)
+}
+
+/// Seed for the radix build table's key hashing (internal layout only —
+/// never observable in results or charges).
+const BUILD_TABLE_SEED: u64 = 0x5EED_B01D_FACE_D0E5;
 
 /// Configuration for the bit-vector filter a join builds for monitoring.
 #[derive(Debug, Clone)]
@@ -35,6 +49,20 @@ pub struct BitVectorConfig {
     pub numbits: usize,
     /// Hash seed.
     pub seed: u64,
+    /// Planner decision: push the completed filter into the probe-side
+    /// scan as a pre-filter (vectorized hash joins only; merge joins
+    /// never push — a probe-side Sort charges hashes on its *input*
+    /// cardinality, so culling would change I/O statistics).
+    pub pushdown: bool,
+}
+
+/// The hash join's build side: the row-at-a-time reference
+/// representation, or the vectorized radix-partitioned table (which
+/// stores chained rows only when the join is driven row-at-a-time —
+/// counting drivers keep multiplicities only).
+enum BuildTable {
+    Legacy(HashMap<Datum, Vec<Row>>),
+    Radix(RadixTable),
 }
 
 /// In-memory hash join (equijoin on one column per side).
@@ -47,8 +75,17 @@ pub struct HashJoin {
     probe_key: usize,
     bitvector: Option<BitVectorConfig>,
     schema: Schema,
-    table: HashMap<Datum, Vec<Row>>,
+    table: BuildTable,
     built: bool,
+    /// Rows were not stored at build time (counting-driver mode); a
+    /// subsequent row pull is a driver bug, not an empty join.
+    count_mode: bool,
+    /// The probe scan carries the pushed-down prefilter, which charges
+    /// one hash per row it tests — so the join must not charge its own
+    /// per-probe-row hash on top.
+    prefiltered: bool,
+    vectorized: bool,
+    partitions: usize,
     pending: VecDeque<Row>,
 }
 
@@ -69,17 +106,39 @@ impl HashJoin {
             probe_key,
             bitvector,
             schema,
-            table: HashMap::new(),
+            table: BuildTable::Legacy(HashMap::new()),
             built: false,
+            count_mode: false,
+            prefiltered: false,
+            vectorized: vector_enabled(),
+            partitions: join_partitions(0.0),
             pending: VecDeque::new(),
         }
     }
 
-    fn build_phase(&mut self, ctx: &mut ExecContext) -> Result<()> {
+    /// Sets the radix-partition count (the planner derives it from the
+    /// estimated build cardinality; the default is the unpartitioned
+    /// layout). Purely internal layout — results are identical for any
+    /// count.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Whether this join runs the vectorized pipeline.
+    pub fn is_vectorized(&self) -> bool {
+        self.vectorized
+    }
+
+    /// Row-at-a-time reference build: per-row `HashMap` inserts.
+    fn build_phase_legacy(&mut self, ctx: &mut ExecContext) -> Result<()> {
         let mut filter = self
             .bitvector
             .as_ref()
             .map(|c| BitVectorFilter::new(c.numbits, c.seed));
+        let BuildTable::Legacy(table) = &mut self.table else {
+            return Err(Error::Internal("legacy build over radix table".into()));
+        };
         while let Some(row) = self.build.next(ctx)? {
             // RE-side checkpoint: the build input may be a RID list or
             // another join, so the SE-side page checks don't cover it.
@@ -92,11 +151,11 @@ impl HashJoin {
             // Clone the key only on its first occurrence: repeated keys
             // (the common case for a skewed build side) take the
             // `get_mut` fast path without allocating.
-            match self.table.get_mut(row.get(self.build_key)) {
+            match table.get_mut(row.get(self.build_key)) {
                 Some(bucket) => bucket.push(row),
                 None => {
                     let key = row.get(self.build_key).clone();
-                    self.table.insert(key, vec![row]);
+                    table.insert(key, vec![row]);
                 }
             }
         }
@@ -105,6 +164,80 @@ impl HashJoin {
             // before any probe row flows.
             c.slot.borrow_mut().filter = Some(f);
         }
+        self.built = true;
+        Ok(())
+    }
+
+    /// Vectorized build: page-at-a-time over the build scan into the
+    /// radix-partitioned table, with per-page bulk filter inserts. The
+    /// per-row charges (one hash per build row, one per filter insert)
+    /// are identical to the reference path; only the allocation work
+    /// and the checkpoint granularity (page instead of row) differ.
+    fn build_phase_vectorized(&mut self, ctx: &mut ExecContext, store_rows: bool) -> Result<()> {
+        let mut filter = self
+            .bitvector
+            .as_ref()
+            .map(|c| BitVectorFilter::new(c.numbits, c.seed));
+        let mut table = RadixTable::new(self.partitions, BUILD_TABLE_SEED);
+        let build_key = self.build_key;
+        match self
+            .build
+            .as_seq_scan()
+            .filter(|s| s.supports_page_visits())
+        {
+            Some(scan) => {
+                let filter = &mut filter;
+                let table = &mut table;
+                while scan.next_page_rows(ctx, &mut |rows, ctx| {
+                    rows.for_each(|_slot, view| {
+                        let key = view.get(build_key);
+                        ctx.pool.charge_hashes(1);
+                        if let Some(f) = filter.as_mut() {
+                            f.insert_ref(key);
+                            ctx.pool.charge_hashes(1);
+                        }
+                        table.insert(key, store_rows.then(|| view.materialize()));
+                        Ok(())
+                    })
+                })? {}
+            }
+            None => {
+                // Non-scan build input (an index fetch, another join):
+                // keep the row pull but build the radix table.
+                while let Some(row) = self.build.next(ctx)? {
+                    ctx.check_interrupt()?;
+                    ctx.pool.charge_hashes(1);
+                    if let Some(f) = filter.as_mut() {
+                        f.insert(row.get(build_key));
+                        ctx.pool.charge_hashes(1);
+                    }
+                    if store_rows {
+                        let key = row.get(build_key).clone();
+                        table.insert(DatumRef::from(&key), Some(row));
+                    } else {
+                        table.insert(DatumRef::from(row.get(build_key)), None);
+                    }
+                }
+            }
+        }
+        self.count_mode = !store_rows;
+        if let (Some(f), Some(c)) = (filter, &self.bitvector) {
+            if c.pushdown {
+                if let Some(scan) = self
+                    .probe
+                    .as_seq_scan()
+                    .filter(|s| s.supports_page_visits())
+                {
+                    // Filter pushdown: the completed build-side filter
+                    // culls probe rows inside the scan's page pass. The
+                    // scan charges the per-row probe hash from here on.
+                    scan.set_semi_join_prefilter(f.clone(), self.probe_key);
+                    self.prefiltered = true;
+                }
+            }
+            c.slot.borrow_mut().filter = Some(f);
+        }
+        self.table = BuildTable::Radix(table);
         self.built = true;
         Ok(())
     }
@@ -117,7 +250,16 @@ impl Operator for HashJoin {
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>> {
         if !self.built {
-            self.build_phase(ctx)?;
+            if self.vectorized {
+                self.build_phase_vectorized(ctx, true)?;
+            } else {
+                self.build_phase_legacy(ctx)?;
+            }
+        }
+        if self.count_mode {
+            return Err(Error::Internal(
+                "hash join built for counting cannot deliver rows".into(),
+            ));
         }
         loop {
             if let Some(row) = self.pending.pop_front() {
@@ -127,11 +269,79 @@ impl Operator for HashJoin {
                 return Ok(None);
             };
             ctx.check_interrupt()?;
-            ctx.pool.charge_hashes(1);
-            if let Some(matches) = self.table.get(probe_row.get(self.probe_key)) {
-                for b in matches {
-                    self.pending.push_back(b.join(&probe_row));
+            if !self.prefiltered {
+                ctx.pool.charge_hashes(1);
+            }
+            match &self.table {
+                BuildTable::Legacy(table) => {
+                    if let Some(matches) = table.get(probe_row.get(self.probe_key)) {
+                        for b in matches {
+                            self.pending.push_back(b.join(&probe_row));
+                        }
+                    }
                 }
+                BuildTable::Radix(table) => {
+                    for b in table.rows_for(DatumRef::from(probe_row.get(self.probe_key))) {
+                        self.pending.push_back(b.join(&probe_row));
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_count(&mut self, ctx: &mut ExecContext) -> Result<Option<u64>> {
+        if !self.vectorized {
+            // Reference path: row-at-a-time probe with materialized
+            // matches, exactly as before vectorization.
+            return Ok(self.next(ctx)?.map(|_| 1));
+        }
+        if !self.built {
+            self.build_phase_vectorized(ctx, false)?;
+        }
+        let table = match &self.table {
+            BuildTable::Radix(t) => t,
+            BuildTable::Legacy(_) => {
+                return Err(Error::Internal("vectorized probe over legacy table".into()))
+            }
+        };
+        let probe_key = self.probe_key;
+        let prefiltered = self.prefiltered;
+        match self
+            .probe
+            .as_seq_scan()
+            .filter(|s| s.supports_page_visits())
+        {
+            Some(scan) => {
+                // Page-batched probe: gather the page's join keys from
+                // borrowed views and count matches in a tight loop —
+                // no probe row is ever materialized.
+                let mut total = 0u64;
+                let more = scan.next_page_rows(ctx, &mut |rows, ctx| {
+                    rows.for_each(|_slot, view| {
+                        if !prefiltered {
+                            ctx.pool.charge_hashes(1);
+                        }
+                        total += table.matches(view.get(probe_key));
+                        Ok(())
+                    })
+                })?;
+                if more {
+                    Ok(Some(total))
+                } else {
+                    Ok(None)
+                }
+            }
+            None => {
+                let Some(probe_row) = self.probe.next(ctx)? else {
+                    return Ok(None);
+                };
+                ctx.check_interrupt()?;
+                if !prefiltered {
+                    ctx.pool.charge_hashes(1);
+                }
+                Ok(Some(
+                    table.matches(DatumRef::from(probe_row.get(probe_key))),
+                ))
             }
         }
     }
@@ -721,6 +931,7 @@ mod tests {
                 slot: Rc::clone(&slot),
                 numbits: 4096,
                 seed: 11,
+                pushdown: false,
             }),
         );
         let mut ctx = ExecContext::new(32_768);
@@ -801,6 +1012,7 @@ mod tests {
                 slot: Rc::clone(&slot),
                 numbits: 2048,
                 seed: 3,
+                pushdown: false,
             }),
         );
         let mut ctx = ExecContext::new(8192);
@@ -908,6 +1120,7 @@ mod tests {
                 slot: Rc::clone(&slot),
                 numbits: 1 << 20,
                 seed: 8,
+                pushdown: false,
             }),
         );
         let mut ctx = ExecContext::new(8192);

@@ -37,6 +37,7 @@ pub mod expr;
 pub mod governor;
 pub mod index;
 pub mod join;
+pub mod join_table;
 pub mod monitor;
 pub mod op;
 pub mod scan;
@@ -45,5 +46,7 @@ pub mod sort;
 pub use context::{CancelToken, ExecContext};
 pub use expr::{AtomicPredicate, CompareOp, Conjunction, PageKernel};
 pub use governor::{governor_handle, GovernorHandle, MonitorGovernor, ShedClass};
+pub use join_table::{join_partitions, RadixTable};
 pub use monitor::{FetchMonitor, FetchObserveWhen, ScanExprMonitor, ScanMonitorSet, SemiJoinSlot};
 pub use op::{drain, run_count, Operator, RidSource};
+pub use scan::{PageRows, SeqScan};

@@ -461,6 +461,27 @@ impl ScanMonitorSet {
         unsatisfied
     }
 
+    /// Batched semi-join observation of one page: walks the page's row
+    /// views only while a sampled semi-join expression is still
+    /// unsatisfied — the bulk complement of calling
+    /// [`ScanMonitorSet::observe_semi_join_row`] per row, with the same
+    /// early stop and identical hash-op accounting.
+    pub fn observe_semi_join_page<'a, R, I>(&mut self, rows: I) -> pf_common::Result<()>
+    where
+        R: DatumAccess + 'a,
+        I: IntoIterator<Item = pf_common::Result<R>>,
+    {
+        if !self.wants_semi_join_rows() {
+            return Ok(());
+        }
+        for view in rows {
+            if !self.observe_semi_join_row(&view?) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     fn observe_impl<R: DatumAccess + ?Sized>(&mut self, atom_results: AtomResults<'_>, row: &R) {
         let sampled = self.page_sampled;
         self.rows_seen += 1;

@@ -10,6 +10,25 @@ pub trait Operator {
 
     /// Produces the next row, or `None` at end of stream.
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Row>>;
+
+    /// Batched counting pull: the number of output rows in the next
+    /// batch, or `None` at end of stream. Semantically identical to
+    /// `next()` mapped to a count of 1 — page-batched operators
+    /// override it to count qualifying rows without materializing
+    /// them. Every I/O-statistics charge is identical on both pulls;
+    /// only allocation work differs. A driver must pick one pull style
+    /// per operator run (counting drivers never interleave the two).
+    fn next_count(&mut self, ctx: &mut ExecContext) -> Result<Option<u64>> {
+        Ok(self.next(ctx)?.map(|_| 1))
+    }
+
+    /// Downcast hook for page-batched consumers: a [`crate::SeqScan`]
+    /// returns itself so parents (vectorized joins, sorts) can drive it
+    /// a page at a time instead of row by row. Everything else is not
+    /// page-addressable and returns `None`.
+    fn as_seq_scan(&mut self) -> Option<&mut crate::scan::SeqScan> {
+        None
+    }
 }
 
 /// An SE-side producer of row identifiers (index seeks and RID
@@ -29,10 +48,12 @@ pub fn drain(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<Vec<Row>> {
 }
 
 /// Drains an operator counting rows (the `SELECT COUNT(...)` driver).
+/// Uses the batched pull, so operators that can count a page at a time
+/// never materialize their output.
 pub fn run_count(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<u64> {
     let mut n = 0;
-    while op.next(ctx)?.is_some() {
-        n += 1;
+    while let Some(k) = op.next_count(ctx)? {
+        n += k;
     }
     Ok(n)
 }

@@ -11,8 +11,8 @@ use crate::expr::{Conjunction, PageKernel};
 use crate::monitor::ScanMonitorHandle;
 use crate::op::Operator;
 use pf_common::{Datum, PageId, Result, Row, Schema, SlotId, TableId};
-use pf_feedback::bitmap;
-use pf_storage::{AccessPattern, TableStorage};
+use pf_feedback::{bitmap, BitVectorFilter};
+use pf_storage::{AccessPattern, Page, RowLayout, RowView, TableStorage};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -69,6 +69,15 @@ pub struct SeqScan {
     /// earlier than the moment the join consumes it. Only valid for
     /// monitor sets with no full-evaluation needs (semi-join monitors).
     deferred_monitoring: bool,
+    /// Semi-join pre-filter pushed down from a vectorized hash join:
+    /// once the build side completes, its merged [`BitVectorFilter`] is
+    /// evaluated in the page pass (after monitors observe the full
+    /// page) and rows with no possible build match are culled before
+    /// materialization. Charging rule: one hash op per qualifying row
+    /// *tested* — exactly the per-probe-row hash the join itself would
+    /// have charged — so I/O statistics are byte-identical to the
+    /// unfiltered plan.
+    prefilter: Option<(BitVectorFilter, usize)>,
     last_delivered_page: Option<u32>,
     /// Deferred mode observes each row one delivery *late*: a streaming
     /// merge join advances its outer side (growing the partial filter)
@@ -111,6 +120,7 @@ impl SeqScan {
             slot_offs: Vec::new(),
             kernel,
             deferred_monitoring: false,
+            prefilter: None,
             last_delivered_page: None,
             pending_observation: None,
         }
@@ -198,9 +208,61 @@ impl SeqScan {
         self.page_range.1 - self.page_range.0
     }
 
+    /// The storage this scan reads — page-batched parents use it to
+    /// re-derive row views by `(page, slot)` provenance.
+    pub fn storage(&self) -> &Arc<TableStorage> {
+        &self.storage
+    }
+
+    /// Installs a semi-join pre-filter over `key_col` (see the field
+    /// docs for the charging contract). Only meaningful before the
+    /// first delivery; deferred-monitoring scans cannot take one (their
+    /// filter is still growing while pages stream).
+    pub fn set_semi_join_prefilter(&mut self, filter: BitVectorFilter, key_col: usize) {
+        assert!(
+            !self.deferred_monitoring,
+            "prefilter pushdown requires a completed build-side filter"
+        );
+        self.prefilter = Some((filter, key_col));
+    }
+
+    /// Materializing page load: evaluates the next page and buffers its
+    /// qualifying rows for row-at-a-time delivery.
     fn load_next_page(&mut self, ctx: &mut ExecContext) -> Result<bool> {
+        match self.eval_next_page(ctx)? {
+            PageEval::Exhausted => Ok(false),
+            PageEval::Skipped => Ok(true),
+            PageEval::Ready { pid } => {
+                // Pass 2: materialize only the qualifying rows — the
+                // ones the parent operator will actually receive. The
+                // page passed verification in the eval pass, so this
+                // re-lookup (no re-verify, no new I/O: residency was
+                // charged there) sees the same bytes.
+                let storage = Arc::clone(&self.storage);
+                let page = storage.checked_page(PageId(pid), ctx.fault_attempt, false)?;
+                let layout = storage.layout();
+                for (word, &bits) in self.qualifying.iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        let slot = word * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let row = page.view(layout, SlotId(slot as u16))?.materialize();
+                        self.buffer.push_back((row, pid, slot as u16));
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Evaluates the next page of the range into the `qualifying`
+    /// bitmap — checksum verification, monitor observation, predicate
+    /// kernels, prefilter culling, and every I/O charge happen here,
+    /// identically for the materializing and the page-batched
+    /// consumers. No row is decoded into owned values.
+    fn eval_next_page(&mut self, ctx: &mut ExecContext) -> Result<PageEval> {
         if self.next_page >= self.page_range.1 {
-            return Ok(false);
+            return Ok(PageEval::Exhausted);
         }
         // Page-boundary cancellation/deadline checkpoint: one per page
         // actually visited, so `CancelToken::cancel_after(k)` aborts
@@ -232,7 +294,7 @@ impl SeqScan {
                     }
                     m.note_skipped_page();
                 }
-                return Ok(true);
+                return Ok(PageEval::Skipped);
             }
             Err(e) => return Err(e),
         };
@@ -325,17 +387,11 @@ impl SeqScan {
                         m.observe_page_atoms(&self.atom_bits, words, n_rows as u64);
                         ctx.pool.charge_monitor_ops(n_rows as u64);
                         // Semi-join expressions hash per-row keys, which
-                        // bitmaps cannot carry: walk views only on
-                        // sampled pages with live semi-join monitors,
-                        // stopping as soon as all are satisfied.
-                        if m.wants_semi_join_rows() {
-                            for view in page.cursor(layout) {
-                                let view = view?;
-                                if !m.observe_semi_join_row(&view) {
-                                    break;
-                                }
-                            }
-                        }
+                        // bitmaps cannot carry: the batched observation
+                        // walks views only on sampled pages with live
+                        // semi-join monitors, stopping as soon as all
+                        // are satisfied.
+                        m.observe_semi_join_page(page.cursor(layout))?;
                     }
                 }
             }
@@ -382,15 +438,24 @@ impl SeqScan {
             }
         }
 
-        // Pass 2: materialize only the qualifying rows — the ones the
-        // parent operator will actually receive.
-        for (word, &bits) in self.qualifying.iter().enumerate() {
-            let mut bits = bits;
-            while bits != 0 {
-                let slot = word * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let row = page.view(layout, SlotId(slot as u16))?.materialize();
-                self.buffer.push_back((row, pid.0, slot as u16));
+        // Prefilter pass: cull qualifying rows whose join key cannot be
+        // on the build side. Runs strictly after monitor observation
+        // (sketches must see the full page) and charges one hash per
+        // row tested — the hash the consuming join charges per probe
+        // row on the unfiltered path, keeping I/O statistics
+        // byte-identical.
+        if let Some((filter, key_col)) = &self.prefilter {
+            for word in 0..self.qualifying.len() {
+                let mut bits = self.qualifying[word];
+                while bits != 0 {
+                    let slot = word * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    ctx.pool.charge_hashes(1);
+                    let key = page.view(layout, SlotId(slot as u16))?.get(*key_col);
+                    if !filter.may_contain_ref(key) {
+                        self.qualifying[word] &= !(1u64 << (slot % 64));
+                    }
+                }
             }
         }
 
@@ -398,7 +463,114 @@ impl SeqScan {
             let hashes = m.borrow_mut().take_hash_ops();
             ctx.pool.charge_hashes(hashes);
         }
-        Ok(true)
+        Ok(PageEval::Ready { pid: pid.0 })
+    }
+}
+
+/// Outcome of one page-evaluation step.
+enum PageEval {
+    /// The page range is exhausted.
+    Exhausted,
+    /// The page failed verification and was skipped (recorded as
+    /// degraded); the scan continues with the next page.
+    Skipped,
+    /// `qualifying` holds the page's surviving slots.
+    Ready { pid: u32 },
+}
+
+/// Borrowed access to the qualifying rows of one evaluated page —
+/// what a page-batched consumer receives in place of materialized
+/// rows. Every charge for the page has already been applied.
+pub struct PageRows<'a> {
+    page: &'a Page,
+    layout: &'a RowLayout,
+    qualifying: &'a [u64],
+    pid: u32,
+}
+
+impl<'a> PageRows<'a> {
+    /// The page id these rows come from.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// Number of qualifying rows on the page.
+    pub fn len(&self) -> u64 {
+        bitmap::popcount(self.qualifying)
+    }
+
+    /// Whether the page has no qualifying rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits each qualifying row as a borrowed view, in slot order.
+    pub fn for_each(&self, mut f: impl FnMut(u16, RowView<'a>) -> Result<()>) -> Result<()> {
+        for (word, &bits) in self.qualifying.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let slot = (word * 64 + bits.trailing_zeros() as usize) as u16;
+                bits &= bits - 1;
+                f(slot, self.page.view(self.layout, SlotId(slot))?)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SeqScan {
+    /// Whether this scan can serve [`SeqScan::next_page_rows`]:
+    /// deferred-monitoring scans cannot (observation there is coupled
+    /// to delivery order), so batch consumers must fall back to row
+    /// pulls.
+    pub fn supports_page_visits(&self) -> bool {
+        !self.deferred_monitoring
+    }
+
+    /// Page-batched pull: evaluates the next page (skipping corrupt
+    /// ones) and hands its qualifying rows to `visit` as borrowed
+    /// views. Returns `false` once the range is exhausted (monitors
+    /// are finished at that point). Must not be interleaved with
+    /// buffered `next()` deliveries, and is unavailable in deferred-
+    /// monitoring mode (observation there is coupled to delivery
+    /// order).
+    pub fn next_page_rows(
+        &mut self,
+        ctx: &mut ExecContext,
+        visit: &mut dyn FnMut(&PageRows<'_>, &mut ExecContext) -> Result<()>,
+    ) -> Result<bool> {
+        assert!(
+            !self.deferred_monitoring,
+            "page-batched pull is incompatible with deferred monitoring"
+        );
+        debug_assert!(self.buffer.is_empty(), "mixed page-batched and row pulls");
+        loop {
+            if self.finished {
+                return Ok(false);
+            }
+            match self.eval_next_page(ctx)? {
+                PageEval::Exhausted => {
+                    self.finished = true;
+                    if let Some(m) = &self.monitors {
+                        m.borrow_mut().finish();
+                    }
+                    return Ok(false);
+                }
+                PageEval::Skipped => continue,
+                PageEval::Ready { pid } => {
+                    let storage = Arc::clone(&self.storage);
+                    let page = storage.checked_page(PageId(pid), ctx.fault_attempt, false)?;
+                    let rows = PageRows {
+                        page,
+                        layout: storage.layout(),
+                        qualifying: &self.qualifying,
+                        pid,
+                    };
+                    visit(&rows, ctx)?;
+                    return Ok(true);
+                }
+            }
+        }
     }
 }
 
@@ -472,6 +644,44 @@ impl Operator for SeqScan {
                 }
             }
         }
+    }
+
+    fn next_count(&mut self, ctx: &mut ExecContext) -> Result<Option<u64>> {
+        if self.deferred_monitoring {
+            // Deferred observation is coupled to delivery order; keep
+            // the row-at-a-time reference protocol.
+            return Ok(self.next(ctx)?.map(|_| 1));
+        }
+        if !self.buffer.is_empty() {
+            let n = self.buffer.len() as u64;
+            self.buffer.clear();
+            return Ok(Some(n));
+        }
+        loop {
+            if self.finished {
+                return Ok(None);
+            }
+            match self.eval_next_page(ctx)? {
+                PageEval::Exhausted => {
+                    self.finished = true;
+                    if let Some(m) = &self.monitors {
+                        m.borrow_mut().finish();
+                    }
+                    return Ok(None);
+                }
+                PageEval::Skipped => continue,
+                PageEval::Ready { .. } => {
+                    let n = bitmap::popcount(&self.qualifying);
+                    if n > 0 {
+                        return Ok(Some(n));
+                    }
+                }
+            }
+        }
+    }
+
+    fn as_seq_scan(&mut self) -> Option<&mut SeqScan> {
+        Some(self)
     }
 }
 

@@ -7,14 +7,13 @@
 
 use crate::context::ExecContext;
 use crate::op::Operator;
-use pf_common::{Result, Row, Schema};
+use pf_common::{Datum, Result, Row, Schema};
 
 /// Sorts its input by one column (ascending, total order).
 pub struct Sort {
     input: Box<dyn Operator>,
     key: usize,
-    sorted: Option<Vec<Row>>,
-    pos: usize,
+    sorted: Option<std::vec::IntoIter<Row>>,
 }
 
 impl Sort {
@@ -24,27 +23,53 @@ impl Sort {
             input,
             key,
             sorted: None,
-            pos: 0,
         }
     }
 
     fn materialize(&mut self, ctx: &mut ExecContext) -> Result<()> {
-        let mut rows = Vec::new();
-        while let Some(r) = self.input.next(ctx)? {
-            rows.push(r);
+        let key = self.key;
+        // Decode each row's sort key once at collection (off the
+        // borrowed page view when the input is a batch-capable scan)
+        // instead of re-accessing it per comparison.
+        let mut keyed: Vec<(Datum, Row)> = Vec::new();
+        match self
+            .input
+            .as_seq_scan()
+            .filter(|s| s.supports_page_visits())
+        {
+            Some(scan) => {
+                let keyed = &mut keyed;
+                while scan.next_page_rows(ctx, &mut |rows, _ctx| {
+                    rows.for_each(|_slot, view| {
+                        keyed.push((view.get(key).to_datum(), view.materialize()));
+                        Ok(())
+                    })
+                })? {}
+            }
+            None => {
+                while let Some(r) = self.input.next(ctx)? {
+                    keyed.push((r.get(key).clone(), r));
+                }
+            }
         }
-        let n = rows.len() as u64;
+        let n = keyed.len() as u64;
         // Charge ~n·log2(n) comparisons as cheap CPU ops.
         if n > 1 {
             ctx.pool.charge_hashes(n * (64 - n.leading_zeros() as u64));
         }
-        let key = self.key;
-        rows.sort_by(|a, b| {
-            a.get(key)
-                .cmp_same_type(b.get(key))
+        // Stable, so equal keys keep input order — the same permutation
+        // the row-at-a-time collection produced.
+        keyed.sort_by(|a, b| {
+            a.0.cmp_same_type(&b.0)
                 .expect("sort keys must be same-typed")
         });
-        self.sorted = Some(rows);
+        self.sorted = Some(
+            keyed
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
         Ok(())
     }
 }
@@ -58,14 +83,7 @@ impl Operator for Sort {
         if self.sorted.is_none() {
             self.materialize(ctx)?;
         }
-        let rows = self.sorted.as_ref().expect("materialized above");
-        if self.pos < rows.len() {
-            let r = rows[self.pos].clone();
-            self.pos += 1;
-            Ok(Some(r))
-        } else {
-            Ok(None)
-        }
+        Ok(self.sorted.as_mut().expect("materialized above").next())
     }
 }
 

@@ -65,6 +65,25 @@ impl BitVectorFilter {
         self.insertions += 1;
     }
 
+    /// Bulk-inserts a batch of borrowed build-side keys (one page's
+    /// gathered join keys in the vectorized build), returning how many
+    /// were inserted. The resulting bits, insertion count, and
+    /// degradation state are identical to calling
+    /// [`BitVectorFilter::insert_ref`] per key in order.
+    pub fn insert_batch<'a, I>(&mut self, keys: I) -> u64
+    where
+        I: IntoIterator<Item = DatumRef<'a>>,
+    {
+        let mut n = 0;
+        for key in keys {
+            let bit = hash_datum_ref(key, self.seed) % self.numbits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            n += 1;
+        }
+        self.insertions += n;
+        n
+    }
+
     /// Tests a probe-side join-key value (the derived semi-join
     /// predicate). Never returns `false` for a key that was inserted.
     #[inline]
